@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the fairness metrics: the O(n log n) Gini vs
+//! the naive O(n²) oracle, and Lorenz-curve construction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairswap_fairness::{gini, gini_naive, lorenz};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+fn sample(n: usize) -> Vec<f64> {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xFA12);
+    (0..n).map(|_| rng.gen_range(0.0..10_000.0)).collect()
+}
+
+fn bench_gini(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gini_sorted");
+    for n in [100usize, 1000, 10_000] {
+        let values = sample(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| gini(black_box(v)).expect("valid input"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gini_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gini_naive");
+    for n in [100usize, 1000] {
+        let values = sample(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| gini_naive(black_box(v)).expect("valid input"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lorenz(c: &mut Criterion) {
+    let values = sample(1000);
+    c.bench_function("lorenz_1000", |b| {
+        b.iter(|| lorenz(black_box(&values)).expect("valid input"));
+    });
+}
+
+criterion_group!(benches, bench_gini, bench_gini_naive, bench_lorenz);
+criterion_main!(benches);

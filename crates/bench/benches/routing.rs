@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the overlay substrate: topology construction,
+//! closest-node lookup, and greedy route computation at paper scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairswap_kademlia::{AddressSpace, NodeId, Router, Topology, TopologyBuilder};
+
+fn paper_topology(k: usize) -> Topology {
+    TopologyBuilder::new(AddressSpace::new(16).expect("valid width"))
+        .nodes(1000)
+        .bucket_size(k)
+        .seed(0xFA12)
+        .build()
+        .expect("valid topology")
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_build_1000_nodes");
+    for k in [4usize, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| paper_topology(black_box(k)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_closest_node(c: &mut Criterion) {
+    let topology = paper_topology(4);
+    let space = topology.space();
+    let mut raw = 0u64;
+    c.bench_function("closest_node_trie_lookup", |b| {
+        b.iter(|| {
+            raw = (raw + 7919) & 0xFFFF;
+            let target = space.address(raw).expect("in range");
+            black_box(topology.closest_node(target))
+        });
+    });
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_route");
+    for k in [4usize, 20] {
+        let topology = paper_topology(k);
+        let space = topology.space();
+        let router = Router::new(&topology);
+        let mut raw = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                raw = (raw + 6151) & 0xFFFF;
+                let target = space.address(raw).expect("in range");
+                black_box(router.route(NodeId((raw % 1000) as usize), target))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology_build, bench_closest_node, bench_route);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benchmarks for SWAP accounting: service recording, the
+//! amortization tick over a loaded network, and settlement sweeps.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairswap_kademlia::NodeId;
+use fairswap_swap::{AccountingUnits, ChannelConfig, SwapNetwork};
+
+fn loaded_network(nodes: usize, channels: usize) -> SwapNetwork {
+    let mut net = SwapNetwork::new(
+        nodes,
+        ChannelConfig {
+            payment_threshold: AccountingUnits(1_000_000),
+            disconnect_threshold: AccountingUnits(10_000_000),
+            refresh_rate: AccountingUnits(50),
+        },
+    );
+    for i in 0..channels {
+        let a = i % nodes;
+        let b = (i * 7 + 1) % nodes;
+        if a != b {
+            net.record_service(NodeId(a), NodeId(b), AccountingUnits(100 + i as i64 % 900))
+                .expect("valid service");
+        }
+    }
+    net
+}
+
+fn bench_record_service(c: &mut Criterion) {
+    let mut net = loaded_network(1000, 0);
+    let mut i = 0usize;
+    c.bench_function("swap_record_service", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let consumer = NodeId(i % 1000);
+            let server = NodeId((i * 13 + 1) % 1000);
+            if consumer != server {
+                black_box(
+                    net.record_service(consumer, server, AccountingUnits(10))
+                        .expect("unlimited thresholds"),
+                );
+            }
+        });
+    });
+}
+
+fn bench_tick(c: &mut Criterion) {
+    c.bench_function("swap_tick_5000_channels", |b| {
+        b.iter_batched(
+            || loaded_network(1000, 5000),
+            |mut net| black_box(net.tick()),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_settle_due(c: &mut Criterion) {
+    c.bench_function("swap_settle_due_5000_channels", |b| {
+        b.iter_batched(
+            || {
+                let mut net = SwapNetwork::new(
+                    1000,
+                    ChannelConfig {
+                        payment_threshold: AccountingUnits(50),
+                        disconnect_threshold: AccountingUnits(1_000_000),
+                        refresh_rate: AccountingUnits::ZERO,
+                    },
+                );
+                for i in 0..5000usize {
+                    let a = i % 1000;
+                    let b2 = (i * 7 + 1) % 1000;
+                    if a != b2 {
+                        net.record_service(NodeId(a), NodeId(b2), AccountingUnits(100))
+                            .expect("below disconnect");
+                    }
+                }
+                net
+            },
+            |mut net| black_box(net.settle_due().expect("funded wallets")),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_record_service, bench_tick, bench_settle_due);
+criterion_main!(benches);

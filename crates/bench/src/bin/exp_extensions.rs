@@ -1,0 +1,115 @@
+//! Runs the §V extension experiments and the baseline-mechanism
+//! comparison: file-count convergence, overhead vs `k`, bucket-zero-only
+//! `k`, free riding, caching + popularity, and the mechanism grid.
+
+use fairswap_bench::{banner, scale_from_args};
+use fairswap_core::experiments::{extensions, sweeps};
+
+fn main() {
+    let scale = scale_from_args();
+
+    banner("§IV-B — F2 Gini convergence over file count", scale);
+    let convergence =
+        sweeps::files_convergence(scale, 4, 1.0, 10).expect("valid configuration");
+    for sample in &convergence.trajectory {
+        println!("files={:<7} F2 gini={:.4}", sample.timestep, sample.f2_gini);
+    }
+    println!();
+
+    banner("§V — overhead vs bucket size k", scale);
+    let overhead =
+        sweeps::overhead_vs_k(scale, &[4, 8, 12, 16, 20, 32], 1.0, 2).expect("valid configuration");
+    println!(
+        "{:<4} {:>14} {:>12} {:>14} {:>12} {:>10}",
+        "k", "conns/node", "settlements", "mean_payment", "wiped_nodes", "F2 gini"
+    );
+    for r in &overhead.rows {
+        println!(
+            "{:<4} {:>14.1} {:>12} {:>14.2} {:>12} {:>10.4}",
+            r.k, r.mean_connections, r.settlements, r.mean_payment, r.nodes_wiped_by_tx_cost, r.f2_gini
+        );
+    }
+    println!();
+
+    banner("§V — bucket-zero-only k increase (20% originators)", scale);
+    let bucket0 = extensions::bucket_zero(scale, 0.2).expect("valid configuration");
+    for r in &bucket0.rows {
+        println!(
+            "{:<16} conns/node={:>7.1}  F2={:.4}  F1={:.4}  mean_forwarded={:.1}",
+            r.label, r.mean_connections, r.f2_gini, r.f1_gini, r.mean_forwarded
+        );
+    }
+    println!();
+
+    banner("§V — free-riding originators", scale);
+    let freeride = extensions::free_riding(scale, 4, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5])
+        .expect("valid configuration");
+    for r in &freeride.rows {
+        println!(
+            "free-riders={:>4.0}%  F2={:.4}  F1={:.4}  income={:>10.0}  amortized={:>10}",
+            r.fraction * 100.0,
+            r.f2_gini,
+            r.f1_gini,
+            r.total_income,
+            r.amortized_total
+        );
+    }
+    println!();
+
+    banner("§V — content popularity + caching", scale);
+    let caching = extensions::caching(scale, 4, 1024).expect("valid configuration");
+    for r in &caching.rows {
+        println!(
+            "workload={:<8} cache={:<5} mean_forwarded={:>9.1}  hits={:>9}  amortized={:>10}",
+            r.workload, r.cache, r.mean_forwarded, r.cache_hits, r.amortized_total
+        );
+    }
+    println!();
+
+    banner("churn — survivors rebuild tables after departures (k=4)", scale);
+    let churn = extensions::churn(scale, 4, &[0.0, 0.1, 0.2, 0.3]).expect("valid configuration");
+    for r in &churn.rows {
+        println!(
+            "departed={:>4.0}%  nodes={:<5} F2={:.4}  F1={:.4}  mean_forwarded={:>9.1}  hops={:.2}  stuck={}",
+            r.departed_fraction * 100.0,
+            r.nodes,
+            r.f2_gini,
+            r.f1_gini,
+            r.mean_forwarded,
+            r.mean_hops,
+            r.stuck
+        );
+    }
+    println!();
+
+    banner("ablation — is the k=4 vs k=20 finding metric-robust?", scale);
+    let metrics = extensions::metric_robustness(scale, &[4, 20], 0.2).expect("valid configuration");
+    println!(
+        "{:<4} {:>10} {:>10} {:>14} {:>10}",
+        "k", "gini", "theil", "atkinson(0.5)", "hoover"
+    );
+    for r in &metrics.rows {
+        println!(
+            "{:<4} {:>10.4} {:>10.4} {:>14.4} {:>10.4}",
+            r.k, r.gini, r.theil, r.atkinson_05, r.hoover
+        );
+    }
+    println!("all indices agree k=20 is fairer: {}", metrics.all_indices_agree());
+    println!();
+
+    banner("§I/§II — incentive mechanism comparison", scale);
+    let mechanisms = extensions::mechanisms(scale, 4, 1.0).expect("valid configuration");
+    println!(
+        "{:<20} {:>10} {:>16} {:>12}",
+        "mechanism", "F2 gini", "F1(income) gini", "earning %"
+    );
+    for r in &mechanisms.rows {
+        println!(
+            "{:<20} {:>10.4} {:>16.4} {:>12.1}",
+            r.mechanism,
+            r.f2_gini,
+            r.f1_income_gini,
+            r.earning_fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates **Table I**: "Average forwarded chunks for the experiment
+//! with 10k downloads".
+//!
+//! Paper values for reference (1000 nodes, 10k files):
+//!
+//! | | 20% originators | 100% originators |
+//! |---|---|---|
+//! | k = 4  | 17 253 | 16 048 |
+//! | k = 20 | 11 356 | 10 904 |
+
+use fairswap_bench::{banner, scale_from_args};
+use fairswap_core::experiments::table1;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Table I — average forwarded chunks per node", scale);
+    let table = table1::run(scale).expect("paper configuration is valid");
+
+    println!("{:<6} {:>18} {:>18}", "", "20% originators", "100% originators");
+    for k in [4usize, 20] {
+        let skew = table.row(k, 0.2).expect("grid cell present").mean_forwarded;
+        let all = table.row(k, 1.0).expect("grid cell present").mean_forwarded;
+        println!("k={k:<4} {skew:>18.1} {all:>18.1}");
+    }
+    println!();
+    println!("paper reference:   k=4  -> 17253 / 16048, k=20 -> 11356 / 10904");
+    println!(
+        "shape check:       k=20 uses less bandwidth: {} (20%), {} (100%)",
+        table.row(20, 0.2).unwrap().mean_forwarded < table.row(4, 0.2).unwrap().mean_forwarded,
+        table.row(20, 1.0).unwrap().mean_forwarded < table.row(4, 1.0).unwrap().mean_forwarded,
+    );
+    println!();
+    print!("{}", table.to_csv().to_csv_string());
+}

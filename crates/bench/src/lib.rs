@@ -1,0 +1,105 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Each `exp_*` binary regenerates one artifact of the paper's evaluation
+//! section and prints the same rows/series the paper reports. They accept
+//! `--quick` (reduced scale), `--nodes`, `--files` and `--seed` so CI can
+//! smoke-run them while `cargo run --release -p fairswap-bench --bin
+//! exp_table1` reproduces the full-scale numbers.
+
+use fairswap_core::experiments::ExperimentScale;
+
+/// Parses the common experiment flags from `std::env::args`.
+///
+/// Unknown flags abort with a usage message; this is intentional for
+/// experiment binaries where a typo silently changing scale would corrupt a
+/// reproduction run.
+pub fn scale_from_args() -> ExperimentScale {
+    parse_scale(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!("usage: exp_* [--quick] [--nodes N] [--files N] [--seed S]");
+        std::process::exit(2);
+    })
+}
+
+/// Parses experiment flags from an explicit argument list.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed flag.
+pub fn parse_scale<I: IntoIterator<Item = String>>(args: I) -> Result<ExperimentScale, String> {
+    let args: Vec<String> = args.into_iter().collect();
+    let mut scale = ExperimentScale::paper();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = ExperimentScale::quick(),
+            "--nodes" | "--files" | "--seed" => {
+                let flag = args[i].clone();
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                match flag.as_str() {
+                    "--nodes" => {
+                        scale.nodes = value
+                            .parse()
+                            .map_err(|_| format!("invalid --nodes: {value}"))?;
+                    }
+                    "--files" => {
+                        scale.files = value
+                            .parse()
+                            .map_err(|_| format!("invalid --files: {value}"))?;
+                    }
+                    "--seed" => {
+                        scale.seed = value
+                            .parse()
+                            .map_err(|_| format!("invalid --seed: {value}"))?;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(scale)
+}
+
+/// Prints a section header in the style of the paper's artifacts.
+pub fn banner(title: &str, scale: ExperimentScale) {
+    println!("================================================================");
+    println!("{title}");
+    println!(
+        "nodes={} files={} seed={:#x}",
+        scale.nodes, scale.files, scale.seed
+    );
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn default_is_paper_scale() {
+        assert_eq!(parse_scale(s(&[])).unwrap(), ExperimentScale::paper());
+    }
+
+    #[test]
+    fn quick_and_overrides() {
+        let scale = parse_scale(s(&["--quick", "--files", "77"])).unwrap();
+        assert_eq!(scale.nodes, ExperimentScale::quick().nodes);
+        assert_eq!(scale.files, 77);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_scale(s(&["--nodes"])).is_err());
+        assert!(parse_scale(s(&["--nodes", "x"])).is_err());
+        assert!(parse_scale(s(&["--whatever"])).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! `fairswap` — command-line runner for the reproduction experiments.
+//!
+//! ```text
+//! fairswap <command> [--nodes N] [--files N] [--seed S] [--out DIR] [--quick]
+//!
+//! Commands:
+//!   table1       Table I   — average forwarded chunks
+//!   fig4         Figure 4  — forwarded-chunk distributions
+//!   fig5         Figure 5  — F2 Lorenz + Gini
+//!   fig6         Figure 6  — F1 Lorenz + Gini
+//!   sweep-files  §IV-B     — Gini convergence over file count
+//!   overhead     §V        — connections & settlements vs k
+//!   bucket0      §V        — bucket-zero-only k increase
+//!   freeride     §V        — free-riding fraction sweep
+//!   caching      §V        — popularity + caching
+//!   mechanisms   §I/§II    — baseline mechanism comparison
+//!   all          run everything
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fairswap_core::experiments::{extensions, fig4, fig5, fig6, sweeps, table1, ExperimentScale};
+use fairswap_core::CsvTable;
+
+struct Options {
+    command: String,
+    scale: ExperimentScale,
+    out: PathBuf,
+}
+
+fn usage() -> &'static str {
+    "usage: fairswap <table1|fig4|fig5|fig6|sweep-files|overhead|bucket0|freeride|caching|mechanisms|all>\n\
+     \x20      [--nodes N] [--files N] [--seed S] [--out DIR] [--quick]\n\
+     \n\
+     --quick   use the reduced test scale (300 nodes, 200 files)\n\
+     defaults: paper scale (1000 nodes, 10000 files), out = ./results"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut command = None;
+    let mut scale = ExperimentScale::paper();
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = ExperimentScale::quick().with_seed(scale.seed),
+            "--nodes" | "--files" | "--seed" | "--out" => {
+                let flag = args[i].clone();
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                match flag.as_str() {
+                    "--nodes" => {
+                        scale.nodes = value
+                            .parse()
+                            .map_err(|_| format!("invalid --nodes value: {value}"))?;
+                    }
+                    "--files" => {
+                        scale.files = value
+                            .parse()
+                            .map_err(|_| format!("invalid --files value: {value}"))?;
+                    }
+                    "--seed" => {
+                        scale.seed = value
+                            .parse()
+                            .map_err(|_| format!("invalid --seed value: {value}"))?;
+                    }
+                    "--out" => out = PathBuf::from(value),
+                    _ => unreachable!(),
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
+            cmd if command.is_none() => command = Some(cmd.to_string()),
+            extra => return Err(format!("unexpected argument: {extra}")),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        command: command.ok_or_else(|| "missing command".to_string())?,
+        scale,
+        out,
+    })
+}
+
+fn write_csv(out: &Path, name: &str, csv: &CsvTable) -> Result<(), String> {
+    std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let path = out.join(name);
+    csv.write_to(&path)
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn run_command(opts: &Options) -> Result<(), String> {
+    let scale = opts.scale;
+    let out = &opts.out;
+    let err = |e: fairswap_core::CoreError| e.to_string();
+
+    let commands: Vec<&str> = if opts.command == "all" {
+        vec![
+            "table1", "fig4", "fig5", "fig6", "sweep-files", "overhead", "bucket0", "freeride",
+            "caching", "mechanisms",
+        ]
+    } else {
+        vec![opts.command.as_str()]
+    };
+
+    for command in commands {
+        println!(
+            "== {command} (nodes={}, files={}, seed={:#x})",
+            scale.nodes, scale.files, scale.seed
+        );
+        match command {
+            "table1" => {
+                let table = table1::run(scale).map_err(err)?;
+                for row in &table.rows {
+                    println!(
+                        "  k={:<2} originators={:>4}%  mean_forwarded={:>10.1}",
+                        row.k,
+                        row.originator_fraction * 100.0,
+                        row.mean_forwarded
+                    );
+                }
+                write_csv(out, "table1.csv", &table.to_csv())?;
+            }
+            "fig4" => {
+                let bin = (scale.files as f64 / 2.0).max(10.0);
+                let fig = fig4::run(scale, bin).map_err(err)?;
+                for fraction in [0.2, 1.0] {
+                    if let Some(ratio) = fig.area_ratio(fraction) {
+                        println!(
+                            "  originators={:>4}%  area(k=4)/area(k=20) = {ratio:.2}",
+                            fraction * 100.0
+                        );
+                    }
+                }
+                write_csv(out, "fig4.csv", &fig.to_csv())?;
+            }
+            "fig5" => {
+                let fig = fig5::run(scale).map_err(err)?;
+                for s in &fig.series {
+                    println!(
+                        "  k={:<2} originators={:>4}%  F2 gini={:.4}",
+                        s.k,
+                        s.originator_fraction * 100.0,
+                        s.gini
+                    );
+                }
+                write_csv(out, "fig5.csv", &fig.to_csv())?;
+            }
+            "fig6" => {
+                let fig = fig6::run(scale).map_err(err)?;
+                for s in &fig.series {
+                    println!(
+                        "  k={:<2} originators={:>4}%  F1 gini={:.4} (paid nodes: {})",
+                        s.k,
+                        s.originator_fraction * 100.0,
+                        s.gini,
+                        s.paid_nodes
+                    );
+                }
+                write_csv(out, "fig6.csv", &fig.to_csv())?;
+            }
+            "sweep-files" => {
+                let result = sweeps::files_convergence(scale, 4, 1.0, 20).map_err(err)?;
+                for s in &result.trajectory {
+                    println!("  files={:<6} F2 gini={:.4}", s.timestep, s.f2_gini);
+                }
+                write_csv(out, "sweep_files.csv", &result.to_csv())?;
+            }
+            "overhead" => {
+                let sweep =
+                    sweeps::overhead_vs_k(scale, &[4, 8, 12, 16, 20, 32], 1.0, 2).map_err(err)?;
+                for r in &sweep.rows {
+                    println!(
+                        "  k={:<2} connections/node={:>6.1} settlements={:>8} mean_payment={:>7.2}",
+                        r.k, r.mean_connections, r.settlements, r.mean_payment
+                    );
+                }
+                write_csv(out, "overhead.csv", &sweep.to_csv())?;
+            }
+            "bucket0" => {
+                let result = extensions::bucket_zero(scale, 0.2).map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  {:<16} connections/node={:>6.1} F2={:.4} F1={:.4}",
+                        r.label, r.mean_connections, r.f2_gini, r.f1_gini
+                    );
+                }
+                write_csv(out, "bucket0.csv", &result.to_csv())?;
+            }
+            "freeride" => {
+                let result =
+                    extensions::free_riding(scale, 4, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5]).map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  free-riders={:>4}%  F2={:.4} F1={:.4} income={:.0}",
+                        r.fraction * 100.0,
+                        r.f2_gini,
+                        r.f1_gini,
+                        r.total_income
+                    );
+                }
+                write_csv(out, "freeride.csv", &result.to_csv())?;
+            }
+            "caching" => {
+                let result = extensions::caching(scale, 4, 1024).map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  workload={:<8} cache={:<5} mean_forwarded={:>9.1} hits={:>8}",
+                        r.workload, r.cache, r.mean_forwarded, r.cache_hits
+                    );
+                }
+                write_csv(out, "caching.csv", &result.to_csv())?;
+            }
+            "mechanisms" => {
+                let result = extensions::mechanisms(scale, 4, 1.0).map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  {:<20} F2={:.4} F1(income)={:.4} earning={:>5.1}%",
+                        r.mechanism,
+                        r.f2_gini,
+                        r.f1_income_gini,
+                        r.earning_fraction * 100.0
+                    );
+                }
+                write_csv(out, "mechanisms.csv", &result.to_csv())?;
+            }
+            other => return Err(format!("unknown command: {other}\n{}", usage())),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_command(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let opts = parse_args(&s(&[
+            "table1", "--nodes", "100", "--files", "50", "--seed", "9", "--out", "/tmp/x",
+        ]))
+        .unwrap();
+        assert_eq!(opts.command, "table1");
+        assert_eq!(opts.scale.nodes, 100);
+        assert_eq!(opts.scale.files, 50);
+        assert_eq!(opts.scale.seed, 9);
+        assert_eq!(opts.out, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn quick_flag_shrinks_scale() {
+        let opts = parse_args(&s(&["fig5", "--quick"])).unwrap();
+        assert_eq!(opts.scale.nodes, ExperimentScale::quick().nodes);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&s(&[])).is_err());
+        assert!(parse_args(&s(&["table1", "--nodes"])).is_err());
+        assert!(parse_args(&s(&["table1", "--nodes", "abc"])).is_err());
+        assert!(parse_args(&s(&["table1", "--bogus"])).is_err());
+        assert!(parse_args(&s(&["table1", "extra"])).is_err());
+    }
+
+    #[test]
+    fn runs_a_tiny_experiment_end_to_end() {
+        let dir = std::env::temp_dir().join("fairswap_cli_test");
+        let opts = Options {
+            command: "table1".into(),
+            scale: ExperimentScale {
+                nodes: 60,
+                files: 10,
+                seed: 1,
+            },
+            out: dir.clone(),
+        };
+        run_command(&opts).unwrap();
+        assert!(dir.join("table1.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let opts = Options {
+            command: "nope".into(),
+            scale: ExperimentScale::quick(),
+            out: PathBuf::from("/tmp"),
+        };
+        assert!(run_command(&opts).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! Simulation configuration and builder.
+
+use serde::{Deserialize, Serialize};
+
+use fairswap_incentives::{
+    BandwidthIncentive, EffortBased, FreeRiderSet, PayAllHops, ProofOfBandwidth, SwarmIncentive,
+    TitForTat,
+};
+use fairswap_kademlia::{AddressSpace, BucketSizing, TopologyBuilder};
+use fairswap_storage::CachePolicy;
+use fairswap_swap::{Bzz, ChannelConfig, Pricing};
+use fairswap_workload::{ChunkDist, FileSizeDist, WorkloadBuilder};
+
+use crate::error::CoreError;
+use crate::sim::BandwidthSim;
+
+/// Which incentive mechanism the simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// Swarm's default: first hop paid, rest amortized (the paper's
+    /// subject).
+    Swarm,
+    /// Every hop paid its proximity price.
+    PayAllHops,
+    /// BitTorrent-style service-for-service reciprocity.
+    TitForTat,
+    /// Rahman-style effort-proportional payouts with this per-tick budget.
+    EffortBased {
+        /// Accounting units distributed per timestep.
+        budget_per_tick: i64,
+    },
+    /// TorCoin-style minting per relayed chunk.
+    ProofOfBandwidth {
+        /// Units minted per relayed chunk.
+        mint_per_chunk: i64,
+    },
+}
+
+impl MechanismKind {
+    /// A short stable identifier, used in CSV output.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Self::Swarm => "swarm",
+            Self::PayAllHops => "pay-all-hops",
+            Self::TitForTat => "tit-for-tat",
+            Self::EffortBased { .. } => "effort-based",
+            Self::ProofOfBandwidth { .. } => "proof-of-bandwidth",
+        }
+    }
+}
+
+/// Full simulation configuration.
+///
+/// [`SimConfig::paper_defaults`] reproduces §IV-B: 1000 nodes, 16-bit
+/// addresses, static tables, uniform 100–1000-chunk files at uniform
+/// addresses, Swarm incentive with proximity pricing, no caching, no free
+/// riders.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// Address-space bit width.
+    pub bits: u32,
+    /// Bucket sizing (uniform `k` or per-bucket overrides).
+    pub bucket_sizing: BucketSizing,
+    /// Fraction of nodes acting as originators.
+    pub originator_fraction: f64,
+    /// Number of files to download (timesteps).
+    pub files: u64,
+    /// Master seed for topology, workload and mechanism randomness.
+    pub seed: u64,
+    /// File-size distribution.
+    pub file_size: FileSizeDist,
+    /// Chunk-address distribution.
+    pub chunk_dist: ChunkDist,
+    /// Per-node cache policy.
+    pub cache: CachePolicy,
+    /// SWAP channel thresholds and amortization rate.
+    pub channel: ChannelConfig,
+    /// Cost charged per settlement transaction.
+    pub tx_cost: Bzz,
+    /// Fraction of nodes that free-ride (never pay the first hop).
+    pub free_rider_fraction: f64,
+    /// The incentive mechanism.
+    pub mechanism: MechanismKind,
+    /// Pricing scheme used by payment mechanisms.
+    pub pricing: Pricing,
+}
+
+impl SimConfig {
+    /// The paper's §IV-B settings (with `k = 4` and 100% originators; use
+    /// the builder to vary them).
+    pub fn paper_defaults() -> Self {
+        Self {
+            nodes: 1000,
+            bits: 16,
+            bucket_sizing: BucketSizing::uniform(4),
+            originator_fraction: 1.0,
+            files: 10_000,
+            seed: 0xFA12,
+            file_size: FileSizeDist::paper_default(),
+            chunk_dist: ChunkDist::Uniform,
+            cache: CachePolicy::None,
+            channel: ChannelConfig {
+                payment_threshold: fairswap_swap::AccountingUnits(10_000),
+                disconnect_threshold: fairswap_swap::AccountingUnits(1_000_000_000),
+                refresh_rate: fairswap_swap::AccountingUnits(100),
+            },
+            tx_cost: Bzz::ZERO,
+            free_rider_fraction: 0.0,
+            mechanism: MechanismKind::Swarm,
+            pricing: Pricing::proximity_unit(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.files == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "files must be at least 1".into(),
+            });
+        }
+        if !(self.free_rider_fraction.is_finite()
+            && (0.0..=1.0).contains(&self.free_rider_fraction))
+        {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "free rider fraction must be in [0, 1], got {}",
+                    self.free_rider_fraction
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn build_mechanism(
+        &self,
+        free_riders: FreeRiderSet,
+    ) -> Box<dyn BandwidthIncentive> {
+        match self.mechanism {
+            MechanismKind::Swarm => Box::new(
+                SwarmIncentive::new()
+                    .with_pricing(self.pricing)
+                    .with_free_riders(free_riders),
+            ),
+            MechanismKind::PayAllHops => {
+                Box::new(PayAllHops::new().with_pricing(self.pricing))
+            }
+            MechanismKind::TitForTat => Box::new(TitForTat::new()),
+            MechanismKind::EffortBased { budget_per_tick } => {
+                Box::new(EffortBased::uniform(self.nodes, budget_per_tick))
+            }
+            MechanismKind::ProofOfBandwidth { mint_per_chunk } => {
+                Box::new(ProofOfBandwidth::new(mint_per_chunk))
+            }
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Fluent builder over [`SimConfig`].
+///
+/// ```
+/// use fairswap_core::SimulationBuilder;
+///
+/// let sim = SimulationBuilder::new()
+///     .nodes(300)
+///     .bucket_size(20)
+///     .originator_fraction(0.2)
+///     .files(100)
+///     .build()?;
+/// # Ok::<(), fairswap_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimulationBuilder {
+    config: SimConfig,
+}
+
+impl SimulationBuilder {
+    /// Starts from [`SimConfig::paper_defaults`].
+    pub fn new() -> Self {
+        Self {
+            config: SimConfig::paper_defaults(),
+        }
+    }
+
+    /// Starts from an explicit configuration.
+    pub fn from_config(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// Network size.
+    #[must_use]
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.config.nodes = nodes;
+        self
+    }
+
+    /// Address-space bit width.
+    #[must_use]
+    pub fn bits(mut self, bits: u32) -> Self {
+        self.config.bits = bits;
+        self
+    }
+
+    /// Uniform bucket size `k` (paper compares 4 and 20).
+    #[must_use]
+    pub fn bucket_size(mut self, k: usize) -> Self {
+        self.config.bucket_sizing = BucketSizing::uniform(k);
+        self
+    }
+
+    /// Per-bucket sizing (§V bucket-zero extension).
+    #[must_use]
+    pub fn bucket_sizing(mut self, sizing: BucketSizing) -> Self {
+        self.config.bucket_sizing = sizing;
+        self
+    }
+
+    /// Originator fraction (paper: 0.2 or 1.0).
+    #[must_use]
+    pub fn originator_fraction(mut self, fraction: f64) -> Self {
+        self.config.originator_fraction = fraction;
+        self
+    }
+
+    /// Number of files to download.
+    #[must_use]
+    pub fn files(mut self, files: u64) -> Self {
+        self.config.files = files;
+        self
+    }
+
+    /// Master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// File-size distribution.
+    #[must_use]
+    pub fn file_size(mut self, dist: FileSizeDist) -> Self {
+        self.config.file_size = dist;
+        self
+    }
+
+    /// Chunk-address distribution (uniform or Zipf).
+    #[must_use]
+    pub fn chunk_dist(mut self, dist: ChunkDist) -> Self {
+        self.config.chunk_dist = dist;
+        self
+    }
+
+    /// Cache policy.
+    #[must_use]
+    pub fn cache(mut self, cache: CachePolicy) -> Self {
+        self.config.cache = cache;
+        self
+    }
+
+    /// SWAP channel configuration.
+    #[must_use]
+    pub fn channel(mut self, channel: ChannelConfig) -> Self {
+        self.config.channel = channel;
+        self
+    }
+
+    /// Settlement transaction cost.
+    #[must_use]
+    pub fn tx_cost(mut self, tx_cost: Bzz) -> Self {
+        self.config.tx_cost = tx_cost;
+        self
+    }
+
+    /// Fraction of free-riding nodes.
+    #[must_use]
+    pub fn free_rider_fraction(mut self, fraction: f64) -> Self {
+        self.config.free_rider_fraction = fraction;
+        self
+    }
+
+    /// Incentive mechanism.
+    #[must_use]
+    pub fn mechanism(mut self, mechanism: MechanismKind) -> Self {
+        self.config.mechanism = mechanism;
+        self
+    }
+
+    /// Pricing scheme.
+    #[must_use]
+    pub fn pricing(mut self, pricing: Pricing) -> Self {
+        self.config.pricing = pricing;
+        self
+    }
+
+    /// The configuration as currently set.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Builds the simulator: constructs the topology, workload, mechanism
+    /// and reward state.
+    ///
+    /// # Errors
+    ///
+    /// Any configuration error (invalid space, fractions, file sizes, zero
+    /// files, ...) is reported as [`CoreError`].
+    pub fn build(self) -> Result<BandwidthSim, CoreError> {
+        self.config.validate()?;
+        let config = self.config;
+        let space = AddressSpace::new(config.bits)?;
+        let topology = TopologyBuilder::new(space)
+            .nodes(config.nodes)
+            .bucket_sizing(config.bucket_sizing.clone())
+            .seed(config.seed)
+            .build()?;
+        // Distinct sub-seeds per concern, all derived from the master seed.
+        let workload = WorkloadBuilder::new(space, config.nodes)
+            .originator_fraction(config.originator_fraction)
+            .file_size(config.file_size)
+            .chunk_dist(config.chunk_dist.clone())
+            .seed(config.seed.wrapping_add(0x9E37_79B9))
+            .build()?;
+        Ok(BandwidthSim::new(config, topology, workload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_shape() {
+        let c = SimConfig::paper_defaults();
+        assert_eq!(c.nodes, 1000);
+        assert_eq!(c.bits, 16);
+        assert_eq!(c.bucket_sizing.default_k(), 4);
+        assert_eq!(c.files, 10_000);
+        assert_eq!(c.mechanism.id(), "swarm");
+        assert_eq!(SimConfig::default(), c);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let b = SimulationBuilder::new()
+            .nodes(50)
+            .bits(12)
+            .bucket_size(20)
+            .originator_fraction(0.2)
+            .files(5)
+            .seed(1)
+            .mechanism(MechanismKind::TitForTat);
+        assert_eq!(b.config().nodes, 50);
+        assert_eq!(b.config().bits, 12);
+        assert_eq!(b.config().mechanism.id(), "tit-for-tat");
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn zero_files_rejected() {
+        let err = SimulationBuilder::new().nodes(10).files(0).build().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn bad_free_rider_fraction_rejected() {
+        let err = SimulationBuilder::new()
+            .nodes(10)
+            .files(1)
+            .free_rider_fraction(1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn topology_errors_propagate() {
+        let err = SimulationBuilder::new().nodes(1).files(1).build().unwrap_err();
+        assert!(matches!(err, CoreError::Topology(_)));
+    }
+
+    #[test]
+    fn mechanism_ids() {
+        assert_eq!(MechanismKind::PayAllHops.id(), "pay-all-hops");
+        assert_eq!(MechanismKind::EffortBased { budget_per_tick: 1 }.id(), "effort-based");
+        assert_eq!(
+            MechanismKind::ProofOfBandwidth { mint_per_chunk: 1 }.id(),
+            "proof-of-bandwidth"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Minimal CSV table assembly for experiment output.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple in-memory CSV table with a fixed header.
+///
+/// Values are rendered with `Display`; fields containing commas, quotes or
+/// newlines are quoted per RFC 4180.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvTable {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    pub fn new<I, S>(columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    fn escape(field: &str) -> String {
+        if field.contains([',', '"', '\n', '\r']) {
+            format!("\"{}\"", field.replace('"', "\"\""))
+        } else {
+            field.to_string()
+        }
+    }
+
+    /// Renders the table as a CSV string (header + rows, `\n` separated).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        let header: Vec<String> = self.columns.iter().map(|c| Self::escape(c)).collect();
+        let _ = writeln!(out, "{}", header.join(","));
+        for row in &self.rows {
+            let fields: Vec<String> = row.iter().map(|f| Self::escape(f)).collect();
+            let _ = writeln!(out, "{}", fields.join(","));
+        }
+        out
+    }
+
+    /// Writes the table to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_csv_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["x", "y"]);
+        assert_eq!(t.to_csv_string(), "a,b\n1,2\nx,y\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.columns(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn escapes_special_fields() {
+        let mut t = CsvTable::new(["v"]);
+        t.push_row(["has,comma"]);
+        t.push_row(["has\"quote"]);
+        assert_eq!(t.to_csv_string(), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let mut t = CsvTable::new(["n"]);
+        t.push_row(["1"]);
+        let dir = std::env::temp_dir().join("fairswap_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        t.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "n\n1\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the simulation harness.
+
+use std::error::Error;
+use std::fmt;
+
+use fairswap_kademlia::KademliaError;
+use fairswap_workload::WorkloadError;
+
+/// Errors from building or running simulations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Overlay construction failed.
+    Topology(KademliaError),
+    /// Workload construction failed.
+    Workload(WorkloadError),
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Topology(e) => write!(f, "topology: {e}"),
+            Self::Workload(e) => write!(f, "workload: {e}"),
+            Self::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Topology(e) => Some(e),
+            Self::Workload(e) => Some(e),
+            Self::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<KademliaError> for CoreError {
+    fn from(e: KademliaError) -> Self {
+        Self::Topology(e)
+    }
+}
+
+impl From<WorkloadError> for CoreError {
+    fn from(e: WorkloadError) -> Self {
+        Self::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(KademliaError::ZeroBucketSize);
+        assert!(e.to_string().contains("topology"));
+        assert!(Error::source(&e).is_some());
+        let e = CoreError::InvalidConfig {
+            message: "files must be positive".into(),
+        };
+        assert!(e.to_string().contains("files"));
+        assert!(Error::source(&e).is_none());
+    }
+}

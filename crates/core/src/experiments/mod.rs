@@ -1,0 +1,29 @@
+//! One preset per table and figure of the paper's evaluation, plus the §V
+//! extension experiments.
+//!
+//! | Preset | Paper artifact |
+//! |--------|----------------|
+//! | [`table1::run`] | Table I — average forwarded chunks |
+//! | [`fig4::run`] | Fig. 4 — forwarded-chunk distributions |
+//! | [`fig5::run`] | Fig. 5 — F2 Lorenz curves and Gini |
+//! | [`fig6::run`] | Fig. 6 — F1 Lorenz curves and Gini |
+//! | [`sweeps::files_convergence`] | §IV-B "100 to 10k files" robustness |
+//! | [`sweeps::overhead_vs_k`] | §V overhead: connections & settlements vs `k` |
+//! | [`extensions::bucket_zero`] | §V per-bucket `k` (bucket 0 only) |
+//! | [`extensions::free_riding`] | §V misbehaving peers vs F1/F2 |
+//! | [`extensions::caching`] | §V popularity + caching vs amortization |
+//! | [`extensions::mechanisms`] | §I/§II baseline-mechanism comparison |
+//!
+//! Every preset takes an [`ExperimentScale`] so the full paper-scale run
+//! (1000 nodes, 10k files) and a laptop-quick run share one code path.
+
+pub mod extensions;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod sweeps;
+pub mod table1;
+
+mod scale;
+
+pub use scale::ExperimentScale;

@@ -1,0 +1,65 @@
+//! Experiment scaling.
+
+use serde::{Deserialize, Serialize};
+
+/// How large to run an experiment.
+///
+/// [`ExperimentScale::paper`] reproduces the paper's dimensions exactly;
+/// [`ExperimentScale::quick`] keeps the same qualitative behaviour at a
+/// size that finishes in seconds (used by integration tests and CI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Network size.
+    pub nodes: usize,
+    /// Files downloaded per configuration.
+    pub files: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The paper's headline scale: 1000 nodes, 10k files.
+    pub fn paper() -> Self {
+        Self {
+            nodes: 1000,
+            files: 10_000,
+            seed: 0xFA12,
+        }
+    }
+
+    /// A reduced scale for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            nodes: 300,
+            files: 200,
+            seed: 0xFA12,
+        }
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales() {
+        assert_eq!(ExperimentScale::paper().nodes, 1000);
+        assert_eq!(ExperimentScale::paper().files, 10_000);
+        assert!(ExperimentScale::quick().files < 1000);
+        assert_eq!(ExperimentScale::default(), ExperimentScale::paper());
+        assert_eq!(ExperimentScale::quick().with_seed(7).seed, 7);
+    }
+}

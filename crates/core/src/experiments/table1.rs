@@ -1,0 +1,123 @@
+//! Table I — "Average forwarded chunks for the experiment with 10k
+//! downloads".
+//!
+//! Paper values (1000 nodes, 10k files): k=4 → 17 253 (20% originators) /
+//! 16 048 (100%); k=20 → 11 356 / 10 904. The reproduction target is the
+//! *shape*: fewer forwarded chunks for k = 20 than k = 4, and fewer for
+//! 100% originators than for 20%.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimulationBuilder;
+use crate::csv::CsvTable;
+use crate::error::CoreError;
+use crate::experiments::scale::ExperimentScale;
+use crate::presets::paper_grid;
+
+/// One cell of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Bucket size.
+    pub k: usize,
+    /// Originator fraction.
+    pub originator_fraction: f64,
+    /// Mean forwarded chunks per node.
+    pub mean_forwarded: f64,
+    /// Total chunk transmissions.
+    pub total_forwarded: u64,
+    /// Mean hops per delivered chunk.
+    pub mean_hops: f64,
+}
+
+/// The regenerated table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// One row per grid cell, in [`paper_grid`] order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// The row for a `(k, fraction)` cell.
+    pub fn row(&self, k: usize, fraction: f64) -> Option<&Table1Row> {
+        self.rows
+            .iter()
+            .find(|r| r.k == k && (r.originator_fraction - fraction).abs() < 1e-9)
+    }
+
+    /// Renders the table as CSV.
+    pub fn to_csv(&self) -> CsvTable {
+        let mut csv = CsvTable::new([
+            "k",
+            "originator_fraction",
+            "mean_forwarded",
+            "total_forwarded",
+            "mean_hops",
+        ]);
+        for r in &self.rows {
+            csv.push_row([
+                r.k.to_string(),
+                format!("{}", r.originator_fraction),
+                format!("{:.2}", r.mean_forwarded),
+                r.total_forwarded.to_string(),
+                format!("{:.3}", r.mean_hops),
+            ]);
+        }
+        csv
+    }
+}
+
+/// Runs the four-cell grid and regenerates Table I.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run(scale: ExperimentScale) -> Result<Table1, CoreError> {
+    let mut rows = Vec::with_capacity(4);
+    for (k, fraction) in paper_grid() {
+        let report = SimulationBuilder::new()
+            .nodes(scale.nodes)
+            .bucket_size(k)
+            .originator_fraction(fraction)
+            .files(scale.files)
+            .seed(scale.seed)
+            .build()?
+            .run();
+        rows.push(Table1Row {
+            k,
+            originator_fraction: fraction,
+            mean_forwarded: report.mean_forwarded(),
+            total_forwarded: report.total_forwarded(),
+            mean_hops: report.hops().mean().unwrap_or(0.0),
+        });
+    }
+    Ok(Table1 { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table1_shape() {
+        let table = run(ExperimentScale {
+            nodes: 250,
+            files: 120,
+            seed: 0xFA12,
+        })
+        .unwrap();
+        assert_eq!(table.rows.len(), 4);
+
+        let k4_skew = table.row(4, 0.2).unwrap().mean_forwarded;
+        let k4_all = table.row(4, 1.0).unwrap().mean_forwarded;
+        let k20_skew = table.row(20, 0.2).unwrap().mean_forwarded;
+        let k20_all = table.row(20, 1.0).unwrap().mean_forwarded;
+
+        // Paper shape: k = 20 consumes less bandwidth in both columns.
+        assert!(k20_skew < k4_skew, "k20 {k20_skew} !< k4 {k4_skew} (20%)");
+        assert!(k20_all < k4_all, "k20 {k20_all} !< k4 {k4_all} (100%)");
+
+        let csv = table.to_csv().to_csv_string();
+        assert!(csv.starts_with("k,originator_fraction"));
+        assert_eq!(csv.lines().count(), 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulation harness and experiment presets.
+//!
+//! `fairswap-core` assembles the substrates — overlay
+//! ([`fairswap_kademlia`]), accounting ([`fairswap_swap`]), storage model
+//! ([`fairswap_storage`]), workload ([`fairswap_workload`]), incentive
+//! mechanisms ([`fairswap_incentives`]) and fairness metrics
+//! ([`fairswap_fairness`]) — into the paper's simulator, and ships one
+//! preset per table and figure of the evaluation section (see
+//! [`experiments`]).
+//!
+//! ```
+//! use fairswap_core::SimulationBuilder;
+//!
+//! let report = SimulationBuilder::new()
+//!     .nodes(200)
+//!     .bucket_size(4)
+//!     .originator_fraction(0.2)
+//!     .files(40)
+//!     .seed(7)
+//!     .build()?
+//!     .run();
+//! println!("mean forwarded chunks: {}", report.mean_forwarded());
+//! println!("F2 gini: {:.3}", report.f2_income_gini());
+//! # Ok::<(), fairswap_core::CoreError>(())
+//! ```
+
+mod cadcad;
+mod config;
+mod csv;
+mod error;
+mod report;
+mod sim;
+
+pub mod experiments;
+pub mod presets;
+
+pub use cadcad::{CadcadAdapter, GiniTrajectory};
+pub use config::{MechanismKind, SimConfig, SimulationBuilder};
+pub use csv::CsvTable;
+pub use error::CoreError;
+pub use report::SimReport;
+pub use sim::BandwidthSim;

@@ -1,0 +1,204 @@
+//! The bandwidth-incentive simulator.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use fairswap_incentives::{FreeRiderSet, RewardState};
+use fairswap_kademlia::{HopHistogram, Topology};
+use fairswap_storage::DownloadSim;
+use fairswap_workload::Workload;
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+
+/// One fully-wired simulation instance.
+///
+/// Each timestep downloads one file (the paper's "step"): the workload
+/// draws an originator and chunk set, the storage layer routes every chunk,
+/// the incentive mechanism accounts payments and debts, and SWAP
+/// amortization ticks once.
+pub struct BandwidthSim {
+    config: SimConfig,
+    topology: Topology,
+    workload: Workload,
+}
+
+impl BandwidthSim {
+    pub(crate) fn new(config: SimConfig, topology: Topology, workload: Workload) -> Self {
+        Self {
+            config,
+            topology,
+            workload,
+        }
+    }
+
+    /// The configuration this simulation was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The overlay topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Runs the full simulation and produces the report.
+    pub fn run(self) -> SimReport {
+        self.run_with_progress(|_, _| {})
+    }
+
+    /// Runs the simulation, invoking `progress(done, total)` after every
+    /// timestep — used by the CLI for long experiments, and by convergence
+    /// experiments to snapshot intermediate fairness.
+    pub fn run_with_progress<F>(mut self, mut progress: F) -> SimReport
+    where
+        F: FnMut(u64, u64),
+    {
+        let nodes = self.topology.len();
+        let mut free_rider_rng =
+            ChaCha12Rng::seed_from_u64(self.config.seed.wrapping_add(0x5EED_F00D));
+        let free_riders = FreeRiderSet::sample(
+            nodes,
+            self.config.free_rider_fraction,
+            &mut free_rider_rng,
+        );
+        let mut mechanism = self.config.build_mechanism(free_riders.clone());
+        let mut state =
+            RewardState::with_tx_cost(nodes, self.config.channel, self.config.tx_cost);
+        let mut download = DownloadSim::new(self.topology.clone(), self.config.cache);
+        let mut hops = HopHistogram::new();
+        // Which routing-table bucket of the originator the paid first hop
+        // sat in (§III-B: zero-proximity nodes take most first-hop load).
+        let mut first_hop_buckets = vec![0u64; self.topology.space().bits() as usize + 1];
+
+        let total = self.config.files;
+        for step in 1..=total {
+            let file = self.workload.next_download();
+            let origin_addr = self.topology.address(file.originator);
+            download.download_file_with(file.originator, &file.chunks, |delivery| {
+                if delivery.delivered() {
+                    hops.record(delivery.hops.len());
+                    if let Some(first) = delivery.first_hop() {
+                        let bucket = origin_addr
+                            .proximity(self.topology.address(first))
+                            .bucket_index();
+                        first_hop_buckets[bucket] += 1;
+                    }
+                }
+                mechanism.on_delivery(&self.topology, delivery, &mut state);
+            });
+            mechanism.on_tick(&self.topology, &mut state);
+            progress(step, total);
+        }
+
+        let cache_hits = self
+            .topology
+            .node_ids()
+            .map(|n| download.cache(n).map_or(0, |c| c.hits()))
+            .sum();
+        SimReport::assemble(
+            self.config,
+            &self.topology,
+            download.stats().clone(),
+            state,
+            hops,
+            free_riders,
+            cache_hits,
+            first_hop_buckets,
+        )
+    }
+}
+
+impl std::fmt::Debug for BandwidthSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BandwidthSim")
+            .field("nodes", &self.topology.len())
+            .field("files", &self.config.files)
+            .field("mechanism", &self.config.mechanism.id())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MechanismKind, SimulationBuilder};
+
+    fn small_sim(k: usize, fraction: f64, seed: u64) -> BandwidthSim {
+        SimulationBuilder::new()
+            .nodes(150)
+            .bucket_size(k)
+            .originator_fraction(fraction)
+            .files(30)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let report = small_sim(4, 1.0, 1).run();
+        assert_eq!(report.node_count(), 150);
+        assert!(report.total_forwarded() > 0);
+        // Every delivered chunk pays exactly one first hop under Swarm.
+        let first_hops: u64 = report.traffic().served_first_hop().iter().sum();
+        assert!(first_hops > 0);
+        let f2 = report.f2_income_gini();
+        assert!((0.0..=1.0).contains(&f2));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = small_sim(4, 0.2, 9).run();
+        let b = small_sim(4, 0.2, 9).run();
+        assert_eq!(a.traffic().forwarded(), b.traffic().forwarded());
+        assert_eq!(a.incomes(), b.incomes());
+        assert_eq!(a.f2_income_gini(), b.f2_income_gini());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_sim(4, 1.0, 1).run();
+        let b = small_sim(4, 1.0, 2).run();
+        assert_ne!(a.traffic().forwarded(), b.traffic().forwarded());
+    }
+
+    #[test]
+    fn progress_callback_counts_steps() {
+        let mut calls = 0u64;
+        let report = small_sim(4, 1.0, 3).run_with_progress(|done, total| {
+            calls += 1;
+            assert!(done <= total);
+        });
+        assert_eq!(calls, 30);
+        assert_eq!(report.config().files, 30);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let sim = small_sim(4, 1.0, 4);
+        assert!(format!("{sim:?}").contains("BandwidthSim"));
+        assert_eq!(sim.topology().len(), 150);
+    }
+
+    #[test]
+    fn alternative_mechanisms_run() {
+        for mechanism in [
+            MechanismKind::PayAllHops,
+            MechanismKind::TitForTat,
+            MechanismKind::EffortBased { budget_per_tick: 1000 },
+            MechanismKind::ProofOfBandwidth { mint_per_chunk: 1 },
+        ] {
+            let report = SimulationBuilder::new()
+                .nodes(80)
+                .bucket_size(4)
+                .files(10)
+                .seed(5)
+                .mechanism(mechanism)
+                .build()
+                .unwrap()
+                .run();
+            assert_eq!(report.config().mechanism.id(), mechanism.id());
+        }
+    }
+}

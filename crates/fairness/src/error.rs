@@ -1,0 +1,76 @@
+//! Error type for fairness computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the fairness metrics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FairnessError {
+    /// The input slice was empty.
+    EmptyInput,
+    /// A value was negative (Gini is defined for non-negative quantities).
+    NegativeValue {
+        /// Index of the offending value.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A value was NaN or infinite.
+    NonFiniteValue {
+        /// Index of the offending value.
+        index: usize,
+    },
+    /// All values were zero, so relative shares are undefined.
+    ZeroTotal,
+    /// Two parallel slices had different lengths.
+    LengthMismatch {
+        /// Length of the first slice.
+        left: usize,
+        /// Length of the second slice.
+        right: usize,
+    },
+    /// F1 is measured over rewarded peers only, and none were rewarded.
+    NoRewardedPeers,
+}
+
+impl fmt::Display for FairnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyInput => write!(f, "input is empty"),
+            Self::NegativeValue { index, value } => {
+                write!(f, "negative value {value} at index {index}")
+            }
+            Self::NonFiniteValue { index } => write!(f, "non-finite value at index {index}"),
+            Self::ZeroTotal => write!(f, "all values are zero"),
+            Self::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            Self::NoRewardedPeers => write!(f, "no peer received any reward"),
+        }
+    }
+}
+
+impl Error for FairnessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(FairnessError::EmptyInput.to_string(), "input is empty");
+        assert!(FairnessError::NegativeValue { index: 2, value: -1.0 }
+            .to_string()
+            .contains("index 2"));
+        assert!(FairnessError::LengthMismatch { left: 3, right: 4 }
+            .to_string()
+            .contains("3 vs 4"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FairnessError>();
+    }
+}

@@ -1,0 +1,169 @@
+//! Gini coefficient implementations.
+
+use crate::error::FairnessError;
+
+fn validate(values: &[f64]) -> Result<f64, FairnessError> {
+    if values.is_empty() {
+        return Err(FairnessError::EmptyInput);
+    }
+    let mut sum = 0.0;
+    for (index, &value) in values.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(FairnessError::NonFiniteValue { index });
+        }
+        if value < 0.0 {
+            return Err(FairnessError::NegativeValue { index, value });
+        }
+        sum += value;
+    }
+    if sum == 0.0 {
+        return Err(FairnessError::ZeroTotal);
+    }
+    Ok(sum)
+}
+
+/// Gini coefficient of a set of non-negative values, in `[0, 1]`.
+///
+/// This is the inequality measure of the paper's Eq. (1),
+/// `G = Σᵢ Σⱼ |vᵢ − vⱼ| / (2 n Σᵢ vᵢ)` (the published formula omits the
+/// conventional `n` in the denominator; without it the value is unbounded,
+/// so we use the standard normalization, under which 0 means perfect
+/// equality and `(n−1)/n → 1` means one peer holds everything).
+///
+/// Runs in `O(n log n)` using the sorted identity
+/// `G = (2 Σᵢ i·x₍ᵢ₎) / (n Σ x) − (n + 1) / n` for ascending `x₍ᵢ₎`,
+/// `i = 1..n`. [`gini_naive`] is the direct `O(n²)` transcription of the
+/// pairwise formula, kept as a test oracle.
+///
+/// # Errors
+///
+/// * [`FairnessError::EmptyInput`] for an empty slice.
+/// * [`FairnessError::NegativeValue`] / [`FairnessError::NonFiniteValue`]
+///   for invalid entries.
+/// * [`FairnessError::ZeroTotal`] when every value is zero.
+///
+/// ```
+/// use fairswap_fairness::gini;
+///
+/// assert_eq!(gini(&[1.0, 1.0, 1.0, 1.0])?, 0.0);
+/// // One of four peers holds everything: G = (n-1)/n = 0.75.
+/// assert!((gini(&[0.0, 0.0, 0.0, 8.0])? - 0.75).abs() < 1e-12);
+/// # Ok::<(), fairswap_fairness::FairnessError>(())
+/// ```
+pub fn gini(values: &[f64]) -> Result<f64, FairnessError> {
+    let sum = validate(values)?;
+    let n = values.len() as f64;
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    let g = (2.0 * weighted) / (n * sum) - (n + 1.0) / n;
+    // Clamp tiny negative floating-point residue on near-equal inputs.
+    Ok(g.clamp(0.0, 1.0))
+}
+
+/// Direct `O(n²)` evaluation of the pairwise Gini formula (Eq. 1 with the
+/// standard `1/n` normalization). Exposed as a cross-check oracle for
+/// [`gini`]; prefer [`gini`] for real workloads.
+///
+/// # Errors
+///
+/// Same conditions as [`gini`].
+pub fn gini_naive(values: &[f64]) -> Result<f64, FairnessError> {
+    let sum = validate(values)?;
+    let n = values.len() as f64;
+    let mut pairwise = 0.0;
+    for &a in values {
+        for &b in values {
+            pairwise += (a - b).abs();
+        }
+    }
+    Ok((pairwise / (2.0 * n * sum)).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_give_zero() {
+        assert_eq!(gini(&[3.0; 10]).unwrap(), 0.0);
+        assert_eq!(gini_naive(&[3.0; 10]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_zero_inequality() {
+        assert_eq!(gini(&[42.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn one_peer_takes_all() {
+        // G = (n-1)/n for a point mass.
+        for n in [2usize, 5, 100] {
+            let mut v = vec![0.0; n];
+            v[0] = 7.0;
+            let expected = (n as f64 - 1.0) / n as f64;
+            assert!((gini(&v).unwrap() - expected).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // [1,2,3,4]: mean abs diff sum = 2*(1+2+3+1+2+1) = 20;
+        // G = 20 / (2*4*10) = 0.25.
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((gini(&v).unwrap() - 0.25).abs() < 1e-12);
+        assert!((gini_naive(&v).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_and_naive_agree() {
+        let v = [5.0, 1.0, 0.0, 9.5, 2.25, 2.25, 100.0, 0.5];
+        let fast = gini(&v).unwrap();
+        let slow = gini_naive(&v).unwrap();
+        assert!((fast - slow).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let v = [1.0, 4.0, 7.0, 12.0];
+        let scaled: Vec<f64> = v.iter().map(|x| x * 1000.0).collect();
+        assert!((gini(&v).unwrap() - gini(&scaled).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_invariance() {
+        let a = [9.0, 1.0, 5.0];
+        let b = [1.0, 5.0, 9.0];
+        assert_eq!(gini(&a).unwrap(), gini(&b).unwrap());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(gini(&[]), Err(FairnessError::EmptyInput));
+        assert_eq!(gini(&[0.0, 0.0]), Err(FairnessError::ZeroTotal));
+        assert!(matches!(
+            gini(&[1.0, -2.0]),
+            Err(FairnessError::NegativeValue { index: 1, .. })
+        ));
+        assert!(matches!(
+            gini(&[1.0, f64::NAN]),
+            Err(FairnessError::NonFiniteValue { index: 1 })
+        ));
+        assert!(matches!(
+            gini(&[f64::INFINITY]),
+            Err(FairnessError::NonFiniteValue { index: 0 })
+        ));
+        assert_eq!(gini_naive(&[]), Err(FairnessError::EmptyInput));
+    }
+
+    #[test]
+    fn more_unequal_distribution_has_higher_gini() {
+        let mild = [4.0, 5.0, 6.0];
+        let harsh = [0.5, 1.0, 13.5];
+        assert!(gini(&harsh).unwrap() > gini(&mild).unwrap());
+    }
+}

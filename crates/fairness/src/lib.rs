@@ -1,0 +1,45 @@
+//! Fairness metrics for reward distributions.
+//!
+//! The paper (§II-A) defines two fairness properties for token-incentivized
+//! p2p networks and measures both with the Gini coefficient:
+//!
+//! * **F1** — rewards should be proportional to the resources a peer
+//!   actually contributed. Measured by the Gini coefficient of
+//!   `contribution_i / reward_i` over the peers that received any reward
+//!   ([`f1_contribution_gini`]).
+//! * **F2** — peers willing to provide the same resources should receive an
+//!   equal share of the reward. Measured by the Gini coefficient of all
+//!   peers' incomes ([`f2_income_gini`]).
+//!
+//! A coefficient of 0 is perfect equality; 1 means a single peer captures
+//! everything. [`lorenz`] produces the Lorenz curves the paper plots in
+//! Figs. 5 and 6, and [`Histogram`] supports the forwarded-chunk
+//! distributions of Fig. 4.
+//!
+//! ```
+//! use fairswap_fairness::{gini, f2_income_gini};
+//!
+//! // Four peers, one captures most of the reward.
+//! let incomes = [1.0, 1.0, 1.0, 17.0];
+//! let g = f2_income_gini(&incomes)?;
+//! assert!(g > 0.5);
+//! // Perfectly equal income.
+//! assert_eq!(gini(&[5.0, 5.0, 5.0])?, 0.0);
+//! # Ok::<(), fairswap_fairness::FairnessError>(())
+//! ```
+
+mod error;
+mod gini;
+mod histogram;
+mod indices;
+mod lorenz;
+mod properties;
+mod stats;
+
+pub use error::FairnessError;
+pub use gini::{gini, gini_naive};
+pub use histogram::Histogram;
+pub use indices::{atkinson, hoover, theil};
+pub use lorenz::{lorenz, LorenzPoint};
+pub use properties::{f1_contribution_gini, f1_values, f2_income_gini};
+pub use stats::Summary;

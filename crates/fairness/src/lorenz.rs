@@ -1,0 +1,139 @@
+//! Lorenz curves (paper Figs. 5 and 6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FairnessError;
+
+/// One point of a Lorenz curve: after including the poorest
+/// `population_share` of peers, they jointly hold `value_share` of the
+/// total.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LorenzPoint {
+    /// Cumulative fraction of the population, ascending by value.
+    pub population_share: f64,
+    /// Cumulative fraction of the total value held by that population.
+    pub value_share: f64,
+}
+
+/// Computes the Lorenz curve of a set of non-negative values.
+///
+/// The curve starts at `(0, 0)` and ends at `(1, 1)`, with one intermediate
+/// point per peer, peers sorted ascending. The further the curve sags below
+/// the `y = x` diagonal, the more unequal the distribution; the Gini
+/// coefficient equals twice the area between the diagonal and the curve.
+///
+/// # Errors
+///
+/// Same input conditions as [`crate::gini`].
+///
+/// ```
+/// use fairswap_fairness::lorenz;
+///
+/// let curve = lorenz(&[1.0, 1.0, 2.0])?;
+/// assert_eq!(curve.first().unwrap().population_share, 0.0);
+/// assert_eq!(curve.last().unwrap().value_share, 1.0);
+/// # Ok::<(), fairswap_fairness::FairnessError>(())
+/// ```
+pub fn lorenz(values: &[f64]) -> Result<Vec<LorenzPoint>, FairnessError> {
+    if values.is_empty() {
+        return Err(FairnessError::EmptyInput);
+    }
+    let mut sorted = Vec::with_capacity(values.len());
+    let mut sum = 0.0;
+    for (index, &value) in values.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(FairnessError::NonFiniteValue { index });
+        }
+        if value < 0.0 {
+            return Err(FairnessError::NegativeValue { index, value });
+        }
+        sum += value;
+        sorted.push(value);
+    }
+    if sum == 0.0 {
+        return Err(FairnessError::ZeroTotal);
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+
+    let n = sorted.len() as f64;
+    let mut curve = Vec::with_capacity(sorted.len() + 1);
+    curve.push(LorenzPoint {
+        population_share: 0.0,
+        value_share: 0.0,
+    });
+    let mut cumulative = 0.0;
+    for (i, &v) in sorted.iter().enumerate() {
+        cumulative += v;
+        curve.push(LorenzPoint {
+            population_share: (i as f64 + 1.0) / n,
+            value_share: cumulative / sum,
+        });
+    }
+    // Pin the endpoint exactly despite floating-point accumulation.
+    curve.last_mut().expect("non-empty").value_share = 1.0;
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gini::gini;
+
+    #[test]
+    fn endpoints_are_pinned() {
+        let c = lorenz(&[3.0, 1.0, 6.0]).unwrap();
+        assert_eq!(c.first().unwrap().population_share, 0.0);
+        assert_eq!(c.first().unwrap().value_share, 0.0);
+        assert_eq!(c.last().unwrap().population_share, 1.0);
+        assert_eq!(c.last().unwrap().value_share, 1.0);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn perfectly_equal_curve_is_diagonal() {
+        let c = lorenz(&[2.0; 5]).unwrap();
+        for p in &c {
+            assert!((p.population_share - p.value_share).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone_and_below_diagonal() {
+        let c = lorenz(&[0.0, 1.0, 2.0, 10.0, 4.0]).unwrap();
+        for w in c.windows(2) {
+            assert!(w[1].population_share >= w[0].population_share);
+            assert!(w[1].value_share >= w[0].value_share);
+        }
+        for p in &c {
+            assert!(p.value_share <= p.population_share + 1e-12);
+        }
+    }
+
+    #[test]
+    fn area_between_diagonal_matches_gini() {
+        // Gini = 2 * area between diagonal and Lorenz curve (trapezoid rule
+        // is exact because the curve is piecewise linear).
+        let v = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let c = lorenz(&v).unwrap();
+        let mut area = 0.0;
+        for w in c.windows(2) {
+            let dx = w[1].population_share - w[0].population_share;
+            let mean_height =
+                (w[0].population_share - w[0].value_share + w[1].population_share - w[1].value_share)
+                    / 2.0;
+            area += dx * mean_height;
+        }
+        let g = gini(&v).unwrap();
+        assert!((2.0 * area - g).abs() < 1e-9, "2*area={} gini={}", 2.0 * area, g);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(lorenz(&[]), Err(FairnessError::EmptyInput));
+        assert_eq!(lorenz(&[0.0]), Err(FairnessError::ZeroTotal));
+        assert!(matches!(
+            lorenz(&[-1.0]),
+            Err(FairnessError::NegativeValue { .. })
+        ));
+    }
+}

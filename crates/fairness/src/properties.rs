@@ -1,0 +1,152 @@
+//! The paper's F1 and F2 fairness properties (§II-A).
+
+use crate::error::FairnessError;
+use crate::gini::gini;
+
+/// **F2** — "peers willing to provide the same resources should be able to
+/// receive an equal share of the reward."
+///
+/// Computed as the Gini coefficient of every peer's income, including peers
+/// that earned nothing: a coefficient of 1 means a single node receives all
+/// rewards, 0 means all nodes receive exactly the same income.
+///
+/// # Errors
+///
+/// Same input conditions as [`gini`]; in particular [`FairnessError::ZeroTotal`]
+/// when no peer earned anything.
+pub fn f2_income_gini(incomes: &[f64]) -> Result<f64, FairnessError> {
+    gini(incomes)
+}
+
+/// The per-peer values entering the F1 Gini: `contribution_i / reward_i`
+/// for every peer with `reward_i > 0` (paper §II-A: "We divide this amount
+/// by the received reward to get the values vᵢ [...] omitting the peers
+/// that did not receive any reward.").
+///
+/// Peers with zero reward but non-zero contribution are exactly the
+/// free-service providers the F1 restriction sets aside; exposing the raw
+/// values lets callers also inspect the ratio distribution (paper Fig. 6).
+///
+/// # Errors
+///
+/// * [`FairnessError::LengthMismatch`] if the slices differ in length.
+/// * [`FairnessError::NegativeValue`] / [`FairnessError::NonFiniteValue`]
+///   for invalid entries in either slice.
+/// * [`FairnessError::NoRewardedPeers`] when every reward is zero.
+pub fn f1_values(contributions: &[f64], rewards: &[f64]) -> Result<Vec<f64>, FairnessError> {
+    if contributions.len() != rewards.len() {
+        return Err(FairnessError::LengthMismatch {
+            left: contributions.len(),
+            right: rewards.len(),
+        });
+    }
+    if contributions.is_empty() {
+        return Err(FairnessError::EmptyInput);
+    }
+    let mut values = Vec::new();
+    for (index, (&c, &r)) in contributions.iter().zip(rewards).enumerate() {
+        for v in [c, r] {
+            if !v.is_finite() {
+                return Err(FairnessError::NonFiniteValue { index });
+            }
+            if v < 0.0 {
+                return Err(FairnessError::NegativeValue { index, value: v });
+            }
+        }
+        if r > 0.0 {
+            values.push(c / r);
+        }
+    }
+    if values.is_empty() {
+        return Err(FairnessError::NoRewardedPeers);
+    }
+    Ok(values)
+}
+
+/// **F1** — "rewards should be fair (proportional) with regard to a peer's
+/// resource contribution to the network."
+///
+/// Computed as the Gini coefficient of `contribution_i / reward_i` over the
+/// rewarded peers (see [`f1_values`]). 0 means every rewarded peer got the
+/// same pay-per-unit-of-work; 1 means the pay rate is maximally skewed.
+///
+/// # Errors
+///
+/// The conditions of [`f1_values`], plus [`FairnessError::ZeroTotal`] when
+/// every rewarded peer contributed nothing.
+pub fn f1_contribution_gini(
+    contributions: &[f64],
+    rewards: &[f64],
+) -> Result<f64, FairnessError> {
+    gini(&f1_values(contributions, rewards)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_equal_income_is_perfectly_fair() {
+        assert_eq!(f2_income_gini(&[10.0; 8]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn f2_single_earner_approaches_one() {
+        let mut incomes = vec![0.0; 100];
+        incomes[3] = 55.0;
+        assert!(f2_income_gini(&incomes).unwrap() > 0.98);
+    }
+
+    #[test]
+    fn f1_proportional_rewards_are_perfectly_fair() {
+        // Reward exactly proportional to contribution => all ratios equal.
+        let contribution = [10.0, 20.0, 40.0];
+        let reward = [1.0, 2.0, 4.0];
+        assert_eq!(f1_contribution_gini(&contribution, &reward).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn f1_omits_unrewarded_peers() {
+        // The unrewarded heavy contributor must not affect F1.
+        let contribution = [10.0, 20.0, 999.0];
+        let reward = [1.0, 2.0, 0.0];
+        assert_eq!(f1_contribution_gini(&contribution, &reward).unwrap(), 0.0);
+        assert_eq!(f1_values(&contribution, &reward).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn f1_detects_skewed_pay_rates() {
+        // Same contribution, wildly different rewards.
+        let contribution = [10.0, 10.0];
+        let fair = [5.0, 5.0];
+        let skewed = [1.0, 100.0];
+        let g_fair = f1_contribution_gini(&contribution, &fair).unwrap();
+        let g_skewed = f1_contribution_gini(&contribution, &skewed).unwrap();
+        assert!(g_skewed > g_fair);
+    }
+
+    #[test]
+    fn f1_error_cases() {
+        assert_eq!(
+            f1_contribution_gini(&[1.0], &[1.0, 2.0]),
+            Err(FairnessError::LengthMismatch { left: 1, right: 2 })
+        );
+        assert_eq!(
+            f1_contribution_gini(&[], &[]),
+            Err(FairnessError::EmptyInput)
+        );
+        assert_eq!(
+            f1_contribution_gini(&[1.0, 2.0], &[0.0, 0.0]),
+            Err(FairnessError::NoRewardedPeers)
+        );
+        assert!(matches!(
+            f1_contribution_gini(&[-1.0], &[1.0]),
+            Err(FairnessError::NegativeValue { .. })
+        ));
+        // All rewarded peers contributed nothing: ratios are all zero.
+        assert_eq!(
+            f1_contribution_gini(&[0.0, 0.0], &[1.0, 1.0]),
+            Err(FairnessError::ZeroTotal)
+        );
+    }
+}

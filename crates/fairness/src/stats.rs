@@ -1,0 +1,136 @@
+//! Descriptive statistics for experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FairnessError;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`FairnessError::EmptyInput`] on an empty slice.
+    /// * [`FairnessError::NonFiniteValue`] on NaN/infinite entries.
+    pub fn of(values: &[f64]) -> Result<Self, FairnessError> {
+        if values.is_empty() {
+            return Err(FairnessError::EmptyInput);
+        }
+        for (index, v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(FairnessError::NonFiniteValue { index });
+            }
+        }
+        let n = values.len() as f64;
+        let sum: f64 = values.iter().sum();
+        let mean = sum / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        Ok(Self {
+            count: values.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            median: percentile_sorted(&sorted, 50.0),
+            sum,
+        })
+    }
+
+    /// The `p`-th percentile of the same sample (recomputed; convenience
+    /// for occasional use).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Summary::of`].
+    pub fn percentile(values: &[f64], p: f64) -> Result<f64, FairnessError> {
+        if values.is_empty() {
+            return Err(FairnessError::EmptyInput);
+        }
+        for (index, v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(FairnessError::NonFiniteValue { index });
+            }
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        Ok(percentile_sorted(&sorted, p))
+    }
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() as f64 - 1.0);
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    let frac = rank - low as f64;
+    sorted[low] * (1.0 - frac) + sorted[high] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert_eq!(s.sum, 40.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, s.max);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(Summary::percentile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(Summary::percentile(&v, 100.0).unwrap(), 4.0);
+        assert!((Summary::percentile(&v, 50.0).unwrap() - 2.5).abs() < 1e-12);
+        // Out-of-range percentiles clamp.
+        assert_eq!(Summary::percentile(&v, 150.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(Summary::of(&[]), Err(FairnessError::EmptyInput));
+        assert!(matches!(
+            Summary::of(&[1.0, f64::NAN]),
+            Err(FairnessError::NonFiniteValue { index: 1 })
+        ));
+        assert_eq!(Summary::percentile(&[], 50.0), Err(FairnessError::EmptyInput));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the fairness metrics.
+
+use fairswap_fairness::{f1_contribution_gini, gini, gini_naive, lorenz, Summary};
+use proptest::prelude::*;
+
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e6, 1..128).prop_filter("needs a non-zero total", |v| {
+        v.iter().sum::<f64>() > 0.0
+    })
+}
+
+proptest! {
+    /// Gini is always within [0, 1].
+    #[test]
+    fn gini_bounded(values in arb_values()) {
+        let g = gini(&values).unwrap();
+        prop_assert!((0.0..=1.0).contains(&g));
+    }
+
+    /// The O(n log n) and O(n²) implementations agree.
+    #[test]
+    fn gini_fast_matches_naive(values in arb_values()) {
+        let fast = gini(&values).unwrap();
+        let slow = gini_naive(&values).unwrap();
+        prop_assert!((fast - slow).abs() < 1e-9, "fast {fast} slow {slow}");
+    }
+
+    /// Gini is invariant under positive scaling.
+    #[test]
+    fn gini_scale_invariant(values in arb_values(), scale in 0.001f64..1e3) {
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        let a = gini(&values).unwrap();
+        let b = gini(&scaled).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Gini is invariant under permutation.
+    #[test]
+    fn gini_order_invariant(values in arb_values()) {
+        let mut reversed = values.clone();
+        reversed.reverse();
+        prop_assert!((gini(&values).unwrap() - gini(&reversed).unwrap()).abs() < 1e-12);
+    }
+
+    /// Adding an identical copy of the population does not change Gini.
+    #[test]
+    fn gini_population_replication_invariant(values in arb_values()) {
+        let mut doubled = values.clone();
+        doubled.extend_from_slice(&values);
+        let a = gini(&values).unwrap();
+        let b = gini(&doubled).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// A uniform transfer from the richest to the poorest (Pigou–Dalton)
+    /// never increases the Gini coefficient.
+    #[test]
+    fn gini_respects_pigou_dalton(values in arb_values()) {
+        prop_assume!(values.len() >= 2);
+        let mut v = values.clone();
+        let (rich_idx, _) = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let (poor_idx, _) = v
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        prop_assume!(rich_idx != poor_idx);
+        let gap = v[rich_idx] - v[poor_idx];
+        prop_assume!(gap > 0.0);
+        let transfer = gap / 4.0;
+        let before = gini(&v).unwrap();
+        v[rich_idx] -= transfer;
+        v[poor_idx] += transfer;
+        let after = gini(&v).unwrap();
+        prop_assert!(after <= before + 1e-9, "before {before} after {after}");
+    }
+
+    /// Lorenz curves are monotone, below the diagonal, and their enclosed
+    /// area reproduces the Gini coefficient.
+    #[test]
+    fn lorenz_consistent_with_gini(values in arb_values()) {
+        let curve = lorenz(&values).unwrap();
+        prop_assert_eq!(curve.len(), values.len() + 1);
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            prop_assert!(w[1].population_share >= w[0].population_share - 1e-12);
+            prop_assert!(w[1].value_share >= w[0].value_share - 1e-12);
+            prop_assert!(w[1].value_share <= w[1].population_share + 1e-9);
+            let dx = w[1].population_share - w[0].population_share;
+            area += dx
+                * (w[0].population_share - w[0].value_share + w[1].population_share
+                    - w[1].value_share)
+                / 2.0;
+        }
+        let g = gini(&values).unwrap();
+        prop_assert!((2.0 * area - g).abs() < 1e-7, "area-gini mismatch: {} vs {g}", 2.0 * area);
+    }
+
+    /// F1 of exactly proportional rewards is zero regardless of the
+    /// proportionality constant.
+    #[test]
+    fn f1_zero_for_proportional_rewards(
+        contributions in prop::collection::vec(0.01f64..1e4, 2..64),
+        rate in 0.01f64..100.0,
+    ) {
+        let rewards: Vec<f64> = contributions.iter().map(|c| c * rate).collect();
+        let g = f1_contribution_gini(&contributions, &rewards).unwrap();
+        prop_assert!(g < 1e-9, "gini {g}");
+    }
+
+    /// Summary invariants: min <= median <= max, mean between min and max.
+    #[test]
+    fn summary_invariants(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = Summary::of(&values).unwrap();
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.count, values.len());
+    }
+}

@@ -1,0 +1,172 @@
+//! Effort-based rewards (Rahman et al. [15]) — the F2-centric baseline.
+
+use fairswap_kademlia::{NodeId, Topology};
+use fairswap_storage::ChunkDelivery;
+use fairswap_swap::AccountingUnits;
+
+use crate::mechanism::BandwidthIncentive;
+use crate::state::RewardState;
+
+/// Rewards peers for the bandwidth they are *willing* to provide (their
+/// declared effort), independent of the work the network happens to route
+/// through them.
+///
+/// Rahman et al. \[15\] "proposed to reward based on the willingness to
+/// share resources rather than based on the amount of actual resources
+/// shared, thus focusing on our fairness property F2 rather than F1"
+/// (paper §II-B). Per tick, a fixed budget is distributed proportionally to
+/// declared effort; deliveries as such earn nothing.
+#[derive(Debug, Clone)]
+pub struct EffortBased {
+    /// Declared effort per node (bandwidth offered).
+    efforts: Vec<f64>,
+    /// Accounting units distributed per tick.
+    budget_per_tick: i64,
+    /// Fractional remainders carried between ticks so integer payouts
+    /// conserve the budget over time.
+    carry: Vec<f64>,
+}
+
+impl EffortBased {
+    /// Every node declares the same effort — the honest homogeneous
+    /// network the paper simulates.
+    pub fn uniform(nodes: usize, budget_per_tick: i64) -> Self {
+        Self::with_efforts(vec![1.0; nodes], budget_per_tick)
+    }
+
+    /// Explicit per-node efforts (negative or non-finite efforts are
+    /// treated as zero).
+    pub fn with_efforts(efforts: Vec<f64>, budget_per_tick: i64) -> Self {
+        let efforts: Vec<f64> = efforts
+            .into_iter()
+            .map(|e| if e.is_finite() && e > 0.0 { e } else { 0.0 })
+            .collect();
+        let carry = vec![0.0; efforts.len()];
+        Self {
+            efforts,
+            budget_per_tick: budget_per_tick.max(0),
+            carry,
+        }
+    }
+
+    /// Declared effort of one node.
+    pub fn effort(&self, node: NodeId) -> f64 {
+        self.efforts.get(node.index()).copied().unwrap_or(0.0)
+    }
+}
+
+impl BandwidthIncentive for EffortBased {
+    fn name(&self) -> &'static str {
+        "effort-based"
+    }
+
+    fn on_delivery(
+        &mut self,
+        _topology: &Topology,
+        _delivery: &ChunkDelivery,
+        _state: &mut RewardState,
+    ) {
+        // Deliveries carry no direct reward under effort-based incentives.
+    }
+
+    fn on_tick(&mut self, _topology: &Topology, state: &mut RewardState) {
+        let total_effort: f64 = self.efforts.iter().sum();
+        if total_effort <= 0.0 || self.budget_per_tick == 0 {
+            return;
+        }
+        for (i, &effort) in self.efforts.iter().enumerate() {
+            if effort <= 0.0 {
+                continue;
+            }
+            let exact = self.budget_per_tick as f64 * effort / total_effort + self.carry[i];
+            let paid = exact.floor();
+            self.carry[i] = exact - paid;
+            if paid > 0.0 {
+                state.add_income(NodeId(i), AccountingUnits(paid as i64));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairswap_kademlia::{AddressSpace, TopologyBuilder};
+    use fairswap_swap::ChannelConfig;
+
+    fn topology() -> Topology {
+        TopologyBuilder::new(AddressSpace::new(16).unwrap())
+            .nodes(10)
+            .bucket_size(4)
+            .seed(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn uniform_effort_pays_everyone_equally() {
+        let t = topology();
+        let mut mech = EffortBased::uniform(10, 100);
+        let mut state = RewardState::new(10, ChannelConfig::unlimited());
+        for _ in 0..10 {
+            mech.on_tick(&t, &mut state);
+        }
+        let incomes = state.incomes_f64();
+        assert!(incomes.iter().all(|&i| (i - incomes[0]).abs() < 1e-9));
+        // Budget fully distributed: 10 ticks * 100 units.
+        assert_eq!(state.total_income(), AccountingUnits(1000));
+    }
+
+    #[test]
+    fn payouts_proportional_to_effort() {
+        let t = topology();
+        let mut efforts = vec![1.0; 10];
+        efforts[3] = 3.0;
+        let mut mech = EffortBased::with_efforts(efforts, 120);
+        let mut state = RewardState::new(10, ChannelConfig::unlimited());
+        for _ in 0..50 {
+            mech.on_tick(&t, &mut state);
+        }
+        let i3 = state.income(NodeId(3)).as_f64();
+        let i0 = state.income(NodeId(0)).as_f64();
+        assert!((i3 / i0 - 3.0).abs() < 0.05, "ratio {}", i3 / i0);
+    }
+
+    #[test]
+    fn zero_effort_nodes_earn_nothing() {
+        let t = topology();
+        let mut efforts = vec![1.0; 10];
+        efforts[5] = 0.0;
+        let mut mech = EffortBased::with_efforts(efforts, 90);
+        let mut state = RewardState::new(10, ChannelConfig::unlimited());
+        mech.on_tick(&t, &mut state);
+        assert_eq!(state.income(NodeId(5)), AccountingUnits::ZERO);
+        assert_eq!(mech.effort(NodeId(5)), 0.0);
+    }
+
+    #[test]
+    fn invalid_efforts_sanitized() {
+        let mech = EffortBased::with_efforts(vec![f64::NAN, -2.0, 1.0], 10);
+        assert_eq!(mech.effort(NodeId(0)), 0.0);
+        assert_eq!(mech.effort(NodeId(1)), 0.0);
+        assert_eq!(mech.effort(NodeId(2)), 1.0);
+        assert_eq!(mech.effort(NodeId(9)), 0.0);
+    }
+
+    #[test]
+    fn deliveries_do_not_pay() {
+        let t = topology();
+        let mut mech = EffortBased::uniform(10, 100);
+        let mut state = RewardState::new(10, ChannelConfig::unlimited());
+        let d = ChunkDelivery {
+            originator: NodeId(0),
+            chunk: t.space().address(1).unwrap(),
+            hops: vec![NodeId(1)],
+            from_cache: false,
+            outcome: fairswap_kademlia::RouteOutcome::Delivered,
+        };
+        mech.on_delivery(&t, &d, &mut state);
+        assert_eq!(state.total_income(), AccountingUnits::ZERO);
+        assert_eq!(mech.name(), "effort-based");
+    }
+}

@@ -1,0 +1,106 @@
+//! Free-riding originators (§V second future-work thread: "we will consider
+//! what happens when some peers misbehave [...] nodes are not free-riders,
+//! nodes always pay to the zero-proximity node" — here we drop that
+//! assumption).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use fairswap_kademlia::NodeId;
+
+/// The set of nodes that never pay the first hop when originating
+/// downloads.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreeRiderSet {
+    members: Vec<NodeId>,
+}
+
+impl FreeRiderSet {
+    /// No free riders — the paper's baseline assumption.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Samples `fraction` of `nodes` nodes as free riders (clamped to
+    /// `[0, 1]`; a zero fraction yields an empty set).
+    pub fn sample<R: Rng>(nodes: usize, fraction: f64, rng: &mut R) -> Self {
+        let fraction = if fraction.is_finite() {
+            fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let count = (nodes as f64 * fraction).round() as usize;
+        let mut ids: Vec<usize> = (0..nodes).collect();
+        ids.partial_shuffle(rng, count.min(nodes));
+        let mut members: Vec<NodeId> = ids.into_iter().take(count).map(NodeId).collect();
+        members.sort_unstable();
+        Self { members }
+    }
+
+    /// Creates a set from explicit members.
+    pub fn from_members(mut members: Vec<NodeId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        Self { members }
+    }
+
+    /// Whether `node` free-rides.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// Number of free riders.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members, ascending.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn none_is_empty() {
+        let s = FreeRiderSet::none();
+        assert!(s.is_empty());
+        assert!(!s.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn sample_respects_fraction() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let s = FreeRiderSet::sample(100, 0.3, &mut rng);
+        assert_eq!(s.len(), 30);
+        assert!(s.members().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sample_clamps_weird_fractions() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        assert_eq!(FreeRiderSet::sample(10, -1.0, &mut rng).len(), 0);
+        assert_eq!(FreeRiderSet::sample(10, 2.0, &mut rng).len(), 10);
+        assert_eq!(FreeRiderSet::sample(10, f64::NAN, &mut rng).len(), 0);
+    }
+
+    #[test]
+    fn from_members_dedups() {
+        let s = FreeRiderSet::from_members(vec![NodeId(3), NodeId(1), NodeId(3)]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(1)));
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(2)));
+    }
+}

@@ -1,0 +1,43 @@
+//! Bandwidth-incentive mechanisms.
+//!
+//! The paper's subject is Swarm's bandwidth incentive (§III-B): when a node
+//! downloads a chunk, only the **first hop** — the "zero-proximity" peer in
+//! the bucket closest to the destination — receives *paid* settlement from
+//! the originator; every other hop on the forwarding path accrues SWAP debt
+//! that is expected to evaporate through time-based amortization.
+//!
+//! To situate that design, this crate also implements the mechanisms the
+//! paper positions itself against:
+//!
+//! * [`TitForTat`] — BitTorrent's service-for-service exchange \[7\]: peers
+//!   are rewarded only insofar as their counterparty reciprocates, so pure
+//!   contributors earn nothing (the F2 failure the paper highlights).
+//! * [`EffortBased`] — Rahman et al. \[15\]: reward the *willingness* to
+//!   share (declared effort) rather than delivered work — F2-centric.
+//! * [`ProofOfBandwidth`] — TorCoin \[19\]: mint a token per verifiably
+//!   transferred chunk to every relay — F1-centric.
+//! * [`PayAllHops`] — an equitable Swarm variant in which the originator
+//!   pays every hop its proximity price, not just the first.
+//!
+//! All mechanisms implement [`BandwidthIncentive`] and mutate a shared
+//! [`RewardState`] (incomes + the underlying [`fairswap_swap::SwapNetwork`]),
+//! so they are interchangeable inside the simulation harness and directly
+//! comparable on the paper's F1/F2 metrics.
+
+mod effort;
+mod free_rider;
+mod mechanism;
+mod pay_all_hops;
+mod proof_of_bandwidth;
+mod state;
+mod swarm;
+mod tit_for_tat;
+
+pub use effort::EffortBased;
+pub use free_rider::FreeRiderSet;
+pub use mechanism::BandwidthIncentive;
+pub use pay_all_hops::PayAllHops;
+pub use proof_of_bandwidth::ProofOfBandwidth;
+pub use state::RewardState;
+pub use swarm::SwarmIncentive;
+pub use tit_for_tat::TitForTat;

@@ -1,0 +1,56 @@
+//! The incentive-mechanism trait.
+
+use fairswap_kademlia::Topology;
+use fairswap_storage::ChunkDelivery;
+
+use crate::state::RewardState;
+
+/// A bandwidth-incentive mechanism: decides who gets paid what for one
+/// chunk delivery, and what happens as time passes.
+///
+/// Implementations are driven by the simulation harness: one
+/// [`on_delivery`](BandwidthIncentive::on_delivery) call per routed chunk,
+/// one [`on_tick`](BandwidthIncentive::on_tick) call per timestep (the paper
+/// equates one timestep with one file download).
+///
+/// The trait is object-safe so harnesses can swap mechanisms at runtime.
+pub trait BandwidthIncentive {
+    /// Mechanism name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Accounts one chunk delivery: credit incomes, record SWAP debts,
+    /// trigger settlements.
+    fn on_delivery(
+        &mut self,
+        topology: &Topology,
+        delivery: &ChunkDelivery,
+        state: &mut RewardState,
+    );
+
+    /// Advances mechanism time by one step (e.g. applies SWAP amortization).
+    /// Default: no-op.
+    fn on_tick(&mut self, topology: &Topology, state: &mut RewardState) {
+        let _ = (topology, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+
+    impl BandwidthIncentive for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+
+        fn on_delivery(&mut self, _: &Topology, _: &ChunkDelivery, _: &mut RewardState) {}
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mechanism: Box<dyn BandwidthIncentive> = Box::new(Nop);
+        assert_eq!(mechanism.name(), "nop");
+    }
+}

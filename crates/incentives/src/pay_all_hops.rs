@@ -1,0 +1,136 @@
+//! The pay-all-hops variant: an equitable Swarm alternative.
+
+use fairswap_kademlia::Topology;
+use fairswap_storage::ChunkDelivery;
+use fairswap_swap::Pricing;
+
+use crate::mechanism::BandwidthIncentive;
+use crate::state::RewardState;
+
+/// Pays **every hop** of the route its proximity price, funded by the
+/// originator.
+///
+/// This is the natural "make incentives more equitable" strawman next to
+/// Swarm's first-hop-only policy: income now tracks forwarding work exactly,
+/// so F1 approaches perfect equality, at the cost of the originator issuing
+/// one payment per hop (more settlement transactions — the §V overhead
+/// concern).
+#[derive(Debug, Clone)]
+pub struct PayAllHops {
+    pricing: Pricing,
+}
+
+impl PayAllHops {
+    /// Unit proximity pricing.
+    pub fn new() -> Self {
+        Self {
+            pricing: Pricing::proximity_unit(),
+        }
+    }
+
+    /// Overrides the pricing scheme.
+    #[must_use]
+    pub fn with_pricing(mut self, pricing: Pricing) -> Self {
+        self.pricing = pricing;
+        self
+    }
+}
+
+impl Default for PayAllHops {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BandwidthIncentive for PayAllHops {
+    fn name(&self) -> &'static str {
+        "pay-all-hops"
+    }
+
+    fn on_delivery(
+        &mut self,
+        topology: &Topology,
+        delivery: &ChunkDelivery,
+        state: &mut RewardState,
+    ) {
+        if !delivery.delivered() {
+            return;
+        }
+        let bits = topology.space().bits();
+        for &hop in &delivery.hops {
+            let price = self
+                .pricing
+                .price(bits, topology.address(hop).proximity(delivery.chunk));
+            if price.is_zero() {
+                continue;
+            }
+            state
+                .swap_mut()
+                .pay_direct(delivery.originator, hop, price)
+                .expect("endowed wallets cover unit prices");
+            state.add_income(hop, price);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairswap_kademlia::{AddressSpace, NodeId, RouteOutcome, TopologyBuilder};
+    use fairswap_swap::{AccountingUnits, ChannelConfig};
+
+    fn topology() -> Topology {
+        TopologyBuilder::new(AddressSpace::new(16).unwrap())
+            .nodes(40)
+            .bucket_size(4)
+            .seed(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_hop_earns() {
+        let t = topology();
+        let mut mech = PayAllHops::new();
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        let d = ChunkDelivery {
+            originator: NodeId(0),
+            chunk: t.space().address(0x0F0F).unwrap(),
+            hops: vec![NodeId(1), NodeId(2), NodeId(3)],
+            from_cache: false,
+            outcome: RouteOutcome::Delivered,
+        };
+        mech.on_delivery(&t, &d, &mut state);
+        for hop in [NodeId(1), NodeId(2), NodeId(3)] {
+            assert!(
+                state.income(hop) > AccountingUnits::ZERO,
+                "hop {hop} unpaid"
+            );
+        }
+        // One settlement per hop.
+        assert_eq!(state.swap().ledger().transaction_count(), 3);
+        // No residual debts anywhere.
+        assert_eq!(state.swap().debt(NodeId(1), NodeId(2)), AccountingUnits::ZERO);
+    }
+
+    #[test]
+    fn stuck_routes_pay_nothing() {
+        let t = topology();
+        let mut mech = PayAllHops::new();
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        let d = ChunkDelivery {
+            originator: NodeId(0),
+            chunk: t.space().address(0x0F0F).unwrap(),
+            hops: vec![NodeId(1)],
+            from_cache: false,
+            outcome: RouteOutcome::Stuck,
+        };
+        mech.on_delivery(&t, &d, &mut state);
+        assert_eq!(state.total_income(), AccountingUnits::ZERO);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(PayAllHops::default().name(), "pay-all-hops");
+    }
+}

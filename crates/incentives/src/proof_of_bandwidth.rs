@@ -1,0 +1,126 @@
+//! Proof-of-bandwidth minting (TorCoin [19]) — the F1-centric baseline.
+
+use fairswap_kademlia::Topology;
+use fairswap_storage::ChunkDelivery;
+use fairswap_swap::AccountingUnits;
+
+use crate::mechanism::BandwidthIncentive;
+use crate::state::RewardState;
+
+/// Mints a fixed number of tokens to **every relay** of a verified
+/// transfer, TorCoin-style: "an altcoin to reward bandwidth contribution"
+/// (paper §II-B).
+///
+/// Income is exactly proportional to transferred chunks, so F1 is perfect
+/// by construction; F2 still depends on how evenly the topology spreads
+/// forwarding work.
+#[derive(Debug, Clone)]
+pub struct ProofOfBandwidth {
+    mint_per_chunk: i64,
+}
+
+impl ProofOfBandwidth {
+    /// Mints `mint_per_chunk` units per relayed chunk (clamped to >= 0).
+    pub fn new(mint_per_chunk: i64) -> Self {
+        Self {
+            mint_per_chunk: mint_per_chunk.max(0),
+        }
+    }
+
+    /// The mint amount per relayed chunk.
+    pub fn mint_per_chunk(&self) -> i64 {
+        self.mint_per_chunk
+    }
+}
+
+impl Default for ProofOfBandwidth {
+    /// One unit per relayed chunk.
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl BandwidthIncentive for ProofOfBandwidth {
+    fn name(&self) -> &'static str {
+        "proof-of-bandwidth"
+    }
+
+    fn on_delivery(
+        &mut self,
+        _topology: &Topology,
+        delivery: &ChunkDelivery,
+        state: &mut RewardState,
+    ) {
+        if !delivery.delivered() || self.mint_per_chunk == 0 {
+            return;
+        }
+        for &hop in &delivery.hops {
+            state.add_income(hop, AccountingUnits(self.mint_per_chunk));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairswap_kademlia::{AddressSpace, NodeId, RouteOutcome, TopologyBuilder};
+    use fairswap_swap::ChannelConfig;
+
+    fn topology() -> Topology {
+        TopologyBuilder::new(AddressSpace::new(16).unwrap())
+            .nodes(20)
+            .bucket_size(4)
+            .seed(5)
+            .build()
+            .unwrap()
+    }
+
+    fn delivery(t: &Topology, hops: Vec<NodeId>, outcome: RouteOutcome) -> ChunkDelivery {
+        ChunkDelivery {
+            originator: NodeId(0),
+            chunk: t.space().address(0x00AA).unwrap(),
+            hops,
+            from_cache: false,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn income_proportional_to_relayed_chunks() {
+        let t = topology();
+        let mut mech = ProofOfBandwidth::new(2);
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        mech.on_delivery(
+            &t,
+            &delivery(&t, vec![NodeId(1), NodeId(2)], RouteOutcome::Delivered),
+            &mut state,
+        );
+        mech.on_delivery(
+            &t,
+            &delivery(&t, vec![NodeId(1)], RouteOutcome::Delivered),
+            &mut state,
+        );
+        assert_eq!(state.income(NodeId(1)), AccountingUnits(4));
+        assert_eq!(state.income(NodeId(2)), AccountingUnits(2));
+    }
+
+    #[test]
+    fn stuck_routes_mint_nothing() {
+        let t = topology();
+        let mut mech = ProofOfBandwidth::default();
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        mech.on_delivery(
+            &t,
+            &delivery(&t, vec![NodeId(1)], RouteOutcome::Stuck),
+            &mut state,
+        );
+        assert_eq!(state.total_income(), AccountingUnits::ZERO);
+    }
+
+    #[test]
+    fn negative_mint_clamps_to_zero() {
+        let mech = ProofOfBandwidth::new(-5);
+        assert_eq!(mech.mint_per_chunk(), 0);
+        assert_eq!(mech.name(), "proof-of-bandwidth");
+    }
+}

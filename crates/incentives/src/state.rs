@@ -1,0 +1,117 @@
+//! Shared reward-accounting state.
+
+use fairswap_kademlia::NodeId;
+use fairswap_swap::{AccountingUnits, Bzz, ChannelConfig, SettlementLedger, SwapNetwork};
+
+/// Incomes plus the SWAP substrate, shared by every incentive mechanism.
+///
+/// `income` is the quantity the paper's F2 evaluates: the accounting units a
+/// node received as *payment* (not amortized, not merely promised). The
+/// embedded [`SwapNetwork`] carries the pairwise debts of unpaid forwarding
+/// and their time-based amortization.
+#[derive(Debug, Clone)]
+pub struct RewardState {
+    swap: SwapNetwork,
+    income: Vec<AccountingUnits>,
+    forced_settlements: u64,
+}
+
+impl RewardState {
+    /// Creates reward state for `nodes` peers with the given channel
+    /// configuration and zero settlement cost.
+    pub fn new(nodes: usize, config: ChannelConfig) -> Self {
+        Self {
+            swap: SwapNetwork::new(nodes, config),
+            income: vec![AccountingUnits::ZERO; nodes],
+            forced_settlements: 0,
+        }
+    }
+
+    /// Creates reward state with a per-settlement transaction cost (for the
+    /// §V overhead experiments).
+    pub fn with_tx_cost(nodes: usize, config: ChannelConfig, tx_cost: Bzz) -> Self {
+        Self {
+            swap: SwapNetwork::with_ledger(nodes, config, SettlementLedger::with_tx_cost(tx_cost)),
+            income: vec![AccountingUnits::ZERO; nodes],
+            forced_settlements: 0,
+        }
+    }
+
+    /// Number of peers.
+    pub fn node_count(&self) -> usize {
+        self.income.len()
+    }
+
+    /// The SWAP substrate.
+    pub fn swap(&self) -> &SwapNetwork {
+        &self.swap
+    }
+
+    /// Mutable access to the SWAP substrate (mechanisms record debts,
+    /// payments and ticks through this).
+    pub fn swap_mut(&mut self) -> &mut SwapNetwork {
+        &mut self.swap
+    }
+
+    /// Credits paid income to a node.
+    pub fn add_income(&mut self, node: NodeId, units: AccountingUnits) {
+        self.income[node.index()] += units;
+    }
+
+    /// Paid income of one node.
+    pub fn income(&self, node: NodeId) -> AccountingUnits {
+        self.income[node.index()]
+    }
+
+    /// All incomes as `f64`, indexed by node — the F2 input.
+    pub fn incomes_f64(&self) -> Vec<f64> {
+        self.income.iter().map(|u| u.as_f64()).collect()
+    }
+
+    /// Total income paid out across the network.
+    pub fn total_income(&self) -> AccountingUnits {
+        self.income.iter().copied().sum()
+    }
+
+    /// Records that a frozen channel forced an early settlement (tracked so
+    /// experiments can report protocol pressure).
+    pub fn note_forced_settlement(&mut self) {
+        self.forced_settlements += 1;
+    }
+
+    /// Number of settlements forced by frozen channels.
+    pub fn forced_settlements(&self) -> u64 {
+        self.forced_settlements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn income_accumulates() {
+        let mut s = RewardState::new(3, ChannelConfig::default());
+        s.add_income(NodeId(1), AccountingUnits(5));
+        s.add_income(NodeId(1), AccountingUnits(2));
+        assert_eq!(s.income(NodeId(1)), AccountingUnits(7));
+        assert_eq!(s.income(NodeId(0)), AccountingUnits::ZERO);
+        assert_eq!(s.total_income(), AccountingUnits(7));
+        assert_eq!(s.incomes_f64(), vec![0.0, 7.0, 0.0]);
+        assert_eq!(s.node_count(), 3);
+    }
+
+    #[test]
+    fn forced_settlement_counter() {
+        let mut s = RewardState::new(2, ChannelConfig::default());
+        assert_eq!(s.forced_settlements(), 0);
+        s.note_forced_settlement();
+        assert_eq!(s.forced_settlements(), 1);
+    }
+
+    #[test]
+    fn tx_cost_flows_to_ledger() {
+        let s = RewardState::with_tx_cost(2, ChannelConfig::default(), Bzz(3));
+        assert_eq!(s.swap().ledger().tx_cost(), Bzz(3));
+    }
+}

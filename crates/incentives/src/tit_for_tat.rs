@@ -1,0 +1,178 @@
+//! BitTorrent-style tit-for-tat — the service-for-service baseline.
+
+use std::collections::HashMap;
+
+use fairswap_kademlia::{NodeId, Topology};
+use fairswap_storage::ChunkDelivery;
+
+use crate::mechanism::BandwidthIncentive;
+use crate::state::RewardState;
+
+/// Tit-for-tat reciprocity (Cohen \[7\]): a peer's service is "rewarded"
+/// only by counter-service from the *same* partner.
+///
+/// The model: every pairwise transfer is logged; a serving node realizes one
+/// unit of income per served chunk **only up to the amount it has itself
+/// received from that partner**. Surplus service is remembered, so later
+/// reciprocation retroactively rewards it (BitTorrent's optimistic-unchoke
+/// dynamics amortize to exactly this matched-volume quantity).
+///
+/// This reproduces the paper's §I critique: "since rewards are only given as
+/// access to the service, peers are not incentivized to share resources,
+/// when they are not using the system themselves" — a node that only serves
+/// (never downloads) earns nothing, which is what F2 penalizes.
+#[derive(Debug, Clone, Default)]
+pub struct TitForTat {
+    /// `(server, consumer) -> chunks served` lifetime volumes.
+    served: HashMap<(NodeId, NodeId), u64>,
+    /// `(server, consumer) -> volume already realized as income`.
+    realized: HashMap<(NodeId, NodeId), u64>,
+}
+
+impl TitForTat {
+    /// Creates the mechanism with empty reciprocity ledgers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn served(&self, server: NodeId, consumer: NodeId) -> u64 {
+        self.served.get(&(server, consumer)).copied().unwrap_or(0)
+    }
+
+    /// Settles newly-matched volume between `a` and `b` into income.
+    fn realize(&mut self, a: NodeId, b: NodeId, state: &mut RewardState) {
+        // Matched volume is min(served(a,b), served(b,a)); each side's
+        // income from this pair equals the matched volume.
+        let matched = self.served(a, b).min(self.served(b, a));
+        for (server, consumer) in [(a, b), (b, a)] {
+            let realized = self.realized.entry((server, consumer)).or_insert(0);
+            if matched > *realized {
+                let delta = matched - *realized;
+                *realized = matched;
+                state.add_income(server, fairswap_swap::AccountingUnits(delta as i64));
+            }
+        }
+    }
+}
+
+impl BandwidthIncentive for TitForTat {
+    fn name(&self) -> &'static str {
+        "tit-for-tat"
+    }
+
+    fn on_delivery(
+        &mut self,
+        _topology: &Topology,
+        delivery: &ChunkDelivery,
+        state: &mut RewardState,
+    ) {
+        if !delivery.delivered() || delivery.hops.is_empty() {
+            return;
+        }
+        // Each adjacent pair exchanges service: the downstream node serves
+        // the upstream one (chunk flows back along the path).
+        let mut consumer = delivery.originator;
+        for &server in &delivery.hops {
+            *self.served.entry((server, consumer)).or_insert(0) += 1;
+            self.realize(server, consumer, state);
+            consumer = server;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairswap_kademlia::{AddressSpace, RouteOutcome, TopologyBuilder};
+    use fairswap_swap::{AccountingUnits, ChannelConfig};
+
+    fn topology() -> Topology {
+        TopologyBuilder::new(AddressSpace::new(16).unwrap())
+            .nodes(30)
+            .bucket_size(4)
+            .seed(3)
+            .build()
+            .unwrap()
+    }
+
+    fn delivery(t: &Topology, originator: NodeId, hops: Vec<NodeId>) -> ChunkDelivery {
+        ChunkDelivery {
+            originator,
+            chunk: t.space().address(0x0101).unwrap(),
+            hops,
+            from_cache: false,
+            outcome: RouteOutcome::Delivered,
+        }
+    }
+
+    #[test]
+    fn one_way_service_earns_nothing() {
+        let t = topology();
+        let mut mech = TitForTat::new();
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        // Node 1 serves node 0 repeatedly; node 0 never reciprocates.
+        for _ in 0..5 {
+            mech.on_delivery(&t, &delivery(&t, NodeId(0), vec![NodeId(1)]), &mut state);
+        }
+        assert_eq!(state.income(NodeId(1)), AccountingUnits::ZERO);
+    }
+
+    #[test]
+    fn reciprocation_realizes_income_for_both() {
+        let t = topology();
+        let mut mech = TitForTat::new();
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        mech.on_delivery(&t, &delivery(&t, NodeId(0), vec![NodeId(1)]), &mut state);
+        mech.on_delivery(&t, &delivery(&t, NodeId(0), vec![NodeId(1)]), &mut state);
+        // Now node 1 downloads from node 0: one unit matched.
+        mech.on_delivery(&t, &delivery(&t, NodeId(1), vec![NodeId(0)]), &mut state);
+        assert_eq!(state.income(NodeId(1)), AccountingUnits(1));
+        assert_eq!(state.income(NodeId(0)), AccountingUnits(1));
+        // Further reciprocation matches the second unit.
+        mech.on_delivery(&t, &delivery(&t, NodeId(1), vec![NodeId(0)]), &mut state);
+        assert_eq!(state.income(NodeId(1)), AccountingUnits(2));
+        assert_eq!(state.income(NodeId(0)), AccountingUnits(2));
+        // Beyond matched volume, income stops growing for the over-server.
+        mech.on_delivery(&t, &delivery(&t, NodeId(1), vec![NodeId(0)]), &mut state);
+        assert_eq!(state.income(NodeId(0)), AccountingUnits(2));
+    }
+
+    #[test]
+    fn multi_hop_routes_count_adjacent_pairs() {
+        let t = topology();
+        let mut mech = TitForTat::new();
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        // 0 <- 1 <- 2: node 1 serves 0, node 2 serves 1.
+        mech.on_delivery(
+            &t,
+            &delivery(&t, NodeId(0), vec![NodeId(1), NodeId(2)]),
+            &mut state,
+        );
+        // Reverse route: 2 <- 1, 1 <- 0.
+        mech.on_delivery(
+            &t,
+            &delivery(&t, NodeId(2), vec![NodeId(1), NodeId(0)]),
+            &mut state,
+        );
+        // Pairs (1,2) and (2,1): matched 1 each; (0,1)/(1,0) matched 1.
+        assert_eq!(state.income(NodeId(1)), AccountingUnits(2));
+        assert!(state.income(NodeId(0)) >= AccountingUnits(1));
+        assert!(state.income(NodeId(2)) >= AccountingUnits(1));
+    }
+
+    #[test]
+    fn stuck_routes_ignored() {
+        let t = topology();
+        let mut mech = TitForTat::new();
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        let mut d = delivery(&t, NodeId(0), vec![NodeId(1)]);
+        d.outcome = RouteOutcome::Stuck;
+        mech.on_delivery(&t, &d, &mut state);
+        assert_eq!(state.total_income(), AccountingUnits::ZERO);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(TitForTat::new().name(), "tit-for-tat");
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests for the incentive mechanisms.
+
+use fairswap_incentives::{
+    BandwidthIncentive, PayAllHops, ProofOfBandwidth, RewardState, SwarmIncentive, TitForTat,
+};
+use fairswap_kademlia::{AddressSpace, NodeId, RouteOutcome, Topology, TopologyBuilder};
+use fairswap_storage::ChunkDelivery;
+use fairswap_swap::{AccountingUnits, ChannelConfig};
+use proptest::prelude::*;
+
+const NODES: usize = 60;
+
+fn topology(seed: u64) -> Topology {
+    TopologyBuilder::new(AddressSpace::new(12).expect("valid width"))
+        .nodes(NODES)
+        .bucket_size(4)
+        .seed(seed)
+        .build()
+        .expect("valid topology")
+}
+
+/// Raw ingredients for one structurally valid delivery.
+#[derive(Debug, Clone)]
+struct DeliverySpec {
+    raw: u64,
+    origin: usize,
+    hop_picks: Vec<usize>,
+    delivered: bool,
+}
+
+fn arb_spec() -> impl Strategy<Value = DeliverySpec> {
+    (
+        any::<u64>(),
+        0usize..NODES,
+        prop::collection::vec(0usize..NODES, 1..6),
+        any::<bool>(),
+    )
+        .prop_map(|(raw, origin, hop_picks, delivered)| DeliverySpec {
+            raw,
+            origin,
+            hop_picks,
+            delivered,
+        })
+}
+
+/// Materializes a spec against a topology: distinct hops, originator not
+/// on the path.
+fn make_delivery(t: &Topology, spec: &DeliverySpec) -> ChunkDelivery {
+    let mut hop_picks = spec.hop_picks.clone();
+    hop_picks.sort_unstable();
+    hop_picks.dedup();
+    let hops: Vec<NodeId> = hop_picks
+        .into_iter()
+        .filter(|&h| h != spec.origin)
+        .map(NodeId)
+        .collect();
+    ChunkDelivery {
+        originator: NodeId(spec.origin),
+        chunk: t.space().address_truncated(spec.raw),
+        hops,
+        from_cache: false,
+        outcome: if spec.delivered {
+            RouteOutcome::Delivered
+        } else {
+            RouteOutcome::Stuck
+        },
+    }
+}
+
+proptest! {
+    /// Swarm: total income always equals the settlement ledger volume
+    /// (every paid unit is a recorded BZZ transaction), and incomes are
+    /// never negative.
+    #[test]
+    fn swarm_income_equals_ledger(specs in prop::collection::vec(arb_spec(), 1..40)) {
+        let t = topology(7);
+        let mut mech = SwarmIncentive::new();
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        for spec in &specs {
+            mech.on_delivery(&t, &make_delivery(&t, spec), &mut state);
+        }
+        let income: i64 = (0..t.len()).map(|i| state.income(NodeId(i)).raw()).sum();
+        prop_assert!(income >= 0);
+        prop_assert_eq!(income as u64, state.swap().ledger().total_volume().raw());
+    }
+
+    /// Swarm: only first hops earn; downstream hops never do (their debt
+    /// sits on channels instead).
+    #[test]
+    fn swarm_pays_only_first_hops(specs in prop::collection::vec(arb_spec(), 1..40)) {
+        let t = topology(9);
+        let mut mech = SwarmIncentive::new();
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        let mut first_hops = std::collections::HashSet::new();
+        for spec in &specs {
+            let d = make_delivery(&t, spec);
+            mech.on_delivery(&t, &d, &mut state);
+            if d.delivered() {
+                if let Some(first) = d.first_hop() {
+                    first_hops.insert(first);
+                }
+            }
+        }
+        for i in 0..t.len() {
+            if state.income(NodeId(i)) > AccountingUnits::ZERO {
+                prop_assert!(first_hops.contains(&NodeId(i)), "n{i} earned without first-hop role");
+            }
+        }
+    }
+
+    /// Pay-all-hops dominates Swarm: every node earns at least what Swarm
+    /// would have paid it, on the same delivery sequence.
+    #[test]
+    fn pay_all_hops_dominates_swarm(specs in prop::collection::vec(arb_spec(), 1..30)) {
+        let t = topology(11);
+        let mut swarm = SwarmIncentive::new();
+        let mut all_hops = PayAllHops::new();
+        let mut s1 = RewardState::new(t.len(), ChannelConfig::unlimited());
+        let mut s2 = RewardState::new(t.len(), ChannelConfig::unlimited());
+        for spec in &specs {
+            let d = make_delivery(&t, spec);
+            swarm.on_delivery(&t, &d, &mut s1);
+            all_hops.on_delivery(&t, &d, &mut s2);
+        }
+        for i in 0..t.len() {
+            prop_assert!(
+                s2.income(NodeId(i)) >= s1.income(NodeId(i)),
+                "pay-all-hops paid n{i} less than swarm"
+            );
+        }
+    }
+
+    /// Proof-of-bandwidth income is exactly mint × relayed chunks.
+    #[test]
+    fn proof_of_bandwidth_is_exactly_proportional(
+        specs in prop::collection::vec(arb_spec(), 1..30),
+        mint in 1i64..10,
+    ) {
+        let t = topology(13);
+        let mut mech = ProofOfBandwidth::new(mint);
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        let mut relayed = vec![0i64; t.len()];
+        for spec in &specs {
+            let d = make_delivery(&t, spec);
+            mech.on_delivery(&t, &d, &mut state);
+            if d.delivered() {
+                for &hop in &d.hops {
+                    relayed[hop.index()] += 1;
+                }
+            }
+        }
+        for i in 0..t.len() {
+            prop_assert_eq!(state.income(NodeId(i)).raw(), relayed[i] * mint);
+        }
+    }
+
+    /// Tit-for-tat: total realized income is even (every matched unit pays
+    /// both sides) and bounded by twice the total service volume.
+    #[test]
+    fn tit_for_tat_income_is_matched(specs in prop::collection::vec(arb_spec(), 1..40)) {
+        let t = topology(17);
+        let mut mech = TitForTat::new();
+        let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+        let mut total_serves = 0i64;
+        for spec in &specs {
+            let d = make_delivery(&t, spec);
+            mech.on_delivery(&t, &d, &mut state);
+            if d.delivered() {
+                total_serves += d.hops.len() as i64;
+            }
+        }
+        let income: i64 = (0..t.len()).map(|i| state.income(NodeId(i)).raw()).sum();
+        prop_assert_eq!(income % 2, 0, "matched volume pays in pairs");
+        prop_assert!(income <= 2 * total_serves);
+    }
+
+    /// No mechanism pays anything for stuck deliveries.
+    #[test]
+    fn stuck_deliveries_never_pay(mut spec in arb_spec()) {
+        spec.delivered = false;
+        let t = topology(19);
+        let delivery = make_delivery(&t, &spec);
+        let mechs: Vec<Box<dyn BandwidthIncentive>> = vec![
+            Box::new(SwarmIncentive::new()),
+            Box::new(PayAllHops::new()),
+            Box::new(TitForTat::new()),
+            Box::new(ProofOfBandwidth::default()),
+        ];
+        for mut mech in mechs {
+            let mut state = RewardState::new(t.len(), ChannelConfig::unlimited());
+            mech.on_delivery(&t, &delivery, &mut state);
+            prop_assert_eq!(
+                state.total_income(),
+                AccountingUnits::ZERO,
+                "{} paid for a stuck route",
+                mech.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! K-buckets: fixed-capacity groups of peers at one proximity order.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::OverlayAddress;
+use crate::topology::NodeId;
+
+/// A single routing-table bucket.
+///
+/// Bucket `i` of a node holds peers whose addresses share a prefix of length
+/// *exactly* `i` with the node's own address (paper §IV-B: "The i-th bucket
+/// of a node contains addresses that have a common prefix of length i with
+/// the node's address. Each bucket contains at most k addresses.").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KBucket {
+    index: u32,
+    capacity: usize,
+    entries: Vec<(NodeId, OverlayAddress)>,
+}
+
+impl KBucket {
+    /// Creates an empty bucket for proximity order `index` with room for
+    /// `capacity` peers.
+    pub fn new(index: u32, capacity: usize) -> Self {
+        Self {
+            index,
+            capacity,
+            entries: Vec::with_capacity(capacity.min(64)),
+        }
+    }
+
+    /// The proximity order this bucket covers.
+    #[inline]
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Maximum number of peers this bucket may hold (`k`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of peers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bucket holds no peers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the bucket is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Inserts a peer. Returns `false` (and does not insert) if the bucket is
+    /// full or the peer is already present.
+    pub fn insert(&mut self, node: NodeId, address: OverlayAddress) -> bool {
+        if self.is_full() || self.contains(node) {
+            return false;
+        }
+        self.entries.push((node, address));
+        true
+    }
+
+    /// Whether `node` is in this bucket.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.iter().any(|(id, _)| *id == node)
+    }
+
+    /// Iterates over `(NodeId, OverlayAddress)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, OverlayAddress)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::AddressSpace;
+
+    fn addr(raw: u64) -> OverlayAddress {
+        AddressSpace::new(16).unwrap().address(raw).unwrap()
+    }
+
+    #[test]
+    fn insert_until_full() {
+        let mut b = KBucket::new(3, 2);
+        assert!(b.is_empty());
+        assert!(b.insert(NodeId(0), addr(1)));
+        assert!(b.insert(NodeId(1), addr(2)));
+        assert!(b.is_full());
+        assert!(!b.insert(NodeId(2), addr(3)));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut b = KBucket::new(0, 4);
+        assert!(b.insert(NodeId(7), addr(9)));
+        assert!(!b.insert(NodeId(7), addr(9)));
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(NodeId(7)));
+        assert!(!b.contains(NodeId(8)));
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut b = KBucket::new(1, 8);
+        for i in 0..5u64 {
+            b.insert(NodeId(i as usize), addr(i));
+        }
+        let ids: Vec<_> = b.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let b = KBucket::new(5, 20);
+        assert_eq!(b.index(), 5);
+        assert_eq!(b.capacity(), 20);
+    }
+}

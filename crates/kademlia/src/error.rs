@@ -1,0 +1,102 @@
+//! Error type for overlay construction and routing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KademliaError {
+    /// Address-space bit-width outside `1..=64`.
+    InvalidBits {
+        /// The rejected width.
+        bits: u32,
+    },
+    /// Raw address value does not fit in the address space.
+    AddressOutOfRange {
+        /// The rejected raw value.
+        raw: u64,
+        /// Bit-width of the space.
+        bits: u32,
+    },
+    /// Requested more distinct node addresses than the space holds.
+    SpaceExhausted {
+        /// Number of nodes requested.
+        requested: usize,
+        /// Capacity of the address space.
+        capacity: u128,
+    },
+    /// A topology needs at least two nodes to route anything.
+    TooFewNodes {
+        /// Number of nodes requested.
+        requested: usize,
+    },
+    /// Bucket size `k` must be at least 1.
+    ZeroBucketSize,
+    /// Duplicate explicit node address.
+    DuplicateAddress {
+        /// The raw value that appeared twice.
+        raw: u64,
+    },
+    /// A node id that is not part of the topology.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for KademliaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidBits { bits } => {
+                write!(f, "address space width must be in 1..=64, got {bits}")
+            }
+            Self::AddressOutOfRange { raw, bits } => {
+                write!(f, "address {raw:#x} does not fit in a {bits}-bit space")
+            }
+            Self::SpaceExhausted { requested, capacity } => write!(
+                f,
+                "cannot place {requested} distinct nodes in a space of {capacity} addresses"
+            ),
+            Self::TooFewNodes { requested } => {
+                write!(f, "a topology needs at least 2 nodes, got {requested}")
+            }
+            Self::ZeroBucketSize => write!(f, "bucket size k must be at least 1"),
+            Self::DuplicateAddress { raw } => {
+                write!(f, "duplicate node address {raw:#x}")
+            }
+            Self::UnknownNode { index } => write!(f, "unknown node id {index}"),
+        }
+    }
+}
+
+impl Error for KademliaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            KademliaError::InvalidBits { bits: 0 },
+            KademliaError::AddressOutOfRange { raw: 70_000, bits: 16 },
+            KademliaError::SpaceExhausted { requested: 10, capacity: 4 },
+            KademliaError::TooFewNodes { requested: 1 },
+            KademliaError::ZeroBucketSize,
+            KademliaError::DuplicateAddress { raw: 3 },
+            KademliaError::UnknownNode { index: 9 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<KademliaError>();
+    }
+}

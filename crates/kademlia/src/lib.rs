@@ -1,0 +1,46 @@
+//! Forwarding-Kademlia overlay substrate.
+//!
+//! This crate implements the overlay network that the paper's simulations run
+//! on (paper §III-A and §IV-B):
+//!
+//! * an [`AddressSpace`] of configurable bit-width (the paper uses 16 bits)
+//!   with [`OverlayAddress`]es compared by the Kademlia XOR metric,
+//! * per-node [`RoutingTable`]s made of exact-shared-prefix [`KBucket`]s of
+//!   capacity `k` (Swarm default 4, Kademlia classic 20),
+//! * a static [`Topology`] built deterministically from a seed, and
+//! * a greedy forwarding-Kademlia [`Router`] that produces full [`Route`]s so
+//!   callers can attribute per-hop bandwidth and identify the paid first hop.
+//!
+//! # Example
+//!
+//! ```
+//! use fairswap_kademlia::{AddressSpace, TopologyBuilder, Router};
+//!
+//! let space = AddressSpace::new(16)?;
+//! let topology = TopologyBuilder::new(space)
+//!     .nodes(100)
+//!     .bucket_size(4)
+//!     .seed(42)
+//!     .build()?;
+//! let router = Router::new(&topology);
+//! let target = space.address(0x1234)?;
+//! let route = router.route(topology.node_ids().next().unwrap(), target);
+//! assert!(route.hop_count() <= 16);
+//! # Ok::<(), fairswap_kademlia::KademliaError>(())
+//! ```
+
+mod address;
+mod bucket;
+mod error;
+mod metrics;
+mod router;
+mod routing_table;
+mod topology;
+
+pub use address::{AddressSpace, Distance, OverlayAddress, Proximity};
+pub use bucket::KBucket;
+pub use error::KademliaError;
+pub use metrics::{BucketOccupancy, HopHistogram, TopologyMetrics};
+pub use router::{Route, RouteOutcome, Router};
+pub use routing_table::RoutingTable;
+pub use topology::{BucketSizing, NodeId, Topology, TopologyBuilder};

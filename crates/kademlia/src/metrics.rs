@@ -1,0 +1,177 @@
+//! Structural metrics over topologies and routes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Topology;
+
+/// Histogram of route hop counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopHistogram {
+    counts: Vec<u64>,
+    total_routes: u64,
+    total_hops: u64,
+}
+
+impl HopHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a route of `hops` hops.
+    pub fn record(&mut self, hops: usize) {
+        if self.counts.len() <= hops {
+            self.counts.resize(hops + 1, 0);
+        }
+        self.counts[hops] += 1;
+        self.total_routes += 1;
+        self.total_hops += hops as u64;
+    }
+
+    /// Number of routes with exactly `hops` hops.
+    pub fn count(&self, hops: usize) -> u64 {
+        self.counts.get(hops).copied().unwrap_or(0)
+    }
+
+    /// Total recorded routes.
+    pub fn total_routes(&self) -> u64 {
+        self.total_routes
+    }
+
+    /// Mean hop count, or `None` if nothing was recorded.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total_routes == 0 {
+            None
+        } else {
+            Some(self.total_hops as f64 / self.total_routes as f64)
+        }
+    }
+
+    /// Largest observed hop count.
+    pub fn max(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// `(hops, count)` pairs for all observed hop counts.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().copied().enumerate()
+    }
+}
+
+/// Bucket-occupancy summary of a whole topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketOccupancy {
+    /// Mean number of peers in bucket `i`, averaged over nodes.
+    pub mean_per_bucket: Vec<f64>,
+    /// Fraction of nodes whose bucket `i` is full.
+    pub full_fraction: Vec<f64>,
+}
+
+/// Aggregate structural metrics for a topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyMetrics {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Total open connections (sum of table entries).
+    pub total_connections: usize,
+    /// Mean connections per node.
+    pub mean_connections: f64,
+    /// Mean neighborhood depth.
+    pub mean_neighborhood_depth: f64,
+    /// Per-bucket occupancy stats.
+    pub occupancy: BucketOccupancy,
+}
+
+impl TopologyMetrics {
+    /// Computes metrics for `topology`.
+    pub fn compute(topology: &Topology) -> Self {
+        let n = topology.len();
+        let bits = topology.space().bits() as usize;
+        let mut mean_per_bucket = vec![0.0; bits];
+        let mut full_fraction = vec![0.0; bits];
+        let mut depth_sum = 0.0;
+        for table in topology.tables() {
+            depth_sum += f64::from(table.neighborhood_depth());
+            for bucket in table.buckets() {
+                let i = bucket.index() as usize;
+                mean_per_bucket[i] += bucket.len() as f64;
+                if bucket.is_full() {
+                    full_fraction[i] += 1.0;
+                }
+            }
+        }
+        for v in &mut mean_per_bucket {
+            *v /= n as f64;
+        }
+        for v in &mut full_fraction {
+            *v /= n as f64;
+        }
+        let total_connections = topology.total_connections();
+        Self {
+            nodes: n,
+            total_connections,
+            mean_connections: total_connections as f64 / n as f64,
+            mean_neighborhood_depth: depth_sum / n as f64,
+            occupancy: BucketOccupancy {
+                mean_per_bucket,
+                full_fraction,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::AddressSpace;
+    use crate::topology::TopologyBuilder;
+
+    #[test]
+    fn hop_histogram_counts_and_mean() {
+        let mut h = HopHistogram::new();
+        assert_eq!(h.mean(), None);
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.total_routes(), 3);
+        assert!((h.mean().unwrap() - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.max(), 3);
+        let collected: Vec<_> = h.iter().collect();
+        assert_eq!(collected[1], (1, 1));
+    }
+
+    #[test]
+    fn topology_metrics_shape() {
+        let t = TopologyBuilder::new(AddressSpace::new(16).unwrap())
+            .nodes(200)
+            .bucket_size(4)
+            .seed(2)
+            .build()
+            .unwrap();
+        let m = TopologyMetrics::compute(&t);
+        assert_eq!(m.nodes, 200);
+        assert_eq!(m.occupancy.mean_per_bucket.len(), 16);
+        assert!(m.mean_connections > 0.0);
+        // Shallow buckets have plenty of candidates, so they must be full.
+        assert!(m.occupancy.full_fraction[0] > 0.99);
+        // The deepest buckets are nearly always empty at this density.
+        assert!(m.occupancy.mean_per_bucket[15] < 0.5);
+    }
+
+    #[test]
+    fn bigger_k_more_connections() {
+        let space = AddressSpace::new(16).unwrap();
+        let metrics = |k| {
+            let t = TopologyBuilder::new(space)
+                .nodes(150)
+                .bucket_size(k)
+                .seed(3)
+                .build()
+                .unwrap();
+            TopologyMetrics::compute(&t).mean_connections
+        };
+        assert!(metrics(20) > metrics(4));
+    }
+}

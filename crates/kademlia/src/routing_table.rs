@@ -1,0 +1,297 @@
+//! Per-node routing tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::{AddressSpace, OverlayAddress, Proximity};
+use crate::bucket::KBucket;
+use crate::topology::NodeId;
+
+/// The routing table of one overlay node: `bits` buckets of capacity `k`
+/// (possibly overridden per bucket), bucket `i` holding peers at proximity
+/// order exactly `i`.
+///
+/// Tables are static for the lifetime of a simulation, mirroring the paper's
+/// setup ("The routing tables remain static for the entirety of the
+/// experiments").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    owner: NodeId,
+    owner_address: OverlayAddress,
+    space: AddressSpace,
+    buckets: Vec<KBucket>,
+}
+
+impl RoutingTable {
+    /// Creates an empty routing table for `owner` where bucket `i` has
+    /// capacity `capacities[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities.len() != space.bits()`.
+    pub fn new(
+        owner: NodeId,
+        owner_address: OverlayAddress,
+        space: AddressSpace,
+        capacities: &[usize],
+    ) -> Self {
+        assert_eq!(
+            capacities.len(),
+            space.bits() as usize,
+            "one capacity per bucket required"
+        );
+        let buckets = capacities
+            .iter()
+            .enumerate()
+            .map(|(i, &cap)| KBucket::new(i as u32, cap))
+            .collect();
+        Self {
+            owner,
+            owner_address,
+            space,
+            buckets,
+        }
+    }
+
+    /// The node owning this table.
+    #[inline]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// The owner's overlay address.
+    #[inline]
+    pub fn owner_address(&self) -> OverlayAddress {
+        self.owner_address
+    }
+
+    /// The address space this table lives in.
+    #[inline]
+    pub fn space(&self) -> AddressSpace {
+        self.space
+    }
+
+    /// Number of buckets (= address-space bit-width).
+    #[inline]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Access a bucket by index.
+    pub fn bucket(&self, index: usize) -> Option<&KBucket> {
+        self.buckets.get(index)
+    }
+
+    /// Iterate over all buckets, shallowest (bucket 0) first.
+    pub fn buckets(&self) -> impl Iterator<Item = &KBucket> {
+        self.buckets.iter()
+    }
+
+    /// Total number of peers across all buckets (the node's connection
+    /// count — the §V overhead discussion charges per open connection).
+    pub fn connection_count(&self) -> usize {
+        self.buckets.iter().map(KBucket::len).sum()
+    }
+
+    /// Inserts `peer` into the bucket determined by its proximity to the
+    /// owner. Returns `false` if the peer is the owner itself, the bucket is
+    /// full, or the peer is already present.
+    pub fn insert(&mut self, peer: NodeId, address: OverlayAddress) -> bool {
+        if peer == self.owner {
+            return false;
+        }
+        let prox = self.space.proximity(self.owner_address, address);
+        // Proximity == bits would mean an address collision with the owner;
+        // the topology builder guarantees distinct addresses.
+        let Some(bucket) = self.buckets.get_mut(prox.bucket_index()) else {
+            return false;
+        };
+        bucket.insert(peer, address)
+    }
+
+    /// Iterates over every known peer.
+    pub fn peers(&self) -> impl Iterator<Item = (NodeId, OverlayAddress)> + '_ {
+        self.buckets.iter().flat_map(KBucket::iter)
+    }
+
+    /// Whether `peer` appears anywhere in the table.
+    pub fn knows(&self, peer: NodeId) -> bool {
+        self.buckets.iter().any(|b| b.contains(peer))
+    }
+
+    /// The known peer closest (XOR metric) to `target`, if any peer is
+    /// strictly closer to the target than the owner itself.
+    ///
+    /// This is the forwarding-Kademlia next-hop choice: requests are relayed
+    /// to "the closest possible node" (paper Fig. 1) and forwarding stops
+    /// when no known peer improves on the current node.
+    pub fn next_hop(&self, target: OverlayAddress) -> Option<(NodeId, OverlayAddress)> {
+        let own_distance = self.space.distance(self.owner_address, target);
+        let best = self
+            .peers()
+            .min_by_key(|(_, addr)| self.space.distance(*addr, target))?;
+        if self.space.distance(best.1, target) < own_distance {
+            Some(best)
+        } else {
+            None
+        }
+    }
+
+    /// The `n` known peers closest (XOR metric) to `target`, nearest first.
+    ///
+    /// This is the classic Kademlia `FIND_NODE` answer shape. Forwarding
+    /// Kademlia only ever uses the single best peer
+    /// ([`RoutingTable::next_hop`]), but redundancy analyses — how many
+    /// fallback relays a node has toward a region of the address space —
+    /// need the full ranking.
+    pub fn closest_peers(&self, target: OverlayAddress, n: usize) -> Vec<(NodeId, OverlayAddress)> {
+        let mut peers: Vec<(NodeId, OverlayAddress)> = self.peers().collect();
+        peers.sort_by_key(|(_, addr)| self.space.distance(*addr, target));
+        peers.truncate(n);
+        peers
+    }
+
+    /// The *neighborhood depth*: the shallowest bucket index from which all
+    /// deeper buckets are not full (paper §III-A — the neighborhood is the
+    /// proximity at which the node can no longer fill a bucket).
+    pub fn neighborhood_depth(&self) -> u32 {
+        let mut depth = self.buckets.len() as u32;
+        for bucket in self.buckets.iter().rev() {
+            if bucket.is_full() {
+                break;
+            }
+            depth = bucket.index();
+        }
+        depth
+    }
+
+    /// Proximity order between the owner and `address`.
+    pub fn proximity_to(&self, address: OverlayAddress) -> Proximity {
+        self.space.proximity(self.owner_address, address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space8() -> AddressSpace {
+        AddressSpace::new(8).unwrap()
+    }
+
+    fn table(owner_raw: u64, k: usize) -> RoutingTable {
+        let space = space8();
+        let caps = vec![k; 8];
+        RoutingTable::new(
+            NodeId(0),
+            space.address(owner_raw).unwrap(),
+            space,
+            &caps,
+        )
+    }
+
+    #[test]
+    fn insert_routes_to_correct_bucket() {
+        let mut t = table(0b0101_1011, 4);
+        let space = space8();
+        // Proximity 0 peer (first bit differs).
+        assert!(t.insert(NodeId(1), space.address(0b1101_1011).unwrap()));
+        assert_eq!(t.bucket(0).unwrap().len(), 1);
+        // Proximity 4 peer.
+        assert!(t.insert(NodeId(2), space.address(0b0101_0011).unwrap()));
+        assert_eq!(t.bucket(4).unwrap().len(), 1);
+        assert_eq!(t.connection_count(), 2);
+    }
+
+    #[test]
+    fn rejects_self_insert() {
+        let mut t = table(0b0101_1011, 4);
+        let space = space8();
+        assert!(!t.insert(NodeId(0), space.address(0b0000_0001).unwrap()));
+        assert_eq!(t.connection_count(), 0);
+    }
+
+    #[test]
+    fn bucket_capacity_enforced() {
+        let mut t = table(0, 2);
+        let space = space8();
+        // All of these have first bit 1 => bucket 0.
+        assert!(t.insert(NodeId(1), space.address(0b1000_0000).unwrap()));
+        assert!(t.insert(NodeId(2), space.address(0b1000_0001).unwrap()));
+        assert!(!t.insert(NodeId(3), space.address(0b1000_0010).unwrap()));
+        assert_eq!(t.bucket(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn next_hop_picks_strictly_closer_peer() {
+        let mut t = table(0b0000_0000, 4);
+        let space = space8();
+        let far = space.address(0b1000_0000).unwrap();
+        let near = space.address(0b0111_0000).unwrap();
+        t.insert(NodeId(1), far);
+        t.insert(NodeId(2), near);
+        // Target close to `near`.
+        let target = space.address(0b0111_0001).unwrap();
+        let (hop, _) = t.next_hop(target).unwrap();
+        assert_eq!(hop, NodeId(2));
+    }
+
+    #[test]
+    fn next_hop_none_when_owner_is_closest() {
+        let mut t = table(0b0000_0001, 4);
+        let space = space8();
+        t.insert(NodeId(1), space.address(0b1111_1111).unwrap());
+        // Target equals owner address: nobody can be closer.
+        let target = space.address(0b0000_0001).unwrap();
+        assert!(t.next_hop(target).is_none());
+    }
+
+    #[test]
+    fn next_hop_none_on_empty_table() {
+        let t = table(0, 4);
+        let target = space8().address(0xFF).unwrap();
+        assert!(t.next_hop(target).is_none());
+    }
+
+    #[test]
+    fn neighborhood_depth_tracks_unfilled_tail() {
+        let mut t = table(0b0000_0000, 1);
+        let space = space8();
+        // Fill buckets 0 and 1 (k = 1).
+        t.insert(NodeId(1), space.address(0b1000_0000).unwrap());
+        t.insert(NodeId(2), space.address(0b0100_0000).unwrap());
+        // Buckets 2..8 empty => depth is 2.
+        assert_eq!(t.neighborhood_depth(), 2);
+    }
+
+    #[test]
+    fn closest_peers_ranks_by_distance() {
+        let mut t = table(0b0000_0000, 4);
+        let space = space8();
+        let far = space.address(0b1111_0000).unwrap();
+        let mid = space.address(0b0011_0000).unwrap();
+        let near = space.address(0b0000_0111).unwrap();
+        t.insert(NodeId(1), far);
+        t.insert(NodeId(2), mid);
+        t.insert(NodeId(3), near);
+        let target = space.address(0b0000_0110).unwrap();
+        let ranked = t.closest_peers(target, 8);
+        let ids: Vec<usize> = ranked.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![3, 2, 1]);
+        // Truncation keeps the nearest.
+        let top1 = t.closest_peers(target, 1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].0, NodeId(3));
+        // Asking for more than known returns all.
+        assert_eq!(t.closest_peers(target, 99).len(), 3);
+    }
+
+    #[test]
+    fn knows_and_peers() {
+        let mut t = table(0, 4);
+        let space = space8();
+        t.insert(NodeId(5), space.address(0xF0).unwrap());
+        assert!(t.knows(NodeId(5)));
+        assert!(!t.knows(NodeId(6)));
+        assert_eq!(t.peers().count(), 1);
+    }
+}

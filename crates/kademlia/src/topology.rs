@@ -1,0 +1,697 @@
+//! Static overlay topologies: node address sets plus all routing tables.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::address::{AddressSpace, OverlayAddress};
+use crate::error::KademliaError;
+use crate::routing_table::RoutingTable;
+
+/// Index of a node in a [`Topology`].
+///
+/// Node ids are dense (`0..topology.len()`) so simulations can keep per-node
+/// statistics in plain vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying dense index.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// How large each routing-table bucket is.
+///
+/// The paper compares Swarm's default `k = 4` with Kademlia's classic
+/// `k = 20` uniformly; its §V future work asks what happens "if we only
+/// increase the k for a particular bucket, e.g., bucket zero" — which
+/// [`BucketSizing::with_override`] expresses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketSizing {
+    default: usize,
+    overrides: Vec<(u32, usize)>,
+}
+
+impl BucketSizing {
+    /// Uniform bucket size `k` for every bucket.
+    pub fn uniform(k: usize) -> Self {
+        Self {
+            default: k,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Overrides the capacity of one bucket index, keeping the default for
+    /// the rest. Later overrides of the same bucket win.
+    #[must_use]
+    pub fn with_override(mut self, bucket: u32, k: usize) -> Self {
+        self.overrides.push((bucket, k));
+        self
+    }
+
+    /// The default (non-overridden) bucket size.
+    pub fn default_k(&self) -> usize {
+        self.default
+    }
+
+    /// Expands to one capacity per bucket for a `bits`-bit space.
+    pub fn capacities(&self, bits: u32) -> Vec<usize> {
+        let mut caps = vec![self.default; bits as usize];
+        for &(bucket, k) in &self.overrides {
+            if let Some(slot) = caps.get_mut(bucket as usize) {
+                *slot = k;
+            }
+        }
+        caps
+    }
+
+    fn validate(&self, bits: u32) -> Result<(), KademliaError> {
+        if self.capacities(bits).iter().any(|&k| k == 0) {
+            return Err(KademliaError::ZeroBucketSize);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for a [`Topology`].
+///
+/// ```
+/// use fairswap_kademlia::{AddressSpace, TopologyBuilder};
+///
+/// let space = AddressSpace::new(16)?;
+/// let topology = TopologyBuilder::new(space)
+///     .nodes(1000)
+///     .bucket_size(4)
+///     .seed(0xFA12)
+///     .build()?;
+/// assert_eq!(topology.len(), 1000);
+/// # Ok::<(), fairswap_kademlia::KademliaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    space: AddressSpace,
+    nodes: usize,
+    explicit_addresses: Option<Vec<u64>>,
+    sizing: BucketSizing,
+    seed: u64,
+}
+
+impl TopologyBuilder {
+    /// Starts a builder over the given address space with the paper's
+    /// defaults: 1000 nodes, uniform `k = 4`, seed `0xFA12`.
+    pub fn new(space: AddressSpace) -> Self {
+        Self {
+            space,
+            nodes: 1000,
+            explicit_addresses: None,
+            sizing: BucketSizing::uniform(4),
+            seed: 0xFA12,
+        }
+    }
+
+    /// Number of nodes to place at uniformly random distinct addresses.
+    #[must_use]
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Uses an explicit list of raw node addresses instead of sampling.
+    #[must_use]
+    pub fn explicit_addresses<I: IntoIterator<Item = u64>>(mut self, addresses: I) -> Self {
+        self.explicit_addresses = Some(addresses.into_iter().collect());
+        self
+    }
+
+    /// Uniform bucket size `k`.
+    #[must_use]
+    pub fn bucket_size(mut self, k: usize) -> Self {
+        self.sizing = BucketSizing::uniform(k);
+        self
+    }
+
+    /// Full control over per-bucket capacities.
+    #[must_use]
+    pub fn bucket_sizing(mut self, sizing: BucketSizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// RNG seed. The same seed always produces the same topology (paper:
+    /// "random numbers are generated using the same seed to ensure
+    /// consistency throughout all experiments").
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the topology: sample addresses, then fill every node's buckets
+    /// by choosing `min(k_i, |candidates|)` peers uniformly without
+    /// replacement from the exact-prefix candidate set.
+    ///
+    /// # Errors
+    ///
+    /// * [`KademliaError::TooFewNodes`] for fewer than 2 nodes.
+    /// * [`KademliaError::SpaceExhausted`] if the space cannot hold that many
+    ///   distinct addresses.
+    /// * [`KademliaError::ZeroBucketSize`] if any bucket capacity is 0.
+    /// * [`KademliaError::AddressOutOfRange`] /
+    ///   [`KademliaError::DuplicateAddress`] for bad explicit addresses.
+    pub fn build(&self) -> Result<Topology, KademliaError> {
+        self.sizing.validate(self.space.bits())?;
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+
+        let addresses: Vec<OverlayAddress> = match &self.explicit_addresses {
+            Some(raws) => {
+                let mut seen = HashSet::with_capacity(raws.len());
+                let mut out = Vec::with_capacity(raws.len());
+                for &raw in raws {
+                    if !seen.insert(raw) {
+                        return Err(KademliaError::DuplicateAddress { raw });
+                    }
+                    out.push(self.space.address(raw)?);
+                }
+                out
+            }
+            None => sample_distinct_addresses(self.space, self.nodes, &mut rng)?,
+        };
+        if addresses.len() < 2 {
+            return Err(KademliaError::TooFewNodes {
+                requested: addresses.len(),
+            });
+        }
+
+        let capacities = self.sizing.capacities(self.space.bits());
+        let bits = self.space.bits() as usize;
+        let n = addresses.len();
+
+        let mut tables = Vec::with_capacity(n);
+        // Reusable per-bucket candidate scratch space.
+        let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); bits];
+        for owner in 0..n {
+            for bucket in candidates.iter_mut() {
+                bucket.clear();
+            }
+            let owner_addr = addresses[owner];
+            for (peer, &peer_addr) in addresses.iter().enumerate() {
+                if peer == owner {
+                    continue;
+                }
+                let prox = self.space.proximity(owner_addr, peer_addr);
+                candidates[prox.bucket_index()].push(peer);
+            }
+            let mut table = RoutingTable::new(NodeId(owner), owner_addr, self.space, &capacities);
+            for (i, bucket_candidates) in candidates.iter_mut().enumerate() {
+                let take = capacities[i].min(bucket_candidates.len());
+                if take == 0 {
+                    continue;
+                }
+                // `choose_multiple` samples without replacement; shuffle-free
+                // partial Fisher-Yates keeps determinism cheap.
+                bucket_candidates.partial_shuffle(&mut rng, take);
+                for &peer in bucket_candidates.iter().take(take) {
+                    let inserted = table.insert(NodeId(peer), addresses[peer]);
+                    debug_assert!(inserted, "candidate must fit its bucket");
+                }
+            }
+            tables.push(table);
+        }
+
+        let trie = AddressTrie::build(self.space, &addresses);
+        Ok(Topology {
+            space: self.space,
+            addresses,
+            tables,
+            trie,
+            sizing: self.sizing.clone(),
+            seed: self.seed,
+        })
+    }
+}
+
+fn sample_distinct_addresses(
+    space: AddressSpace,
+    nodes: usize,
+    rng: &mut ChaCha12Rng,
+) -> Result<Vec<OverlayAddress>, KademliaError> {
+    if (nodes as u128) > space.capacity() {
+        return Err(KademliaError::SpaceExhausted {
+            requested: nodes,
+            capacity: space.capacity(),
+        });
+    }
+    let mut seen = HashSet::with_capacity(nodes);
+    let mut out = Vec::with_capacity(nodes);
+    while out.len() < nodes {
+        let raw = rng.gen_range(0..=space.max_raw());
+        if seen.insert(raw) {
+            out.push(space.address(raw).expect("sampled in range"));
+        }
+    }
+    Ok(out)
+}
+
+/// A static forwarding-Kademlia overlay: every node's address and routing
+/// table, plus an index for global closest-node queries.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    space: AddressSpace,
+    addresses: Vec<OverlayAddress>,
+    tables: Vec<RoutingTable>,
+    trie: AddressTrie,
+    sizing: BucketSizing,
+    seed: u64,
+}
+
+impl Topology {
+    /// The address space of this overlay.
+    #[inline]
+    pub fn space(&self) -> AddressSpace {
+        self.space
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// Whether the overlay has no nodes (never true for built topologies).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.addresses.is_empty()
+    }
+
+    /// The bucket sizing used to build this topology.
+    pub fn sizing(&self) -> &BucketSizing {
+        &self.sizing
+    }
+
+    /// The seed used to build this topology.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Iterate over all node ids, `n0, n1, ...`.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.addresses.len()).map(NodeId)
+    }
+
+    /// The overlay address of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of this topology; use
+    /// [`Topology::try_address`] for a fallible lookup.
+    pub fn address(&self, node: NodeId) -> OverlayAddress {
+        self.addresses[node.0]
+    }
+
+    /// Fallible address lookup.
+    pub fn try_address(&self, node: NodeId) -> Result<OverlayAddress, KademliaError> {
+        self.addresses
+            .get(node.0)
+            .copied()
+            .ok_or(KademliaError::UnknownNode { index: node.0 })
+    }
+
+    /// The routing table of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not part of this topology.
+    pub fn table(&self, node: NodeId) -> &RoutingTable {
+        &self.tables[node.0]
+    }
+
+    /// All routing tables, indexed by node id.
+    pub fn tables(&self) -> &[RoutingTable] {
+        &self.tables
+    }
+
+    /// The node whose address is globally closest (XOR metric) to `target`.
+    ///
+    /// XOR distances from a fixed target to distinct addresses are unique, so
+    /// the closest node is unambiguous. The paper stores each chunk at
+    /// exactly this node.
+    pub fn closest_node(&self, target: OverlayAddress) -> NodeId {
+        self.trie.closest(target)
+    }
+
+    /// Total connections maintained across all nodes (each table entry is an
+    /// open connection in the §V overhead model).
+    pub fn total_connections(&self) -> usize {
+        self.tables.iter().map(RoutingTable::connection_count).sum()
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    ///
+    /// Verified invariants: addresses are distinct; no table contains its
+    /// owner; every entry sits in the bucket matching its proximity order;
+    /// no bucket exceeds its capacity; every bucket whose candidate set is at
+    /// least its capacity is full.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = HashSet::new();
+        for addr in &self.addresses {
+            if !seen.insert(addr.raw()) {
+                return Err(format!("duplicate address {addr}"));
+            }
+        }
+        for (owner, table) in self.tables.iter().enumerate() {
+            let owner_addr = self.addresses[owner];
+            // Count candidates per proximity order for fullness check.
+            let bits = self.space.bits() as usize;
+            let mut candidate_counts = vec![0usize; bits];
+            for (peer, &peer_addr) in self.addresses.iter().enumerate() {
+                if peer != owner {
+                    let p = self.space.proximity(owner_addr, peer_addr).bucket_index();
+                    candidate_counts[p] += 1;
+                }
+            }
+            for bucket in table.buckets() {
+                if bucket.len() > bucket.capacity() {
+                    return Err(format!("node {owner}: bucket {} overfull", bucket.index()));
+                }
+                let expected = bucket.capacity().min(candidate_counts[bucket.index() as usize]);
+                if bucket.len() != expected {
+                    return Err(format!(
+                        "node {owner}: bucket {} has {} entries, expected {}",
+                        bucket.index(),
+                        bucket.len(),
+                        expected
+                    ));
+                }
+                for (peer, peer_addr) in bucket.iter() {
+                    if peer.0 == owner {
+                        return Err(format!("node {owner} lists itself"));
+                    }
+                    if self.addresses[peer.0] != peer_addr {
+                        return Err(format!("node {owner}: stale address for {peer}"));
+                    }
+                    let prox = self.space.proximity(owner_addr, peer_addr);
+                    if prox.bucket_index() != bucket.index() as usize {
+                        return Err(format!(
+                            "node {owner}: {peer} in bucket {} but proximity {}",
+                            bucket.index(),
+                            prox
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Binary trie over the node addresses for O(bits) closest-node queries
+/// under the XOR metric.
+#[derive(Debug, Clone)]
+struct AddressTrie {
+    space: AddressSpace,
+    nodes: Vec<TrieNode>,
+}
+
+#[derive(Debug, Clone)]
+enum TrieNode {
+    /// Leaf: index of the overlay node.
+    Leaf(usize),
+    /// Internal: child trie-node indices for bit = 0 / bit = 1 (either may be
+    /// absent when no address lies in that subtree).
+    Branch {
+        zero: Option<usize>,
+        one: Option<usize>,
+    },
+}
+
+impl AddressTrie {
+    fn build(space: AddressSpace, addresses: &[OverlayAddress]) -> Self {
+        let mut trie = Self {
+            space,
+            nodes: vec![TrieNode::Branch { zero: None, one: None }],
+        };
+        for (i, addr) in addresses.iter().enumerate() {
+            trie.insert(*addr, i);
+        }
+        trie
+    }
+
+    fn insert(&mut self, addr: OverlayAddress, node_index: usize) {
+        let bits = self.space.bits();
+        let mut current = 0usize;
+        for depth in 0..bits {
+            let bit = addr.bit(depth);
+            let is_last = depth == bits - 1;
+            let existing = match &self.nodes[current] {
+                TrieNode::Branch { zero, one } => {
+                    if bit {
+                        *one
+                    } else {
+                        *zero
+                    }
+                }
+                TrieNode::Leaf(_) => {
+                    unreachable!("leaves only exist at full depth; addresses are distinct")
+                }
+            };
+            let next = match existing {
+                Some(next) => next,
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(if is_last {
+                        TrieNode::Leaf(node_index)
+                    } else {
+                        TrieNode::Branch { zero: None, one: None }
+                    });
+                    match &mut self.nodes[current] {
+                        TrieNode::Branch { zero, one } => {
+                            if bit {
+                                *one = Some(idx);
+                            } else {
+                                *zero = Some(idx);
+                            }
+                        }
+                        TrieNode::Leaf(_) => unreachable!(),
+                    }
+                    idx
+                }
+            };
+            current = next;
+        }
+        debug_assert!(
+            matches!(self.nodes[current], TrieNode::Leaf(_)),
+            "insert must end on a leaf"
+        );
+    }
+
+    /// Closest stored address to `target`: walk preferring the target's own
+    /// bit at each depth, falling into the sibling subtree when absent.
+    ///
+    /// Preferring the matching bit maximizes the shared prefix, and within a
+    /// shared prefix the same rule minimizes every lower-order XOR bit, so
+    /// the walk reaches the true XOR-closest leaf.
+    fn closest(&self, target: OverlayAddress) -> NodeId {
+        let bits = self.space.bits();
+        let mut current = 0usize;
+        for depth in 0..bits {
+            match &self.nodes[current] {
+                TrieNode::Leaf(node) => return NodeId(*node),
+                TrieNode::Branch { zero, one } => {
+                    let (preferred, fallback) = if target.bit(depth) {
+                        (*one, *zero)
+                    } else {
+                        (*zero, *one)
+                    };
+                    current = preferred
+                        .or(fallback)
+                        .expect("trie contains at least one address");
+                }
+            }
+        }
+        match &self.nodes[current] {
+            TrieNode::Leaf(node) => NodeId(*node),
+            TrieNode::Branch { .. } => unreachable!("walked past all bits"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(bits: u32) -> AddressSpace {
+        AddressSpace::new(bits).unwrap()
+    }
+
+    #[test]
+    fn build_paper_scale_topology() {
+        let t = TopologyBuilder::new(space(16))
+            .nodes(1000)
+            .bucket_size(4)
+            .seed(1)
+            .build()
+            .unwrap();
+        assert_eq!(t.len(), 1000);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn same_seed_same_topology() {
+        let build = |seed| {
+            TopologyBuilder::new(space(16))
+                .nodes(200)
+                .bucket_size(4)
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        let a = build(7);
+        let b = build(7);
+        let c = build(8);
+        assert_eq!(
+            a.node_ids().map(|n| a.address(n)).collect::<Vec<_>>(),
+            b.node_ids().map(|n| b.address(n)).collect::<Vec<_>>()
+        );
+        assert_eq!(a.tables(), b.tables());
+        assert_ne!(
+            a.node_ids().map(|n| a.address(n)).collect::<Vec<_>>(),
+            c.node_ids().map(|n| c.address(n)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn explicit_addresses_respected() {
+        let t = TopologyBuilder::new(space(8))
+            .explicit_addresses([1, 2, 200, 250])
+            .bucket_size(2)
+            .build()
+            .unwrap();
+        assert_eq!(t.len(), 4);
+        let raws: Vec<_> = t.node_ids().map(|n| t.address(n).raw()).collect();
+        assert_eq!(raws, vec![1, 2, 200, 250]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_explicit_addresses_rejected() {
+        let err = TopologyBuilder::new(space(8))
+            .explicit_addresses([1, 1])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, KademliaError::DuplicateAddress { raw: 1 });
+    }
+
+    #[test]
+    fn too_few_nodes_rejected() {
+        let err = TopologyBuilder::new(space(8)).nodes(1).build().unwrap_err();
+        assert_eq!(err, KademliaError::TooFewNodes { requested: 1 });
+    }
+
+    #[test]
+    fn space_exhaustion_detected() {
+        let err = TopologyBuilder::new(space(2)).nodes(5).build().unwrap_err();
+        assert!(matches!(err, KademliaError::SpaceExhausted { .. }));
+    }
+
+    #[test]
+    fn zero_bucket_size_rejected() {
+        let err = TopologyBuilder::new(space(8))
+            .nodes(4)
+            .bucket_size(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, KademliaError::ZeroBucketSize);
+    }
+
+    #[test]
+    fn closest_node_matches_linear_scan() {
+        let t = TopologyBuilder::new(space(16))
+            .nodes(300)
+            .bucket_size(4)
+            .seed(11)
+            .build()
+            .unwrap();
+        let s = t.space();
+        for raw in (0..=0xFFFFu64).step_by(977) {
+            let target = s.address(raw).unwrap();
+            let by_trie = t.closest_node(target);
+            let by_scan = t
+                .node_ids()
+                .min_by_key(|n| s.distance(t.address(*n), target))
+                .unwrap();
+            assert_eq!(by_trie, by_scan, "target {raw:#06x}");
+        }
+    }
+
+    #[test]
+    fn per_bucket_override_applies() {
+        let sizing = BucketSizing::uniform(2).with_override(0, 8);
+        assert_eq!(sizing.capacities(4), vec![8, 2, 2, 2]);
+        let t = TopologyBuilder::new(space(16))
+            .nodes(400)
+            .bucket_sizing(sizing)
+            .seed(3)
+            .build()
+            .unwrap();
+        t.validate().unwrap();
+        // Bucket 0 has ~200 candidates, so it should be filled to 8.
+        let full_zero = t
+            .node_ids()
+            .filter(|n| t.table(*n).bucket(0).unwrap().len() == 8)
+            .count();
+        assert_eq!(full_zero, 400);
+    }
+
+    #[test]
+    fn later_override_wins() {
+        let sizing = BucketSizing::uniform(4)
+            .with_override(1, 10)
+            .with_override(1, 6);
+        assert_eq!(sizing.capacities(3), vec![4, 6, 4]);
+        assert_eq!(sizing.default_k(), 4);
+    }
+
+    #[test]
+    fn connection_counts_grow_with_k() {
+        let build = |k| {
+            TopologyBuilder::new(space(16))
+                .nodes(300)
+                .bucket_size(k)
+                .seed(5)
+                .build()
+                .unwrap()
+                .total_connections()
+        };
+        assert!(build(20) > build(4));
+    }
+
+    #[test]
+    fn try_address_unknown_node() {
+        let t = TopologyBuilder::new(space(8))
+            .nodes(4)
+            .bucket_size(2)
+            .seed(1)
+            .build()
+            .unwrap();
+        assert!(t.try_address(NodeId(99)).is_err());
+        assert!(t.try_address(NodeId(0)).is_ok());
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(17).to_string(), "n17");
+    }
+}

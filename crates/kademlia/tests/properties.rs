@@ -1,0 +1,186 @@
+//! Property-based tests for the overlay substrate.
+
+use fairswap_kademlia::{
+    AddressSpace, Distance, NodeId, Proximity, RouteOutcome, Router, TopologyBuilder,
+};
+use proptest::prelude::*;
+
+fn arb_bits() -> impl Strategy<Value = u32> {
+    1u32..=64
+}
+
+proptest! {
+    /// XOR distance is symmetric and zero exactly on the diagonal.
+    #[test]
+    fn distance_symmetric_and_identity(bits in arb_bits(), a in any::<u64>(), b in any::<u64>()) {
+        let space = AddressSpace::new(bits).unwrap();
+        let a = space.address_truncated(a);
+        let b = space.address_truncated(b);
+        prop_assert_eq!(space.distance(a, b), space.distance(b, a));
+        prop_assert_eq!(space.distance(a, b).is_zero(), a == b);
+    }
+
+    /// The XOR metric satisfies the triangle *equality* relaxation:
+    /// d(a,c) <= d(a,b) XOR-combined — concretely d(a,c) = d(a,b) ^ d(b,c)
+    /// numerically, which implies d(a,c) <= d(a,b) + d(b,c).
+    #[test]
+    fn distance_triangle(bits in arb_bits(), a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let space = AddressSpace::new(bits).unwrap();
+        let a = space.address_truncated(a);
+        let b = space.address_truncated(b);
+        let c = space.address_truncated(c);
+        let ab = space.distance(a, b).raw() as u128;
+        let bc = space.distance(b, c).raw() as u128;
+        let ac = space.distance(a, c).raw() as u128;
+        prop_assert_eq!(ac, (ab as u128) ^ (bc as u128));
+        prop_assert!(ac <= ab + bc);
+    }
+
+    /// Proximity is symmetric, bounded by the bit width, and saturates only
+    /// on equal addresses.
+    #[test]
+    fn proximity_laws(bits in arb_bits(), a in any::<u64>(), b in any::<u64>()) {
+        let space = AddressSpace::new(bits).unwrap();
+        let a = space.address_truncated(a);
+        let b = space.address_truncated(b);
+        let p = space.proximity(a, b);
+        prop_assert_eq!(p, space.proximity(b, a));
+        prop_assert!(p.order() <= bits);
+        prop_assert_eq!(p.order() == bits, a == b);
+    }
+
+    /// Proximity and distance agree: higher proximity implies strictly
+    /// smaller distance when comparing two candidates against one target.
+    #[test]
+    fn proximity_refines_distance(
+        bits in 2u32..=64,
+        t in any::<u64>(),
+        x in any::<u64>(),
+        y in any::<u64>(),
+    ) {
+        let space = AddressSpace::new(bits).unwrap();
+        let t = space.address_truncated(t);
+        let x = space.address_truncated(x);
+        let y = space.address_truncated(y);
+        let (px, py) = (space.proximity(t, x), space.proximity(t, y));
+        let (dx, dy) = (space.distance(t, x), space.distance(t, y));
+        if px > py {
+            prop_assert!(dx < dy, "prox {px} > {py} but dist {dx} >= {dy}");
+        }
+    }
+
+    /// Distance to the common prefix: d(a,b) < 2^(bits - proximity).
+    #[test]
+    fn distance_bounded_by_proximity(bits in arb_bits(), a in any::<u64>(), b in any::<u64>()) {
+        let space = AddressSpace::new(bits).unwrap();
+        let a = space.address_truncated(a);
+        let b = space.address_truncated(b);
+        let p = space.proximity(a, b).order();
+        if a != b {
+            let bound = 1u128 << (bits - p);
+            prop_assert!((space.distance(a, b).raw() as u128) < bound);
+            // And at least 2^(bits - p - 1): the first differing bit is set.
+            prop_assert!((space.distance(a, b).raw() as u128) >= bound / 2);
+        }
+    }
+
+    /// Topologies always validate and the closest-node trie agrees with a
+    /// linear scan for arbitrary targets.
+    #[test]
+    fn topology_valid_and_trie_correct(
+        nodes in 2usize..80,
+        k in 1usize..8,
+        seed in any::<u64>(),
+        target in any::<u64>(),
+    ) {
+        let space = AddressSpace::new(12).unwrap();
+        let t = TopologyBuilder::new(space)
+            .nodes(nodes)
+            .bucket_size(k)
+            .seed(seed)
+            .build()
+            .unwrap();
+        prop_assert!(t.validate().is_ok());
+        let target = space.address_truncated(target);
+        let by_trie = t.closest_node(target);
+        let best = t
+            .node_ids()
+            .min_by_key(|n| space.distance(t.address(*n), target))
+            .unwrap();
+        prop_assert_eq!(by_trie, best);
+    }
+
+    /// Greedy routes terminate, strictly decrease distance, and a delivered
+    /// route ends at the storer.
+    #[test]
+    fn routes_progress_and_terminate(
+        nodes in 2usize..120,
+        k in 1usize..6,
+        seed in any::<u64>(),
+        origin_pick in any::<usize>(),
+        target in any::<u64>(),
+    ) {
+        let space = AddressSpace::new(12).unwrap();
+        let t = TopologyBuilder::new(space)
+            .nodes(nodes)
+            .bucket_size(k)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let router = Router::new(&t);
+        let origin = NodeId(origin_pick % t.len());
+        let target = space.address_truncated(target);
+        let route = router.route(origin, target);
+
+        prop_assert!(route.hop_count() <= t.len());
+        let mut last = space.distance(t.address(origin), target);
+        for &hop in route.hops() {
+            let d = space.distance(t.address(hop), target);
+            prop_assert!(d < last);
+            last = d;
+        }
+        match route.outcome() {
+            RouteOutcome::Delivered => {
+                prop_assert_eq!(route.terminal(), Some(t.closest_node(target)));
+            }
+            RouteOutcome::AlreadyAtStorer => {
+                prop_assert_eq!(t.closest_node(target), origin);
+                prop_assert_eq!(route.hop_count(), 0);
+            }
+            RouteOutcome::Stuck => {
+                prop_assert!(route.terminal() != Some(t.closest_node(target)));
+            }
+        }
+    }
+
+    /// A route never visits the same node twice (follows from strict
+    /// distance decrease, checked directly for defence in depth).
+    #[test]
+    fn routes_are_simple_paths(
+        nodes in 2usize..100,
+        seed in any::<u64>(),
+        target in any::<u64>(),
+    ) {
+        let space = AddressSpace::new(10).unwrap();
+        let t = TopologyBuilder::new(space)
+            .nodes(nodes)
+            .bucket_size(4)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let router = Router::new(&t);
+        let target = space.address_truncated(target);
+        let route = router.route(NodeId(0), target);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(NodeId(0));
+        for &hop in route.hops() {
+            prop_assert!(seen.insert(hop), "revisited {hop}");
+        }
+    }
+}
+
+#[test]
+fn distance_and_proximity_types_are_ordered() {
+    assert!(Distance(1) < Distance(2));
+    assert!(Proximity(3) > Proximity(1));
+}

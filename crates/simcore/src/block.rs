@@ -1,0 +1,163 @@
+//! Partial state update blocks.
+
+use crate::engine::StepInfo;
+use crate::rng::SimRng;
+
+type PolicyFn<S, P, G> = Box<dyn Fn(&mut SimRng, &StepInfo, &P, &S) -> G>;
+type UpdateFn<S, P, G> = Box<dyn Fn(&mut SimRng, &StepInfo, &P, &S, &[G], &mut S)>;
+
+/// One cadCAD *partial state update block*: a set of policies that read the
+/// pre-block state and emit signals of type `G`, followed by state update
+/// functions that consume all signals in order.
+///
+/// Semantics mirror cadCAD exactly:
+///
+/// * all policies of a block observe the **same pre-block state**;
+/// * update functions run **sequentially**, each seeing the mutations of the
+///   previous one (but the *signals* were computed against the pre-block
+///   state);
+/// * blocks run in the order they were added, one *substep* each.
+pub struct Block<S, P, G> {
+    name: String,
+    policies: Vec<PolicyFn<S, P, G>>,
+    updates: Vec<UpdateFn<S, P, G>>,
+}
+
+impl<S, P, G> Block<S, P, G> {
+    /// Creates an empty block with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            policies: Vec::new(),
+            updates: Vec::new(),
+        }
+    }
+
+    /// The block's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a policy: `(rng, step, params, pre_state) -> signal`.
+    #[must_use]
+    pub fn policy<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&mut SimRng, &StepInfo, &P, &S) -> G + 'static,
+    {
+        self.policies.push(Box::new(f));
+        self
+    }
+
+    /// Adds a state update: `(rng, step, params, pre_state, signals, state)`.
+    /// `pre_state` is the state as of the start of the block; `state` is the
+    /// in-progress post-state to mutate.
+    #[must_use]
+    pub fn update<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&mut SimRng, &StepInfo, &P, &S, &[G], &mut S) + 'static,
+    {
+        self.updates.push(Box::new(f));
+        self
+    }
+
+    /// Number of policies.
+    pub fn policy_count(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Number of update functions.
+    pub fn update_count(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Executes the block once against `state`.
+    pub(crate) fn execute(&self, rng: &mut SimRng, info: &StepInfo, params: &P, state: &mut S)
+    where
+        S: Clone,
+    {
+        let pre_state = state.clone();
+        let signals: Vec<G> = self
+            .policies
+            .iter()
+            .map(|p| p(rng, info, params, &pre_state))
+            .collect();
+        for update in &self.updates {
+            update(rng, info, params, &pre_state, &signals, state);
+        }
+    }
+}
+
+impl<S, P, G> std::fmt::Debug for Block<S, P, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block")
+            .field("name", &self.name)
+            .field("policies", &self.policies.len())
+            .field("updates", &self.updates.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    fn info() -> StepInfo {
+        StepInfo {
+            param_index: 0,
+            run: 0,
+            timestep: 1,
+            substep: 0,
+        }
+    }
+
+    #[test]
+    fn policies_see_pre_block_state() {
+        // Two policies and two updates; the second policy must observe the
+        // state before any update ran.
+        let block = Block::<i64, (), i64>::new("b")
+            .policy(|_, _, _, s| *s)
+            .policy(|_, _, _, s| *s * 10)
+            .update(|_, _, _, _pre, signals, s| *s += signals[0])
+            .update(|_, _, _, _pre, signals, s| *s += signals[1]);
+        let mut state = 1i64;
+        let mut rng = derive_rng(0, 0, 0);
+        block.execute(&mut rng, &info(), &(), &mut state);
+        // signals = [1, 10]; state = 1 + 1 + 10.
+        assert_eq!(state, 12);
+    }
+
+    #[test]
+    fn updates_apply_sequentially() {
+        let block = Block::<Vec<i64>, (), ()>::new("seq")
+            .update(|_, _, _, _, _, s| s.push(1))
+            .update(|_, _, _, _, _, s| {
+                let last = *s.last().unwrap();
+                s.push(last + 1);
+            });
+        let mut state = Vec::new();
+        let mut rng = derive_rng(0, 0, 0);
+        block.execute(&mut rng, &info(), &(), &mut state);
+        assert_eq!(state, vec![1, 2]);
+    }
+
+    #[test]
+    fn pre_state_passed_to_updates() {
+        let block = Block::<i64, (), ()>::new("pre")
+            .update(|_, _, _, _, _, s| *s = 100)
+            .update(|_, _, _, pre, _, s| *s += *pre);
+        let mut state = 7i64;
+        let mut rng = derive_rng(0, 0, 0);
+        block.execute(&mut rng, &info(), &(), &mut state);
+        assert_eq!(state, 107);
+    }
+
+    #[test]
+    fn debug_and_counters() {
+        let block = Block::<(), (), ()>::new("named").policy(|_, _, _, _| ());
+        assert_eq!(block.name(), "named");
+        assert_eq!(block.policy_count(), 1);
+        assert_eq!(block.update_count(), 0);
+        assert!(format!("{block:?}").contains("named"));
+    }
+}

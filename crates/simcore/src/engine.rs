@@ -1,0 +1,326 @@
+//! The simulation executor: timesteps × runs × parameter sweep.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::Block;
+use crate::recorder::{NullRecorder, Recorder};
+use crate::rng::derive_rng;
+
+/// Position of the current execution within a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StepInfo {
+    /// Index into the parameter sweep.
+    pub param_index: usize,
+    /// Monte-Carlo run number, starting at 0.
+    pub run: u32,
+    /// Timestep, starting at 1 for the first executed step (cadCAD keeps
+    /// timestep 0 for the initial state).
+    pub timestep: u64,
+    /// Substep: index of the block within the timestep, starting at 0.
+    pub substep: u32,
+}
+
+/// The outcome of one `(parameter set, run)` cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace<S> {
+    /// Index into the parameter sweep.
+    pub param_index: usize,
+    /// Monte-Carlo run number.
+    pub run: u32,
+    /// Timesteps executed.
+    pub timesteps: u64,
+    /// State after the final timestep.
+    pub final_state: S,
+}
+
+/// All traces of a sweep, in `(param_index, run)` order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResults<S> {
+    traces: Vec<RunTrace<S>>,
+    params_len: usize,
+    runs: u32,
+}
+
+impl<S> SweepResults<S> {
+    /// All run traces, ordered by parameter index, then run.
+    pub fn traces(&self) -> &[RunTrace<S>] {
+        &self.traces
+    }
+
+    /// Consumes the results, returning the traces.
+    pub fn into_traces(self) -> Vec<RunTrace<S>> {
+        self.traces
+    }
+
+    /// The trace for one `(param_index, run)` cell.
+    pub fn trace(&self, param_index: usize, run: u32) -> Option<&RunTrace<S>> {
+        if param_index >= self.params_len || run >= self.runs {
+            return None;
+        }
+        self.traces
+            .get(param_index * self.runs as usize + run as usize)
+    }
+
+    /// Final states of every run for one parameter index.
+    pub fn final_states(&self, param_index: usize) -> impl Iterator<Item = &S> {
+        self.traces
+            .iter()
+            .filter(move |t| t.param_index == param_index)
+            .map(|t| &t.final_state)
+    }
+}
+
+/// A configured simulation: blocks plus execution dimensions.
+///
+/// See the [crate docs](crate) for a complete example.
+pub struct Simulation<S, P, G> {
+    blocks: Vec<Block<S, P, G>>,
+    timesteps: u64,
+    runs: u32,
+    seed: u64,
+}
+
+impl<S: Clone, P, G> Simulation<S, P, G> {
+    /// Creates a simulation executing `timesteps` steps per run, `runs`
+    /// Monte-Carlo runs per parameter set, from `seed`.
+    pub fn new(timesteps: u64, runs: u32, seed: u64) -> Self {
+        Self {
+            blocks: Vec::new(),
+            timesteps,
+            runs,
+            seed,
+        }
+    }
+
+    /// Appends a partial state update block (executed in insertion order,
+    /// one substep each).
+    #[must_use]
+    pub fn block(mut self, block: Block<S, P, G>) -> Self {
+        self.blocks.push(block);
+        self
+    }
+
+    /// Number of configured blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Runs the full sweep without recording intermediate states.
+    ///
+    /// `init` builds the initial state for each `(param_index, run)` cell.
+    pub fn run_sweep<F>(&self, params: &[P], init: F) -> SweepResults<S>
+    where
+        F: Fn(usize, u32) -> S,
+    {
+        self.run_sweep_recorded(params, init, &mut NullRecorder)
+    }
+
+    /// Runs the full sweep, reporting every post-timestep state to
+    /// `recorder`.
+    pub fn run_sweep_recorded<F, R>(
+        &self,
+        params: &[P],
+        init: F,
+        recorder: &mut R,
+    ) -> SweepResults<S>
+    where
+        F: Fn(usize, u32) -> S,
+        R: Recorder<S>,
+    {
+        let mut traces = Vec::with_capacity(params.len() * self.runs as usize);
+        for (param_index, param) in params.iter().enumerate() {
+            for run in 0..self.runs {
+                let mut state = init(param_index, run);
+                let mut rng = derive_rng(self.seed, param_index, run);
+                for timestep in 1..=self.timesteps {
+                    for (substep, block) in self.blocks.iter().enumerate() {
+                        let info = StepInfo {
+                            param_index,
+                            run,
+                            timestep,
+                            substep: substep as u32,
+                        };
+                        block.execute(&mut rng, &info, param, &mut state);
+                    }
+                    recorder.on_step(
+                        &StepInfo {
+                            param_index,
+                            run,
+                            timestep,
+                            substep: self.blocks.len().saturating_sub(1) as u32,
+                        },
+                        &state,
+                    );
+                }
+                traces.push(RunTrace {
+                    param_index,
+                    run,
+                    timesteps: self.timesteps,
+                    final_state: state,
+                });
+            }
+        }
+        SweepResults {
+            traces,
+            params_len: params.len(),
+            runs: self.runs,
+        }
+    }
+
+    /// Convenience: single parameter set, single run, returning the final
+    /// state directly.
+    pub fn run_single(&self, param: &P, init: S) -> S {
+        let mut state = init;
+        let mut rng = derive_rng(self.seed, 0, 0);
+        for timestep in 1..=self.timesteps {
+            for (substep, block) in self.blocks.iter().enumerate() {
+                let info = StepInfo {
+                    param_index: 0,
+                    run: 0,
+                    timestep,
+                    substep: substep as u32,
+                };
+                block.execute(&mut rng, &info, param, &mut state);
+            }
+        }
+        state
+    }
+}
+
+impl<S, P, G> std::fmt::Debug for Simulation<S, P, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("blocks", &self.blocks.len())
+            .field("timesteps", &self.timesteps)
+            .field("runs", &self.runs)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TrajectoryRecorder;
+    use rand::Rng;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Counter {
+        total: i64,
+        steps_seen: Vec<u64>,
+    }
+
+    struct Params {
+        increment: i64,
+    }
+
+    fn increment_block() -> Block<Counter, Params, i64> {
+        Block::new("increment")
+            .policy(|_, _, p: &Params, _| p.increment)
+            .update(|_, info, _, _, signals, s: &mut Counter| {
+                s.total += signals.iter().sum::<i64>();
+                s.steps_seen.push(info.timestep);
+            })
+    }
+
+    fn init(_: usize, _: u32) -> Counter {
+        Counter {
+            total: 0,
+            steps_seen: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn executes_timesteps_in_order() {
+        let results = Simulation::new(5, 1, 1)
+            .block(increment_block())
+            .run_sweep(&[Params { increment: 3 }], init);
+        let trace = results.trace(0, 0).unwrap();
+        assert_eq!(trace.final_state.total, 15);
+        assert_eq!(trace.final_state.steps_seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(trace.timesteps, 5);
+    }
+
+    #[test]
+    fn sweep_dimensions() {
+        let params = vec![Params { increment: 1 }, Params { increment: 10 }];
+        let results = Simulation::new(2, 3, 7)
+            .block(increment_block())
+            .run_sweep(&params, init);
+        assert_eq!(results.traces().len(), 6);
+        assert_eq!(results.trace(0, 2).unwrap().final_state.total, 2);
+        assert_eq!(results.trace(1, 0).unwrap().final_state.total, 20);
+        assert!(results.trace(2, 0).is_none());
+        assert!(results.trace(0, 3).is_none());
+        assert_eq!(results.final_states(1).count(), 3);
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let run = || {
+            let block = Block::<u64, (), u64>::new("rng")
+                .policy(|rng, _, _, _| rng.gen_range(0..1_000_000))
+                .update(|_, _, _, _, signals, s| *s = s.wrapping_add(signals[0]));
+            Simulation::new(50, 2, 0xFA12)
+                .block(block)
+                .run_sweep(&[()], |_, _| 0u64)
+                .into_traces()
+                .into_iter()
+                .map(|t| t.final_state)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn runs_get_independent_rng_streams() {
+        let block = Block::<u64, (), u64>::new("rng")
+            .policy(|rng, _, _, _| rng.gen())
+            .update(|_, _, _, _, signals, s| *s = signals[0]);
+        let results = Simulation::new(1, 2, 3)
+            .block(block)
+            .run_sweep(&[()], |_, _| 0u64);
+        assert_ne!(
+            results.trace(0, 0).unwrap().final_state,
+            results.trace(0, 1).unwrap().final_state
+        );
+    }
+
+    #[test]
+    fn blocks_run_as_ordered_substeps() {
+        let first = Block::<Vec<&'static str>, (), ()>::new("first")
+            .update(|_, info, _, _, _, s| {
+                assert_eq!(info.substep, 0);
+                s.push("first");
+            });
+        let second = Block::<Vec<&'static str>, (), ()>::new("second")
+            .update(|_, info, _, _, _, s| {
+                assert_eq!(info.substep, 1);
+                s.push("second");
+            });
+        let sim = Simulation::new(2, 1, 0).block(first).block(second);
+        assert_eq!(sim.block_count(), 2);
+        let final_state = sim.run_single(&(), Vec::new());
+        assert_eq!(final_state, vec!["first", "second", "first", "second"]);
+    }
+
+    #[test]
+    fn recorder_sees_every_timestep() {
+        let mut recorder = TrajectoryRecorder::every(1);
+        Simulation::new(4, 1, 0)
+            .block(increment_block())
+            .run_sweep_recorded(&[Params { increment: 2 }], init, &mut recorder);
+        let totals: Vec<i64> = recorder
+            .snapshots()
+            .iter()
+            .map(|(_, s)| s.total)
+            .collect();
+        assert_eq!(totals, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let sim = Simulation::<Counter, Params, i64>::new(1, 1, 0);
+        assert!(format!("{sim:?}").contains("Simulation"));
+    }
+}

@@ -1,0 +1,49 @@
+//! A deterministic, typed reimplementation of the cadCAD execution model.
+//!
+//! The paper's simulator (§IV-A) is built on
+//! [cadCAD](https://cadcad.org), a Python engine in which a system is
+//! described as:
+//!
+//! * a **state** object,
+//! * *partial state update blocks*, each containing **policies** (read the
+//!   pre-block state, emit signals) and **state update functions** (consume
+//!   the signals, produce the next state),
+//! * executed for a number of **timesteps**, repeated over Monte-Carlo
+//!   **runs**, across a **parameter sweep**.
+//!
+//! This crate reproduces those semantics in Rust with full determinism:
+//! every `(parameter set, run)` pair gets its own counter-derived
+//! [`rand_chacha::ChaCha12Rng`] stream, so results are reproducible across
+//! machines and independent of execution order.
+//!
+//! ```
+//! use fairswap_simcore::{Block, Simulation};
+//!
+//! // A counter that adds `increment` per timestep, with one policy
+//! // emitting the signal and one update applying it.
+//! #[derive(Clone)]
+//! struct State { total: i64 }
+//! struct Params { increment: i64 }
+//!
+//! let block = Block::<State, Params, i64>::new("accumulate")
+//!     .policy(|_rng, _info, p, _s| p.increment)
+//!     .update(|_rng, _info, _p, _pre, signals, s| {
+//!         s.total += signals.iter().sum::<i64>();
+//!     });
+//!
+//! let results = Simulation::new(10, 3, 0xFA12)
+//!     .block(block)
+//!     .run_sweep(&[Params { increment: 2 }], |_, _| State { total: 0 });
+//! assert_eq!(results.traces().len(), 3); // one per run
+//! assert!(results.traces().iter().all(|t| t.final_state.total == 20));
+//! ```
+
+mod block;
+mod engine;
+mod recorder;
+mod rng;
+
+pub use block::Block;
+pub use engine::{RunTrace, Simulation, StepInfo, SweepResults};
+pub use recorder::{NullRecorder, Recorder, TrajectoryRecorder};
+pub use rng::{derive_rng, SimRng};

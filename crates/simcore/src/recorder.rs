@@ -1,0 +1,96 @@
+//! Trajectory recording.
+
+use crate::engine::StepInfo;
+
+/// Observes the state after every completed timestep.
+///
+/// cadCAD records the full trajectory by default; for large states that is
+/// wasteful, so recording is pluggable. [`NullRecorder`] records nothing,
+/// [`TrajectoryRecorder`] clones the state at a configurable stride.
+pub trait Recorder<S> {
+    /// Called after each completed timestep with the post-step state.
+    fn on_step(&mut self, info: &StepInfo, state: &S);
+}
+
+/// Records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl<S> Recorder<S> for NullRecorder {
+    fn on_step(&mut self, _info: &StepInfo, _state: &S) {}
+}
+
+/// Clones the state every `stride` timesteps.
+#[derive(Debug, Clone)]
+pub struct TrajectoryRecorder<S> {
+    stride: u64,
+    snapshots: Vec<(StepInfo, S)>,
+}
+
+impl<S> TrajectoryRecorder<S> {
+    /// Records every `stride`-th timestep (stride 0 is treated as 1).
+    pub fn every(stride: u64) -> Self {
+        Self {
+            stride: stride.max(1),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The recorded `(step, state)` snapshots.
+    pub fn snapshots(&self) -> &[(StepInfo, S)] {
+        &self.snapshots
+    }
+
+    /// Consumes the recorder, returning the snapshots.
+    pub fn into_snapshots(self) -> Vec<(StepInfo, S)> {
+        self.snapshots
+    }
+}
+
+impl<S: Clone> Recorder<S> for TrajectoryRecorder<S> {
+    fn on_step(&mut self, info: &StepInfo, state: &S) {
+        if info.timestep % self.stride == 0 {
+            self.snapshots.push((*info, state.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(t: u64) -> StepInfo {
+        StepInfo {
+            param_index: 0,
+            run: 0,
+            timestep: t,
+            substep: 0,
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_a_noop() {
+        let mut r = NullRecorder;
+        Recorder::<u32>::on_step(&mut r, &info(1), &5);
+    }
+
+    #[test]
+    fn trajectory_recorder_strides() {
+        let mut r = TrajectoryRecorder::every(3);
+        for t in 1..=9 {
+            r.on_step(&info(t), &(t as u32));
+        }
+        let timesteps: Vec<u64> = r.snapshots().iter().map(|(i, _)| i.timestep).collect();
+        assert_eq!(timesteps, vec![3, 6, 9]);
+        assert_eq!(r.into_snapshots().len(), 3);
+    }
+
+    #[test]
+    fn zero_stride_records_every_step() {
+        let mut r = TrajectoryRecorder::every(0);
+        for t in 1..=4 {
+            r.on_step(&info(t), &t);
+        }
+        assert_eq!(r.snapshots().len(), 4);
+    }
+}

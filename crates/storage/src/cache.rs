@@ -1,0 +1,214 @@
+//! Per-node chunk caches (§V extension: "adding content popularity and
+//! caching policies can also have an impact on time-based amortization due
+//! to the reduced number of forwarded requests").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use fairswap_kademlia::OverlayAddress;
+
+/// Cache eviction policy for chunks passing through a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CachePolicy {
+    /// No caching — the paper's baseline configuration.
+    None,
+    /// Least-recently-used eviction with the given capacity in chunks.
+    Lru {
+        /// Maximum cached chunks per node.
+        capacity: usize,
+    },
+    /// Least-frequently-used eviction with the given capacity in chunks.
+    Lfu {
+        /// Maximum cached chunks per node.
+        capacity: usize,
+    },
+}
+
+impl CachePolicy {
+    /// Capacity in chunks (zero for [`CachePolicy::None`]).
+    pub fn capacity(&self) -> usize {
+        match *self {
+            CachePolicy::None => 0,
+            CachePolicy::Lru { capacity } | CachePolicy::Lfu { capacity } => capacity,
+        }
+    }
+}
+
+/// One node's chunk cache.
+///
+/// Entries carry a recency stamp and a frequency counter; the policy decides
+/// which is used for eviction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeCache {
+    policy: CachePolicy,
+    /// chunk address -> (last-touch stamp, hit count)
+    entries: HashMap<u64, (u64, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl NodeCache {
+    /// Creates an empty cache with the given policy.
+    pub fn new(policy: CachePolicy) -> Self {
+        Self {
+            policy,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Number of cached chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime cache misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up a chunk, updating hit statistics and recency/frequency on a
+    /// hit.
+    pub fn lookup(&mut self, chunk: OverlayAddress) -> bool {
+        if matches!(self.policy, CachePolicy::None) {
+            return false;
+        }
+        self.clock += 1;
+        match self.entries.get_mut(&chunk.raw()) {
+            Some((stamp, count)) => {
+                *stamp = self.clock;
+                *count += 1;
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Whether a chunk is cached, without touching statistics.
+    pub fn contains(&self, chunk: OverlayAddress) -> bool {
+        self.entries.contains_key(&chunk.raw())
+    }
+
+    /// Inserts a chunk, evicting per policy if at capacity.
+    pub fn insert(&mut self, chunk: OverlayAddress) {
+        let capacity = self.policy.capacity();
+        if capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.entries.contains_key(&chunk.raw()) {
+            // Refresh recency.
+            let entry = self.entries.get_mut(&chunk.raw()).expect("checked");
+            entry.0 = self.clock;
+            return;
+        }
+        if self.entries.len() >= capacity {
+            let victim = match self.policy {
+                CachePolicy::Lru { .. } => self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (stamp, _))| *stamp)
+                    .map(|(&addr, _)| addr),
+                CachePolicy::Lfu { .. } => self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (stamp, count))| (*count, *stamp))
+                    .map(|(&addr, _)| addr),
+                CachePolicy::None => None,
+            };
+            if let Some(victim) = victim {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(chunk.raw(), (self.clock, 0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairswap_kademlia::AddressSpace;
+
+    fn addr(raw: u64) -> OverlayAddress {
+        AddressSpace::new(16).unwrap().address(raw).unwrap()
+    }
+
+    #[test]
+    fn none_policy_never_caches() {
+        let mut c = NodeCache::new(CachePolicy::None);
+        c.insert(addr(1));
+        assert!(c.is_empty());
+        assert!(!c.lookup(addr(1)));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.policy().capacity(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = NodeCache::new(CachePolicy::Lru { capacity: 2 });
+        c.insert(addr(1));
+        c.insert(addr(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.lookup(addr(1)));
+        c.insert(addr(3));
+        assert!(c.contains(addr(1)));
+        assert!(!c.contains(addr(2)));
+        assert!(c.contains(addr(3)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = NodeCache::new(CachePolicy::Lfu { capacity: 2 });
+        c.insert(addr(1));
+        c.insert(addr(2));
+        // Hit 1 twice; 2 never.
+        c.lookup(addr(1));
+        c.lookup(addr(1));
+        c.insert(addr(3));
+        assert!(c.contains(addr(1)));
+        assert!(!c.contains(addr(2)));
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = NodeCache::new(CachePolicy::Lru { capacity: 4 });
+        assert!(!c.lookup(addr(9)));
+        c.insert(addr(9));
+        assert!(c.lookup(addr(9)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn reinserting_refreshes_instead_of_duplicating() {
+        let mut c = NodeCache::new(CachePolicy::Lru { capacity: 2 });
+        c.insert(addr(1));
+        c.insert(addr(1));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Chunks and files.
+
+use serde::{Deserialize, Serialize};
+
+use fairswap_kademlia::OverlayAddress;
+
+/// Size of a Swarm content chunk: "All content in Swarm, fixed size chunks
+/// of 4KB" (paper §III-A). The simulation accounts in whole chunks; this
+/// constant converts chunk counts into bytes for reporting.
+pub const CHUNK_SIZE_BYTES: u64 = 4096;
+
+/// A file to download: the overlay addresses of its chunks.
+///
+/// The paper models a file as 100–1000 chunks at uniformly random addresses
+/// ("a single originator requests a random number of chunks, between 100 an
+/// 1000 [...] chosen uniformly at random from the complete address space").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSpec {
+    chunks: Vec<OverlayAddress>,
+}
+
+impl FileSpec {
+    /// Creates a file from its chunk addresses.
+    pub fn new(chunks: Vec<OverlayAddress>) -> Self {
+        Self { chunks }
+    }
+
+    /// The chunk addresses.
+    pub fn chunks(&self) -> &[OverlayAddress] {
+        &self.chunks
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the file has no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Total size in bytes at [`CHUNK_SIZE_BYTES`] per chunk.
+    pub fn size_bytes(&self) -> u64 {
+        self.chunks.len() as u64 * CHUNK_SIZE_BYTES
+    }
+}
+
+impl FromIterator<OverlayAddress> for FileSpec {
+    fn from_iter<I: IntoIterator<Item = OverlayAddress>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairswap_kademlia::AddressSpace;
+
+    #[test]
+    fn file_spec_basics() {
+        let space = AddressSpace::new(16).unwrap();
+        let file: FileSpec = (0..5u64).map(|i| space.address(i).unwrap()).collect();
+        assert_eq!(file.len(), 5);
+        assert!(!file.is_empty());
+        assert_eq!(file.size_bytes(), 5 * 4096);
+        assert_eq!(file.chunks().len(), 5);
+    }
+
+    #[test]
+    fn empty_file() {
+        let file = FileSpec::new(Vec::new());
+        assert!(file.is_empty());
+        assert_eq!(file.size_bytes(), 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! The download process: route every chunk of a file, account the traffic.
+
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+use fairswap_kademlia::{NodeId, OverlayAddress, RouteOutcome, Topology};
+
+use crate::cache::{CachePolicy, NodeCache};
+use crate::traffic::TrafficStats;
+
+/// How one chunk request was resolved, as seen by the accounting layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkDelivery {
+    /// The requesting node.
+    pub originator: NodeId,
+    /// The chunk address.
+    pub chunk: OverlayAddress,
+    /// Every node after the originator on the path, in forwarding order.
+    /// The last entry served the chunk (storer or cache).
+    pub hops: Vec<NodeId>,
+    /// Whether the terminal node served from cache rather than storage.
+    pub from_cache: bool,
+    /// Routing outcome.
+    pub outcome: RouteOutcome,
+}
+
+impl ChunkDelivery {
+    /// The first hop — the "zero-proximity" peer the originator pays under
+    /// Swarm's default settlement policy. `None` when the originator already
+    /// held the chunk.
+    pub fn first_hop(&self) -> Option<NodeId> {
+        self.hops.first().copied()
+    }
+
+    /// The serving node (route terminal).
+    pub fn server(&self) -> Option<NodeId> {
+        self.hops.last().copied()
+    }
+
+    /// Whether the chunk reached the originator.
+    pub fn delivered(&self) -> bool {
+        self.outcome.is_delivered()
+    }
+}
+
+/// Aggregate outcome of downloading one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileReport {
+    /// Chunks requested.
+    pub chunks: usize,
+    /// Chunks delivered (including those already held by the originator).
+    pub delivered: usize,
+    /// Chunks lost to stuck routes.
+    pub stuck: usize,
+    /// Chunks served from some node's cache.
+    pub cache_served: usize,
+    /// Total hops across all chunk requests.
+    pub total_hops: usize,
+}
+
+/// Simulates file downloads over a static topology, maintaining per-node
+/// caches and traffic statistics.
+///
+/// One instance accumulates statistics across many downloads — one paper
+/// "step" is one call to [`DownloadSim::download_file`].
+#[derive(Debug, Clone)]
+pub struct DownloadSim {
+    topology: Rc<Topology>,
+    caches: Vec<NodeCache>,
+    stats: TrafficStats,
+    cache_on_path: bool,
+}
+
+impl DownloadSim {
+    /// Creates a download simulator with the given per-node cache policy.
+    ///
+    /// Accepts a [`Topology`] by value or an `Rc<Topology>`; clone the `Rc`
+    /// to share one overlay between several simulators (the paper reuses
+    /// "the same overlay for multiple simulations").
+    pub fn new(topology: impl Into<Rc<Topology>>, cache_policy: CachePolicy) -> Self {
+        let topology = topology.into();
+        let n = topology.len();
+        Self {
+            topology,
+            caches: (0..n).map(|_| NodeCache::new(cache_policy)).collect(),
+            stats: TrafficStats::new(n),
+            cache_on_path: !matches!(cache_policy, CachePolicy::None),
+        }
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// The cache of one node.
+    pub fn cache(&self, node: NodeId) -> Option<&NodeCache> {
+        self.caches.get(node.index())
+    }
+
+    /// Downloads all chunks of a file, updating statistics.
+    pub fn download_file(&mut self, originator: NodeId, chunks: &[OverlayAddress]) -> FileReport {
+        self.download_file_with(originator, chunks, |_| {})
+    }
+
+    /// Downloads all chunks of a file, invoking `on_delivery` for every
+    /// chunk so callers (e.g. incentive mechanisms) can account payments.
+    pub fn download_file_with<F>(
+        &mut self,
+        originator: NodeId,
+        chunks: &[OverlayAddress],
+        mut on_delivery: F,
+    ) -> FileReport
+    where
+        F: FnMut(&ChunkDelivery),
+    {
+        let mut report = FileReport {
+            chunks: chunks.len(),
+            delivered: 0,
+            stuck: 0,
+            cache_served: 0,
+            total_hops: 0,
+        };
+        for &chunk in chunks {
+            let delivery = self.request_chunk(originator, chunk);
+            if delivery.delivered() {
+                report.delivered += 1;
+            } else {
+                report.stuck += 1;
+            }
+            if delivery.from_cache {
+                report.cache_served += 1;
+            }
+            report.total_hops += delivery.hops.len();
+            on_delivery(&delivery);
+        }
+        report
+    }
+
+    /// Routes a single chunk request and updates the statistics.
+    ///
+    /// The walk is greedy forwarding-Kademlia, with one refinement when
+    /// caching is enabled: a hop holding the chunk in cache serves it
+    /// immediately, cutting the route short. On delivery the chunk is
+    /// inserted into the caches of every node on the return path, which is
+    /// how Swarm populates caches opportunistically.
+    pub fn request_chunk(&mut self, originator: NodeId, chunk: OverlayAddress) -> ChunkDelivery {
+        self.stats.add_request(originator);
+        let storer = self.topology.closest_node(chunk);
+        if storer == originator {
+            return ChunkDelivery {
+                originator,
+                chunk,
+                hops: Vec::new(),
+                from_cache: false,
+                outcome: RouteOutcome::AlreadyAtStorer,
+            };
+        }
+
+        let mut hops: Vec<NodeId> = Vec::with_capacity(8);
+        let mut current = originator;
+        let (outcome, from_cache) = loop {
+            match self.topology.table(current).next_hop(chunk) {
+                Some((next, _)) => {
+                    hops.push(next);
+                    current = next;
+                    if current == storer {
+                        break (RouteOutcome::Delivered, false);
+                    }
+                    if self.cache_on_path && self.caches[current.index()].lookup(chunk) {
+                        break (RouteOutcome::Delivered, true);
+                    }
+                }
+                None => break (RouteOutcome::Stuck, false),
+            }
+        };
+
+        match outcome {
+            RouteOutcome::Delivered => {
+                // Every node on the path transmits the chunk downstream.
+                for &hop in &hops {
+                    self.stats.add_forwarded(hop);
+                }
+                let first = hops.first().copied().expect("delivered implies >=1 hop");
+                self.stats.add_first_hop(first);
+                let server = *hops.last().expect("delivered implies >=1 hop");
+                if from_cache {
+                    self.stats.add_cache_serve(server);
+                } else {
+                    self.stats.add_storer(server);
+                }
+                // Populate caches along the return path (excluding the
+                // server itself, which already has the chunk).
+                if self.cache_on_path {
+                    for &hop in hops.iter().take(hops.len().saturating_sub(1)) {
+                        self.caches[hop.index()].insert(chunk);
+                    }
+                }
+            }
+            RouteOutcome::Stuck => {
+                self.stats.add_stuck();
+            }
+            RouteOutcome::AlreadyAtStorer => unreachable!("handled above"),
+        }
+
+        ChunkDelivery {
+            originator,
+            chunk,
+            hops,
+            from_cache,
+            outcome,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairswap_kademlia::{AddressSpace, TopologyBuilder};
+
+    fn topology(nodes: usize, k: usize, seed: u64) -> Topology {
+        TopologyBuilder::new(AddressSpace::new(16).unwrap())
+            .nodes(nodes)
+            .bucket_size(k)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn chunk_addresses(t: &Topology, step: usize) -> Vec<OverlayAddress> {
+        (0..=0xFFFFu64)
+            .step_by(step)
+            .map(|raw| t.space().address(raw).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn download_accounts_forwarding_and_first_hops() {
+        let t = topology(300, 4, 1);
+        let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+        let chunks = chunk_addresses(&t, 97);
+        let mut delivered_hops = 0u64;
+        let report = sim.download_file_with(NodeId(0), &chunks, |d| {
+            if d.delivered() {
+                delivered_hops += d.hops.len() as u64;
+            }
+        });
+        assert_eq!(report.chunks, chunks.len());
+        assert_eq!(report.delivered + report.stuck, report.chunks);
+        assert_eq!(report.cache_served, 0);
+        // Forwarding counts transmissions on delivered routes only.
+        assert_eq!(sim.stats().total_forwarded(), delivered_hops);
+    }
+
+    #[test]
+    fn first_hop_counts_match_deliveries() {
+        let t = topology(200, 4, 3);
+        let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+        let chunks = chunk_addresses(&t, 211);
+        let mut delivered_with_hops = 0u64;
+        sim.download_file_with(NodeId(5), &chunks, |d| {
+            if d.delivered() && !d.hops.is_empty() {
+                delivered_with_hops += 1;
+            }
+        });
+        let first_hop_total: u64 = sim.stats().served_first_hop().iter().sum();
+        assert_eq!(first_hop_total, delivered_with_hops);
+    }
+
+    #[test]
+    fn callback_reports_route_details() {
+        let t = topology(150, 4, 9);
+        let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+        let chunk = t.space().address(0x7777).unwrap();
+        let mut seen = None;
+        sim.download_file_with(NodeId(2), &[chunk], |d| seen = Some(d.clone()));
+        let d = seen.unwrap();
+        assert_eq!(d.originator, NodeId(2));
+        assert_eq!(d.chunk, chunk);
+        if d.delivered() && !d.hops.is_empty() {
+            assert_eq!(d.server(), Some(t.closest_node(chunk)));
+            assert_eq!(d.first_hop(), d.hops.first().copied());
+        }
+    }
+
+    #[test]
+    fn caching_shortens_repeat_routes() {
+        let t = topology(300, 4, 5);
+        let chunk = t.space().address(0x00FF).unwrap();
+        // Pick an originator far from the chunk so the route is non-trivial.
+        let storer = t.closest_node(chunk);
+        let originator = t
+            .node_ids()
+            .max_by_key(|n| t.space().distance(t.address(*n), chunk))
+            .unwrap();
+        assert_ne!(originator, storer);
+
+        let mut cached = DownloadSim::new(t.clone(), CachePolicy::Lru { capacity: 64 });
+        let first = cached.request_chunk(originator, chunk);
+        let second = cached.request_chunk(originator, chunk);
+        assert!(first.delivered());
+        assert!(second.delivered());
+        if first.hops.len() > 1 {
+            assert!(second.from_cache, "second request should hit a path cache");
+            assert!(second.hops.len() < first.hops.len());
+        }
+    }
+
+    #[test]
+    fn no_cache_means_identical_repeat_routes() {
+        let t = topology(300, 4, 5);
+        let chunk = t.space().address(0x00FF).unwrap();
+        let originator = NodeId(7);
+        let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+        let a = sim.request_chunk(originator, chunk);
+        let b = sim.request_chunk(originator, chunk);
+        assert_eq!(a.hops, b.hops);
+        assert!(!b.from_cache);
+    }
+
+    #[test]
+    fn originator_holding_chunk_generates_no_traffic() {
+        let t = topology(100, 4, 11);
+        let chunk = t.space().address(0x1234).unwrap();
+        let storer = t.closest_node(chunk);
+        let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+        let d = sim.request_chunk(storer, chunk);
+        assert_eq!(d.outcome, RouteOutcome::AlreadyAtStorer);
+        assert!(d.hops.is_empty());
+        assert_eq!(sim.stats().total_forwarded(), 0);
+        assert_eq!(sim.stats().requests_issued()[storer.index()], 1);
+    }
+
+    #[test]
+    fn empty_file_download() {
+        let t = topology(100, 4, 13);
+        let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+        let report = sim.download_file(NodeId(0), &[]);
+        assert_eq!(report.chunks, 0);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.total_hops, 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-node traffic accounting.
+
+use serde::{Deserialize, Serialize};
+
+use fairswap_kademlia::NodeId;
+
+/// Per-node bandwidth counters accumulated over a simulation.
+///
+/// These are the raw quantities behind the paper's evaluation: Table I and
+/// Fig. 4 use `forwarded`, Fig. 6 relates `forwarded` to
+/// `served_first_hop` (the "zero-proximity" service that actually gets
+/// paid).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Chunks transmitted by each node (any position on a route).
+    forwarded: Vec<u64>,
+    /// Chunks served as the originator's first hop.
+    served_first_hop: Vec<u64>,
+    /// Chunks served from the node's own storage (route terminal).
+    served_as_storer: Vec<u64>,
+    /// Chunks served from cache (terminated a route early).
+    served_from_cache: Vec<u64>,
+    /// Download requests issued by each node as originator.
+    requests_issued: Vec<u64>,
+    /// Requests that could not be delivered (greedy routing got stuck).
+    stuck_requests: u64,
+}
+
+impl TrafficStats {
+    /// Zeroed counters for `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            forwarded: vec![0; nodes],
+            served_first_hop: vec![0; nodes],
+            served_as_storer: vec![0; nodes],
+            served_from_cache: vec![0; nodes],
+            requests_issued: vec![0; nodes],
+            stuck_requests: 0,
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn node_count(&self) -> usize {
+        self.forwarded.len()
+    }
+
+    pub(crate) fn add_forwarded(&mut self, node: NodeId) {
+        self.forwarded[node.index()] += 1;
+    }
+
+    pub(crate) fn add_first_hop(&mut self, node: NodeId) {
+        self.served_first_hop[node.index()] += 1;
+    }
+
+    pub(crate) fn add_storer(&mut self, node: NodeId) {
+        self.served_as_storer[node.index()] += 1;
+    }
+
+    pub(crate) fn add_cache_serve(&mut self, node: NodeId) {
+        self.served_from_cache[node.index()] += 1;
+    }
+
+    pub(crate) fn add_request(&mut self, node: NodeId) {
+        self.requests_issued[node.index()] += 1;
+    }
+
+    pub(crate) fn add_stuck(&mut self) {
+        self.stuck_requests += 1;
+    }
+
+    /// Chunks transmitted by each node.
+    pub fn forwarded(&self) -> &[u64] {
+        &self.forwarded
+    }
+
+    /// Chunks each node served as the paid first hop.
+    pub fn served_first_hop(&self) -> &[u64] {
+        &self.served_first_hop
+    }
+
+    /// Chunks each node served from its own storage.
+    pub fn served_as_storer(&self) -> &[u64] {
+        &self.served_as_storer
+    }
+
+    /// Chunks each node served from cache.
+    pub fn served_from_cache(&self) -> &[u64] {
+        &self.served_from_cache
+    }
+
+    /// Requests each node issued as originator.
+    pub fn requests_issued(&self) -> &[u64] {
+        &self.requests_issued
+    }
+
+    /// Requests whose route got stuck before the storer.
+    pub fn stuck_requests(&self) -> u64 {
+        self.stuck_requests
+    }
+
+    /// Total chunk transmissions network-wide.
+    pub fn total_forwarded(&self) -> u64 {
+        self.forwarded.iter().sum()
+    }
+
+    /// Mean forwarded chunks per node (the Table I metric).
+    pub fn mean_forwarded(&self) -> f64 {
+        if self.forwarded.is_empty() {
+            0.0
+        } else {
+            self.total_forwarded() as f64 / self.forwarded.len() as f64
+        }
+    }
+
+    /// `forwarded` as `f64`s, for fairness metrics.
+    pub fn forwarded_f64(&self) -> Vec<f64> {
+        self.forwarded.iter().map(|&v| v as f64).collect()
+    }
+
+    /// `served_first_hop` as `f64`s, for fairness metrics.
+    pub fn served_first_hop_f64(&self) -> Vec<f64> {
+        self.served_first_hop.iter().map(|&v| v as f64).collect()
+    }
+
+    /// Merges counters from another stats object (e.g. collected on another
+    /// machine over the same overlay — the paper's multi-machine workflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        assert_eq!(
+            self.node_count(),
+            other.node_count(),
+            "cannot merge stats for different network sizes"
+        );
+        for (a, b) in self.forwarded.iter_mut().zip(&other.forwarded) {
+            *a += b;
+        }
+        for (a, b) in self.served_first_hop.iter_mut().zip(&other.served_first_hop) {
+            *a += b;
+        }
+        for (a, b) in self.served_as_storer.iter_mut().zip(&other.served_as_storer) {
+            *a += b;
+        }
+        for (a, b) in self.served_from_cache.iter_mut().zip(&other.served_from_cache) {
+            *a += b;
+        }
+        for (a, b) in self.requests_issued.iter_mut().zip(&other.requests_issued) {
+            *a += b;
+        }
+        self.stuck_requests += other.stuck_requests;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TrafficStats::new(3);
+        s.add_forwarded(NodeId(0));
+        s.add_forwarded(NodeId(0));
+        s.add_first_hop(NodeId(1));
+        s.add_storer(NodeId(2));
+        s.add_cache_serve(NodeId(1));
+        s.add_request(NodeId(0));
+        s.add_stuck();
+        assert_eq!(s.forwarded(), &[2, 0, 0]);
+        assert_eq!(s.served_first_hop(), &[0, 1, 0]);
+        assert_eq!(s.served_as_storer(), &[0, 0, 1]);
+        assert_eq!(s.served_from_cache(), &[0, 1, 0]);
+        assert_eq!(s.requests_issued(), &[1, 0, 0]);
+        assert_eq!(s.stuck_requests(), 1);
+        assert_eq!(s.total_forwarded(), 2);
+        assert!((s.mean_forwarded() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = TrafficStats::new(2);
+        a.add_forwarded(NodeId(0));
+        let mut b = TrafficStats::new(2);
+        b.add_forwarded(NodeId(0));
+        b.add_forwarded(NodeId(1));
+        b.add_stuck();
+        a.merge(&b);
+        assert_eq!(a.forwarded(), &[2, 1]);
+        assert_eq!(a.stuck_requests(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different network sizes")]
+    fn merge_rejects_size_mismatch() {
+        let mut a = TrafficStats::new(2);
+        let b = TrafficStats::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_stats_mean_is_zero() {
+        let s = TrafficStats::new(0);
+        assert_eq!(s.mean_forwarded(), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the storage-network model.
+
+use fairswap_kademlia::{AddressSpace, NodeId, TopologyBuilder};
+use fairswap_storage::{CachePolicy, DownloadSim};
+use proptest::prelude::*;
+
+fn topology(nodes: usize, k: usize, seed: u64) -> std::rc::Rc<fairswap_kademlia::Topology> {
+    std::rc::Rc::new(
+        TopologyBuilder::new(AddressSpace::new(12).expect("valid width"))
+            .nodes(nodes)
+            .bucket_size(k)
+            .seed(seed)
+            .build()
+            .expect("valid topology"),
+    )
+}
+
+proptest! {
+    /// Placement: the route terminal of a delivered chunk is always the
+    /// globally XOR-closest node.
+    #[test]
+    fn delivered_chunks_end_at_global_closest(
+        nodes in 2usize..150,
+        k in 1usize..6,
+        seed in any::<u64>(),
+        raws in prop::collection::vec(any::<u64>(), 1..30),
+    ) {
+        let t = topology(nodes, k, seed);
+        let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+        for raw in raws {
+            let chunk = t.space().address_truncated(raw);
+            let delivery = sim.request_chunk(NodeId(0), chunk);
+            if delivery.delivered() && !delivery.hops.is_empty() {
+                prop_assert_eq!(delivery.server(), Some(t.closest_node(chunk)));
+            }
+        }
+    }
+
+    /// Traffic conservation: total forwarded equals the sum of hops over
+    /// delivered routes; first-hop serves equal delivered multi-hop routes;
+    /// requests equal chunks requested.
+    #[test]
+    fn traffic_counters_conserve(
+        nodes in 2usize..120,
+        seed in any::<u64>(),
+        raws in prop::collection::vec(any::<u64>(), 0..60),
+        origin_pick in any::<usize>(),
+    ) {
+        let t = topology(nodes, 4, seed);
+        let origin = NodeId(origin_pick % t.len());
+        let chunks: Vec<_> = raws.iter().map(|&r| t.space().address_truncated(r)).collect();
+        let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+        let mut delivered_hops = 0u64;
+        let mut delivered_with_hops = 0u64;
+        let report = sim.download_file_with(origin, &chunks, |d| {
+            if d.delivered() {
+                delivered_hops += d.hops.len() as u64;
+                if !d.hops.is_empty() {
+                    delivered_with_hops += 1;
+                }
+            }
+        });
+        prop_assert_eq!(report.chunks, chunks.len());
+        prop_assert_eq!(sim.stats().total_forwarded(), delivered_hops);
+        let first_hops: u64 = sim.stats().served_first_hop().iter().sum();
+        prop_assert_eq!(first_hops, delivered_with_hops);
+        let requests: u64 = sim.stats().requests_issued().iter().sum();
+        prop_assert_eq!(requests, chunks.len() as u64);
+        let storer_serves: u64 = sim.stats().served_as_storer().iter().sum();
+        prop_assert_eq!(storer_serves, delivered_with_hops);
+    }
+
+    /// Caching never lengthens a route and never changes the outcome of a
+    /// request that would have been delivered.
+    #[test]
+    fn caching_only_shortens_routes(
+        nodes in 10usize..120,
+        seed in any::<u64>(),
+        raw in any::<u64>(),
+        repeats in 1usize..5,
+    ) {
+        let t = topology(nodes, 4, seed);
+        let chunk = t.space().address_truncated(raw);
+        let origin = NodeId(0);
+
+        let mut plain = DownloadSim::new(t.clone(), CachePolicy::None);
+        let mut cached = DownloadSim::new(t.clone(), CachePolicy::Lru { capacity: 128 });
+        for _ in 0..repeats {
+            let p = plain.request_chunk(origin, chunk);
+            let c = cached.request_chunk(origin, chunk);
+            prop_assert_eq!(p.delivered(), c.delivered());
+            prop_assert!(c.hops.len() <= p.hops.len());
+            // A cached route is a prefix of the uncached one.
+            prop_assert_eq!(&p.hops[..c.hops.len()], &c.hops[..]);
+        }
+    }
+
+    /// Merging split stats equals running everything in one simulator (the
+    /// paper's multi-machine collection workflow).
+    #[test]
+    fn split_and_merge_equals_single_run(
+        nodes in 4usize..80,
+        seed in any::<u64>(),
+        raws in prop::collection::vec(any::<u64>(), 2..40),
+    ) {
+        let t = topology(nodes, 4, seed);
+        let chunks: Vec<_> = raws.iter().map(|&r| t.space().address_truncated(r)).collect();
+        let mid = chunks.len() / 2;
+
+        let mut whole = DownloadSim::new(t.clone(), CachePolicy::None);
+        whole.download_file(NodeId(1), &chunks);
+
+        let mut first = DownloadSim::new(t.clone(), CachePolicy::None);
+        first.download_file(NodeId(1), &chunks[..mid]);
+        let mut second = DownloadSim::new(t.clone(), CachePolicy::None);
+        second.download_file(NodeId(1), &chunks[mid..]);
+
+        let mut merged = first.stats().clone();
+        merged.merge(second.stats());
+        prop_assert_eq!(merged.forwarded(), whole.stats().forwarded());
+        prop_assert_eq!(merged.served_first_hop(), whole.stats().served_first_hop());
+        prop_assert_eq!(merged.stuck_requests(), whole.stats().stuck_requests());
+    }
+}

@@ -1,0 +1,97 @@
+//! Standalone time-based amortization schedule.
+//!
+//! Swarm lets "all balances gravitate continuously to zero via a time-based
+//! amortization of balances" (paper §III-B), so every connection hands out a
+//! bounded amount of free bandwidth per time unit. [`crate::Channel`] applies
+//! the same rule per channel; this type answers schedule-level questions —
+//! how long until a given debt is forgiven, how much is forgiven after a
+//! number of ticks — used by the caching/amortization extension experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::AccountingUnits;
+
+/// An amortization schedule forgiving `rate` units per tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Amortization {
+    rate: AccountingUnits,
+}
+
+impl Amortization {
+    /// Creates a schedule forgiving `rate` units per tick (clamped to be
+    /// non-negative).
+    pub fn per_tick(rate: AccountingUnits) -> Self {
+        Self {
+            rate: AccountingUnits(rate.raw().max(0)),
+        }
+    }
+
+    /// The forgiveness rate.
+    pub fn rate(&self) -> AccountingUnits {
+        self.rate
+    }
+
+    /// The amount of a debt of `debt` units forgiven after `ticks` ticks.
+    pub fn forgiven_after(&self, debt: AccountingUnits, ticks: u64) -> AccountingUnits {
+        let debt = debt.abs().raw() as u128;
+        let forgivable = (self.rate.raw() as u128).saturating_mul(u128::from(ticks));
+        AccountingUnits(debt.min(forgivable) as i64)
+    }
+
+    /// Number of ticks until a debt of `debt` units is fully forgiven, or
+    /// `None` if the rate is zero and the debt positive.
+    pub fn ticks_to_clear(&self, debt: AccountingUnits) -> Option<u64> {
+        let debt = debt.abs().raw();
+        if debt == 0 {
+            return Some(0);
+        }
+        if self.rate.raw() == 0 {
+            return None;
+        }
+        // Manual ceiling division; both operands are positive here.
+        Some(((debt + self.rate.raw() - 1) / self.rate.raw()) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forgiven_after_caps_at_debt() {
+        let a = Amortization::per_tick(AccountingUnits(10));
+        assert_eq!(a.forgiven_after(AccountingUnits(35), 2), AccountingUnits(20));
+        assert_eq!(a.forgiven_after(AccountingUnits(35), 4), AccountingUnits(35));
+        assert_eq!(a.forgiven_after(AccountingUnits(-35), 4), AccountingUnits(35));
+    }
+
+    #[test]
+    fn ticks_to_clear_rounds_up() {
+        let a = Amortization::per_tick(AccountingUnits(10));
+        assert_eq!(a.ticks_to_clear(AccountingUnits(35)), Some(4));
+        assert_eq!(a.ticks_to_clear(AccountingUnits(40)), Some(4));
+        assert_eq!(a.ticks_to_clear(AccountingUnits::ZERO), Some(0));
+    }
+
+    #[test]
+    fn zero_rate_never_clears() {
+        let a = Amortization::per_tick(AccountingUnits::ZERO);
+        assert_eq!(a.ticks_to_clear(AccountingUnits(1)), None);
+        assert_eq!(a.forgiven_after(AccountingUnits(100), 1_000), AccountingUnits::ZERO);
+    }
+
+    #[test]
+    fn negative_rate_clamps_to_zero() {
+        let a = Amortization::per_tick(AccountingUnits(-5));
+        assert_eq!(a.rate(), AccountingUnits::ZERO);
+    }
+
+    #[test]
+    fn huge_tick_counts_do_not_overflow() {
+        let a = Amortization::per_tick(AccountingUnits(i64::MAX));
+        assert_eq!(
+            a.forgiven_after(AccountingUnits(i64::MAX), u64::MAX),
+            AccountingUnits(i64::MAX)
+        );
+    }
+}

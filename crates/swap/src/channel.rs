@@ -1,0 +1,251 @@
+//! Pairwise SWAP channels.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::AccountingUnits;
+
+/// Channel thresholds (paper Fig. 2: debts accumulate until "the debt on one
+/// side hits a threshold", after which the creditor is compensated or the
+/// pair waits for amortization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Debt level at which the debtor should settle in BZZ.
+    pub payment_threshold: AccountingUnits,
+    /// Debt level at which the creditor refuses further service. Must be at
+    /// least the payment threshold.
+    pub disconnect_threshold: AccountingUnits,
+    /// Accounting units forgiven per channel per tick (time-based
+    /// amortization rate — Swarm's free-bandwidth allowance).
+    pub refresh_rate: AccountingUnits,
+}
+
+impl ChannelConfig {
+    /// A configuration with effectively unlimited thresholds, letting debts
+    /// grow without forced settlement (useful for measuring raw traffic).
+    pub fn unlimited() -> Self {
+        Self {
+            payment_threshold: AccountingUnits(i64::MAX / 4),
+            disconnect_threshold: AccountingUnits(i64::MAX / 2),
+            refresh_rate: AccountingUnits::ZERO,
+        }
+    }
+}
+
+impl Default for ChannelConfig {
+    /// Defaults loosely modelled on bee's ratios: payment threshold 10 000
+    /// units, disconnect at 1.25× that, refresh 1 000 units per tick.
+    fn default() -> Self {
+        Self {
+            payment_threshold: AccountingUnits(10_000),
+            disconnect_threshold: AccountingUnits(12_500),
+            refresh_rate: AccountingUnits(1_000),
+        }
+    }
+}
+
+/// Result of recording a service on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalanceOutcome {
+    /// Debt stays within the payment threshold.
+    WithinLimits,
+    /// The debtor's debt reached the payment threshold; settlement is due.
+    PaymentDue {
+        /// Current debt of the consumer toward the server.
+        debt: AccountingUnits,
+    },
+}
+
+/// A SWAP channel between two peers `a < b` (ordering fixed by the caller).
+///
+/// The balance is kept from `a`'s perspective: positive means **b owes a**
+/// (a served more than it consumed), negative means a owes b. Both peers
+/// start at zero (paper Fig. 2, step 0).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Channel {
+    balance: AccountingUnits,
+    /// Total units forgiven by amortization over the channel's lifetime.
+    amortized: AccountingUnits,
+    /// Total units settled in BZZ over the channel's lifetime.
+    settled: AccountingUnits,
+}
+
+impl Channel {
+    /// A fresh channel with zero balance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Balance from `a`'s perspective (positive: b owes a).
+    #[inline]
+    pub fn balance(&self) -> AccountingUnits {
+        self.balance
+    }
+
+    /// Lifetime units forgiven by time-based amortization.
+    #[inline]
+    pub fn amortized_total(&self) -> AccountingUnits {
+        self.amortized
+    }
+
+    /// Lifetime units settled in BZZ.
+    #[inline]
+    pub fn settled_total(&self) -> AccountingUnits {
+        self.settled
+    }
+
+    /// Records that `a` served `amount` of bandwidth to `b` (b's debt toward
+    /// a grows). Pass a negative view by calling [`Channel::record_b_serves`]
+    /// instead.
+    pub fn record_a_serves(&mut self, amount: AccountingUnits, config: &ChannelConfig) -> BalanceOutcome {
+        self.balance = self.balance.saturating_add(amount);
+        self.outcome(config)
+    }
+
+    /// Records that `b` served `amount` of bandwidth to `a`.
+    pub fn record_b_serves(&mut self, amount: AccountingUnits, config: &ChannelConfig) -> BalanceOutcome {
+        self.balance = self.balance.saturating_add(-amount);
+        self.outcome(config)
+    }
+
+    /// Whether the debtor (if any) has hit the disconnect threshold, i.e.
+    /// the creditor refuses service until settlement.
+    pub fn is_frozen(&self, config: &ChannelConfig) -> bool {
+        self.balance.abs() >= config.disconnect_threshold
+    }
+
+    fn outcome(&self, config: &ChannelConfig) -> BalanceOutcome {
+        if self.balance.abs() >= config.payment_threshold {
+            BalanceOutcome::PaymentDue {
+                debt: self.balance.abs(),
+            }
+        } else {
+            BalanceOutcome::WithinLimits
+        }
+    }
+
+    /// Applies one tick of time-based amortization: the balance moves toward
+    /// zero by at most `config.refresh_rate`. Returns the amount forgiven.
+    pub fn amortize(&mut self, config: &ChannelConfig) -> AccountingUnits {
+        let magnitude = self.balance.abs().raw().min(config.refresh_rate.raw());
+        let forgiven = AccountingUnits(magnitude);
+        if self.balance.raw() > 0 {
+            self.balance -= forgiven;
+        } else {
+            self.balance += forgiven;
+        }
+        self.amortized += forgiven;
+        forgiven
+    }
+
+    /// Settles the outstanding debt in full: the balance returns to zero and
+    /// the settled amount is recorded. Returns the absolute amount settled
+    /// and the direction (`true` if b paid a).
+    pub fn settle(&mut self) -> (AccountingUnits, bool) {
+        let amount = self.balance.abs();
+        let b_paid_a = self.balance.raw() > 0;
+        self.settled += amount;
+        self.balance = AccountingUnits::ZERO;
+        (amount, b_paid_a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(pay: i64, disc: i64, refresh: i64) -> ChannelConfig {
+        ChannelConfig {
+            payment_threshold: AccountingUnits(pay),
+            disconnect_threshold: AccountingUnits(disc),
+            refresh_rate: AccountingUnits(refresh),
+        }
+    }
+
+    #[test]
+    fn service_moves_balance_both_ways() {
+        let cfg = config(100, 120, 0);
+        let mut ch = Channel::new();
+        assert_eq!(ch.record_a_serves(AccountingUnits(30), &cfg), BalanceOutcome::WithinLimits);
+        assert_eq!(ch.balance(), AccountingUnits(30));
+        ch.record_b_serves(AccountingUnits(50), &cfg);
+        assert_eq!(ch.balance(), AccountingUnits(-20));
+    }
+
+    #[test]
+    fn payment_due_at_threshold() {
+        let cfg = config(40, 100, 0);
+        let mut ch = Channel::new();
+        assert_eq!(ch.record_a_serves(AccountingUnits(39), &cfg), BalanceOutcome::WithinLimits);
+        assert_eq!(
+            ch.record_a_serves(AccountingUnits(1), &cfg),
+            BalanceOutcome::PaymentDue { debt: AccountingUnits(40) }
+        );
+        // Debt in the other direction also triggers.
+        let mut ch2 = Channel::new();
+        assert_eq!(
+            ch2.record_b_serves(AccountingUnits(45), &cfg),
+            BalanceOutcome::PaymentDue { debt: AccountingUnits(45) }
+        );
+    }
+
+    #[test]
+    fn freeze_at_disconnect_threshold() {
+        let cfg = config(40, 60, 0);
+        let mut ch = Channel::new();
+        ch.record_a_serves(AccountingUnits(59), &cfg);
+        assert!(!ch.is_frozen(&cfg));
+        ch.record_a_serves(AccountingUnits(1), &cfg);
+        assert!(ch.is_frozen(&cfg));
+    }
+
+    #[test]
+    fn amortization_decays_toward_zero_and_stops() {
+        let cfg = config(1000, 2000, 25);
+        let mut ch = Channel::new();
+        ch.record_a_serves(AccountingUnits(60), &cfg);
+        assert_eq!(ch.amortize(&cfg), AccountingUnits(25));
+        assert_eq!(ch.balance(), AccountingUnits(35));
+        ch.amortize(&cfg);
+        assert_eq!(ch.amortize(&cfg), AccountingUnits(10));
+        assert_eq!(ch.balance(), AccountingUnits::ZERO);
+        // Fully amortized channels forgive nothing further.
+        assert_eq!(ch.amortize(&cfg), AccountingUnits::ZERO);
+        assert_eq!(ch.amortized_total(), AccountingUnits(60));
+    }
+
+    #[test]
+    fn amortization_works_on_negative_balances() {
+        let cfg = config(1000, 2000, 10);
+        let mut ch = Channel::new();
+        ch.record_b_serves(AccountingUnits(15), &cfg);
+        ch.amortize(&cfg);
+        assert_eq!(ch.balance(), AccountingUnits(-5));
+        ch.amortize(&cfg);
+        assert_eq!(ch.balance(), AccountingUnits::ZERO);
+    }
+
+    #[test]
+    fn settle_zeroes_balance_and_reports_direction() {
+        let cfg = config(10, 20, 0);
+        let mut ch = Channel::new();
+        ch.record_a_serves(AccountingUnits(14), &cfg);
+        let (amount, b_paid_a) = ch.settle();
+        assert_eq!(amount, AccountingUnits(14));
+        assert!(b_paid_a);
+        assert_eq!(ch.balance(), AccountingUnits::ZERO);
+        assert_eq!(ch.settled_total(), AccountingUnits(14));
+
+        ch.record_b_serves(AccountingUnits(7), &cfg);
+        let (amount, b_paid_a) = ch.settle();
+        assert_eq!(amount, AccountingUnits(7));
+        assert!(!b_paid_a);
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let cfg = ChannelConfig::default();
+        assert!(cfg.disconnect_threshold > cfg.payment_threshold);
+        let unlimited = ChannelConfig::unlimited();
+        assert!(unlimited.payment_threshold > AccountingUnits(1_000_000));
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for SWAP accounting.
+
+use std::error::Error;
+use std::fmt;
+
+use fairswap_kademlia::NodeId;
+
+use crate::units::{AccountingUnits, Bzz};
+
+/// Errors produced by SWAP accounting operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SwapError {
+    /// A channel endpoint is not a node of the network.
+    UnknownPeer {
+        /// The offending node.
+        peer: NodeId,
+        /// Number of nodes in the network.
+        nodes: usize,
+    },
+    /// A node cannot open a channel with itself.
+    SelfChannel {
+        /// The node in question.
+        peer: NodeId,
+    },
+    /// Service amounts must be positive.
+    NonPositiveAmount {
+        /// The rejected amount.
+        amount: AccountingUnits,
+    },
+    /// The channel is frozen: debt reached the disconnect threshold and the
+    /// debtor has not settled.
+    Disconnected {
+        /// The indebted peer.
+        debtor: NodeId,
+        /// The peer owed.
+        creditor: NodeId,
+        /// Current debt.
+        debt: AccountingUnits,
+    },
+    /// A wallet did not hold enough BZZ to honour a cheque.
+    InsufficientFunds {
+        /// The paying node.
+        payer: NodeId,
+        /// Wallet balance.
+        balance: Bzz,
+        /// Amount needed.
+        needed: Bzz,
+    },
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownPeer { peer, nodes } => {
+                write!(f, "peer {peer} outside network of {nodes} nodes")
+            }
+            Self::SelfChannel { peer } => write!(f, "peer {peer} cannot open a channel to itself"),
+            Self::NonPositiveAmount { amount } => {
+                write!(f, "service amount must be positive, got {amount}")
+            }
+            Self::Disconnected { debtor, creditor, debt } => write!(
+                f,
+                "channel frozen: {debtor} owes {creditor} {debt}, at or beyond the disconnect threshold"
+            ),
+            Self::InsufficientFunds { payer, balance, needed } => write!(
+                f,
+                "{payer} holds {balance} but needs {needed} to settle"
+            ),
+        }
+    }
+}
+
+impl Error for SwapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = SwapError::Disconnected {
+            debtor: NodeId(1),
+            creditor: NodeId(2),
+            debt: AccountingUnits(100),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("n1") && msg.contains("n2") && msg.contains("100"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SwapError>();
+    }
+}

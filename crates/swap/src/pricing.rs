@@ -1,0 +1,97 @@
+//! Proximity-based request pricing.
+
+use serde::{Deserialize, Serialize};
+
+use fairswap_kademlia::Proximity;
+
+use crate::units::AccountingUnits;
+
+/// How a chunk request is priced in accounting units.
+///
+/// The paper (§III-B): "Each request for either upload and download is
+/// priced respective to the distance between the requester and the
+/// destination" — Swarm charges more for chunks that are *farther* from the
+/// serving peer, because serving them implies more downstream forwarding
+/// work. With [`Pricing::Proximity`] the price is
+/// `base · (bits − proximity)`, where `proximity` is the shared-prefix
+/// length between the payee and the chunk address; [`Pricing::Flat`] is an
+/// ablation that charges the same for every chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pricing {
+    /// `price = base · (bits − proximity)`; a chunk the payee stores itself
+    /// (proximity = bits) is free to relay onward.
+    Proximity {
+        /// Price per missing proximity order.
+        base: i64,
+    },
+    /// Constant price per chunk.
+    Flat {
+        /// The constant price.
+        price: i64,
+    },
+}
+
+impl Pricing {
+    /// Swarm-style proximity pricing with unit base price — the default used
+    /// throughout the paper's experiments.
+    pub const fn proximity_unit() -> Self {
+        Pricing::Proximity { base: 1 }
+    }
+
+    /// Price of a chunk request answered by a peer at `proximity` to the
+    /// chunk address, in a `bits`-bit address space.
+    ///
+    /// The result is never negative; proximities above `bits` (impossible
+    /// for distinct addresses) clamp to zero cost.
+    pub fn price(&self, bits: u32, proximity: Proximity) -> AccountingUnits {
+        match *self {
+            Pricing::Proximity { base } => {
+                let missing = bits.saturating_sub(proximity.order());
+                AccountingUnits(base.saturating_mul(i64::from(missing)))
+            }
+            Pricing::Flat { price } => AccountingUnits(price),
+        }
+    }
+}
+
+impl Default for Pricing {
+    /// The paper's default: proximity pricing with base 1.
+    fn default() -> Self {
+        Self::proximity_unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proximity_pricing_decreases_with_closeness() {
+        let p = Pricing::Proximity { base: 2 };
+        let far = p.price(16, Proximity(0));
+        let mid = p.price(16, Proximity(8));
+        let near = p.price(16, Proximity(16));
+        assert_eq!(far, AccountingUnits(32));
+        assert_eq!(mid, AccountingUnits(16));
+        assert_eq!(near, AccountingUnits::ZERO);
+        assert!(far > mid && mid > near);
+    }
+
+    #[test]
+    fn proximity_above_bits_clamps() {
+        let p = Pricing::proximity_unit();
+        assert_eq!(p.price(16, Proximity(20)), AccountingUnits::ZERO);
+    }
+
+    #[test]
+    fn flat_pricing_is_constant() {
+        let p = Pricing::Flat { price: 5 };
+        assert_eq!(p.price(16, Proximity(0)), AccountingUnits(5));
+        assert_eq!(p.price(16, Proximity(15)), AccountingUnits(5));
+    }
+
+    #[test]
+    fn default_is_unit_proximity() {
+        assert_eq!(Pricing::default(), Pricing::Proximity { base: 1 });
+    }
+}

@@ -1,0 +1,232 @@
+//! Token quantities: accounting units and BZZ.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// SWAP accounting units — the pairwise bandwidth-bookkeeping currency.
+///
+/// Signed: a positive amount is credit, a negative amount is debt. The paper
+/// prices each request "respective to the distance between the requester and
+/// the destination" in these units.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AccountingUnits(pub i64);
+
+impl AccountingUnits {
+    /// Zero units.
+    pub const ZERO: AccountingUnits = AccountingUnits(0);
+
+    /// The raw signed quantity.
+    #[inline]
+    pub fn raw(&self) -> i64 {
+        self.0
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(&self) -> AccountingUnits {
+        AccountingUnits(self.0.abs())
+    }
+
+    /// Whether this quantity is exactly zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition (balances cannot overflow in practice; saturate
+    /// rather than wrap if a simulation misconfigures prices).
+    #[inline]
+    pub fn saturating_add(self, rhs: AccountingUnits) -> AccountingUnits {
+        AccountingUnits(self.0.saturating_add(rhs.0))
+    }
+
+    /// Conversion to f64 for statistics.
+    #[inline]
+    pub fn as_f64(&self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for AccountingUnits {
+    type Output = AccountingUnits;
+    fn add(self, rhs: AccountingUnits) -> AccountingUnits {
+        AccountingUnits(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for AccountingUnits {
+    fn add_assign(&mut self, rhs: AccountingUnits) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for AccountingUnits {
+    type Output = AccountingUnits;
+    fn sub(self, rhs: AccountingUnits) -> AccountingUnits {
+        AccountingUnits(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for AccountingUnits {
+    fn sub_assign(&mut self, rhs: AccountingUnits) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for AccountingUnits {
+    type Output = AccountingUnits;
+    fn neg(self) -> AccountingUnits {
+        AccountingUnits(-self.0)
+    }
+}
+
+impl Sum for AccountingUnits {
+    fn sum<I: Iterator<Item = AccountingUnits>>(iter: I) -> AccountingUnits {
+        AccountingUnits(iter.map(|u| u.0).sum())
+    }
+}
+
+impl fmt::Display for AccountingUnits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} au", self.0)
+    }
+}
+
+/// BZZ — Swarm's crypto-token, used to settle accounting debts.
+///
+/// Unsigned: wallets and cheque amounts cannot go negative. The simulation
+/// converts accounting units 1:1 into BZZ at settlement time, which is the
+/// paper's implicit exchange rate.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Bzz(pub u64);
+
+impl Bzz {
+    /// Zero BZZ.
+    pub const ZERO: Bzz = Bzz(0);
+
+    /// The raw quantity.
+    #[inline]
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is exactly zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub fn checked_sub(self, rhs: Bzz) -> Option<Bzz> {
+        self.0.checked_sub(rhs.0).map(Bzz)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Bzz) -> Bzz {
+        Bzz(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Conversion to f64 for statistics.
+    #[inline]
+    pub fn as_f64(&self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Converts a non-negative amount of accounting units at the 1:1
+    /// settlement rate. Returns `None` for negative amounts.
+    pub fn from_units(units: AccountingUnits) -> Option<Bzz> {
+        u64::try_from(units.raw()).ok().map(Bzz)
+    }
+}
+
+impl Add for Bzz {
+    type Output = Bzz;
+    fn add(self, rhs: Bzz) -> Bzz {
+        Bzz(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bzz {
+    fn add_assign(&mut self, rhs: Bzz) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Bzz {
+    fn sum<I: Iterator<Item = Bzz>>(iter: I) -> Bzz {
+        Bzz(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bzz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} BZZ", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_arithmetic() {
+        let a = AccountingUnits(10);
+        let b = AccountingUnits(-4);
+        assert_eq!(a + b, AccountingUnits(6));
+        assert_eq!(a - b, AccountingUnits(14));
+        assert_eq!(-b, AccountingUnits(4));
+        assert_eq!(b.abs(), AccountingUnits(4));
+        assert!(AccountingUnits::ZERO.is_zero());
+        let mut c = a;
+        c += b;
+        assert_eq!(c, AccountingUnits(6));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn accounting_saturates() {
+        let max = AccountingUnits(i64::MAX);
+        assert_eq!(max.saturating_add(AccountingUnits(1)), max);
+    }
+
+    #[test]
+    fn accounting_sum_and_display() {
+        let total: AccountingUnits = [AccountingUnits(1), AccountingUnits(2)].into_iter().sum();
+        assert_eq!(total, AccountingUnits(3));
+        assert_eq!(total.to_string(), "3 au");
+        assert_eq!(total.as_f64(), 3.0);
+    }
+
+    #[test]
+    fn bzz_arithmetic() {
+        let a = Bzz(10);
+        assert_eq!(a + Bzz(5), Bzz(15));
+        assert_eq!(a.checked_sub(Bzz(11)), None);
+        assert_eq!(a.checked_sub(Bzz(4)), Some(Bzz(6)));
+        assert_eq!(a.saturating_sub(Bzz(100)), Bzz::ZERO);
+        assert_eq!(a.to_string(), "10 BZZ");
+    }
+
+    #[test]
+    fn bzz_from_units() {
+        assert_eq!(Bzz::from_units(AccountingUnits(7)), Some(Bzz(7)));
+        assert_eq!(Bzz::from_units(AccountingUnits(-1)), None);
+        assert_eq!(Bzz::from_units(AccountingUnits::ZERO), Some(Bzz::ZERO));
+    }
+
+    #[test]
+    fn bzz_sum() {
+        let total: Bzz = [Bzz(1), Bzz(2), Bzz(3)].into_iter().sum();
+        assert_eq!(total, Bzz(6));
+    }
+}

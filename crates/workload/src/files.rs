@@ -1,0 +1,119 @@
+//! File-size distributions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::builder::WorkloadError;
+
+/// Distribution of the number of chunks per downloaded file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FileSizeDist {
+    /// Uniform over `min..=max` chunks.
+    Uniform {
+        /// Smallest file in chunks.
+        min: usize,
+        /// Largest file in chunks.
+        max: usize,
+    },
+    /// Every file has exactly this many chunks.
+    Constant(usize),
+}
+
+impl FileSizeDist {
+    /// The paper's default: uniform between 100 and 1000 chunks.
+    pub const fn paper_default() -> Self {
+        FileSizeDist::Uniform { min: 100, max: 1000 }
+    }
+
+    /// Validates the distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty ranges and zero-chunk files.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        match *self {
+            FileSizeDist::Uniform { min, max } => {
+                if min == 0 || min > max {
+                    Err(WorkloadError::InvalidFileSize { min, max })
+                } else {
+                    Ok(())
+                }
+            }
+            FileSizeDist::Constant(n) => {
+                if n == 0 {
+                    Err(WorkloadError::InvalidFileSize { min: n, max: n })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Samples a file size.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        match *self {
+            FileSizeDist::Uniform { min, max } => rng.gen_range(min..=max),
+            FileSizeDist::Constant(n) => n,
+        }
+    }
+
+    /// Expected file size in chunks.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            FileSizeDist::Uniform { min, max } => (min + max) as f64 / 2.0,
+            FileSizeDist::Constant(n) => n as f64,
+        }
+    }
+}
+
+impl Default for FileSizeDist {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = FileSizeDist::paper_default();
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let n = d.sample(&mut rng);
+            assert!((100..=1000).contains(&n));
+        }
+        assert_eq!(d.mean(), 550.0);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = FileSizeDist::Constant(42);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        assert_eq!(d.sample(&mut rng), 42);
+        assert_eq!(d.mean(), 42.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FileSizeDist::Uniform { min: 0, max: 5 }.validate().is_err());
+        assert!(FileSizeDist::Uniform { min: 6, max: 5 }.validate().is_err());
+        assert!(FileSizeDist::Constant(0).validate().is_err());
+        assert!(FileSizeDist::paper_default().validate().is_ok());
+        assert_eq!(FileSizeDist::default(), FileSizeDist::paper_default());
+    }
+
+    #[test]
+    fn uniform_covers_endpoints() {
+        let d = FileSizeDist::Uniform { min: 1, max: 3 };
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[d.sample(&mut rng)] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Originator pools: which nodes issue download requests.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use fairswap_kademlia::NodeId;
+
+use crate::builder::WorkloadError;
+
+/// The subset of nodes that act as download originators.
+///
+/// The paper picks "originators uniformly from either 20% or 100% of the
+/// nodes, to evaluate the effect of skewed workloads". The pool membership
+/// is fixed up front (deterministically from the workload seed); each
+/// download then draws uniformly from the pool.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OriginatorPool {
+    members: Vec<NodeId>,
+    total_nodes: usize,
+}
+
+impl OriginatorPool {
+    /// Selects `fraction` of `nodes` nodes (at least one) uniformly at
+    /// random as the originator pool.
+    ///
+    /// # Errors
+    ///
+    /// Rejects fractions outside `(0, 1]` and empty networks.
+    pub fn sample<R: Rng>(
+        nodes: usize,
+        fraction: f64,
+        rng: &mut R,
+    ) -> Result<Self, WorkloadError> {
+        if nodes == 0 {
+            return Err(WorkloadError::EmptyNetwork);
+        }
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(WorkloadError::InvalidFraction { fraction });
+        }
+        let count = ((nodes as f64 * fraction).round() as usize).clamp(1, nodes);
+        let mut ids: Vec<usize> = (0..nodes).collect();
+        ids.partial_shuffle(rng, count);
+        let mut members: Vec<NodeId> = ids.into_iter().take(count).map(NodeId).collect();
+        members.sort_unstable();
+        Ok(Self {
+            members,
+            total_nodes: nodes,
+        })
+    }
+
+    /// A pool containing every node (the 100%-originators setting).
+    pub fn all(nodes: usize) -> Result<Self, WorkloadError> {
+        if nodes == 0 {
+            return Err(WorkloadError::EmptyNetwork);
+        }
+        Ok(Self {
+            members: (0..nodes).map(NodeId).collect(),
+            total_nodes: nodes,
+        })
+    }
+
+    /// Pool members, ascending.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of eligible originators.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the pool is empty (never true for constructed pools).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The fraction of the network eligible to originate.
+    pub fn fraction(&self) -> f64 {
+        self.members.len() as f64 / self.total_nodes as f64
+    }
+
+    /// Whether `node` may originate downloads.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// Draws one originator uniformly from the pool.
+    pub fn pick<R: Rng>(&self, rng: &mut R) -> NodeId {
+        self.members[rng.gen_range(0..self.members.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn sample_respects_fraction() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let pool = OriginatorPool::sample(1000, 0.2, &mut rng).unwrap();
+        assert_eq!(pool.len(), 200);
+        assert!((pool.fraction() - 0.2).abs() < 1e-12);
+        // Members are distinct and in range.
+        let mut members = pool.members().to_vec();
+        members.dedup();
+        assert_eq!(members.len(), 200);
+        assert!(members.iter().all(|n| n.index() < 1000));
+    }
+
+    #[test]
+    fn all_includes_everyone() {
+        let pool = OriginatorPool::all(10).unwrap();
+        assert_eq!(pool.len(), 10);
+        assert_eq!(pool.fraction(), 1.0);
+        assert!(pool.contains(NodeId(9)));
+        assert!(!pool.contains(NodeId(10)));
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn pick_draws_only_members() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let pool = OriginatorPool::sample(100, 0.1, &mut rng).unwrap();
+        for _ in 0..500 {
+            assert!(pool.contains(pool.pick(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn tiny_fraction_keeps_at_least_one() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let pool = OriginatorPool::sample(10, 0.001, &mut rng).unwrap();
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        assert!(OriginatorPool::sample(0, 0.5, &mut rng).is_err());
+        assert!(OriginatorPool::sample(10, 0.0, &mut rng).is_err());
+        assert!(OriginatorPool::sample(10, 1.5, &mut rng).is_err());
+        assert!(OriginatorPool::sample(10, f64::NAN, &mut rng).is_err());
+        assert!(OriginatorPool::all(0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_same_rng_seed() {
+        let build = |seed| {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            OriginatorPool::sample(500, 0.2, &mut rng).unwrap()
+        };
+        assert_eq!(build(9), build(9));
+        assert_ne!(build(9), build(10));
+    }
+}

@@ -1,0 +1,191 @@
+//! Chunk-address distributions: uniform (paper default) and Zipf
+//! popularity (§V extension).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use fairswap_kademlia::{AddressSpace, OverlayAddress};
+
+use crate::builder::WorkloadError;
+
+/// How chunk addresses are drawn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChunkDist {
+    /// Uniform over the whole address space — "The addresses of chunks are
+    /// chosen uniformly at random from the complete address space"
+    /// (paper §IV-B).
+    Uniform,
+    /// Zipf-distributed popularity over a fixed catalog of `catalog`
+    /// distinct chunk addresses with exponent `exponent`. Rank 1 is the most
+    /// popular chunk. Models the paper's §V "content popularity" extension.
+    Zipf {
+        /// Number of distinct chunks in the catalog.
+        catalog: usize,
+        /// Zipf exponent (s > 0); typical web workloads use 0.6–1.2.
+        exponent: f64,
+    },
+}
+
+impl ChunkDist {
+    /// Validates the distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty catalogs and non-positive/non-finite exponents.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        match *self {
+            ChunkDist::Uniform => Ok(()),
+            ChunkDist::Zipf { catalog, exponent } => {
+                if catalog == 0 || !exponent.is_finite() || exponent <= 0.0 {
+                    Err(WorkloadError::InvalidZipf { catalog, exponent })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// A sampler for one [`ChunkDist`], with the Zipf catalog and cumulative
+/// weights precomputed.
+#[derive(Debug, Clone)]
+pub(crate) enum ChunkSampler {
+    Uniform {
+        space: AddressSpace,
+    },
+    Zipf {
+        /// Catalog addresses by rank (rank 0 = most popular).
+        catalog: Vec<OverlayAddress>,
+        /// Cumulative probability per rank, last entry 1.0.
+        cdf: Vec<f64>,
+    },
+}
+
+impl ChunkSampler {
+    pub(crate) fn new<R: Rng>(
+        dist: &ChunkDist,
+        space: AddressSpace,
+        rng: &mut R,
+    ) -> Result<Self, WorkloadError> {
+        dist.validate()?;
+        match *dist {
+            ChunkDist::Uniform => Ok(ChunkSampler::Uniform { space }),
+            ChunkDist::Zipf { catalog, exponent } => {
+                // Draw the catalog uniformly (duplicates are harmless — they
+                // just merge popularity mass onto one address).
+                let addresses: Vec<OverlayAddress> = (0..catalog)
+                    .map(|_| space.address_truncated(rng.gen::<u64>()))
+                    .collect();
+                let mut cdf = Vec::with_capacity(catalog);
+                let mut total = 0.0;
+                for rank in 1..=catalog {
+                    total += 1.0 / (rank as f64).powf(exponent);
+                    cdf.push(total);
+                }
+                for p in &mut cdf {
+                    *p /= total;
+                }
+                *cdf.last_mut().expect("catalog non-empty") = 1.0;
+                Ok(ChunkSampler::Zipf {
+                    catalog: addresses,
+                    cdf,
+                })
+            }
+        }
+    }
+
+    pub(crate) fn sample<R: Rng>(&self, rng: &mut R) -> OverlayAddress {
+        match self {
+            ChunkSampler::Uniform { space } => space.address_truncated(rng.gen::<u64>()),
+            ChunkSampler::Zipf { catalog, cdf } => {
+                let u: f64 = rng.gen();
+                let rank = cdf.partition_point(|&p| p < u).min(catalog.len() - 1);
+                catalog[rank]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+    use std::collections::HashMap;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(16).unwrap()
+    }
+
+    #[test]
+    fn uniform_covers_space_roughly_evenly() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let sampler = ChunkSampler::new(&ChunkDist::Uniform, space(), &mut rng).unwrap();
+        let n = 40_000;
+        let mut low_half = 0usize;
+        for _ in 0..n {
+            if sampler.sample(&mut rng).raw() < 0x8000 {
+                low_half += 1;
+            }
+        }
+        let frac = low_half as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let dist = ChunkDist::Zipf { catalog: 100, exponent: 1.0 };
+        let sampler = ChunkSampler::new(&dist, space(), &mut rng).unwrap();
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(sampler.sample(&mut rng).raw()).or_default() += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        // H(100) ~ 5.19; rank-1 share ~ 19%.
+        let share = max as f64 / 20_000.0;
+        assert!(share > 0.12 && share < 0.30, "rank-1 share {share}");
+        // Far fewer distinct addresses than uniform would give.
+        assert!(counts.len() <= 100);
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_more() {
+        let head_share = |exponent: f64| {
+            let mut rng = ChaCha12Rng::seed_from_u64(3);
+            let dist = ChunkDist::Zipf { catalog: 50, exponent };
+            let sampler = ChunkSampler::new(&dist, space(), &mut rng).unwrap();
+            let ChunkSampler::Zipf { catalog, .. } = &sampler else {
+                unreachable!()
+            };
+            let head = catalog[0];
+            let mut hits = 0usize;
+            for _ in 0..10_000 {
+                if sampler.sample(&mut rng) == head {
+                    hits += 1;
+                }
+            }
+            hits as f64 / 10_000.0
+        };
+        assert!(head_share(1.5) > head_share(0.7));
+    }
+
+    #[test]
+    fn validation_rejects_bad_zipf() {
+        assert!(ChunkDist::Zipf { catalog: 0, exponent: 1.0 }.validate().is_err());
+        assert!(ChunkDist::Zipf { catalog: 10, exponent: 0.0 }.validate().is_err());
+        assert!(ChunkDist::Zipf { catalog: 10, exponent: f64::NAN }.validate().is_err());
+        assert!(ChunkDist::Uniform.validate().is_ok());
+    }
+
+    #[test]
+    fn single_item_catalog_always_returns_it() {
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let dist = ChunkDist::Zipf { catalog: 1, exponent: 1.0 };
+        let sampler = ChunkSampler::new(&dist, space(), &mut rng).unwrap();
+        let first = sampler.sample(&mut rng);
+        for _ in 0..10 {
+            assert_eq!(sampler.sample(&mut rng), first);
+        }
+    }
+}

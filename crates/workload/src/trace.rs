@@ -1,0 +1,105 @@
+//! Workload trace export/import.
+//!
+//! The paper's tool reuses "the same overlay for multiple simulations",
+//! collecting "data from runs on multiple machines into a single
+//! simulation". Serializable traces provide the equivalent workflow here: a
+//! workload can be materialized once, shipped around, and replayed bit-for-
+//! bit anywhere.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::{FileDownload, Workload};
+
+/// A materialized, replayable sequence of downloads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    downloads: Vec<FileDownload>,
+}
+
+impl WorkloadTrace {
+    /// Captures `count` downloads from a live workload.
+    pub fn capture(workload: &mut Workload, count: usize) -> Self {
+        Self {
+            downloads: workload.take_downloads(count),
+        }
+    }
+
+    /// Creates a trace from explicit downloads.
+    pub fn from_downloads(downloads: Vec<FileDownload>) -> Self {
+        Self { downloads }
+    }
+
+    /// The recorded downloads.
+    pub fn downloads(&self) -> &[FileDownload] {
+        &self.downloads
+    }
+
+    /// Number of recorded downloads.
+    pub fn len(&self) -> usize {
+        self.downloads.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.downloads.is_empty()
+    }
+
+    /// Total chunk requests across all downloads.
+    pub fn total_chunks(&self) -> usize {
+        self.downloads.iter().map(|d| d.chunks.len()).sum()
+    }
+
+    /// Iterates over the downloads.
+    pub fn iter(&self) -> impl Iterator<Item = &FileDownload> {
+        self.downloads.iter()
+    }
+}
+
+impl IntoIterator for WorkloadTrace {
+    type Item = FileDownload;
+    type IntoIter = std::vec::IntoIter<FileDownload>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.downloads.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkloadBuilder;
+    use crate::files::FileSizeDist;
+    use fairswap_kademlia::AddressSpace;
+
+    fn workload(seed: u64) -> Workload {
+        WorkloadBuilder::new(AddressSpace::new(16).unwrap(), 20)
+            .file_size(FileSizeDist::Constant(5))
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn capture_and_replay() {
+        let mut w = workload(1);
+        let trace = WorkloadTrace::capture(&mut w, 10);
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.total_chunks(), 50);
+        assert!(!trace.is_empty());
+        // Capturing from an identically-seeded workload gives the same trace.
+        let mut w2 = workload(1);
+        let trace2 = WorkloadTrace::capture(&mut w2, 10);
+        assert_eq!(trace, trace2);
+    }
+
+    #[test]
+    fn iteration() {
+        let mut w = workload(2);
+        let trace = WorkloadTrace::capture(&mut w, 3);
+        assert_eq!(trace.iter().count(), 3);
+        let collected: Vec<FileDownload> = trace.clone().into_iter().collect();
+        assert_eq!(collected.len(), 3);
+        let rebuilt = WorkloadTrace::from_downloads(collected);
+        assert_eq!(rebuilt, trace);
+    }
+}

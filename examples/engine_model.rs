@@ -1,0 +1,110 @@
+//! Using the cadCAD-style engine directly (paper §IV-A).
+//!
+//! The paper's simulator is a cadCAD model; `fairswap-simcore` reproduces
+//! that execution model in Rust. This example builds a small token-economy
+//! model from scratch — independent of the storage network — to show the
+//! engine's moving parts: policies emit signals against the pre-block
+//! state, state updates apply them in order, and a parameter sweep runs
+//! each configuration over several Monte-Carlo runs, deterministically.
+//!
+//! The model: a faucet drips tokens to random peers each step while a
+//! fixed-rate burn removes them; we sweep the drip amount and watch the
+//! supply and its Gini coefficient.
+//!
+//! ```sh
+//! cargo run --release --example engine_model
+//! ```
+
+use fairswap::fairness::gini;
+use fairswap::simcore::{Block, Simulation};
+use rand::Rng;
+
+const PEERS: usize = 50;
+
+#[derive(Clone)]
+struct Economy {
+    balances: Vec<f64>,
+}
+
+struct Params {
+    drip: f64,
+    burn_rate: f64,
+}
+
+/// Signals exchanged between policies and updates.
+enum Signal {
+    /// Mint `amount` to peer `index`.
+    Drip { index: usize, amount: f64 },
+    /// Burn this fraction of every balance.
+    Burn { rate: f64 },
+}
+
+fn main() {
+    // Block 1: the faucet policy picks a random peer; its update mints.
+    let faucet = Block::<Economy, Params, Signal>::new("faucet")
+        .policy(|rng, _info, params, _state| Signal::Drip {
+            index: rng.gen_range(0..PEERS),
+            amount: params.drip,
+        })
+        .update(|_rng, _info, _params, _pre, signals, state| {
+            for signal in signals {
+                if let Signal::Drip { index, amount } = signal {
+                    state.balances[*index] += amount;
+                }
+            }
+        });
+
+    // Block 2: proportional burn, one substep later.
+    let burn = Block::<Economy, Params, Signal>::new("burn")
+        .policy(|_rng, _info, params, _state| Signal::Burn {
+            rate: params.burn_rate,
+        })
+        .update(|_rng, _info, _params, _pre, signals, state| {
+            for signal in signals {
+                if let Signal::Burn { rate } = signal {
+                    for balance in &mut state.balances {
+                        *balance *= 1.0 - rate;
+                    }
+                }
+            }
+        });
+
+    let sweep = vec![
+        Params { drip: 10.0, burn_rate: 0.01 },
+        Params { drip: 50.0, burn_rate: 0.01 },
+        Params { drip: 10.0, burn_rate: 0.10 },
+    ];
+
+    let results = Simulation::new(2_000, 3, 0xFA12)
+        .block(faucet)
+        .block(burn)
+        .run_sweep(&sweep, |_, _| Economy {
+            balances: vec![0.0; PEERS],
+        });
+
+    println!(
+        "{:<8} {:<10} {:>14} {:>10}",
+        "drip", "burn rate", "mean supply", "gini"
+    );
+    for (i, params) in sweep.iter().enumerate() {
+        // Average the final supply and inequality over the Monte-Carlo runs.
+        let mut supply = 0.0;
+        let mut inequality = 0.0;
+        let mut runs = 0usize;
+        for state in results.final_states(i) {
+            supply += state.balances.iter().sum::<f64>();
+            inequality += gini(&state.balances).unwrap_or(0.0);
+            runs += 1;
+        }
+        println!(
+            "{:<8} {:<10} {:>14.1} {:>10.4}",
+            params.drip,
+            params.burn_rate,
+            supply / runs as f64,
+            inequality / runs as f64,
+        );
+    }
+    println!();
+    println!("higher burn rates shrink supply toward drip/burn equilibrium;");
+    println!("random dripping alone leaves a persistent inequality floor.");
+}

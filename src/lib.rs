@@ -1,0 +1,61 @@
+//! # fairswap
+//!
+//! A from-scratch Rust reproduction of *“Fair Incentivization of Bandwidth
+//! Sharing in Decentralized Storage Networks”* (ICDCS 2022,
+//! arXiv:2208.07067).
+//!
+//! The paper studies the bandwidth incentives of the
+//! [Swarm](https://www.ethswarm.org) storage network — the SWAP accounting
+//! protocol running on top of a forwarding-Kademlia overlay — and evaluates
+//! the *fairness* of the resulting reward distribution using the Gini
+//! coefficient and Lorenz curves. Its headline finding: increasing the
+//! Kademlia bucket size `k` from Swarm's default 4 to Kademlia's classic 20
+//! makes rewards measurably fairer, especially under skewed workloads.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`kademlia`] — overlay addresses, XOR metric, routing tables,
+//!   forwarding-Kademlia greedy routing.
+//! * [`swap`] — the Swarm Accounting Protocol: pairwise balances,
+//!   thresholds, time-based amortization, cheque settlement, pricing.
+//! * [`simcore`] — a typed, deterministic cadCAD-style simulation engine
+//!   (policies, state-update blocks, Monte-Carlo runs, parameter sweeps).
+//! * [`storage`] — the storage-network model: chunks, closest-node
+//!   placement, download routing, caching.
+//! * [`workload`] — file-download workload generators (uniform and Zipf).
+//! * [`fairness`] — Gini coefficient, Lorenz curves and the paper's F1/F2
+//!   fairness properties.
+//! * [`incentives`] — the Swarm bandwidth incentive plus baselines
+//!   (tit-for-tat, effort-based, pay-all-hops, proof-of-bandwidth).
+//! * [`core`] — the simulation harness and one preset per paper
+//!   table/figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fairswap::core::{SimulationBuilder, presets};
+//!
+//! // A small instance of the paper's headline experiment.
+//! let report = SimulationBuilder::new()
+//!     .nodes(200)
+//!     .bucket_size(4)
+//!     .originator_fraction(0.2)
+//!     .files(50)
+//!     .seed(0xFA12)
+//!     .build()
+//!     .expect("valid configuration")
+//!     .run();
+//!
+//! let f2 = report.f2_income_gini();
+//! assert!((0.0..=1.0).contains(&f2));
+//! # let _ = presets::paper_defaults();
+//! ```
+
+pub use fairswap_core as core;
+pub use fairswap_fairness as fairness;
+pub use fairswap_incentives as incentives;
+pub use fairswap_kademlia as kademlia;
+pub use fairswap_simcore as simcore;
+pub use fairswap_storage as storage;
+pub use fairswap_swap as swap;
+pub use fairswap_workload as workload;
