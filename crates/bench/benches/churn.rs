@@ -1,0 +1,107 @@
+//! Criterion benchmarks for the churn subsystem: plan generation,
+//! join/leave event application throughput, and — the hot-path guard —
+//! incremental routing-table maintenance vs a naive full rebuild.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use fairswap_churn::{ChurnConfig, ChurnEventKind, ChurnPlan};
+use fairswap_kademlia::{AddressSpace, NodeId, Topology, TopologyBuilder};
+
+const NODES: usize = 1000;
+
+fn paper_topology(k: usize) -> Topology {
+    TopologyBuilder::new(AddressSpace::new(16).expect("valid width"))
+        .nodes(NODES)
+        .bucket_size(k)
+        .seed(0xFA12)
+        .build()
+        .expect("valid topology")
+}
+
+fn bench_plan_generation(c: &mut Criterion) {
+    let config = ChurnConfig::from_rate(0.05).expect("valid rate");
+    c.bench_function("churn_plan_generate_1000x10000", |b| {
+        b.iter(|| {
+            black_box(ChurnPlan::generate(NODES, 10_000, &config, 0xFA12).expect("valid plan"))
+        });
+    });
+}
+
+fn bench_event_application(c: &mut Criterion) {
+    let config = ChurnConfig::from_rate(0.05).expect("valid rate");
+    let plan = ChurnPlan::generate(NODES, 200, &config, 0xFA12).expect("valid plan");
+    let events: Vec<_> = plan.events().to_vec();
+    let mut group = c.benchmark_group("churn_event_throughput");
+    group.sample_size(20);
+    for k in [4usize, 20] {
+        let base = paper_topology(k);
+        group.bench_with_input(BenchmarkId::new("apply_plan", k), &events, |b, events| {
+            b.iter_batched(
+                || base.clone(),
+                |mut topology| {
+                    for event in events {
+                        match event.kind {
+                            ChurnEventKind::Leave => {
+                                topology.remove_node(event.node).expect("plan consistent")
+                            }
+                            ChurnEventKind::Join => {
+                                topology.add_node(event.node).expect("plan consistent")
+                            }
+                        }
+                    }
+                    topology
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_full_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("departure_maintenance");
+    group.sample_size(20);
+    for k in [4usize, 20] {
+        let base = paper_topology(k);
+        // Incremental: repair only the tables that referenced the departed
+        // node.
+        group.bench_with_input(
+            BenchmarkId::new("incremental_remove", k),
+            &base,
+            |b, base| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut topology| {
+                        topology.remove_node(NodeId(500)).expect("node is live");
+                        topology
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        // Naive baseline: drop the node, then rebuild every table from the
+        // surviving population.
+        group.bench_with_input(
+            BenchmarkId::new("naive_full_rebuild", k),
+            &base,
+            |b, base| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut topology| {
+                        topology.remove_node(NodeId(500)).expect("node is live");
+                        black_box(topology.rebuilt_naive())
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_generation,
+    bench_event_application,
+    bench_incremental_vs_full_rebuild
+);
+criterion_main!(benches);

@@ -54,5 +54,10 @@ fn bench_route(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_topology_build, bench_closest_node, bench_route);
+criterion_group!(
+    benches,
+    bench_topology_build,
+    bench_closest_node,
+    bench_route
+);
 criterion_main!(benches);

@@ -9,8 +9,7 @@ fn main() {
     let scale = scale_from_args();
 
     banner("§IV-B — F2 Gini convergence over file count", scale);
-    let convergence =
-        sweeps::files_convergence(scale, 4, 1.0, 10).expect("valid configuration");
+    let convergence = sweeps::files_convergence(scale, 4, 1.0, 10).expect("valid configuration");
     for sample in &convergence.trajectory {
         println!("files={:<7} F2 gini={:.4}", sample.timestep, sample.f2_gini);
     }
@@ -26,7 +25,12 @@ fn main() {
     for r in &overhead.rows {
         println!(
             "{:<4} {:>14.1} {:>12} {:>14.2} {:>12} {:>10.4}",
-            r.k, r.mean_connections, r.settlements, r.mean_payment, r.nodes_wiped_by_tx_cost, r.f2_gini
+            r.k,
+            r.mean_connections,
+            r.settlements,
+            r.mean_payment,
+            r.nodes_wiped_by_tx_cost,
+            r.f2_gini
         );
     }
     println!();
@@ -66,7 +70,10 @@ fn main() {
     }
     println!();
 
-    banner("churn — survivors rebuild tables after departures (k=4)", scale);
+    banner(
+        "churn — survivors rebuild tables after departures (k=4)",
+        scale,
+    );
     let churn = extensions::churn(scale, 4, &[0.0, 0.1, 0.2, 0.3]).expect("valid configuration");
     for r in &churn.rows {
         println!(
@@ -82,7 +89,10 @@ fn main() {
     }
     println!();
 
-    banner("ablation — is the k=4 vs k=20 finding metric-robust?", scale);
+    banner(
+        "ablation — is the k=4 vs k=20 finding metric-robust?",
+        scale,
+    );
     let metrics = extensions::metric_robustness(scale, &[4, 20], 0.2).expect("valid configuration");
     println!(
         "{:<4} {:>10} {:>10} {:>14} {:>10}",
@@ -94,7 +104,10 @@ fn main() {
             r.k, r.gini, r.theil, r.atkinson_05, r.hoover
         );
     }
-    println!("all indices agree k=20 is fairer: {}", metrics.all_indices_agree());
+    println!(
+        "all indices agree k=20 is fairer: {}",
+        metrics.all_indices_agree()
+    );
     println!();
 
     banner("§I/§II — incentive mechanism comparison", scale);

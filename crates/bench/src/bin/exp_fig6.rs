@@ -9,7 +9,10 @@ use fairswap_core::experiments::fig6;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Figure 6 — F1 (reward per contribution) Lorenz curves and Gini", scale);
+    banner(
+        "Figure 6 — F1 (reward per contribution) Lorenz curves and Gini",
+        scale,
+    );
     let fig = fig6::run(scale).expect("paper configuration is valid");
 
     for series in &fig.series {

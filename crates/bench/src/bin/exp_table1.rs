@@ -16,7 +16,10 @@ fn main() {
     banner("Table I — average forwarded chunks per node", scale);
     let table = table1::run(scale).expect("paper configuration is valid");
 
-    println!("{:<6} {:>18} {:>18}", "", "20% originators", "100% originators");
+    println!(
+        "{:<6} {:>18} {:>18}",
+        "", "20% originators", "100% originators"
+    );
     for k in [4usize, 20] {
         let skew = table.row(k, 0.2).expect("grid cell present").mean_forwarded;
         let all = table.row(k, 1.0).expect("grid cell present").mean_forwarded;

@@ -1,0 +1,193 @@
+//! Session and inter-session lifetime distributions.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ChurnError;
+
+/// How long a node stays up (session) or down (inter-session), in
+/// simulation steps.
+///
+/// Exponential lifetimes give memoryless Poisson-style churn; Weibull
+/// lifetimes (with `shape < 1`) reproduce the heavy-tailed session lengths
+/// measured in deployed P2P systems.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LifetimeDist {
+    /// Exponential with the given mean (steps).
+    Exponential {
+        /// Mean lifetime in steps.
+        mean: f64,
+    },
+    /// Weibull with the given shape and scale (steps).
+    Weibull {
+        /// Shape parameter `k` (`< 1` is heavy-tailed).
+        shape: f64,
+        /// Scale parameter `λ` in steps.
+        scale: f64,
+    },
+    /// Every lifetime is exactly this many steps (useful for tests).
+    Constant {
+        /// The fixed lifetime in steps.
+        steps: f64,
+    },
+}
+
+impl LifetimeDist {
+    /// The distribution's mean lifetime in steps.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LifetimeDist::Exponential { mean } => mean,
+            // E[Weibull] = λ Γ(1 + 1/k).
+            LifetimeDist::Weibull { shape, scale } => scale * gamma(1.0 + 1.0 / shape),
+            LifetimeDist::Constant { steps } => steps,
+        }
+    }
+
+    /// Draws one lifetime (in steps, always `>= 0`) by inverse-CDF
+    /// sampling from `rng`'s uniform stream.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            LifetimeDist::Exponential { mean } => {
+                let u: f64 = rng.gen();
+                -mean * (1.0 - u).ln()
+            }
+            LifetimeDist::Weibull { shape, scale } => {
+                let u: f64 = rng.gen();
+                scale * (-(1.0 - u).ln()).powf(1.0 / shape)
+            }
+            LifetimeDist::Constant { steps } => steps,
+        }
+    }
+
+    /// Checks the parameters are positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChurnError::InvalidLifetime`] otherwise.
+    pub fn validate(&self) -> Result<(), ChurnError> {
+        let ok = match *self {
+            LifetimeDist::Exponential { mean } => mean.is_finite() && mean > 0.0,
+            LifetimeDist::Weibull { shape, scale } => {
+                shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0
+            }
+            LifetimeDist::Constant { steps } => steps.is_finite() && steps > 0.0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ChurnError::InvalidLifetime { dist: *self })
+        }
+    }
+}
+
+/// Lanczos approximation of the gamma function, accurate to ~1e-10 over
+/// the arguments used here (`1 < x <= 2` after the reflection below).
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEFFICIENTS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut acc = COEFFICIENTS[0];
+        for (i, &c) in COEFFICIENTS.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + G + 0.5;
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-9);
+        assert!((gamma(3.0) - 2.0).abs() < 1e-9);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_sample_mean_converges() {
+        let dist = LifetimeDist::Exponential { mean: 40.0 };
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        let empirical = total / f64::from(n);
+        assert!((empirical - 40.0).abs() < 2.0, "empirical mean {empirical}");
+    }
+
+    #[test]
+    fn weibull_sample_mean_matches_analytic_mean() {
+        let dist = LifetimeDist::Weibull {
+            shape: 0.7,
+            scale: 30.0,
+        };
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let n = 40_000;
+        let total: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        let empirical = total / f64::from(n);
+        let analytic = dist.mean();
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.05,
+            "empirical {empirical} analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn samples_are_non_negative() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        for dist in [
+            LifetimeDist::Exponential { mean: 1.0 },
+            LifetimeDist::Weibull {
+                shape: 2.0,
+                scale: 5.0,
+            },
+            LifetimeDist::Constant { steps: 4.0 },
+        ] {
+            for _ in 0..500 {
+                assert!(dist.sample(&mut rng) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let dist = LifetimeDist::Constant { steps: 7.5 };
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        assert_eq!(dist.sample(&mut rng), 7.5);
+        assert_eq!(dist.mean(), 7.5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(LifetimeDist::Exponential { mean: 0.0 }.validate().is_err());
+        assert!(LifetimeDist::Exponential { mean: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(LifetimeDist::Weibull {
+            shape: -1.0,
+            scale: 2.0
+        }
+        .validate()
+        .is_err());
+        assert!(LifetimeDist::Constant { steps: 0.0 }.validate().is_err());
+        assert!(LifetimeDist::Exponential { mean: 10.0 }.validate().is_ok());
+    }
+}

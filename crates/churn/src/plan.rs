@@ -1,0 +1,318 @@
+//! Deterministic join/leave event plans.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use fairswap_kademlia::NodeId;
+
+use crate::config::{ChurnConfig, ChurnError};
+
+/// What happened to a node at some step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnEventKind {
+    /// The node (re)joins the overlay.
+    Join,
+    /// The node leaves the overlay.
+    Leave,
+}
+
+/// One membership change, scheduled against a simulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Step (1-based, matching the harness' timestep counter) at which the
+    /// event fires, before that step's downloads.
+    pub step: u64,
+    /// The affected node.
+    pub node: NodeId,
+    /// Join or leave.
+    pub kind: ChurnEventKind,
+}
+
+/// A complete, replayable schedule of membership changes.
+///
+/// Generation simulates each node's alternating session/downtime renewal
+/// process, then sweeps the merged event stream once to enforce
+/// consistency (a node leaves only while live, joins only while down) and
+/// the configured live floor. The result is a plan that depends only on
+/// `(nodes, steps, config, seed)` — replaying it is bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPlan {
+    nodes: usize,
+    steps: u64,
+    events: Vec<ChurnEvent>,
+    /// `offsets[step]` = index of the first event at `step` (len `steps+2`
+    /// so `events_at` is a plain slice).
+    offsets: Vec<usize>,
+    joins: usize,
+    leaves: usize,
+    final_live: usize,
+}
+
+impl ChurnPlan {
+    /// Generates the plan for `nodes` nodes over `steps` steps.
+    ///
+    /// All nodes start live; each then follows its own renewal process of
+    /// `session` up-time followed by `downtime` down-time (both in steps,
+    /// rounded up so every phase lasts at least one step).
+    ///
+    /// # Errors
+    ///
+    /// * [`ChurnError::EmptyPlan`] for zero nodes or steps.
+    /// * Parameter errors from [`ChurnConfig::validate`].
+    pub fn generate(
+        nodes: usize,
+        steps: u64,
+        config: &ChurnConfig,
+        seed: u64,
+    ) -> Result<Self, ChurnError> {
+        if nodes == 0 || steps == 0 {
+            return Err(ChurnError::EmptyPlan);
+        }
+        config.validate()?;
+
+        // 1. Raw per-node renewal events.
+        let mut raw: Vec<ChurnEvent> = Vec::new();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for node in 0..nodes {
+            // Clock in steps. Every phase lasts >= 1 step, so the first
+            // event lands at step >= 1 regardless of `start_step`.
+            let mut at = 0u64;
+            let mut live = true;
+            loop {
+                let phase = if live {
+                    config.session.sample(&mut rng)
+                } else {
+                    config.downtime.sample(&mut rng)
+                };
+                // Every phase lasts at least one whole step.
+                let duration = (phase.ceil() as u64).max(1);
+                at = at.saturating_add(duration);
+                let step = at.max(config.start_step);
+                if step > steps {
+                    break;
+                }
+                live = !live;
+                raw.push(ChurnEvent {
+                    step,
+                    node: NodeId(node),
+                    kind: if live {
+                        ChurnEventKind::Join
+                    } else {
+                        ChurnEventKind::Leave
+                    },
+                });
+            }
+        }
+
+        // 2. Deterministic order: by step, then node, leaves before joins
+        //    (a node departing and another arriving in the same step are
+        //    independent; within one node the renewal process already
+        //    alternates).
+        raw.sort_unstable_by_key(|e| (e.step, e.node, matches!(e.kind, ChurnEventKind::Join)));
+
+        // 3. Consistency + floor sweep.
+        let floor = ((nodes as f64 * config.min_live_fraction).ceil() as usize).clamp(2, nodes);
+        let mut live = vec![true; nodes];
+        let mut live_count = nodes;
+        let mut events = Vec::with_capacity(raw.len());
+        let mut suppressed = vec![false; nodes];
+        let (mut joins, mut leaves) = (0usize, 0usize);
+        for event in raw {
+            let idx = event.node.index();
+            match event.kind {
+                ChurnEventKind::Leave => {
+                    if !live[idx] || live_count <= floor {
+                        // Suppressed: the node stays up, so its next
+                        // (now-inconsistent) join must be dropped as well.
+                        suppressed[idx] = live[idx];
+                        continue;
+                    }
+                    live[idx] = false;
+                    live_count -= 1;
+                    leaves += 1;
+                    events.push(event);
+                }
+                ChurnEventKind::Join => {
+                    if suppressed[idx] {
+                        // Cancelled leave: swallow the matching join.
+                        suppressed[idx] = false;
+                        continue;
+                    }
+                    if live[idx] {
+                        continue;
+                    }
+                    live[idx] = true;
+                    live_count += 1;
+                    joins += 1;
+                    events.push(event);
+                }
+            }
+        }
+
+        // 4. Step index for O(1) per-step lookup.
+        let mut offsets = vec![0usize; steps as usize + 2];
+        for event in &events {
+            offsets[event.step as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+
+        Ok(Self {
+            nodes,
+            steps,
+            events,
+            offsets,
+            joins,
+            leaves,
+            final_live: live_count,
+        })
+    }
+
+    /// Number of node slots the plan was generated for.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of steps the plan covers.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// All events, ordered by `(step, node)`.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// The events firing at `step` (1-based), in deterministic order.
+    pub fn events_at(&self, step: u64) -> &[ChurnEvent] {
+        if step as usize + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.events[self.offsets[step as usize]..self.offsets[step as usize + 1]]
+    }
+
+    /// Total join events.
+    pub fn join_count(&self) -> usize {
+        self.joins
+    }
+
+    /// Total leave events.
+    pub fn leave_count(&self) -> usize {
+        self.leaves
+    }
+
+    /// Live nodes after the final step.
+    pub fn final_live_count(&self) -> usize {
+        self.final_live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(rate: f64) -> ChurnConfig {
+        ChurnConfig::from_rate(rate).unwrap()
+    }
+
+    #[test]
+    fn same_inputs_same_plan() {
+        let a = ChurnPlan::generate(80, 400, &config(0.05), 9).unwrap();
+        let b = ChurnPlan::generate(80, 400, &config(0.05), 9).unwrap();
+        assert_eq!(a, b);
+        let c = ChurnPlan::generate(80, 400, &config(0.05), 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn replay_is_consistent_and_respects_floor() {
+        let cfg = config(0.2).with_min_live_fraction(0.5);
+        let plan = ChurnPlan::generate(60, 600, &cfg, 3).unwrap();
+        let floor = 30;
+        let mut live = [true; 60];
+        let mut live_count = 60usize;
+        for step in 1..=600u64 {
+            for event in plan.events_at(step) {
+                assert_eq!(event.step, step);
+                match event.kind {
+                    ChurnEventKind::Leave => {
+                        assert!(live[event.node.index()], "leave of down node");
+                        live[event.node.index()] = false;
+                        live_count -= 1;
+                    }
+                    ChurnEventKind::Join => {
+                        assert!(!live[event.node.index()], "join of live node");
+                        live[event.node.index()] = true;
+                        live_count += 1;
+                    }
+                }
+                assert!(live_count >= floor, "floor violated at step {step}");
+            }
+        }
+        assert_eq!(live_count, plan.final_live_count());
+        assert_eq!(plan.events().len(), plan.join_count() + plan.leave_count());
+    }
+
+    #[test]
+    fn higher_rates_churn_more() {
+        let slow = ChurnPlan::generate(100, 300, &config(0.01), 7).unwrap();
+        let fast = ChurnPlan::generate(100, 300, &config(0.2), 7).unwrap();
+        assert!(fast.leave_count() > slow.leave_count());
+    }
+
+    #[test]
+    fn start_step_delays_churn() {
+        let cfg = config(0.3).with_start_step(200);
+        let plan = ChurnPlan::generate(50, 400, &cfg, 1).unwrap();
+        assert!(plan.events().iter().all(|e| e.step >= 200));
+        assert!(!plan.events().is_empty());
+    }
+
+    #[test]
+    fn start_step_zero_equals_churn_from_the_start() {
+        // Phases last >= 1 step, so "churn from step 0" and the default
+        // "churn from step 1" describe the same plan.
+        let from_zero = config(0.2).with_start_step(0);
+        let from_one = config(0.2).with_start_step(1);
+        assert_eq!(
+            ChurnPlan::generate(40, 200, &from_zero, 9)
+                .unwrap()
+                .events(),
+            ChurnPlan::generate(40, 200, &from_one, 9).unwrap().events(),
+        );
+    }
+
+    #[test]
+    fn events_beyond_horizon_are_empty() {
+        let plan = ChurnPlan::generate(20, 50, &config(0.1), 5).unwrap();
+        assert!(plan.events_at(51).is_empty());
+        assert!(plan.events_at(10_000).is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert_eq!(
+            ChurnPlan::generate(0, 10, &config(0.1), 1).unwrap_err(),
+            ChurnError::EmptyPlan
+        );
+        assert_eq!(
+            ChurnPlan::generate(10, 0, &config(0.1), 1).unwrap_err(),
+            ChurnError::EmptyPlan
+        );
+    }
+
+    #[test]
+    fn weibull_sessions_generate_plans_too() {
+        let cfg = ChurnConfig::from_rate(0.1)
+            .unwrap()
+            .with_session(crate::LifetimeDist::Weibull {
+                shape: 0.6,
+                scale: 8.0,
+            });
+        let plan = ChurnPlan::generate(40, 200, &cfg, 11).unwrap();
+        assert!(plan.leave_count() > 0);
+        assert_eq!(plan, ChurnPlan::generate(40, 200, &cfg, 11).unwrap());
+    }
+}

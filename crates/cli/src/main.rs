@@ -14,13 +14,16 @@
 //!   freeride     §V        — free-riding fraction sweep
 //!   caching      §V        — popularity + caching
 //!   mechanisms   §I/§II    — baseline mechanism comparison
+//!   churn        §V f.w.   — F1/F2 fairness vs churn rate, k ∈ {4, 20}
 //!   all          run everything
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fairswap_core::experiments::{extensions, fig4, fig5, fig6, sweeps, table1, ExperimentScale};
+use fairswap_core::experiments::{
+    churn, extensions, fig4, fig5, fig6, sweeps, table1, ExperimentScale,
+};
 use fairswap_core::CsvTable;
 
 struct Options {
@@ -30,7 +33,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: fairswap <table1|fig4|fig5|fig6|sweep-files|overhead|bucket0|freeride|caching|mechanisms|all>\n\
+    "usage: fairswap <table1|fig4|fig5|fig6|sweep-files|overhead|bucket0|freeride|caching|mechanisms|churn|all>\n\
      \x20      [--nodes N] [--files N] [--seed S] [--out DIR] [--quick]\n\
      \n\
      --quick   use the reduced test scale (300 nodes, 200 files)\n\
@@ -100,8 +103,17 @@ fn run_command(opts: &Options) -> Result<(), String> {
 
     let commands: Vec<&str> = if opts.command == "all" {
         vec![
-            "table1", "fig4", "fig5", "fig6", "sweep-files", "overhead", "bucket0", "freeride",
-            "caching", "mechanisms",
+            "table1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "sweep-files",
+            "overhead",
+            "bucket0",
+            "freeride",
+            "caching",
+            "mechanisms",
+            "churn",
         ]
     } else {
         vec![opts.command.as_str()]
@@ -192,8 +204,8 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(out, "bucket0.csv", &result.to_csv())?;
             }
             "freeride" => {
-                let result =
-                    extensions::free_riding(scale, 4, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5]).map_err(err)?;
+                let result = extensions::free_riding(scale, 4, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5])
+                    .map_err(err)?;
                 for r in &result.rows {
                     println!(
                         "  free-riders={:>4}%  F2={:.4} F1={:.4} income={:.0}",
@@ -227,6 +239,23 @@ fn run_command(opts: &Options) -> Result<(), String> {
                     );
                 }
                 write_csv(out, "mechanisms.csv", &result.to_csv())?;
+            }
+            "churn" => {
+                let result = churn::run(scale, &churn::DEFAULT_RATES).map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  k={:<2} churn={:>4.0}%  F1={:.4} F2={:.4} leaves={:>5} live={:>4} stuck={:>6}",
+                        r.k,
+                        r.churn_rate * 100.0,
+                        r.f1_gini,
+                        r.f2_gini,
+                        r.leaves,
+                        r.final_live,
+                        r.stuck_requests
+                    );
+                }
+                write_csv(out, "churn.csv", &result.to_csv())?;
+                write_csv(out, "churn_timeline.csv", &result.timeline_csv())?;
             }
             other => return Err(format!("unknown command: {other}\n{}", usage())),
         }
@@ -302,6 +331,28 @@ mod tests {
         };
         run_command(&opts).unwrap();
         assert!(dir.join("table1.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn churn_command_writes_both_csvs() {
+        let dir = std::env::temp_dir().join("fairswap_cli_churn_test");
+        let opts = Options {
+            command: "churn".into(),
+            scale: ExperimentScale {
+                nodes: 80,
+                files: 20,
+                seed: 1,
+            },
+            out: dir.clone(),
+        };
+        run_command(&opts).unwrap();
+        assert!(dir.join("churn.csv").exists());
+        assert!(dir.join("churn_timeline.csv").exists());
+        let csv = std::fs::read_to_string(dir.join("churn.csv")).unwrap();
+        assert!(csv.starts_with("k,churn_rate,f1_gini,f2_gini,"));
+        // Two k values × five default rates, plus the header.
+        assert_eq!(csv.lines().count(), 1 + 2 * 5);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

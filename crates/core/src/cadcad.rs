@@ -58,7 +58,7 @@ struct GiniRecorder {
 
 impl Recorder<EngineState> for GiniRecorder {
     fn on_step(&mut self, info: &StepInfo, state: &EngineState) {
-        if info.timestep % self.stride == 0 {
+        if info.timestep.is_multiple_of(self.stride) {
             self.samples.push(GiniTrajectory {
                 timestep: info.timestep,
                 f2_gini: state.f2_gini,
@@ -119,22 +119,24 @@ impl CadcadAdapter {
             // Policy: draw the file download for this step.
             .policy(|rng, _info, workload: &Workload, _state| workload.sample_with(rng))
             // Update: route all chunks, account incentives, tick SWAP.
-            .update(|_rng, _info, _params, _pre, signals, state: &mut EngineState| {
-                let mut shared = state.shared.borrow_mut();
-                let Shared {
-                    topology,
-                    download,
-                    rewards,
-                    mechanism,
-                } = &mut *shared;
-                for file in signals {
-                    download.download_file_with(file.originator, &file.chunks, |d| {
-                        mechanism.on_delivery(topology, d, rewards);
-                    });
-                    mechanism.on_tick(topology, rewards);
-                }
-                state.f2_gini = gini(&rewards.incomes_f64()).unwrap_or(0.0);
-            });
+            .update(
+                |_rng, _info, _params, _pre, signals, state: &mut EngineState| {
+                    let mut shared = state.shared.borrow_mut();
+                    let Shared {
+                        topology,
+                        download,
+                        rewards,
+                        mechanism,
+                    } = &mut *shared;
+                    for file in signals {
+                        download.download_file_with(file.originator, &file.chunks, |d| {
+                            mechanism.on_delivery(topology, d, rewards);
+                        });
+                        mechanism.on_tick(topology, rewards);
+                    }
+                    state.f2_gini = gini(&rewards.incomes_f64()).unwrap_or(0.0);
+                },
+            );
 
         let engine = Simulation::new(config.files, 1, config.seed).block(block);
         let mut recorder = GiniRecorder {

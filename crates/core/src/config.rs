@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use fairswap_churn::ChurnConfig;
 use fairswap_incentives::{
     BandwidthIncentive, EffortBased, FreeRiderSet, PayAllHops, ProofOfBandwidth, SwarmIncentive,
     TitForTat,
@@ -85,6 +86,10 @@ pub struct SimConfig {
     pub mechanism: MechanismKind,
     /// Pricing scheme used by payment mechanisms.
     pub pricing: Pricing,
+    /// Dynamic-membership model; `None` reproduces the paper's static
+    /// overlay ("the routing tables remain static for the entirety of the
+    /// experiments").
+    pub churn: Option<ChurnConfig>,
 }
 
 impl SimConfig {
@@ -110,6 +115,7 @@ impl SimConfig {
             free_rider_fraction: 0.0,
             mechanism: MechanismKind::Swarm,
             pricing: Pricing::proximity_unit(),
+            churn: None,
         }
     }
 
@@ -129,22 +135,20 @@ impl SimConfig {
                 ),
             });
         }
+        if let Some(churn) = &self.churn {
+            churn.validate()?;
+        }
         Ok(())
     }
 
-    pub(crate) fn build_mechanism(
-        &self,
-        free_riders: FreeRiderSet,
-    ) -> Box<dyn BandwidthIncentive> {
+    pub(crate) fn build_mechanism(&self, free_riders: FreeRiderSet) -> Box<dyn BandwidthIncentive> {
         match self.mechanism {
             MechanismKind::Swarm => Box::new(
                 SwarmIncentive::new()
                     .with_pricing(self.pricing)
                     .with_free_riders(free_riders),
             ),
-            MechanismKind::PayAllHops => {
-                Box::new(PayAllHops::new().with_pricing(self.pricing))
-            }
+            MechanismKind::PayAllHops => Box::new(PayAllHops::new().with_pricing(self.pricing)),
             MechanismKind::TitForTat => Box::new(TitForTat::new()),
             MechanismKind::EffortBased { budget_per_tick } => {
                 Box::new(EffortBased::uniform(self.nodes, budget_per_tick))
@@ -298,6 +302,23 @@ impl SimulationBuilder {
         self
     }
 
+    /// Full churn configuration (session/downtime distributions, live
+    /// floor, start step).
+    #[must_use]
+    pub fn churn(mut self, churn: ChurnConfig) -> Self {
+        self.config.churn = Some(churn);
+        self
+    }
+
+    /// Convenience knob: the expected fraction of live nodes departing per
+    /// step. `0.0` means a static overlay; invalid rates are reported by
+    /// [`SimulationBuilder::build`].
+    #[must_use]
+    pub fn churn_rate(mut self, rate: f64) -> Self {
+        self.config.churn = (rate != 0.0).then(|| ChurnConfig::from_rate_unchecked(rate));
+        self
+    }
+
     /// The configuration as currently set.
     pub fn config(&self) -> &SimConfig {
         &self.config
@@ -363,7 +384,11 @@ mod tests {
 
     #[test]
     fn zero_files_rejected() {
-        let err = SimulationBuilder::new().nodes(10).files(0).build().unwrap_err();
+        let err = SimulationBuilder::new()
+            .nodes(10)
+            .files(0)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, CoreError::InvalidConfig { .. }));
     }
 
@@ -380,14 +405,46 @@ mod tests {
 
     #[test]
     fn topology_errors_propagate() {
-        let err = SimulationBuilder::new().nodes(1).files(1).build().unwrap_err();
+        let err = SimulationBuilder::new()
+            .nodes(1)
+            .files(1)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, CoreError::Topology(_)));
+    }
+
+    #[test]
+    fn churn_knobs() {
+        let b = SimulationBuilder::new().churn_rate(0.1);
+        let churn = b.config().churn.clone().unwrap();
+        churn.validate().unwrap();
+        assert!(b.build().is_ok());
+
+        // Zero rate switches back to the static overlay.
+        let b = SimulationBuilder::new().churn_rate(0.1).churn_rate(0.0);
+        assert!(b.config().churn.is_none());
+
+        // Invalid rates surface at build time.
+        let err = SimulationBuilder::new()
+            .nodes(50)
+            .files(5)
+            .churn_rate(-2.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Churn(_)));
+
+        // Full configs pass through.
+        let b = SimulationBuilder::new().churn(ChurnConfig::from_rate(0.05).unwrap());
+        assert!(b.config().churn.is_some());
     }
 
     #[test]
     fn mechanism_ids() {
         assert_eq!(MechanismKind::PayAllHops.id(), "pay-all-hops");
-        assert_eq!(MechanismKind::EffortBased { budget_per_tick: 1 }.id(), "effort-based");
+        assert_eq!(
+            MechanismKind::EffortBased { budget_per_tick: 1 }.id(),
+            "effort-based"
+        );
         assert_eq!(
             MechanismKind::ProofOfBandwidth { mint_per_chunk: 1 }.id(),
             "proof-of-bandwidth"

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use fairswap_churn::ChurnError;
 use fairswap_kademlia::KademliaError;
 use fairswap_workload::WorkloadError;
 
@@ -14,6 +15,8 @@ pub enum CoreError {
     Topology(KademliaError),
     /// Workload construction failed.
     Workload(WorkloadError),
+    /// Churn configuration or plan generation failed.
+    Churn(ChurnError),
     /// A configuration value was out of range.
     InvalidConfig {
         /// Human-readable description of the problem.
@@ -26,6 +29,7 @@ impl fmt::Display for CoreError {
         match self {
             Self::Topology(e) => write!(f, "topology: {e}"),
             Self::Workload(e) => write!(f, "workload: {e}"),
+            Self::Churn(e) => write!(f, "churn: {e}"),
             Self::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
         }
     }
@@ -36,6 +40,7 @@ impl Error for CoreError {
         match self {
             Self::Topology(e) => Some(e),
             Self::Workload(e) => Some(e),
+            Self::Churn(e) => Some(e),
             Self::InvalidConfig { .. } => None,
         }
     }
@@ -53,6 +58,12 @@ impl From<WorkloadError> for CoreError {
     }
 }
 
+impl From<ChurnError> for CoreError {
+    fn from(e: ChurnError) -> Self {
+        Self::Churn(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +78,8 @@ mod tests {
         };
         assert!(e.to_string().contains("files"));
         assert!(Error::source(&e).is_none());
+        let e = CoreError::from(ChurnError::EmptyPlan);
+        assert!(e.to_string().contains("churn"));
+        assert!(Error::source(&e).is_some());
     }
 }

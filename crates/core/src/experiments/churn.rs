@@ -1,0 +1,214 @@
+//! Fairness under churn — the dynamic-network scenario the paper's §V
+//! flags as future work.
+//!
+//! Sweeps the churn rate (expected fraction of live nodes departing per
+//! step) for `k ∈ {4, 20}` and reports the paper's F1/F2 fairness metrics
+//! plus membership statistics, answering the headline open question: does
+//! the `k = 20` fairness advantage survive when the overlay is no longer
+//! static?
+
+use serde::{Deserialize, Serialize};
+
+use fairswap_churn::ChurnConfig;
+
+use crate::config::SimulationBuilder;
+use crate::csv::CsvTable;
+use crate::error::CoreError;
+use crate::experiments::scale::ExperimentScale;
+use crate::report::ChurnSample;
+
+/// The bucket sizes compared throughout the paper.
+pub const PAPER_KS: [usize; 2] = [4, 20];
+
+/// Default churn-rate sweep: static baseline up to 20% of nodes per step.
+pub const DEFAULT_RATES: [f64; 5] = [0.0, 0.02, 0.05, 0.1, 0.2];
+
+/// One `(k, churn_rate)` cell of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnRow {
+    /// Bucket size.
+    pub k: usize,
+    /// Configured churn rate (0 = static baseline).
+    pub churn_rate: f64,
+    /// F1 contribution Gini (forwarded per paid chunk).
+    pub f1_gini: f64,
+    /// F2 income Gini.
+    pub f2_gini: f64,
+    /// Join events applied.
+    pub joins: u64,
+    /// Leave events applied.
+    pub leaves: u64,
+    /// Settlements executed by departing peers.
+    pub departure_settlements: u64,
+    /// Live nodes after the final step (network size for the baseline).
+    pub final_live: usize,
+    /// Mean live nodes across the run.
+    pub mean_live: f64,
+    /// Requests whose greedy route got stuck (rises with churn as tables
+    /// thin out).
+    pub stuck_requests: u64,
+}
+
+/// The full sweep plus the fairness-over-time series of every churned cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnExperiment {
+    /// One row per `(k, rate)` cell, in sweep order.
+    pub rows: Vec<ChurnRow>,
+    /// `(k, rate, timeline)` for each churned cell.
+    pub timelines: Vec<(usize, f64, Vec<ChurnSample>)>,
+}
+
+impl ChurnExperiment {
+    /// The row for one `(k, rate)` cell.
+    pub fn row(&self, k: usize, rate: f64) -> Option<&ChurnRow> {
+        self.rows
+            .iter()
+            .find(|r| r.k == k && (r.churn_rate - rate).abs() < 1e-12)
+    }
+
+    /// F1/F2 Gini vs churn rate, one row per cell — the artifact the
+    /// `fairswap churn` CLI command writes.
+    pub fn to_csv(&self) -> CsvTable {
+        let mut csv = CsvTable::new([
+            "k",
+            "churn_rate",
+            "f1_gini",
+            "f2_gini",
+            "joins",
+            "leaves",
+            "departure_settlements",
+            "final_live",
+            "mean_live",
+            "stuck_requests",
+        ]);
+        for r in &self.rows {
+            csv.push_row([
+                r.k.to_string(),
+                format!("{}", r.churn_rate),
+                format!("{:.6}", r.f1_gini),
+                format!("{:.6}", r.f2_gini),
+                r.joins.to_string(),
+                r.leaves.to_string(),
+                r.departure_settlements.to_string(),
+                r.final_live.to_string(),
+                format!("{:.2}", r.mean_live),
+                r.stuck_requests.to_string(),
+            ]);
+        }
+        csv
+    }
+
+    /// Long-format fairness-over-time CSV: one row per timeline sample.
+    pub fn timeline_csv(&self) -> CsvTable {
+        let mut csv = CsvTable::new(["k", "churn_rate", "step", "live", "f2_gini"]);
+        for (k, rate, timeline) in &self.timelines {
+            for sample in timeline {
+                csv.push_row([
+                    k.to_string(),
+                    format!("{rate}"),
+                    sample.step.to_string(),
+                    sample.live.to_string(),
+                    format!("{:.6}", sample.f2_gini),
+                ]);
+            }
+        }
+        csv
+    }
+}
+
+/// Runs the churn sweep for `k ∈ {4, 20}` over the given rates (0 = the
+/// paper's static overlay, included as the baseline).
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run(scale: ExperimentScale, rates: &[f64]) -> Result<ChurnExperiment, CoreError> {
+    let mut rows = Vec::with_capacity(PAPER_KS.len() * rates.len());
+    let mut timelines = Vec::new();
+    for &k in &PAPER_KS {
+        for &rate in rates {
+            let mut builder = SimulationBuilder::new()
+                .nodes(scale.nodes)
+                .bucket_size(k)
+                .files(scale.files)
+                .seed(scale.seed);
+            if rate != 0.0 {
+                builder = builder.churn(churn_config(rate)?);
+            }
+            let report = builder.build()?.run();
+            let (joins, leaves, departure_settlements, final_live, mean_live) = match report.churn()
+            {
+                Some(churn) => {
+                    timelines.push((k, rate, churn.timeline.clone()));
+                    (
+                        churn.joins,
+                        churn.leaves,
+                        churn.departure_settlements,
+                        churn.final_live,
+                        churn.mean_live(),
+                    )
+                }
+                None => (0, 0, 0, scale.nodes, scale.nodes as f64),
+            };
+            rows.push(ChurnRow {
+                k,
+                churn_rate: rate,
+                f1_gini: report.f1_contribution_gini(),
+                f2_gini: report.f2_income_gini(),
+                joins,
+                leaves,
+                departure_settlements,
+                final_live,
+                mean_live,
+                stuck_requests: report.traffic().stuck_requests(),
+            });
+        }
+    }
+    Ok(ChurnExperiment { rows, timelines })
+}
+
+fn churn_config(rate: f64) -> Result<ChurnConfig, CoreError> {
+    Ok(ChurnConfig::from_rate(rate)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> ExperimentScale {
+        ExperimentScale {
+            nodes: 150,
+            files: 60,
+            seed: 0xFA12,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_stays_bounded() {
+        let result = run(scale(), &[0.0, 0.1]).unwrap();
+        assert_eq!(result.rows.len(), 4);
+        for row in &result.rows {
+            assert!((0.0..=1.0).contains(&row.f1_gini), "{row:?}");
+            assert!((0.0..=1.0).contains(&row.f2_gini), "{row:?}");
+        }
+        // Baselines are static; churned cells actually churned.
+        assert_eq!(result.row(4, 0.0).unwrap().leaves, 0);
+        assert!(result.row(4, 0.1).unwrap().leaves > 0);
+        // One timeline per churned cell.
+        assert_eq!(result.timelines.len(), 2);
+        assert!(!result.to_csv().is_empty());
+        assert!(!result.timeline_csv().is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(scale(), &[0.05]).unwrap();
+        let b = run(scale(), &[0.05]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_rates_error() {
+        assert!(run(scale(), &[-0.5]).is_err());
+    }
+}

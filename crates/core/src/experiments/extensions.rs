@@ -68,7 +68,10 @@ impl BucketZero {
 /// # Errors
 ///
 /// Propagates configuration errors as [`CoreError`].
-pub fn bucket_zero(scale: ExperimentScale, originator_fraction: f64) -> Result<BucketZero, CoreError> {
+pub fn bucket_zero(
+    scale: ExperimentScale,
+    originator_fraction: f64,
+) -> Result<BucketZero, CoreError> {
     let variants: [(String, BucketSizing); 3] = [
         ("uniform-k4".into(), BucketSizing::uniform(4)),
         ("uniform-k20".into(), BucketSizing::uniform(20)),
@@ -239,7 +242,11 @@ impl Caching {
 /// # Errors
 ///
 /// Propagates configuration errors as [`CoreError`].
-pub fn caching(scale: ExperimentScale, k: usize, cache_capacity: usize) -> Result<Caching, CoreError> {
+pub fn caching(
+    scale: ExperimentScale,
+    k: usize,
+    cache_capacity: usize,
+) -> Result<Caching, CoreError> {
     let workloads: [(&str, ChunkDist); 2] = [
         ("uniform", ChunkDist::Uniform),
         (

@@ -59,12 +59,7 @@ impl Fig4 {
 
     /// Renders all series as long-format CSV.
     pub fn to_csv(&self) -> CsvTable {
-        let mut csv = CsvTable::new([
-            "k",
-            "originator_fraction",
-            "bin_lower",
-            "node_count",
-        ]);
+        let mut csv = CsvTable::new(["k", "originator_fraction", "bin_lower", "node_count"]);
         for s in &self.series {
             for &(edge, count) in &s.bins {
                 csv.push_row([

@@ -13,10 +13,12 @@
 //! | [`extensions::free_riding`] | §V misbehaving peers vs F1/F2 |
 //! | [`extensions::caching`] | §V popularity + caching vs amortization |
 //! | [`extensions::mechanisms`] | §I/§II baseline-mechanism comparison |
+//! | [`churn::run`] | §V future work: F1/F2 fairness vs churn rate |
 //!
 //! Every preset takes an [`ExperimentScale`] so the full paper-scale run
 //! (1000 nodes, 10k files) and a laptop-quick run share one code path.
 
+pub mod churn;
 pub mod extensions;
 pub mod fig4;
 pub mod fig5;

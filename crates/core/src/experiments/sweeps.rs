@@ -205,8 +205,7 @@ mod tests {
         for s in &result.trajectory {
             assert!((0.0..=1.0).contains(&s.f2_gini));
         }
-        let head_delta =
-            (result.trajectory[1].f2_gini - result.trajectory[0].f2_gini).abs();
+        let head_delta = (result.trajectory[1].f2_gini - result.trajectory[0].f2_gini).abs();
         let n = result.trajectory.len();
         let tail_delta =
             (result.trajectory[n - 1].f2_gini - result.trajectory[n - 2].f2_gini).abs();

@@ -38,5 +38,7 @@ pub use cadcad::{CadcadAdapter, GiniTrajectory};
 pub use config::{MechanismKind, SimConfig, SimulationBuilder};
 pub use csv::CsvTable;
 pub use error::CoreError;
-pub use report::SimReport;
+pub use report::{ChurnOutcome, ChurnSample, SimReport};
 pub use sim::BandwidthSim;
+
+pub use fairswap_churn::{ChurnConfig, LifetimeDist};

@@ -7,8 +7,47 @@ use fairswap_fairness::{
 use fairswap_incentives::{FreeRiderSet, RewardState};
 use fairswap_kademlia::{HopHistogram, NodeId, Topology, TopologyMetrics};
 use fairswap_storage::TrafficStats;
+use serde::{Deserialize, Serialize};
 
 use crate::config::SimConfig;
+
+/// One sample of the churn timeline: the state of the network after `step`
+/// files were downloaded.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSample {
+    /// Timestep (files downloaded so far).
+    pub step: u64,
+    /// Live nodes at that point.
+    pub live: usize,
+    /// F2 income Gini over all incomes accumulated so far.
+    pub f2_gini: f64,
+}
+
+/// Aggregate outcome of dynamic membership over one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnOutcome {
+    /// Join events applied.
+    pub joins: u64,
+    /// Leave events applied.
+    pub leaves: u64,
+    /// Settlements executed by departing peers closing their channels.
+    pub departure_settlements: u64,
+    /// Live nodes after the final step.
+    pub final_live: usize,
+    /// Per-epoch live-node counts and fairness-over-time series (sampled
+    /// every `max(1, files / 32)` steps plus the final step).
+    pub timeline: Vec<ChurnSample>,
+}
+
+impl ChurnOutcome {
+    /// Mean live-node count across the sampled timeline.
+    pub fn mean_live(&self) -> f64 {
+        if self.timeline.is_empty() {
+            return self.final_live as f64;
+        }
+        self.timeline.iter().map(|s| s.live as f64).sum::<f64>() / self.timeline.len() as f64
+    }
+}
 
 /// The complete outcome of one simulation run.
 ///
@@ -39,6 +78,7 @@ pub struct SimReport {
     amortized_total: i64,
     net_income_bzz: Vec<u64>,
     first_hop_buckets: Vec<u64>,
+    churn: Option<ChurnOutcome>,
 }
 
 impl SimReport {
@@ -52,6 +92,7 @@ impl SimReport {
         free_riders: FreeRiderSet,
         cache_hits: u64,
         first_hop_buckets: Vec<u64>,
+        churn: Option<ChurnOutcome>,
     ) -> Self {
         let metrics = TopologyMetrics::compute(topology);
         let ledger = state.swap().ledger();
@@ -79,6 +120,7 @@ impl SimReport {
             free_riders,
             cache_hits,
             first_hop_buckets,
+            churn,
         }
     }
 
@@ -120,6 +162,13 @@ impl SimReport {
     /// Total cache hits across all nodes.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// Dynamic-membership outcome: join/leave counts, departure
+    /// settlements, and the live-count / fairness-over-time series.
+    /// `None` for static (paper-configuration) runs.
+    pub fn churn(&self) -> Option<&ChurnOutcome> {
+        self.churn.as_ref()
     }
 
     /// How many paid first-hop serves fell into each routing-table bucket

@@ -3,20 +3,30 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
+use fairswap_churn::{ChurnEventKind, ChurnPlan};
+use fairswap_fairness::gini;
 use fairswap_incentives::{FreeRiderSet, RewardState};
 use fairswap_kademlia::{HopHistogram, Topology};
 use fairswap_storage::DownloadSim;
 use fairswap_workload::Workload;
 
 use crate::config::SimConfig;
-use crate::report::SimReport;
+use crate::report::{ChurnOutcome, ChurnSample, SimReport};
+
+/// Sub-seed offset separating the churn plan's randomness from topology,
+/// workload and free-rider sampling.
+const CHURN_SEED_OFFSET: u64 = 0xC4A2_11E5;
 
 /// One fully-wired simulation instance.
 ///
 /// Each timestep downloads one file (the paper's "step"): the workload
 /// draws an originator and chunk set, the storage layer routes every chunk,
 /// the incentive mechanism accounts payments and debts, and SWAP
-/// amortization ticks once.
+/// amortization ticks once. With a churn configuration, the step first
+/// applies that step's scheduled membership events: departures leave the
+/// overlay (routing tables repaired incrementally, caches dropped,
+/// outstanding cheque balances settled) and arrivals rejoin at their
+/// original address.
 pub struct BandwidthSim {
     config: SimConfig,
     topology: Topology,
@@ -55,56 +65,126 @@ impl BandwidthSim {
         F: FnMut(u64, u64),
     {
         let nodes = self.topology.len();
+        let bits = self.topology.space().bits();
         let mut free_rider_rng =
             ChaCha12Rng::seed_from_u64(self.config.seed.wrapping_add(0x5EED_F00D));
-        let free_riders = FreeRiderSet::sample(
-            nodes,
-            self.config.free_rider_fraction,
-            &mut free_rider_rng,
-        );
+        let free_riders =
+            FreeRiderSet::sample(nodes, self.config.free_rider_fraction, &mut free_rider_rng);
         let mut mechanism = self.config.build_mechanism(free_riders.clone());
-        let mut state =
-            RewardState::with_tx_cost(nodes, self.config.channel, self.config.tx_cost);
-        let mut download = DownloadSim::new(self.topology.clone(), self.config.cache);
+        let mut state = RewardState::with_tx_cost(nodes, self.config.channel, self.config.tx_cost);
+        let total = self.config.files;
+        let plan = self.config.churn.as_ref().map(|churn| {
+            ChurnPlan::generate(
+                nodes,
+                total,
+                churn,
+                self.config.seed.wrapping_add(CHURN_SEED_OFFSET),
+            )
+            .expect("churn config was validated at build time")
+        });
+        let mut churn_outcome = plan.as_ref().map(|_| ChurnOutcome {
+            joins: 0,
+            leaves: 0,
+            departure_settlements: 0,
+            final_live: nodes,
+            timeline: Vec::new(),
+        });
+        let timeline_stride = (total / 32).max(1);
+
+        let mut download = DownloadSim::new(self.topology, self.config.cache);
         let mut hops = HopHistogram::new();
         // Which routing-table bucket of the originator the paid first hop
         // sat in (§III-B: zero-proximity nodes take most first-hop load).
-        let mut first_hop_buckets = vec![0u64; self.topology.space().bits() as usize + 1];
+        let mut first_hop_buckets = vec![0u64; bits as usize + 1];
 
-        let total = self.config.files;
         for step in 1..=total {
+            // 1. Membership changes scheduled for this step.
+            if let (Some(plan), Some(outcome)) = (plan.as_ref(), churn_outcome.as_mut()) {
+                let events = plan.events_at(step);
+                for event in events {
+                    match event.kind {
+                        ChurnEventKind::Leave => {
+                            download
+                                .topology_mut()
+                                .remove_node(event.node)
+                                .expect("plan respects the live floor");
+                            download.on_node_leave(event.node);
+                            outcome.departure_settlements +=
+                                state.settle_departed(event.node) as u64;
+                            outcome.leaves += 1;
+                        }
+                        ChurnEventKind::Join => {
+                            download
+                                .topology_mut()
+                                .add_node(event.node)
+                                .expect("plan alternates join/leave per node");
+                            outcome.joins += 1;
+                        }
+                    }
+                }
+                if !events.is_empty() {
+                    let topology = download.topology_rc();
+                    self.workload.sync_live(|node| topology.is_live(node));
+                }
+            }
+
+            // 2. One file download, accounted by the incentive mechanism.
             let file = self.workload.next_download();
-            let origin_addr = self.topology.address(file.originator);
+            let topology = download.topology_rc();
+            let origin_addr = topology.address(file.originator);
             download.download_file_with(file.originator, &file.chunks, |delivery| {
                 if delivery.delivered() {
                     hops.record(delivery.hops.len());
                     if let Some(first) = delivery.first_hop() {
                         let bucket = origin_addr
-                            .proximity(self.topology.address(first))
+                            .proximity(topology.address(first))
                             .bucket_index();
                         first_hop_buckets[bucket] += 1;
                     }
                 }
-                mechanism.on_delivery(&self.topology, delivery, &mut state);
+                mechanism.on_delivery(&topology, delivery, &mut state);
             });
-            mechanism.on_tick(&self.topology, &mut state);
+            mechanism.on_tick(&topology, &mut state);
+            // Release the shared handle so the next step's churn events
+            // mutate the topology in place instead of copying it.
+            drop(topology);
+
+            // 3. Timeline sampling (fairness-over-time, live-node series).
+            if let Some(outcome) = churn_outcome.as_mut() {
+                if step % timeline_stride == 0 || step == total {
+                    outcome.timeline.push(ChurnSample {
+                        step,
+                        live: download.topology().live_count(),
+                        f2_gini: gini(&state.incomes_f64()).unwrap_or(0.0),
+                    });
+                }
+                if step == total {
+                    outcome.final_live = download.topology().live_count();
+                }
+            }
             progress(step, total);
         }
 
-        let cache_hits = self
-            .topology
-            .node_ids()
-            .map(|n| download.cache(n).map_or(0, |c| c.hits()))
+        let cache_hits = (0..nodes)
+            .map(|n| {
+                download
+                    .cache(fairswap_kademlia::NodeId(n))
+                    .map_or(0, |c| c.hits())
+            })
             .sum();
+        let stats = download.stats().clone();
+        let topology = download.topology_rc();
+        drop(download);
         SimReport::assemble(
             self.config,
-            &self.topology,
-            download.stats().clone(),
+            &topology,
+            stats,
             state,
             hops,
             free_riders,
             cache_hits,
             first_hop_buckets,
+            churn_outcome,
         )
     }
 }
@@ -115,6 +195,7 @@ impl std::fmt::Debug for BandwidthSim {
             .field("nodes", &self.topology.len())
             .field("files", &self.config.files)
             .field("mechanism", &self.config.mechanism.id())
+            .field("churn", &self.config.churn.is_some())
             .finish()
     }
 }
@@ -135,6 +216,17 @@ mod tests {
             .unwrap()
     }
 
+    fn churn_sim(rate: f64, seed: u64) -> BandwidthSim {
+        SimulationBuilder::new()
+            .nodes(150)
+            .bucket_size(4)
+            .files(60)
+            .seed(seed)
+            .churn_rate(rate)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn run_produces_consistent_report() {
         let report = small_sim(4, 1.0, 1).run();
@@ -145,6 +237,8 @@ mod tests {
         assert!(first_hops > 0);
         let f2 = report.f2_income_gini();
         assert!((0.0..=1.0).contains(&f2));
+        // Static runs report no churn outcome.
+        assert!(report.churn().is_none());
     }
 
     #[test]
@@ -186,7 +280,9 @@ mod tests {
         for mechanism in [
             MechanismKind::PayAllHops,
             MechanismKind::TitForTat,
-            MechanismKind::EffortBased { budget_per_tick: 1000 },
+            MechanismKind::EffortBased {
+                budget_per_tick: 1000,
+            },
             MechanismKind::ProofOfBandwidth { mint_per_chunk: 1 },
         ] {
             let report = SimulationBuilder::new()
@@ -199,6 +295,70 @@ mod tests {
                 .unwrap()
                 .run();
             assert_eq!(report.config().mechanism.id(), mechanism.id());
+        }
+    }
+
+    #[test]
+    fn churn_run_reports_membership_dynamics() {
+        let report = churn_sim(0.2, 7).run();
+        let churn = report.churn().expect("churn outcome present");
+        assert!(churn.leaves > 0, "high churn rate must produce departures");
+        assert!(churn.final_live <= 150);
+        assert!(!churn.timeline.is_empty());
+        // The timeline is ordered, ends at the final step, and every
+        // fairness sample is a valid Gini.
+        let mut last_step = 0;
+        for sample in &churn.timeline {
+            assert!(sample.step > last_step);
+            last_step = sample.step;
+            assert!((0.0..=1.0).contains(&sample.f2_gini));
+            assert!(sample.live <= 150 && sample.live >= 2);
+        }
+        assert_eq!(churn.timeline.last().unwrap().step, 60);
+        assert_eq!(churn.timeline.last().unwrap().live, churn.final_live);
+        assert!(churn.mean_live() > 0.0);
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic() {
+        let a = churn_sim(0.1, 11).run();
+        let b = churn_sim(0.1, 11).run();
+        assert_eq!(a.traffic().forwarded(), b.traffic().forwarded());
+        assert_eq!(a.incomes(), b.incomes());
+        assert_eq!(a.churn(), b.churn());
+    }
+
+    #[test]
+    fn churned_incomes_match_ledger_volume() {
+        // Departure settlements and first-hop payments both flow through
+        // the ledger at 1:1, so conservation must hold under churn too.
+        let report = churn_sim(0.15, 13).run();
+        let income: f64 = report.incomes().iter().sum();
+        assert_eq!(income as u64, report.settlement_volume());
+    }
+
+    #[test]
+    fn mechanisms_survive_churn() {
+        for mechanism in [
+            MechanismKind::PayAllHops,
+            MechanismKind::TitForTat,
+            MechanismKind::EffortBased {
+                budget_per_tick: 1000,
+            },
+            MechanismKind::ProofOfBandwidth { mint_per_chunk: 1 },
+        ] {
+            let report = SimulationBuilder::new()
+                .nodes(100)
+                .bucket_size(4)
+                .files(25)
+                .seed(17)
+                .churn_rate(0.1)
+                .mechanism(mechanism)
+                .build()
+                .unwrap()
+                .run();
+            let f2 = report.f2_income_gini();
+            assert!((0.0..=1.0).contains(&f2), "{}: {f2}", mechanism.id());
         }
     }
 }

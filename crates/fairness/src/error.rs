@@ -60,9 +60,12 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(FairnessError::EmptyInput.to_string(), "input is empty");
-        assert!(FairnessError::NegativeValue { index: 2, value: -1.0 }
-            .to_string()
-            .contains("index 2"));
+        assert!(FairnessError::NegativeValue {
+            index: 2,
+            value: -1.0
+        }
+        .to_string()
+        .contains("index 2"));
         assert!(FairnessError::LengthMismatch { left: 3, right: 4 }
             .to_string()
             .contains("3 vs 4"));

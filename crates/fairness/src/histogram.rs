@@ -63,7 +63,10 @@ impl Histogram {
     /// # Errors
     ///
     /// Fails on the first invalid sample; earlier samples stay recorded.
-    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) -> Result<(), FairnessError> {
+    pub fn record_all<I: IntoIterator<Item = f64>>(
+        &mut self,
+        values: I,
+    ) -> Result<(), FairnessError> {
         for v in values {
             self.record(v)?;
         }

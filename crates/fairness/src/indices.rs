@@ -71,14 +71,14 @@ pub fn atkinson(values: &[f64], epsilon: f64) -> Result<f64, FairnessError> {
     let n = values.len() as f64;
     let ede = if (epsilon - 1.0).abs() < 1e-12 {
         // Geometric mean; any zero collapses it to zero.
-        if values.iter().any(|&x| x == 0.0) {
+        if values.contains(&0.0) {
             0.0
         } else {
             (values.iter().map(|&x| x.ln()).sum::<f64>() / n).exp()
         }
     } else {
         let p = 1.0 - epsilon;
-        if p < 0.0 && values.iter().any(|&x| x == 0.0) {
+        if p < 0.0 && values.contains(&0.0) {
             // x^p diverges at 0 for p < 0: the power mean is 0.
             0.0
         } else {

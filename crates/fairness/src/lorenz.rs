@@ -118,13 +118,18 @@ mod tests {
         let mut area = 0.0;
         for w in c.windows(2) {
             let dx = w[1].population_share - w[0].population_share;
-            let mean_height =
-                (w[0].population_share - w[0].value_share + w[1].population_share - w[1].value_share)
-                    / 2.0;
+            let mean_height = (w[0].population_share - w[0].value_share + w[1].population_share
+                - w[1].value_share)
+                / 2.0;
             area += dx * mean_height;
         }
         let g = gini(&v).unwrap();
-        assert!((2.0 * area - g).abs() < 1e-9, "2*area={} gini={}", 2.0 * area, g);
+        assert!(
+            (2.0 * area - g).abs() < 1e-9,
+            "2*area={} gini={}",
+            2.0 * area,
+            g
+        );
     }
 
     #[test]

@@ -74,10 +74,7 @@ pub fn f1_values(contributions: &[f64], rewards: &[f64]) -> Result<Vec<f64>, Fai
 ///
 /// The conditions of [`f1_values`], plus [`FairnessError::ZeroTotal`] when
 /// every rewarded peer contributed nothing.
-pub fn f1_contribution_gini(
-    contributions: &[f64],
-    rewards: &[f64],
-) -> Result<f64, FairnessError> {
+pub fn f1_contribution_gini(contributions: &[f64], rewards: &[f64]) -> Result<f64, FairnessError> {
     gini(&f1_values(contributions, rewards)?)
 }
 

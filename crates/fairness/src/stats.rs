@@ -131,6 +131,9 @@ mod tests {
             Summary::of(&[1.0, f64::NAN]),
             Err(FairnessError::NonFiniteValue { index: 1 })
         ));
-        assert_eq!(Summary::percentile(&[], 50.0), Err(FairnessError::EmptyInput));
+        assert_eq!(
+            Summary::percentile(&[], 50.0),
+            Err(FairnessError::EmptyInput)
+        );
     }
 }

@@ -4,9 +4,8 @@ use fairswap_fairness::{f1_contribution_gini, gini, gini_naive, lorenz, Summary}
 use proptest::prelude::*;
 
 fn arb_values() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..1e6, 1..128).prop_filter("needs a non-zero total", |v| {
-        v.iter().sum::<f64>() > 0.0
-    })
+    prop::collection::vec(0.0f64..1e6, 1..128)
+        .prop_filter("needs a non-zero total", |v| v.iter().sum::<f64>() > 0.0)
 }
 
 proptest! {

@@ -110,7 +110,10 @@ mod tests {
         // One settlement per hop.
         assert_eq!(state.swap().ledger().transaction_count(), 3);
         // No residual debts anywhere.
-        assert_eq!(state.swap().debt(NodeId(1), NodeId(2)), AccountingUnits::ZERO);
+        assert_eq!(
+            state.swap().debt(NodeId(1), NodeId(2)),
+            AccountingUnits::ZERO
+        );
     }
 
     #[test]

@@ -73,6 +73,34 @@ impl RewardState {
         self.income.iter().copied().sum()
     }
 
+    /// Settles every outstanding cheque balance of a departing peer, in
+    /// both directions, crediting each settlement to its recipient's
+    /// income.
+    ///
+    /// The departed node's accumulated income is **retained**: the paper's
+    /// F2 fairness accounting covers every node that ever participated, so
+    /// a node that earned rewards and then left still counts (its slot
+    /// stays in the income vector, and it may keep earning across later
+    /// sessions).
+    ///
+    /// Returns the number of settlements executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the network (a churn plan never produces
+    /// such ids) or a wallet cannot cover its debt (wallets are endowed far
+    /// beyond any simulated debt).
+    pub fn settle_departed(&mut self, node: NodeId) -> usize {
+        let settlements = self
+            .swap
+            .settle_node(node)
+            .expect("churn events reference known, funded peers");
+        for settlement in &settlements {
+            self.add_income(settlement.payee, settlement.units);
+        }
+        settlements.len()
+    }
+
     /// Records that a frozen channel forced an early settlement (tracked so
     /// experiments can report protocol pressure).
     pub fn note_forced_settlement(&mut self) {
@@ -99,6 +127,32 @@ mod tests {
         assert_eq!(s.total_income(), AccountingUnits(7));
         assert_eq!(s.incomes_f64(), vec![0.0, 7.0, 0.0]);
         assert_eq!(s.node_count(), 3);
+    }
+
+    #[test]
+    fn departure_settles_and_credits_income() {
+        let mut s = RewardState::new(3, ChannelConfig::default());
+        // Node 1 forwarded for node 0 (0 owes 1) and consumed from node 2
+        // (1 owes 2).
+        s.swap_mut()
+            .record_service(NodeId(0), NodeId(1), AccountingUnits(30))
+            .unwrap();
+        s.swap_mut()
+            .record_service(NodeId(1), NodeId(2), AccountingUnits(12))
+            .unwrap();
+        let settled = s.settle_departed(NodeId(1));
+        assert_eq!(settled, 2);
+        // The departing node collected what it was owed...
+        assert_eq!(s.income(NodeId(1)), AccountingUnits(30));
+        // ...and its creditor was paid out too.
+        assert_eq!(s.income(NodeId(2)), AccountingUnits(12));
+        // Departed income is retained for fairness accounting.
+        assert_eq!(s.incomes_f64(), vec![0.0, 30.0, 12.0]);
+        // No residual debts on the departed node's channels.
+        assert_eq!(s.swap().debt(NodeId(0), NodeId(1)), AccountingUnits::ZERO);
+        assert_eq!(s.swap().debt(NodeId(1), NodeId(2)), AccountingUnits::ZERO);
+        // Clean departure is a no-op.
+        assert_eq!(s.settle_departed(NodeId(1)), 0);
     }
 
     #[test]

@@ -149,8 +149,8 @@ proptest! {
                 }
             }
         }
-        for i in 0..t.len() {
-            prop_assert_eq!(state.income(NodeId(i)).raw(), relayed[i] * mint);
+        for (i, &count) in relayed.iter().enumerate() {
+            prop_assert_eq!(state.income(NodeId(i)).raw(), count * mint);
         }
     }
 

@@ -79,7 +79,10 @@ impl AddressSpace {
                 bits: self.bits,
             });
         }
-        Ok(OverlayAddress { raw, bits: self.bits })
+        Ok(OverlayAddress {
+            raw,
+            bits: self.bits,
+        })
     }
 
     /// Wraps a raw integer, truncating it into range by masking the high bits.
@@ -372,7 +375,7 @@ mod tests {
     #[test]
     fn display_formats() {
         let s = space16();
-        let a = s.address(0x0A_B).unwrap();
+        let a = s.address(0x00AB).unwrap();
         assert_eq!(a.to_string(), "00ab");
         assert_eq!(format!("{a:b}"), "0000000010101011");
         assert_eq!(format!("{a:x}"), "ab");

@@ -74,6 +74,23 @@ impl KBucket {
         self.entries.iter().any(|(id, _)| *id == node)
     }
 
+    /// Removes a peer, preserving the order of the remaining entries.
+    /// Returns `false` if the peer was not present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        match self.entries.iter().position(|(id, _)| *id == node) {
+            Some(index) => {
+                self.entries.remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every peer (used when the bucket's owner goes offline).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Iterates over `(NodeId, OverlayAddress)` entries in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, OverlayAddress)> + '_ {
         self.entries.iter().copied()
@@ -118,6 +135,20 @@ mod tests {
         }
         let ids: Vec<_> = b.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn remove_preserves_order_of_rest() {
+        let mut b = KBucket::new(0, 8);
+        for i in 0..5u64 {
+            b.insert(NodeId(i as usize), addr(i));
+        }
+        assert!(b.remove(NodeId(2)));
+        assert!(!b.remove(NodeId(2)));
+        let ids: Vec<_> = b.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
+        b.clear();
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -43,6 +43,22 @@ pub enum KademliaError {
         /// The offending node index.
         index: usize,
     },
+    /// Tried to add a node that is already live.
+    NodeAlreadyLive {
+        /// The offending node index.
+        index: usize,
+    },
+    /// Tried to remove a node that is already offline.
+    NodeNotLive {
+        /// The offending node index.
+        index: usize,
+    },
+    /// A removal would leave fewer than two live nodes, making routing
+    /// meaningless.
+    TooFewLiveNodes {
+        /// Live nodes before the rejected removal.
+        live: usize,
+    },
 }
 
 impl fmt::Display for KademliaError {
@@ -54,7 +70,10 @@ impl fmt::Display for KademliaError {
             Self::AddressOutOfRange { raw, bits } => {
                 write!(f, "address {raw:#x} does not fit in a {bits}-bit space")
             }
-            Self::SpaceExhausted { requested, capacity } => write!(
+            Self::SpaceExhausted {
+                requested,
+                capacity,
+            } => write!(
                 f,
                 "cannot place {requested} distinct nodes in a space of {capacity} addresses"
             ),
@@ -66,6 +85,13 @@ impl fmt::Display for KademliaError {
                 write!(f, "duplicate node address {raw:#x}")
             }
             Self::UnknownNode { index } => write!(f, "unknown node id {index}"),
+            Self::NodeAlreadyLive { index } => {
+                write!(f, "node {index} is already part of the live overlay")
+            }
+            Self::NodeNotLive { index } => write!(f, "node {index} is already offline"),
+            Self::TooFewLiveNodes { live } => {
+                write!(f, "removal would leave fewer than 2 of {live} live nodes")
+            }
         }
     }
 }
@@ -80,12 +106,21 @@ mod tests {
     fn display_is_nonempty_and_lowercase() {
         let errors = [
             KademliaError::InvalidBits { bits: 0 },
-            KademliaError::AddressOutOfRange { raw: 70_000, bits: 16 },
-            KademliaError::SpaceExhausted { requested: 10, capacity: 4 },
+            KademliaError::AddressOutOfRange {
+                raw: 70_000,
+                bits: 16,
+            },
+            KademliaError::SpaceExhausted {
+                requested: 10,
+                capacity: 4,
+            },
             KademliaError::TooFewNodes { requested: 1 },
             KademliaError::ZeroBucketSize,
             KademliaError::DuplicateAddress { raw: 3 },
             KademliaError::UnknownNode { index: 9 },
+            KademliaError::NodeAlreadyLive { index: 1 },
+            KademliaError::NodeNotLive { index: 1 },
+            KademliaError::TooFewLiveNodes { live: 2 },
         ];
         for e in errors {
             let msg = e.to_string();

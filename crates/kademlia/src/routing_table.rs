@@ -108,6 +108,20 @@ impl RoutingTable {
         bucket.insert(peer, address)
     }
 
+    /// Removes `peer` from whichever bucket holds it. Returns `false` if
+    /// the peer was not present.
+    pub fn remove(&mut self, peer: NodeId) -> bool {
+        self.buckets.iter_mut().any(|bucket| bucket.remove(peer))
+    }
+
+    /// Empties every bucket (the owner went offline and drops all
+    /// connections).
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+    }
+
     /// Iterates over every known peer.
     pub fn peers(&self) -> impl Iterator<Item = (NodeId, OverlayAddress)> + '_ {
         self.buckets.iter().flat_map(KBucket::iter)
@@ -181,12 +195,7 @@ mod tests {
     fn table(owner_raw: u64, k: usize) -> RoutingTable {
         let space = space8();
         let caps = vec![k; 8];
-        RoutingTable::new(
-            NodeId(0),
-            space.address(owner_raw).unwrap(),
-            space,
-            &caps,
-        )
+        RoutingTable::new(NodeId(0), space.address(owner_raw).unwrap(), space, &caps)
     }
 
     #[test]
@@ -283,6 +292,20 @@ mod tests {
         assert_eq!(top1[0].0, NodeId(3));
         // Asking for more than known returns all.
         assert_eq!(t.closest_peers(target, 99).len(), 3);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t = table(0, 4);
+        let space = space8();
+        t.insert(NodeId(1), space.address(0xF0).unwrap());
+        t.insert(NodeId(2), space.address(0x0F).unwrap());
+        assert!(t.remove(NodeId(1)));
+        assert!(!t.remove(NodeId(1)));
+        assert!(!t.knows(NodeId(1)));
+        assert_eq!(t.connection_count(), 1);
+        t.clear();
+        assert_eq!(t.connection_count(), 0);
     }
 
     #[test]

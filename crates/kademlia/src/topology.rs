@@ -1,4 +1,13 @@
-//! Static overlay topologies: node address sets plus all routing tables.
+//! Overlay topologies: node address sets plus all routing tables.
+//!
+//! Topologies are built statically from a seed (the paper's setup) but — to
+//! support dynamic-membership experiments — also expose mutation APIs:
+//! [`Topology::remove_node`] takes a node offline and incrementally repairs
+//! every routing table that referenced it, and [`Topology::add_node`] brings
+//! it back (Swarm nodes keep their overlay address across sessions). Both
+//! operations are deterministic, preserve the structural invariants checked
+//! by [`Topology::validate`], and cost a small fraction of a full rebuild
+//! (see [`Topology::rebuilt_naive`] and the `churn` bench).
 
 use std::collections::HashSet;
 use std::fmt;
@@ -15,7 +24,9 @@ use crate::routing_table::RoutingTable;
 /// Index of a node in a [`Topology`].
 ///
 /// Node ids are dense (`0..topology.len()`) so simulations can keep per-node
-/// statistics in plain vectors.
+/// statistics in plain vectors. Ids stay stable across [`Topology::remove_node`]
+/// / [`Topology::add_node`]: an offline node keeps its slot (and address) and
+/// is simply not part of the live overlay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
@@ -79,7 +90,7 @@ impl BucketSizing {
     }
 
     fn validate(&self, bits: u32) -> Result<(), KademliaError> {
-        if self.capacities(bits).iter().any(|&k| k == 0) {
+        if self.capacities(bits).contains(&0) {
             return Err(KademliaError::ZeroBucketSize);
         }
         Ok(())
@@ -232,11 +243,15 @@ impl TopologyBuilder {
         }
 
         let trie = AddressTrie::build(self.space, &addresses);
+        let knowers = build_knowers(&tables, n);
         Ok(Topology {
             space: self.space,
+            live: vec![true; n],
+            live_count: n,
             addresses,
             tables,
             trie,
+            knowers,
             sizing: self.sizing.clone(),
             seed: self.seed,
         })
@@ -265,14 +280,47 @@ fn sample_distinct_addresses(
     Ok(out)
 }
 
-/// A static forwarding-Kademlia overlay: every node's address and routing
-/// table, plus an index for global closest-node queries.
+/// Reverse index: for each node, which owners currently list it.
+fn build_knowers(tables: &[RoutingTable], n: usize) -> Vec<Vec<usize>> {
+    let mut knowers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for table in tables {
+        let owner = table.owner().index();
+        for (peer, _) in table.peers() {
+            knowers[peer.index()].push(owner);
+        }
+    }
+    for list in &mut knowers {
+        list.sort_unstable();
+    }
+    knowers
+}
+
+fn knowers_insert(list: &mut Vec<usize>, owner: usize) {
+    if let Err(pos) = list.binary_search(&owner) {
+        list.insert(pos, owner);
+    }
+}
+
+fn knowers_remove(list: &mut Vec<usize>, owner: usize) {
+    if let Ok(pos) = list.binary_search(&owner) {
+        list.remove(pos);
+    }
+}
+
+/// A forwarding-Kademlia overlay: every node's address and routing table,
+/// a live-membership set, and an index for global closest-live-node queries.
 #[derive(Debug, Clone)]
 pub struct Topology {
     space: AddressSpace,
     addresses: Vec<OverlayAddress>,
+    /// Whether each slot is currently part of the overlay.
+    live: Vec<bool>,
+    live_count: usize,
     tables: Vec<RoutingTable>,
     trie: AddressTrie,
+    /// `knowers[i]`: owners whose routing table currently lists node `i`
+    /// (kept sorted). Makes departures O(holders) instead of O(n).
+    knowers: Vec<Vec<usize>>,
     sizing: BucketSizing,
     seed: u64,
 }
@@ -284,7 +332,7 @@ impl Topology {
         self.space
     }
 
-    /// Number of nodes.
+    /// Number of node slots (live and offline).
     #[inline]
     pub fn len(&self) -> usize {
         self.addresses.len()
@@ -294,6 +342,18 @@ impl Topology {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.addresses.is_empty()
+    }
+
+    /// Number of currently live nodes.
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether `node` is currently part of the overlay.
+    #[inline]
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.live.get(node.0).copied().unwrap_or(false)
     }
 
     /// The bucket sizing used to build this topology.
@@ -306,9 +366,18 @@ impl Topology {
         self.seed
     }
 
-    /// Iterate over all node ids, `n0, n1, ...`.
+    /// Iterate over all node ids (live and offline), `n0, n1, ...`.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
         (0..self.addresses.len()).map(NodeId)
+    }
+
+    /// Iterate over the currently live node ids, ascending.
+    pub fn live_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, &alive)| alive)
+            .map(|(i, _)| NodeId(i))
     }
 
     /// The overlay address of `node`.
@@ -329,7 +398,7 @@ impl Topology {
             .ok_or(KademliaError::UnknownNode { index: node.0 })
     }
 
-    /// The routing table of `node`.
+    /// The routing table of `node` (empty for offline nodes).
     ///
     /// # Panics
     ///
@@ -343,11 +412,13 @@ impl Topology {
         &self.tables
     }
 
-    /// The node whose address is globally closest (XOR metric) to `target`.
+    /// The live node whose address is globally closest (XOR metric) to
+    /// `target`.
     ///
     /// XOR distances from a fixed target to distinct addresses are unique, so
     /// the closest node is unambiguous. The paper stores each chunk at
-    /// exactly this node.
+    /// exactly this node; under churn, responsibility migrates to the
+    /// closest *live* node.
     pub fn closest_node(&self, target: OverlayAddress) -> NodeId {
         self.trie.closest(target)
     }
@@ -358,12 +429,193 @@ impl Topology {
         self.tables.iter().map(RoutingTable::connection_count).sum()
     }
 
+    /// Takes `node` offline: removes it from the live set, the closest-node
+    /// index, and every routing table that listed it, then incrementally
+    /// refills each affected bucket with the closest eligible live peer so
+    /// the "full whenever candidates exist" invariant survives.
+    ///
+    /// Runs in `O(holders × n)` — the node's typical in-degree is a few
+    /// dozen — instead of the `O(n²)` of a full rebuild.
+    ///
+    /// # Errors
+    ///
+    /// * [`KademliaError::UnknownNode`] for out-of-range ids.
+    /// * [`KademliaError::NodeNotLive`] if the node is already offline.
+    /// * [`KademliaError::TooFewLiveNodes`] if fewer than 3 nodes are live.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<(), KademliaError> {
+        let index = node.0;
+        if index >= self.addresses.len() {
+            return Err(KademliaError::UnknownNode { index });
+        }
+        if !self.live[index] {
+            return Err(KademliaError::NodeNotLive { index });
+        }
+        if self.live_count <= 2 {
+            return Err(KademliaError::TooFewLiveNodes {
+                live: self.live_count,
+            });
+        }
+        self.live[index] = false;
+        self.live_count -= 1;
+        self.trie.set_live(self.addresses[index], false);
+
+        // Drop the departed node from every table that listed it, refilling
+        // the vacated bucket where candidates remain.
+        let holders = std::mem::take(&mut self.knowers[index]);
+        for owner in holders {
+            let removed = self.tables[owner].remove(node);
+            debug_assert!(removed, "knowers index out of sync");
+            let bucket = self
+                .space
+                .proximity(self.addresses[owner], self.addresses[index])
+                .bucket_index();
+            if let Some(replacement) = self.refill_candidate(owner, bucket) {
+                let inserted =
+                    self.tables[owner].insert(NodeId(replacement), self.addresses[replacement]);
+                debug_assert!(inserted, "refill candidate must fit");
+                knowers_insert(&mut self.knowers[replacement], owner);
+            }
+        }
+
+        // The departed node drops all of its own connections.
+        let peers: Vec<usize> = self.tables[index].peers().map(|(p, _)| p.0).collect();
+        for peer in peers {
+            knowers_remove(&mut self.knowers[peer], index);
+        }
+        self.tables[index].clear();
+        Ok(())
+    }
+
+    /// Brings an offline `node` back into the overlay at its original
+    /// address: rebuilds its routing table from the live population
+    /// (closest-per-bucket selection) and inserts it into every live
+    /// bucket with spare capacity, restoring the fullness invariant.
+    ///
+    /// # Errors
+    ///
+    /// * [`KademliaError::UnknownNode`] for out-of-range ids.
+    /// * [`KademliaError::NodeAlreadyLive`] if the node is already live.
+    pub fn add_node(&mut self, node: NodeId) -> Result<(), KademliaError> {
+        let index = node.0;
+        if index >= self.addresses.len() {
+            return Err(KademliaError::UnknownNode { index });
+        }
+        if self.live[index] {
+            return Err(KademliaError::NodeAlreadyLive { index });
+        }
+        self.live[index] = true;
+        self.live_count += 1;
+        let joiner_addr = self.addresses[index];
+        self.trie.set_live(joiner_addr, true);
+
+        // 1. Rebuild the joiner's own table from the live population.
+        let capacities = self.sizing.capacities(self.space.bits());
+        let table = self.fill_table_closest(index, &capacities);
+        for (peer, _) in table.peers() {
+            knowers_insert(&mut self.knowers[peer.0], index);
+        }
+        self.tables[index] = table;
+
+        // 2. Advertise the joiner to the rest of the overlay: every live
+        //    node with spare capacity in the matching bucket links to it.
+        for owner in 0..self.addresses.len() {
+            if owner == index || !self.live[owner] {
+                continue;
+            }
+            if self.tables[owner].insert(node, joiner_addr) {
+                knowers_insert(&mut self.knowers[index], owner);
+            }
+        }
+        Ok(())
+    }
+
+    /// The closest eligible live peer for `owner`'s bucket `bucket`, if any:
+    /// live, not the owner, proximity exactly `bucket`, not already listed.
+    /// A proximity-`bucket` peer can only sit in bucket `bucket`, so the
+    /// membership test checks that single bucket instead of the whole
+    /// table.
+    fn refill_candidate(&self, owner: usize, bucket: usize) -> Option<usize> {
+        let owner_addr = self.addresses[owner];
+        let occupied = self.tables[owner]
+            .bucket(bucket)
+            .expect("bucket index comes from a proximity computation");
+        self.addresses
+            .iter()
+            .enumerate()
+            .filter(|&(peer, &peer_addr)| {
+                peer != owner
+                    && self.live[peer]
+                    && self.space.proximity(owner_addr, peer_addr).bucket_index() == bucket
+                    && !occupied.contains(NodeId(peer))
+            })
+            .min_by_key(|&(_, &peer_addr)| self.space.distance(owner_addr, peer_addr))
+            .map(|(peer, _)| peer)
+    }
+
+    /// Builds a fresh routing table for `owner` over the current live
+    /// population: per bucket, the closest `min(k, |candidates|)` live
+    /// peers by XOR distance (deterministic; distances to distinct
+    /// addresses never tie). Shared by [`Topology::add_node`] and
+    /// [`Topology::rebuilt_naive`] so the two maintenance paths can never
+    /// drift apart in selection policy.
+    fn fill_table_closest(&self, owner: usize, capacities: &[usize]) -> RoutingTable {
+        let owner_addr = self.addresses[owner];
+        let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); self.space.bits() as usize];
+        for (peer, &peer_addr) in self.addresses.iter().enumerate() {
+            if peer == owner || !self.live[peer] {
+                continue;
+            }
+            candidates[self.space.proximity(owner_addr, peer_addr).bucket_index()].push(peer);
+        }
+        let mut table = RoutingTable::new(NodeId(owner), owner_addr, self.space, capacities);
+        for (bucket, bucket_candidates) in candidates.iter_mut().enumerate() {
+            let take = capacities[bucket].min(bucket_candidates.len());
+            if take == 0 {
+                continue;
+            }
+            bucket_candidates.sort_unstable_by_key(|&peer| {
+                self.space.distance(owner_addr, self.addresses[peer])
+            });
+            for &peer in bucket_candidates.iter().take(take) {
+                let inserted = table.insert(NodeId(peer), self.addresses[peer]);
+                debug_assert!(inserted, "candidate must fit its bucket");
+            }
+        }
+        table
+    }
+
+    /// Rebuilds every routing table from scratch over the current live set
+    /// (deterministic closest-per-bucket selection) — the naive `O(n²)`
+    /// alternative to the incremental maintenance done by
+    /// [`Topology::remove_node`] / [`Topology::add_node`]. Used by benches
+    /// and tests as a correctness / cost baseline.
+    pub fn rebuilt_naive(&self) -> Topology {
+        let mut rebuilt = self.clone();
+        let capacities = self.sizing.capacities(self.space.bits());
+        for owner in 0..self.addresses.len() {
+            rebuilt.tables[owner] = if self.live[owner] {
+                self.fill_table_closest(owner, &capacities)
+            } else {
+                RoutingTable::new(
+                    NodeId(owner),
+                    self.addresses[owner],
+                    self.space,
+                    &capacities,
+                )
+            };
+        }
+        rebuilt.knowers = build_knowers(&rebuilt.tables, rebuilt.addresses.len());
+        rebuilt
+    }
+
     /// Checks structural invariants; used by tests and debug assertions.
     ///
-    /// Verified invariants: addresses are distinct; no table contains its
-    /// owner; every entry sits in the bucket matching its proximity order;
-    /// no bucket exceeds its capacity; every bucket whose candidate set is at
-    /// least its capacity is full.
+    /// Verified invariants: addresses are distinct; offline nodes have empty
+    /// tables and appear in no live table; no table contains its owner;
+    /// every entry is live and sits in the bucket matching its proximity
+    /// order; no bucket exceeds its capacity; every bucket whose live
+    /// candidate set is at least its capacity is full; the reverse
+    /// (`knowers`) index matches the tables.
     pub fn validate(&self) -> Result<(), String> {
         let mut seen = HashSet::new();
         for addr in &self.addresses {
@@ -371,13 +623,23 @@ impl Topology {
                 return Err(format!("duplicate address {addr}"));
             }
         }
+        if self.live.iter().filter(|&&alive| alive).count() != self.live_count {
+            return Err("live_count out of sync".into());
+        }
+        let mut knowers_check: Vec<Vec<usize>> = vec![Vec::new(); self.addresses.len()];
         for (owner, table) in self.tables.iter().enumerate() {
+            if !self.live[owner] {
+                if table.connection_count() != 0 {
+                    return Err(format!("offline node {owner} has connections"));
+                }
+                continue;
+            }
             let owner_addr = self.addresses[owner];
-            // Count candidates per proximity order for fullness check.
+            // Count live candidates per proximity order for fullness check.
             let bits = self.space.bits() as usize;
             let mut candidate_counts = vec![0usize; bits];
             for (peer, &peer_addr) in self.addresses.iter().enumerate() {
-                if peer != owner {
+                if peer != owner && self.live[peer] {
                     let p = self.space.proximity(owner_addr, peer_addr).bucket_index();
                     candidate_counts[p] += 1;
                 }
@@ -386,7 +648,9 @@ impl Topology {
                 if bucket.len() > bucket.capacity() {
                     return Err(format!("node {owner}: bucket {} overfull", bucket.index()));
                 }
-                let expected = bucket.capacity().min(candidate_counts[bucket.index() as usize]);
+                let expected = bucket
+                    .capacity()
+                    .min(candidate_counts[bucket.index() as usize]);
                 if bucket.len() != expected {
                     return Err(format!(
                         "node {owner}: bucket {} has {} entries, expected {}",
@@ -399,6 +663,9 @@ impl Topology {
                     if peer.0 == owner {
                         return Err(format!("node {owner} lists itself"));
                     }
+                    if !self.live[peer.0] {
+                        return Err(format!("node {owner} lists offline {peer}"));
+                    }
                     if self.addresses[peer.0] != peer_addr {
                         return Err(format!("node {owner}: stale address for {peer}"));
                     }
@@ -410,15 +677,23 @@ impl Topology {
                             prox
                         ));
                     }
+                    knowers_check[peer.0].push(owner);
                 }
             }
+        }
+        for list in &mut knowers_check {
+            list.sort_unstable();
+        }
+        if knowers_check != self.knowers {
+            return Err("knowers reverse index out of sync with tables".into());
         }
         Ok(())
     }
 }
 
-/// Binary trie over the node addresses for O(bits) closest-node queries
-/// under the XOR metric.
+/// Binary trie over the node addresses for O(bits) closest-live-node
+/// queries under the XOR metric. Every subtree tracks how many live
+/// addresses it contains so offline nodes are skipped in O(1).
 #[derive(Debug, Clone)]
 struct AddressTrie {
     space: AddressSpace,
@@ -427,13 +702,20 @@ struct AddressTrie {
 
 #[derive(Debug, Clone)]
 enum TrieNode {
-    /// Leaf: index of the overlay node.
-    Leaf(usize),
+    /// Leaf: index of the overlay node and whether it is live.
+    Leaf {
+        /// The overlay node stored at this address.
+        node: usize,
+        /// Whether the node currently counts for closest-node queries.
+        live: bool,
+    },
     /// Internal: child trie-node indices for bit = 0 / bit = 1 (either may be
-    /// absent when no address lies in that subtree).
+    /// absent when no address lies in that subtree), plus the live count of
+    /// the whole subtree.
     Branch {
         zero: Option<usize>,
         one: Option<usize>,
+        live: u32,
     },
 }
 
@@ -441,7 +723,11 @@ impl AddressTrie {
     fn build(space: AddressSpace, addresses: &[OverlayAddress]) -> Self {
         let mut trie = Self {
             space,
-            nodes: vec![TrieNode::Branch { zero: None, one: None }],
+            nodes: vec![TrieNode::Branch {
+                zero: None,
+                one: None,
+                live: 0,
+            }],
         };
         for (i, addr) in addresses.iter().enumerate() {
             trie.insert(*addr, i);
@@ -449,42 +735,62 @@ impl AddressTrie {
         trie
     }
 
+    fn subtree_live(&self, index: usize) -> u32 {
+        match &self.nodes[index] {
+            TrieNode::Leaf { live, .. } => u32::from(*live),
+            TrieNode::Branch { live, .. } => *live,
+        }
+    }
+
     fn insert(&mut self, addr: OverlayAddress, node_index: usize) {
         let bits = self.space.bits();
         let mut current = 0usize;
         for depth in 0..bits {
+            // Inserted nodes start live: bump the subtree count on the way
+            // down.
+            match &mut self.nodes[current] {
+                TrieNode::Branch { live, .. } => *live += 1,
+                TrieNode::Leaf { .. } => {
+                    unreachable!("leaves only exist at full depth; addresses are distinct")
+                }
+            }
             let bit = addr.bit(depth);
             let is_last = depth == bits - 1;
             let existing = match &self.nodes[current] {
-                TrieNode::Branch { zero, one } => {
+                TrieNode::Branch { zero, one, .. } => {
                     if bit {
                         *one
                     } else {
                         *zero
                     }
                 }
-                TrieNode::Leaf(_) => {
-                    unreachable!("leaves only exist at full depth; addresses are distinct")
-                }
+                TrieNode::Leaf { .. } => unreachable!(),
             };
             let next = match existing {
                 Some(next) => next,
                 None => {
                     let idx = self.nodes.len();
                     self.nodes.push(if is_last {
-                        TrieNode::Leaf(node_index)
+                        TrieNode::Leaf {
+                            node: node_index,
+                            live: true,
+                        }
                     } else {
-                        TrieNode::Branch { zero: None, one: None }
+                        TrieNode::Branch {
+                            zero: None,
+                            one: None,
+                            live: 0,
+                        }
                     });
                     match &mut self.nodes[current] {
-                        TrieNode::Branch { zero, one } => {
+                        TrieNode::Branch { zero, one, .. } => {
                             if bit {
                                 *one = Some(idx);
                             } else {
                                 *zero = Some(idx);
                             }
                         }
-                        TrieNode::Leaf(_) => unreachable!(),
+                        TrieNode::Leaf { .. } => unreachable!(),
                     }
                     idx
                 }
@@ -492,37 +798,92 @@ impl AddressTrie {
             current = next;
         }
         debug_assert!(
-            matches!(self.nodes[current], TrieNode::Leaf(_)),
+            matches!(self.nodes[current], TrieNode::Leaf { .. }),
             "insert must end on a leaf"
         );
     }
 
-    /// Closest stored address to `target`: walk preferring the target's own
-    /// bit at each depth, falling into the sibling subtree when absent.
+    /// Marks the leaf at `addr` live or offline, updating subtree counts.
+    fn set_live(&mut self, addr: OverlayAddress, alive: bool) {
+        let bits = self.space.bits();
+        // Collect the root-to-leaf path first, then adjust counts.
+        let mut path = Vec::with_capacity(bits as usize + 1);
+        let mut current = 0usize;
+        for depth in 0..bits {
+            path.push(current);
+            current = match &self.nodes[current] {
+                TrieNode::Branch { zero, one, .. } => {
+                    let child = if addr.bit(depth) { *one } else { *zero };
+                    child.expect("address was inserted at build time")
+                }
+                TrieNode::Leaf { .. } => unreachable!("leaves only exist at full depth"),
+            };
+        }
+        let delta: i64 = match &mut self.nodes[current] {
+            TrieNode::Leaf { live, .. } => {
+                if *live == alive {
+                    0
+                } else {
+                    *live = alive;
+                    if alive {
+                        1
+                    } else {
+                        -1
+                    }
+                }
+            }
+            TrieNode::Branch { .. } => unreachable!("walked past all bits"),
+        };
+        if delta == 0 {
+            return;
+        }
+        for index in path {
+            match &mut self.nodes[index] {
+                TrieNode::Branch { live, .. } => {
+                    *live = (i64::from(*live) + delta) as u32;
+                }
+                TrieNode::Leaf { .. } => unreachable!(),
+            }
+        }
+    }
+
+    /// Closest live stored address to `target`: walk preferring the
+    /// target's own bit at each depth, falling into the sibling subtree
+    /// when the preferred one holds no live address.
     ///
     /// Preferring the matching bit maximizes the shared prefix, and within a
     /// shared prefix the same rule minimizes every lower-order XOR bit, so
-    /// the walk reaches the true XOR-closest leaf.
+    /// the walk reaches the true XOR-closest live leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay has no live nodes (the mutation APIs keep at
+    /// least two alive).
     fn closest(&self, target: OverlayAddress) -> NodeId {
         let bits = self.space.bits();
         let mut current = 0usize;
         for depth in 0..bits {
             match &self.nodes[current] {
-                TrieNode::Leaf(node) => return NodeId(*node),
-                TrieNode::Branch { zero, one } => {
+                TrieNode::Leaf { node, live } => {
+                    debug_assert!(*live, "walk must stay inside live subtrees");
+                    return NodeId(*node);
+                }
+                TrieNode::Branch { zero, one, .. } => {
                     let (preferred, fallback) = if target.bit(depth) {
                         (*one, *zero)
                     } else {
                         (*zero, *one)
                     };
-                    current = preferred
-                        .or(fallback)
-                        .expect("trie contains at least one address");
+                    let live_child =
+                        |child: Option<usize>| child.filter(|&c| self.subtree_live(c) > 0);
+                    current = live_child(preferred)
+                        .or_else(|| live_child(fallback))
+                        .expect("trie contains at least one live address");
                 }
             }
         }
         match &self.nodes[current] {
-            TrieNode::Leaf(node) => NodeId(*node),
+            TrieNode::Leaf { node, .. } => NodeId(*node),
             TrieNode::Branch { .. } => unreachable!("walked past all bits"),
         }
     }
@@ -545,6 +906,7 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(t.len(), 1000);
+        assert_eq!(t.live_count(), 1000);
         t.validate().unwrap();
     }
 
@@ -693,5 +1055,152 @@ mod tests {
     #[test]
     fn node_id_display() {
         assert_eq!(NodeId(17).to_string(), "n17");
+    }
+
+    // ---- dynamic membership ------------------------------------------
+
+    fn dynamic_topology(nodes: usize, k: usize, seed: u64) -> Topology {
+        TopologyBuilder::new(space(16))
+            .nodes(nodes)
+            .bucket_size(k)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn remove_node_keeps_every_surviving_table_consistent() {
+        let mut t = dynamic_topology(200, 4, 21);
+        for victim in [3usize, 77, 150, 9, 42] {
+            t.remove_node(NodeId(victim)).unwrap();
+            t.validate().unwrap();
+            assert!(!t.is_live(NodeId(victim)));
+            assert_eq!(t.table(NodeId(victim)).connection_count(), 0);
+            // No surviving table dangles a reference to the departed node.
+            for owner in t.live_ids() {
+                assert!(!t.table(owner).knows(NodeId(victim)));
+            }
+        }
+        assert_eq!(t.live_count(), 195);
+    }
+
+    #[test]
+    fn closest_node_skips_offline_nodes() {
+        let mut t = dynamic_topology(120, 4, 23);
+        let target = t.space().address(0x4242).unwrap();
+        let first = t.closest_node(target);
+        t.remove_node(first).unwrap();
+        let second = t.closest_node(target);
+        assert_ne!(first, second);
+        assert!(t.is_live(second));
+        // Matches a linear scan over live nodes.
+        let by_scan = t
+            .live_ids()
+            .min_by_key(|n| t.space().distance(t.address(*n), target))
+            .unwrap();
+        assert_eq!(second, by_scan);
+    }
+
+    #[test]
+    fn add_node_restores_membership_and_invariants() {
+        let mut t = dynamic_topology(150, 4, 29);
+        let node = NodeId(60);
+        t.remove_node(node).unwrap();
+        t.add_node(node).unwrap();
+        t.validate().unwrap();
+        assert!(t.is_live(node));
+        assert_eq!(t.live_count(), 150);
+        // The rejoined node is routable again.
+        let target = t.address(node);
+        assert_eq!(t.closest_node(target), node);
+    }
+
+    #[test]
+    fn churn_sequence_preserves_invariants() {
+        let mut t = dynamic_topology(100, 3, 31);
+        let sequence = [5usize, 17, 30, 44, 61, 83];
+        for &node in &sequence {
+            t.remove_node(NodeId(node)).unwrap();
+        }
+        t.validate().unwrap();
+        for &node in &sequence[..3] {
+            t.add_node(NodeId(node)).unwrap();
+        }
+        t.validate().unwrap();
+        assert_eq!(t.live_count(), 100 - 3);
+        // Closest-node queries agree with linear scans across the whole
+        // address space.
+        for raw in (0..=0xFFFFu64).step_by(2711) {
+            let target = t.space().address(raw).unwrap();
+            let by_scan = t
+                .live_ids()
+                .min_by_key(|n| t.space().distance(t.address(*n), target))
+                .unwrap();
+            assert_eq!(t.closest_node(target), by_scan, "target {raw:#06x}");
+        }
+    }
+
+    #[test]
+    fn mutation_errors() {
+        let mut t = dynamic_topology(10, 2, 37);
+        assert_eq!(
+            t.remove_node(NodeId(99)).unwrap_err(),
+            KademliaError::UnknownNode { index: 99 }
+        );
+        assert_eq!(
+            t.add_node(NodeId(0)).unwrap_err(),
+            KademliaError::NodeAlreadyLive { index: 0 }
+        );
+        t.remove_node(NodeId(0)).unwrap();
+        assert_eq!(
+            t.remove_node(NodeId(0)).unwrap_err(),
+            KademliaError::NodeNotLive { index: 0 }
+        );
+        // Drain down to the floor.
+        for i in 1..8 {
+            t.remove_node(NodeId(i)).unwrap();
+        }
+        assert_eq!(
+            t.remove_node(NodeId(8)).unwrap_err(),
+            KademliaError::TooFewLiveNodes { live: 2 }
+        );
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_naive_rebuild_occupancy() {
+        let mut t = dynamic_topology(180, 4, 41);
+        for node in [4usize, 90, 140] {
+            t.remove_node(NodeId(node)).unwrap();
+        }
+        t.add_node(NodeId(90)).unwrap();
+        let naive = t.rebuilt_naive();
+        naive.validate().unwrap();
+        // Selection policies differ, but per-bucket occupancy (and hence
+        // the fullness invariant) must agree exactly.
+        for owner in t.live_ids() {
+            for (incremental, rebuilt) in t.table(owner).buckets().zip(naive.table(owner).buckets())
+            {
+                assert_eq!(
+                    incremental.len(),
+                    rebuilt.len(),
+                    "owner {owner} bucket {}",
+                    incremental.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn removal_is_deterministic() {
+        let run = || {
+            let mut t = dynamic_topology(150, 4, 43);
+            t.remove_node(NodeId(12)).unwrap();
+            t.remove_node(NodeId(99)).unwrap();
+            t.add_node(NodeId(12)).unwrap();
+            t
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.tables(), b.tables());
     }
 }

@@ -32,7 +32,7 @@ proptest! {
         let ab = space.distance(a, b).raw() as u128;
         let bc = space.distance(b, c).raw() as u128;
         let ac = space.distance(a, c).raw() as u128;
-        prop_assert_eq!(ac, (ab as u128) ^ (bc as u128));
+        prop_assert_eq!(ac, ab ^ bc);
         prop_assert!(ac <= ab + bc);
     }
 

@@ -288,13 +288,13 @@ mod tests {
 
     #[test]
     fn blocks_run_as_ordered_substeps() {
-        let first = Block::<Vec<&'static str>, (), ()>::new("first")
-            .update(|_, info, _, _, _, s| {
+        let first =
+            Block::<Vec<&'static str>, (), ()>::new("first").update(|_, info, _, _, _, s| {
                 assert_eq!(info.substep, 0);
                 s.push("first");
             });
-        let second = Block::<Vec<&'static str>, (), ()>::new("second")
-            .update(|_, info, _, _, _, s| {
+        let second =
+            Block::<Vec<&'static str>, (), ()>::new("second").update(|_, info, _, _, _, s| {
                 assert_eq!(info.substep, 1);
                 s.push("second");
             });
@@ -310,11 +310,7 @@ mod tests {
         Simulation::new(4, 1, 0)
             .block(increment_block())
             .run_sweep_recorded(&[Params { increment: 2 }], init, &mut recorder);
-        let totals: Vec<i64> = recorder
-            .snapshots()
-            .iter()
-            .map(|(_, s)| s.total)
-            .collect();
+        let totals: Vec<i64> = recorder.snapshots().iter().map(|(_, s)| s.total).collect();
         assert_eq!(totals, vec![2, 4, 6, 8]);
     }
 

@@ -49,7 +49,7 @@ impl<S> TrajectoryRecorder<S> {
 
 impl<S: Clone> Recorder<S> for TrajectoryRecorder<S> {
     fn on_step(&mut self, info: &StepInfo, state: &S) {
-        if info.timestep % self.stride == 0 {
+        if info.timestep.is_multiple_of(self.stride) {
             self.snapshots.push((*info, state.clone()));
         }
     }

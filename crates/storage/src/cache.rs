@@ -112,6 +112,13 @@ impl NodeCache {
         self.entries.contains_key(&chunk.raw())
     }
 
+    /// Drops every cached chunk while keeping lifetime hit/miss counters
+    /// (used when the owning node leaves the overlay: its hot copies are
+    /// gone, but its traffic history is a fact).
+    pub fn clear_entries(&mut self) {
+        self.entries.clear();
+    }
+
     /// Inserts a chunk, evicting per policy if at capacity.
     pub fn insert(&mut self, chunk: OverlayAddress) {
         let capacity = self.policy.capacity();

@@ -94,6 +94,31 @@ impl DownloadSim {
         &self.topology
     }
 
+    /// A cheap shared handle to the topology, for delivery callbacks that
+    /// need `&Topology` while the simulator itself is mutably borrowed.
+    /// Drop the handle before calling [`DownloadSim::topology_mut`], or the
+    /// mutation pays for a copy-on-write clone.
+    pub fn topology_rc(&self) -> Rc<Topology> {
+        Rc::clone(&self.topology)
+    }
+
+    /// Mutable access to the topology for churn events (join/leave). Uses
+    /// copy-on-write semantics: mutation is in-place whenever this
+    /// simulator holds the only handle.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        Rc::make_mut(&mut self.topology)
+    }
+
+    /// Invalidates the state a departing node loses: its opportunistic
+    /// cache is dropped (on rejoin it starts cold). Routing-table repair is
+    /// the topology's job ([`Topology::remove_node`]); traffic counters and
+    /// lifetime cache hit/miss statistics are historical facts and stay.
+    pub fn on_node_leave(&mut self, node: NodeId) {
+        if let Some(cache) = self.caches.get_mut(node.index()) {
+            cache.clear_entries();
+        }
+    }
+
     /// Accumulated traffic statistics.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
@@ -335,6 +360,55 @@ mod tests {
         assert!(d.hops.is_empty());
         assert_eq!(sim.stats().total_forwarded(), 0);
         assert_eq!(sim.stats().requests_issued()[storer.index()], 1);
+    }
+
+    #[test]
+    fn churned_topology_reroutes_to_surviving_storer() {
+        let t = topology(250, 4, 17);
+        let chunk = t.space().address(0x0F0F).unwrap();
+        let storer = t.closest_node(chunk);
+        let originator = t
+            .node_ids()
+            .max_by_key(|n| t.space().distance(t.address(*n), chunk))
+            .unwrap();
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        let before = sim.request_chunk(originator, chunk);
+        assert!(before.delivered());
+        assert_eq!(before.server(), Some(storer));
+
+        // The storer departs: the chunk's responsibility migrates to the
+        // closest surviving node and routes avoid the dead peer.
+        sim.topology_mut().remove_node(storer).unwrap();
+        sim.on_node_leave(storer);
+        let after = sim.request_chunk(originator, chunk);
+        if after.delivered() {
+            let new_storer = sim.topology().closest_node(chunk);
+            assert_ne!(new_storer, storer);
+            assert_eq!(after.server(), Some(new_storer));
+            assert!(!after.hops.contains(&storer));
+        }
+    }
+
+    #[test]
+    fn departure_clears_cache_entries_but_not_statistics() {
+        let t = topology(200, 4, 19);
+        let chunk = t.space().address(0x00AA).unwrap();
+        let originator = t
+            .node_ids()
+            .max_by_key(|n| t.space().distance(t.address(*n), chunk))
+            .unwrap();
+        let mut sim = DownloadSim::new(t, CachePolicy::Lru { capacity: 32 });
+        let first = sim.request_chunk(originator, chunk);
+        let second = sim.request_chunk(originator, chunk);
+        if first.hops.len() > 1 && second.from_cache {
+            let cache_holder = *second.hops.last().unwrap();
+            let hits_before = sim.cache(cache_holder).unwrap().hits();
+            assert!(hits_before > 0);
+            sim.on_node_leave(cache_holder);
+            let cache = sim.cache(cache_holder).unwrap();
+            assert!(cache.is_empty(), "departed cache must be dropped");
+            assert_eq!(cache.hits(), hits_before, "history must survive");
+        }
     }
 
     #[test]

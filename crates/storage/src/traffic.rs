@@ -137,13 +137,25 @@ impl TrafficStats {
         for (a, b) in self.forwarded.iter_mut().zip(&other.forwarded) {
             *a += b;
         }
-        for (a, b) in self.served_first_hop.iter_mut().zip(&other.served_first_hop) {
+        for (a, b) in self
+            .served_first_hop
+            .iter_mut()
+            .zip(&other.served_first_hop)
+        {
             *a += b;
         }
-        for (a, b) in self.served_as_storer.iter_mut().zip(&other.served_as_storer) {
+        for (a, b) in self
+            .served_as_storer
+            .iter_mut()
+            .zip(&other.served_as_storer)
+        {
             *a += b;
         }
-        for (a, b) in self.served_from_cache.iter_mut().zip(&other.served_from_cache) {
+        for (a, b) in self
+            .served_from_cache
+            .iter_mut()
+            .zip(&other.served_from_cache)
+        {
             *a += b;
         }
         for (a, b) in self.requests_issued.iter_mut().zip(&other.requests_issued) {

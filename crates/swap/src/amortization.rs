@@ -60,9 +60,18 @@ mod tests {
     #[test]
     fn forgiven_after_caps_at_debt() {
         let a = Amortization::per_tick(AccountingUnits(10));
-        assert_eq!(a.forgiven_after(AccountingUnits(35), 2), AccountingUnits(20));
-        assert_eq!(a.forgiven_after(AccountingUnits(35), 4), AccountingUnits(35));
-        assert_eq!(a.forgiven_after(AccountingUnits(-35), 4), AccountingUnits(35));
+        assert_eq!(
+            a.forgiven_after(AccountingUnits(35), 2),
+            AccountingUnits(20)
+        );
+        assert_eq!(
+            a.forgiven_after(AccountingUnits(35), 4),
+            AccountingUnits(35)
+        );
+        assert_eq!(
+            a.forgiven_after(AccountingUnits(-35), 4),
+            AccountingUnits(35)
+        );
     }
 
     #[test]
@@ -77,7 +86,10 @@ mod tests {
     fn zero_rate_never_clears() {
         let a = Amortization::per_tick(AccountingUnits::ZERO);
         assert_eq!(a.ticks_to_clear(AccountingUnits(1)), None);
-        assert_eq!(a.forgiven_after(AccountingUnits(100), 1_000), AccountingUnits::ZERO);
+        assert_eq!(
+            a.forgiven_after(AccountingUnits(100), 1_000),
+            AccountingUnits::ZERO
+        );
     }
 
     #[test]

@@ -96,13 +96,21 @@ impl Channel {
     /// Records that `a` served `amount` of bandwidth to `b` (b's debt toward
     /// a grows). Pass a negative view by calling [`Channel::record_b_serves`]
     /// instead.
-    pub fn record_a_serves(&mut self, amount: AccountingUnits, config: &ChannelConfig) -> BalanceOutcome {
+    pub fn record_a_serves(
+        &mut self,
+        amount: AccountingUnits,
+        config: &ChannelConfig,
+    ) -> BalanceOutcome {
         self.balance = self.balance.saturating_add(amount);
         self.outcome(config)
     }
 
     /// Records that `b` served `amount` of bandwidth to `a`.
-    pub fn record_b_serves(&mut self, amount: AccountingUnits, config: &ChannelConfig) -> BalanceOutcome {
+    pub fn record_b_serves(
+        &mut self,
+        amount: AccountingUnits,
+        config: &ChannelConfig,
+    ) -> BalanceOutcome {
         self.balance = self.balance.saturating_add(-amount);
         self.outcome(config)
     }
@@ -165,7 +173,10 @@ mod tests {
     fn service_moves_balance_both_ways() {
         let cfg = config(100, 120, 0);
         let mut ch = Channel::new();
-        assert_eq!(ch.record_a_serves(AccountingUnits(30), &cfg), BalanceOutcome::WithinLimits);
+        assert_eq!(
+            ch.record_a_serves(AccountingUnits(30), &cfg),
+            BalanceOutcome::WithinLimits
+        );
         assert_eq!(ch.balance(), AccountingUnits(30));
         ch.record_b_serves(AccountingUnits(50), &cfg);
         assert_eq!(ch.balance(), AccountingUnits(-20));
@@ -175,16 +186,23 @@ mod tests {
     fn payment_due_at_threshold() {
         let cfg = config(40, 100, 0);
         let mut ch = Channel::new();
-        assert_eq!(ch.record_a_serves(AccountingUnits(39), &cfg), BalanceOutcome::WithinLimits);
+        assert_eq!(
+            ch.record_a_serves(AccountingUnits(39), &cfg),
+            BalanceOutcome::WithinLimits
+        );
         assert_eq!(
             ch.record_a_serves(AccountingUnits(1), &cfg),
-            BalanceOutcome::PaymentDue { debt: AccountingUnits(40) }
+            BalanceOutcome::PaymentDue {
+                debt: AccountingUnits(40)
+            }
         );
         // Debt in the other direction also triggers.
         let mut ch2 = Channel::new();
         assert_eq!(
             ch2.record_b_serves(AccountingUnits(45), &cfg),
-            BalanceOutcome::PaymentDue { debt: AccountingUnits(45) }
+            BalanceOutcome::PaymentDue {
+                debt: AccountingUnits(45)
+            }
         );
     }
 

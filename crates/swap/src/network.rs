@@ -131,7 +131,11 @@ impl SwapNetwork {
         };
         let balance = channel.balance().raw();
         // balance > 0 means b owes a.
-        let owed = if creditor.index() == key.0 { balance } else { -balance };
+        let owed = if creditor.index() == key.0 {
+            balance
+        } else {
+            -balance
+        };
         AccountingUnits(owed.max(0))
     }
 
@@ -260,6 +264,57 @@ impl SwapNetwork {
             };
             if let Some(s) = self.settle(debtor, creditor)? {
                 settlements.push(s);
+            }
+        }
+        Ok(settlements)
+    }
+
+    /// Settles every channel of `node` that carries outstanding debt, in
+    /// both directions: `node` pays what it owes and collects what it is
+    /// owed. This is the SWAP departure protocol for churn experiments —
+    /// a leaving peer closes its chequebook against all counterparties so
+    /// no balance is stranded on a dead channel.
+    ///
+    /// Counterparties are settled in ascending id order, so the settlement
+    /// sequence is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// * [`SwapError::UnknownPeer`] for out-of-range nodes.
+    /// * [`SwapError::InsufficientFunds`] from individual settlements;
+    ///   earlier settlements in the sweep remain applied.
+    pub fn settle_node(&mut self, node: NodeId) -> Result<Vec<Settlement>, SwapError> {
+        if node.index() >= self.nodes {
+            return Err(SwapError::UnknownPeer {
+                peer: node,
+                nodes: self.nodes,
+            });
+        }
+        let mut due: Vec<(NodeId, NodeId)> = self
+            .channels
+            .iter()
+            .filter_map(|(&(a, b), channel)| {
+                if a != node.index() && b != node.index() {
+                    return None;
+                }
+                let balance = channel.balance().raw();
+                if balance == 0 {
+                    return None;
+                }
+                // balance > 0 means b owes a.
+                let (debtor, creditor) = if balance > 0 {
+                    (NodeId(b), NodeId(a))
+                } else {
+                    (NodeId(a), NodeId(b))
+                };
+                Some((debtor, creditor))
+            })
+            .collect();
+        due.sort_unstable();
+        let mut settlements = Vec::with_capacity(due.len());
+        for (debtor, creditor) in due {
+            if let Some(settlement) = self.settle(debtor, creditor)? {
+                settlements.push(settlement);
             }
         }
         Ok(settlements)
@@ -428,6 +483,29 @@ mod tests {
         assert_eq!(settlements[0].payer, NodeId(0));
         assert_eq!(settlements[0].payee, NodeId(1));
         assert_eq!(net.debt(NodeId(2), NodeId(3)), AccountingUnits(5));
+    }
+
+    #[test]
+    fn settle_node_closes_both_directions() {
+        let mut net = SwapNetwork::new(4, config(1_000, 10_000, 0));
+        // Node 1 owes node 0; node 2 owes node 1; node 3 untouched.
+        net.record_service(NodeId(1), NodeId(0), AccountingUnits(40))
+            .unwrap();
+        net.record_service(NodeId(2), NodeId(1), AccountingUnits(15))
+            .unwrap();
+        let settlements = net.settle_node(NodeId(1)).unwrap();
+        assert_eq!(settlements.len(), 2);
+        // Deterministic ascending-pair order: (1 pays 0), then (2 pays 1).
+        assert_eq!(settlements[0].payer, NodeId(1));
+        assert_eq!(settlements[0].payee, NodeId(0));
+        assert_eq!(settlements[1].payer, NodeId(2));
+        assert_eq!(settlements[1].payee, NodeId(1));
+        assert_eq!(net.debt(NodeId(1), NodeId(0)), AccountingUnits::ZERO);
+        assert_eq!(net.debt(NodeId(2), NodeId(1)), AccountingUnits::ZERO);
+        // Idempotent once clean.
+        assert!(net.settle_node(NodeId(1)).unwrap().is_empty());
+        // Unknown peers rejected.
+        assert!(net.settle_node(NodeId(9)).is_err());
     }
 
     #[test]

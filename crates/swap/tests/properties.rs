@@ -1,9 +1,7 @@
 //! Property-based tests for SWAP accounting invariants.
 
 use fairswap_kademlia::NodeId;
-use fairswap_swap::{
-    AccountingUnits, Amortization, Bzz, ChannelConfig, SwapError, SwapNetwork,
-};
+use fairswap_swap::{AccountingUnits, Amortization, Bzz, ChannelConfig, SwapError, SwapNetwork};
 use proptest::prelude::*;
 
 /// A random sequence of service events between a handful of nodes.
@@ -182,9 +180,12 @@ fn insufficient_funds_is_reported() {
 #[test]
 fn gross_income_matches_ledger_volume() {
     let mut net = SwapNetwork::new(4, ChannelConfig::default());
-    net.pay_direct(NodeId(0), NodeId(1), AccountingUnits(5)).unwrap();
-    net.pay_direct(NodeId(2), NodeId(1), AccountingUnits(7)).unwrap();
-    net.pay_direct(NodeId(3), NodeId(2), AccountingUnits(2)).unwrap();
+    net.pay_direct(NodeId(0), NodeId(1), AccountingUnits(5))
+        .unwrap();
+    net.pay_direct(NodeId(2), NodeId(1), AccountingUnits(7))
+        .unwrap();
+    net.pay_direct(NodeId(3), NodeId(2), AccountingUnits(2))
+        .unwrap();
     let gross = net.ledger().gross_income(4);
     assert_eq!(gross[1], Bzz(12));
     assert_eq!(gross[2], Bzz(2));

@@ -51,7 +51,10 @@ impl fmt::Display for WorkloadError {
                 write!(f, "invalid file size range {min}..={max}")
             }
             Self::InvalidZipf { catalog, exponent } => {
-                write!(f, "invalid zipf parameters: catalog {catalog}, exponent {exponent}")
+                write!(
+                    f,
+                    "invalid zipf parameters: catalog {catalog}, exponent {exponent}"
+                )
             }
         }
     }
@@ -158,11 +161,20 @@ impl Workload {
         &self.pool
     }
 
+    /// Resamples the originator pool over the live node set (see
+    /// [`OriginatorPool::sync_live`]). Called by churn-aware harnesses
+    /// whenever membership changes.
+    pub fn sync_live(&mut self, is_live: impl Fn(NodeId) -> bool) {
+        self.pool.sync_live(is_live);
+    }
+
     /// Draws the next file download from the workload's own RNG stream.
     pub fn next_download(&mut self) -> FileDownload {
         let originator = self.pool.pick(&mut self.rng);
         let size = self.file_size.sample(&mut self.rng);
-        let chunks = (0..size).map(|_| self.sampler.sample(&mut self.rng)).collect();
+        let chunks = (0..size)
+            .map(|_| self.sampler.sample(&mut self.rng))
+            .collect();
         FileDownload { originator, chunks }
     }
 
@@ -216,7 +228,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let gen = |seed| {
-            let mut w = WorkloadBuilder::new(space(), 50).seed(seed).build().unwrap();
+            let mut w = WorkloadBuilder::new(space(), 50)
+                .seed(seed)
+                .build()
+                .unwrap();
             w.take_downloads(5)
         };
         assert_eq!(gen(7), gen(7));
@@ -241,7 +256,9 @@ mod tests {
             Err(WorkloadError::EmptyNetwork)
         ));
         assert!(matches!(
-            WorkloadBuilder::new(space(), 10).originator_fraction(0.0).build(),
+            WorkloadBuilder::new(space(), 10)
+                .originator_fraction(0.0)
+                .build(),
             Err(WorkloadError::InvalidFraction { .. })
         ));
         assert!(matches!(
@@ -252,7 +269,10 @@ mod tests {
         ));
         assert!(matches!(
             WorkloadBuilder::new(space(), 10)
-                .chunk_dist(ChunkDist::Zipf { catalog: 0, exponent: 1.0 })
+                .chunk_dist(ChunkDist::Zipf {
+                    catalog: 0,
+                    exponent: 1.0
+                })
                 .build(),
             Err(WorkloadError::InvalidZipf { .. })
         ));
@@ -261,14 +281,16 @@ mod tests {
     #[test]
     fn zipf_workload_repeats_popular_chunks() {
         let mut w = WorkloadBuilder::new(space(), 10)
-            .chunk_dist(ChunkDist::Zipf { catalog: 20, exponent: 1.2 })
+            .chunk_dist(ChunkDist::Zipf {
+                catalog: 20,
+                exponent: 1.2,
+            })
             .file_size(FileSizeDist::Constant(100))
             .seed(3)
             .build()
             .unwrap();
         let d = w.next_download();
-        let distinct: std::collections::HashSet<u64> =
-            d.chunks.iter().map(|c| c.raw()).collect();
+        let distinct: std::collections::HashSet<u64> = d.chunks.iter().map(|c| c.raw()).collect();
         assert!(distinct.len() <= 20);
     }
 

@@ -22,7 +22,10 @@ pub enum FileSizeDist {
 impl FileSizeDist {
     /// The paper's default: uniform between 100 and 1000 chunks.
     pub const fn paper_default() -> Self {
-        FileSizeDist::Uniform { min: 100, max: 1000 }
+        FileSizeDist::Uniform {
+            min: 100,
+            max: 1000,
+        }
     }
 
     /// Validates the distribution parameters.

@@ -24,10 +24,10 @@
 //! ```
 
 mod builder;
-mod rng;
 mod files;
 mod originators;
 mod popularity;
+mod rng;
 mod trace;
 
 pub use builder::{FileDownload, Workload, WorkloadBuilder, WorkloadError};

@@ -17,6 +17,10 @@ use crate::builder::WorkloadError;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OriginatorPool {
     members: Vec<NodeId>,
+    /// `members` restricted to the currently live overlay (equal to
+    /// `members` on static topologies). [`OriginatorPool::pick`] draws from
+    /// this set; [`OriginatorPool::sync_live`] maintains it under churn.
+    active: Vec<NodeId>,
     total_nodes: usize,
 }
 
@@ -27,11 +31,7 @@ impl OriginatorPool {
     /// # Errors
     ///
     /// Rejects fractions outside `(0, 1]` and empty networks.
-    pub fn sample<R: Rng>(
-        nodes: usize,
-        fraction: f64,
-        rng: &mut R,
-    ) -> Result<Self, WorkloadError> {
+    pub fn sample<R: Rng>(nodes: usize, fraction: f64, rng: &mut R) -> Result<Self, WorkloadError> {
         if nodes == 0 {
             return Err(WorkloadError::EmptyNetwork);
         }
@@ -44,6 +44,7 @@ impl OriginatorPool {
         let mut members: Vec<NodeId> = ids.into_iter().take(count).map(NodeId).collect();
         members.sort_unstable();
         Ok(Self {
+            active: members.clone(),
             members,
             total_nodes: nodes,
         })
@@ -54,8 +55,10 @@ impl OriginatorPool {
         if nodes == 0 {
             return Err(WorkloadError::EmptyNetwork);
         }
+        let members: Vec<NodeId> = (0..nodes).map(NodeId).collect();
         Ok(Self {
-            members: (0..nodes).map(NodeId).collect(),
+            active: members.clone(),
+            members,
             total_nodes: nodes,
         })
     }
@@ -85,9 +88,38 @@ impl OriginatorPool {
         self.members.binary_search(&node).is_ok()
     }
 
-    /// Draws one originator uniformly from the pool.
+    /// The members currently eligible to originate: the pool intersected
+    /// with the live overlay (falls back to all live nodes when the whole
+    /// pool is offline).
+    pub fn active_members(&self) -> &[NodeId] {
+        &self.active
+    }
+
+    /// Resamples the pool over the live node set: downloads only ever
+    /// originate from nodes that are actually online. Membership itself is
+    /// stable — a pool node that left and rejoined becomes eligible again.
+    ///
+    /// If every pool member is offline, the live population substitutes as
+    /// the active set (deterministically), so the workload never stalls;
+    /// the churn plan's live floor guarantees `is_live` holds somewhere.
+    pub fn sync_live(&mut self, is_live: impl Fn(NodeId) -> bool) {
+        self.active.clear();
+        self.active
+            .extend(self.members.iter().copied().filter(|&n| is_live(n)));
+        if self.active.is_empty() {
+            self.active
+                .extend((0..self.total_nodes).map(NodeId).filter(|&n| is_live(n)));
+        }
+    }
+
+    /// Draws one originator uniformly from the active (live) pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every node in the network is offline, which the churn
+    /// plan's live floor rules out.
     pub fn pick<R: Rng>(&self, rng: &mut R) -> NodeId {
-        self.members[rng.gen_range(0..self.members.len())]
+        self.active[rng.gen_range(0..self.active.len())]
     }
 }
 
@@ -144,6 +176,39 @@ mod tests {
         assert!(OriginatorPool::sample(10, 1.5, &mut rng).is_err());
         assert!(OriginatorPool::sample(10, f64::NAN, &mut rng).is_err());
         assert!(OriginatorPool::all(0).is_err());
+    }
+
+    #[test]
+    fn sync_live_restricts_and_restores() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut pool = OriginatorPool::sample(50, 0.4, &mut rng).unwrap();
+        let members = pool.members().to_vec();
+        // Half the pool goes offline.
+        let down: Vec<NodeId> = members.iter().copied().take(10).collect();
+        pool.sync_live(|n| !down.contains(&n));
+        assert_eq!(pool.active_members().len(), members.len() - 10);
+        for _ in 0..200 {
+            let picked = pool.pick(&mut rng);
+            assert!(!down.contains(&picked));
+            assert!(pool.contains(picked));
+        }
+        // Everyone returns: active equals membership again.
+        pool.sync_live(|_| true);
+        assert_eq!(pool.active_members(), pool.members());
+    }
+
+    #[test]
+    fn sync_live_falls_back_to_live_population() {
+        let mut rng = ChaCha12Rng::seed_from_u64(8);
+        let mut pool = OriginatorPool::sample(30, 0.1, &mut rng).unwrap();
+        let members = pool.members().to_vec();
+        // The entire pool is offline; only non-members are live.
+        pool.sync_live(|n| !members.contains(&n));
+        assert!(!pool.active_members().is_empty());
+        for _ in 0..100 {
+            let picked = pool.pick(&mut rng);
+            assert!(!members.contains(&picked));
+        }
     }
 
     #[test]

@@ -135,7 +135,10 @@ mod tests {
     #[test]
     fn zipf_rank_one_dominates() {
         let mut rng = ChaCha12Rng::seed_from_u64(2);
-        let dist = ChunkDist::Zipf { catalog: 100, exponent: 1.0 };
+        let dist = ChunkDist::Zipf {
+            catalog: 100,
+            exponent: 1.0,
+        };
         let sampler = ChunkSampler::new(&dist, space(), &mut rng).unwrap();
         let mut counts: HashMap<u64, usize> = HashMap::new();
         for _ in 0..20_000 {
@@ -153,7 +156,10 @@ mod tests {
     fn higher_exponent_concentrates_more() {
         let head_share = |exponent: f64| {
             let mut rng = ChaCha12Rng::seed_from_u64(3);
-            let dist = ChunkDist::Zipf { catalog: 50, exponent };
+            let dist = ChunkDist::Zipf {
+                catalog: 50,
+                exponent,
+            };
             let sampler = ChunkSampler::new(&dist, space(), &mut rng).unwrap();
             let ChunkSampler::Zipf { catalog, .. } = &sampler else {
                 unreachable!()
@@ -172,16 +178,34 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_zipf() {
-        assert!(ChunkDist::Zipf { catalog: 0, exponent: 1.0 }.validate().is_err());
-        assert!(ChunkDist::Zipf { catalog: 10, exponent: 0.0 }.validate().is_err());
-        assert!(ChunkDist::Zipf { catalog: 10, exponent: f64::NAN }.validate().is_err());
+        assert!(ChunkDist::Zipf {
+            catalog: 0,
+            exponent: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChunkDist::Zipf {
+            catalog: 10,
+            exponent: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ChunkDist::Zipf {
+            catalog: 10,
+            exponent: f64::NAN
+        }
+        .validate()
+        .is_err());
         assert!(ChunkDist::Uniform.validate().is_ok());
     }
 
     #[test]
     fn single_item_catalog_always_returns_it() {
         let mut rng = ChaCha12Rng::seed_from_u64(4);
-        let dist = ChunkDist::Zipf { catalog: 1, exponent: 1.0 };
+        let dist = ChunkDist::Zipf {
+            catalog: 1,
+            exponent: 1.0,
+        };
         let sampler = ChunkSampler::new(&dist, space(), &mut rng).unwrap();
         let first = sampler.sample(&mut rng);
         for _ in 0..10 {

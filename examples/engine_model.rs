@@ -70,9 +70,18 @@ fn main() {
         });
 
     let sweep = vec![
-        Params { drip: 10.0, burn_rate: 0.01 },
-        Params { drip: 50.0, burn_rate: 0.01 },
-        Params { drip: 10.0, burn_rate: 0.10 },
+        Params {
+            drip: 10.0,
+            burn_rate: 0.01,
+        },
+        Params {
+            drip: 50.0,
+            burn_rate: 0.01,
+        },
+        Params {
+            drip: 10.0,
+            burn_rate: 0.10,
+        },
     ];
 
     let results = Simulation::new(2_000, 3, 0xFA12)

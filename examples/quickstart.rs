@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.traffic().stuck_requests()
     );
     println!();
-    println!("F2 (income equality)    gini = {:.4}", report.f2_income_gini());
+    println!(
+        "F2 (income equality)    gini = {:.4}",
+        report.f2_income_gini()
+    );
     println!(
         "F1 (pay per work)       gini = {:.4}",
         report.f1_contribution_gini()
@@ -40,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("settlements:            {}", report.settlement_count());
     println!("settlement volume:      {} BZZ", report.settlement_volume());
-    println!(
-        "amortized (free) units: {}",
-        report.amortized_total()
-    );
+    println!("amortized (free) units: {}", report.amortized_total());
 
     // The Lorenz curve behind Fig. 5, ready to plot.
     let lorenz = report.lorenz_income()?;

@@ -27,8 +27,10 @@
 //!   fairness properties.
 //! * [`incentives`] — the Swarm bandwidth incentive plus baselines
 //!   (tit-for-tat, effort-based, pay-all-hops, proof-of-bandwidth).
+//! * [`churn`] — dynamic overlay membership: session/downtime lifetime
+//!   distributions and deterministic join/leave event plans.
 //! * [`core`] — the simulation harness and one preset per paper
-//!   table/figure.
+//!   table/figure, plus the fairness-under-churn experiment.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@
 //! # let _ = presets::paper_defaults();
 //! ```
 
+pub use fairswap_churn as churn;
 pub use fairswap_core as core;
 pub use fairswap_fairness as fairness;
 pub use fairswap_incentives as incentives;

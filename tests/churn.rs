@@ -1,0 +1,174 @@
+//! Full-stack churn contracts: determinism (byte-identical artifacts for a
+//! fixed seed and churn config), fairness-metric bounds, and income
+//! conservation across join/leave events.
+
+use fairswap::churn::{ChurnConfig, ChurnPlan, LifetimeDist};
+use fairswap::core::experiments::{churn, ExperimentScale};
+use fairswap::core::SimulationBuilder;
+
+fn churn_report(rate: f64, seed: u64) -> fairswap::core::SimReport {
+    SimulationBuilder::new()
+        .nodes(200)
+        .bucket_size(4)
+        .files(80)
+        .seed(seed)
+        .churn_rate(rate)
+        .build()
+        .expect("valid configuration")
+        .run()
+}
+
+#[test]
+fn same_seed_and_churn_config_give_byte_identical_reports() {
+    let a = churn_report(0.1, 0xFA12);
+    let b = churn_report(0.1, 0xFA12);
+    assert_eq!(a.traffic().forwarded(), b.traffic().forwarded());
+    assert_eq!(
+        a.traffic().served_first_hop(),
+        b.traffic().served_first_hop()
+    );
+    assert_eq!(a.incomes(), b.incomes());
+    assert_eq!(a.churn(), b.churn());
+    assert_eq!(a.settlement_count(), b.settlement_count());
+
+    let c = churn_report(0.1, 0xFA13);
+    assert_ne!(a.traffic().forwarded(), c.traffic().forwarded());
+}
+
+#[test]
+fn churn_experiment_csv_replays_byte_identically() {
+    let scale = ExperimentScale {
+        nodes: 120,
+        files: 40,
+        seed: 0xFA12,
+    };
+    let rates = [0.0, 0.1];
+    let a = churn::run(scale, &rates).expect("experiment runs");
+    let b = churn::run(scale, &rates).expect("experiment runs");
+    assert_eq!(
+        a.to_csv().to_csv_string(),
+        b.to_csv().to_csv_string(),
+        "summary CSV must replay byte-identically"
+    );
+    assert_eq!(
+        a.timeline_csv().to_csv_string(),
+        b.timeline_csv().to_csv_string(),
+        "timeline CSV must replay byte-identically"
+    );
+}
+
+#[test]
+fn gini_stays_in_unit_interval_across_churn_rates() {
+    for rate in [0.0, 0.05, 0.15, 0.3] {
+        let report = churn_report(rate, 7);
+        let f1 = report.f1_contribution_gini();
+        let f2 = report.f2_income_gini();
+        assert!((0.0..=1.0).contains(&f1), "rate {rate}: F1 {f1}");
+        assert!((0.0..=1.0).contains(&f2), "rate {rate}: F2 {f2}");
+        if let Some(churn) = report.churn() {
+            for sample in &churn.timeline {
+                assert!(
+                    (0.0..=1.0).contains(&sample.f2_gini),
+                    "rate {rate} step {}: F2 {}",
+                    sample.step,
+                    sample.f2_gini
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn income_conservation_holds_across_join_leave_events() {
+    // Every unit of income is a ledger settlement at 1:1 (zero tx cost):
+    // first-hop payments while live plus departure settlements. Churn must
+    // not mint or destroy value.
+    for rate in [0.05, 0.2] {
+        let report = churn_report(rate, 21);
+        let churn = report.churn().expect("churn outcome present");
+        assert!(churn.leaves > 0, "rate {rate} produced no churn");
+        let income: f64 = report.incomes().iter().sum();
+        assert_eq!(
+            income as u64,
+            report.settlement_volume(),
+            "rate {rate}: income vs ledger volume"
+        );
+        // Incomes are non-negative and the vector still covers every node
+        // that ever participated (departed income is retained).
+        assert_eq!(report.incomes().len(), 200);
+        assert!(report.incomes().iter().all(|&v| v >= 0.0));
+    }
+}
+
+#[test]
+fn departures_degrade_routing_gracefully_not_catastrophically() {
+    let static_report = churn_report(0.0, 5);
+    let churned = churn_report(0.2, 5);
+    let requests: u64 = churned.traffic().requests_issued().iter().sum();
+    let stuck = churned.traffic().stuck_requests();
+    // Churn may strand some requests, but the incremental table repair
+    // keeps the overwhelming majority routable.
+    assert!(
+        (stuck as f64) < 0.05 * requests as f64,
+        "stuck {stuck} of {requests}"
+    );
+    assert_eq!(static_report.traffic().stuck_requests(), 0);
+}
+
+#[test]
+fn plans_replay_identically_and_respect_the_floor() {
+    let config = ChurnConfig::from_rate(0.25)
+        .expect("valid rate")
+        .with_session(LifetimeDist::Weibull {
+            shape: 0.7,
+            scale: 6.0,
+        })
+        .with_min_live_fraction(0.5);
+    let a = ChurnPlan::generate(100, 300, &config, 42).expect("valid plan");
+    let b = ChurnPlan::generate(100, 300, &config, 42).expect("valid plan");
+    assert_eq!(a, b);
+    // Replay the plan and check the floor.
+    let mut live = 100i64;
+    for event in a.events() {
+        match event.kind {
+            fairswap::churn::ChurnEventKind::Leave => live -= 1,
+            fairswap::churn::ChurnEventKind::Join => live += 1,
+        }
+        assert!(live >= 50, "floor violated");
+    }
+    assert_eq!(live as usize, a.final_live_count());
+}
+
+#[test]
+fn churn_washes_out_the_bucket_size_fairness_gap() {
+    // The reason this subsystem exists: measuring the paper's k = 20
+    // fairness advantage (Fig. 5) on a *dynamic* overlay. The answer the
+    // experiment gives — consistently across scales — is that churn itself
+    // redistributes reward (storage responsibility migrates, vacated
+    // buckets refill), which dominates the bucket-size effect: the static
+    // k4-vs-k20 Gini gap collapses under 10% churn.
+    let scale = ExperimentScale {
+        nodes: 250,
+        files: 200,
+        seed: 0xFA12,
+    };
+    let result = churn::run(scale, &[0.0, 0.1]).expect("experiment runs");
+
+    // Static baseline reproduces the paper's finding.
+    let static_k4 = result.row(4, 0.0).unwrap().f2_gini;
+    let static_k20 = result.row(20, 0.0).unwrap().f2_gini;
+    assert!(
+        static_k20 < static_k4,
+        "static: F2 k20 {static_k20} !< k4 {static_k4}"
+    );
+
+    // Under churn the gap shrinks decisively (in either direction).
+    let churned_k4 = result.row(4, 0.1).unwrap().f2_gini;
+    let churned_k20 = result.row(20, 0.1).unwrap().f2_gini;
+    let static_gap = static_k4 - static_k20;
+    let churned_gap = (churned_k4 - churned_k20).abs();
+    assert!(
+        churned_gap < static_gap,
+        "churn did not shrink the fairness gap: static {static_gap:.4}, churned {churned_gap:.4}"
+    );
+}

@@ -22,7 +22,10 @@ fn identical_seeds_give_identical_reports() {
     let a = run(0xFA12);
     let b = run(0xFA12);
     assert_eq!(a.traffic().forwarded(), b.traffic().forwarded());
-    assert_eq!(a.traffic().served_first_hop(), b.traffic().served_first_hop());
+    assert_eq!(
+        a.traffic().served_first_hop(),
+        b.traffic().served_first_hop()
+    );
     assert_eq!(a.incomes(), b.incomes());
     assert_eq!(a.settlement_count(), b.settlement_count());
     assert_eq!(a.amortized_total(), b.amortized_total());

@@ -133,10 +133,7 @@ fn manual_pipeline_matches_harness() {
     }
 
     assert_eq!(state.incomes_f64(), report.incomes());
-    assert_eq!(
-        download.stats().forwarded(),
-        report.traffic().forwarded()
-    );
+    assert_eq!(download.stats().forwarded(), report.traffic().forwarded());
 }
 
 #[test]
@@ -145,7 +142,9 @@ fn every_mechanism_produces_valid_fairness_metrics() {
         MechanismKind::Swarm,
         MechanismKind::PayAllHops,
         MechanismKind::TitForTat,
-        MechanismKind::EffortBased { budget_per_tick: 5_000 },
+        MechanismKind::EffortBased {
+            budget_per_tick: 5_000,
+        },
         MechanismKind::ProofOfBandwidth { mint_per_chunk: 2 },
     ] {
         let report = SimulationBuilder::new()

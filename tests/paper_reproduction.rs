@@ -87,7 +87,10 @@ fn files_convergence_is_stable() {
     assert_eq!(result.trajectory.len(), 10);
     let final_gini = result.trajectory.last().unwrap().f2_gini;
     let mid_gini = result.trajectory[4].f2_gini;
-    assert!((final_gini - mid_gini).abs() < 0.1, "mid {mid_gini} final {final_gini}");
+    assert!(
+        (final_gini - mid_gini).abs() < 0.1,
+        "mid {mid_gini} final {final_gini}"
+    );
 }
 
 #[test]

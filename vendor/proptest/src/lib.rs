@@ -1,0 +1,541 @@
+//! A small, deterministic property-testing harness exposing the subset of
+//! the `proptest` API this workspace uses.
+//!
+//! The registry is unreachable in this build environment, so this vendored
+//! crate replaces upstream `proptest`. Differences from the real thing:
+//!
+//! * cases are generated from a ChaCha12 stream seeded by the test's module
+//!   path and name — fully deterministic, no persistence files;
+//! * there is no shrinking: a failing case panics with the standard
+//!   `assert!` diagnostics (the inputs are reproducible by construction);
+//! * `prop_assume!`/`prop_filter` rejections simply skip or resample,
+//!   bounded by a retry budget.
+//!
+//! Supported surface: `proptest! { ... }` (with optional
+//! `#![proptest_config(...)]`), range and `any::<T>()` strategies, tuple
+//! strategies up to arity 6, `prop::collection::vec`, `Just`,
+//! `.prop_map`/`.prop_filter`, and the `prop_assert*`/`prop_assume`
+//! macros.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// How many times a rejecting combinator resamples before giving up on
+    /// the case.
+    pub const MAX_REJECTS: usize = 256;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value, or `None` if a filter rejected too often.
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `predicate`, resampling up to
+        /// [`MAX_REJECTS`] times. The `_whence` label matches upstream's
+        /// diagnostic argument and is unused here.
+        fn prop_filter<F>(self, _whence: &'static str, predicate: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                predicate,
+            }
+        }
+
+        /// Boxes the strategy (API-compatibility helper).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            (**self).sample(rng)
+        }
+    }
+
+    /// A reference-counted, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_sample(&self, rng: &mut TestRng) -> Option<T>;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.sample(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            self.inner.dyn_sample(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        predicate: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            for _ in 0..MAX_REJECTS {
+                let candidate = self.inner.sample(rng)?;
+                if (self.predicate)(&candidate) {
+                    return Some(candidate);
+                }
+            }
+            None
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rand::Rng::gen_range(rng, self.clone()))
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rand::Rng::gen_range(rng, self.clone()))
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain generation.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_via_standard!(
+        u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32
+    );
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+
+    /// A strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A range of collection sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (exclusive).
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self {
+                min: len,
+                max: len + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            Self {
+                min: range.start,
+                max: range.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *range.start(),
+                max: range.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = if self.size.max > self.size.min {
+                rand::Rng::gen_range(rng, self.size.min..self.size.max)
+            } else {
+                self.size.min
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Execution configuration and the deterministic case RNG.
+
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = rand_chacha::ChaCha12Rng;
+
+    /// Runner configuration (only `cases` is meaningful here).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to generate per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the heavier simulation
+            // properties fast while still exploring the input space.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Derives the deterministic RNG for one case of one property.
+    pub fn rng_for(test_path: &str, case: u64) -> TestRng {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_path.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Samples a strategy for the harness macro, translating rejection into
+    /// a skipped case.
+    pub fn sample_or_skip<S: crate::strategy::Strategy>(
+        strategy: &S,
+        rng: &mut TestRng,
+    ) -> Option<S::Value> {
+        strategy.sample(rng)
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs, mirroring
+    //! `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! The `prop::` namespace (`prop::collection::vec`).
+        pub use crate::collection;
+    }
+}
+
+/// Declares deterministic property tests.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// arguments use `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            (<$crate::test_runner::Config as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        // Immediately-called closures are how this macro scopes `?` (for
+        // strategy sampling) and early returns (for `prop_assume!`).
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __sampled = (|| {
+                    ::std::option::Option::Some((
+                        $($crate::test_runner::sample_or_skip(&($strategy), &mut __rng)?,)+
+                    ))
+                })();
+                let ($($pat,)+) = match __sampled {
+                    ::std::option::Option::Some(values) => values,
+                    // A filter rejected every resample: skip the case.
+                    ::std::option::Option::None => continue,
+                };
+                let __outcome: ::std::result::Result<(), ()> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                // `prop_assume!` early-outs arrive here as `Ok`.
+                let _ = __outcome;
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics with diagnostics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_and_case() {
+        use rand::RngCore;
+        let mut a = crate::test_runner::rng_for("x::y", 3);
+        let mut b = crate::test_runner::rng_for("x::y", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::rng_for("x::y", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn filter_rejection_is_bounded() {
+        let strategy = (0u32..10).prop_filter("impossible", |_| false);
+        let mut rng = crate::test_runner::rng_for("t", 0);
+        assert!(strategy.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let strategy = prop::collection::vec(0u8..255, 3..7);
+        let mut rng = crate::test_runner::rng_for("v", 0);
+        for _ in 0..50 {
+            let v = strategy.sample(&mut rng).unwrap();
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_inputs(x in 0u64..100, pair in (0usize..5, 0usize..5)) {
+            prop_assert!(x < 100);
+            prop_assert!(pair.0 < 5 && pair.1 < 5);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            v in prop::collection::vec((0usize..9, 0usize..9)
+                .prop_filter("distinct", |(a, b)| a != b)
+                .prop_map(|(a, b)| a * 10 + b), 1..5),
+        ) {
+            for encoded in v {
+                prop_assert_ne!(encoded / 10, encoded % 10);
+            }
+        }
+
+        #[test]
+        fn just_and_any(x in Just(7u8), y in any::<bool>()) {
+            prop_assert_eq!(x, 7);
+            let _ = y;
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! A self-contained ChaCha12 random number generator.
+//!
+//! Vendored replacement for the `rand_chacha` crate (the build environment
+//! has no registry access). The generator runs the genuine ChaCha permutation
+//! with 12 rounds over a 256-bit seed, so its streams have the same
+//! statistical quality and cross-platform stability guarantees the workspace
+//! relies on. Output is **not** bit-compatible with upstream `rand_chacha`
+//! (different word serialization); every consumer in this repository fixes
+//! its own seed and compares runs against each other, never against foreign
+//! implementations.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 12;
+const WORDS_PER_BLOCK: usize = 16;
+
+/// A deterministic ChaCha12 stream cipher used as an RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha12Rng {
+    /// Key + constants + counter state fed to the block function.
+    state: [u32; WORDS_PER_BLOCK],
+    /// Buffered output of the current block.
+    buffer: [u32; WORDS_PER_BLOCK],
+    /// Next unread word in `buffer`; `WORDS_PER_BLOCK` means exhausted.
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(input: &[u32; WORDS_PER_BLOCK]) -> [u32; WORDS_PER_BLOCK] {
+    let mut working = *input;
+    for _ in 0..CHACHA_ROUNDS / 2 {
+        // Column round.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (w, i) in working.iter_mut().zip(input.iter()) {
+        *w = w.wrapping_add(*i);
+    }
+    working
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        self.buffer = chacha_block(&self.state);
+        self.cursor = 0;
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+
+    /// The 64-bit position of the next block in the stream.
+    pub fn block_counter(&self) -> u64 {
+        (u64::from(self.state[13]) << 32) | u64::from(self.state[12])
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // "expand 32-byte k" constants, as in the ChaCha specification.
+        let mut state = [0u32; WORDS_PER_BLOCK];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..14: block counter (0); words 14..16: stream id (0).
+        let mut rng = Self {
+            state,
+            buffer: [0; WORDS_PER_BLOCK],
+            cursor: WORDS_PER_BLOCK,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha12Rng::seed_from_u64(0xFA12);
+        let mut b = ChaCha12Rng::seed_from_u64(0xFA12);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha12Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn block_counter_advances() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let start = rng.block_counter();
+        for _ in 0..WORDS_PER_BLOCK + 1 {
+            rng.next_u32();
+        }
+        assert!(rng.block_counter() > start);
+    }
+
+    #[test]
+    fn output_is_balanced() {
+        // Crude sanity check on bit balance over a few thousand draws.
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut ones = 0u64;
+        const DRAWS: u64 = 4096;
+        for _ in 0..DRAWS {
+            ones += u64::from(rng.next_u64().count_ones());
+        }
+        let expected = DRAWS * 32;
+        let deviation = ones.abs_diff(expected);
+        assert!(deviation < expected / 50, "ones {ones} expected {expected}");
+    }
+
+    #[test]
+    fn works_with_rng_extension_trait() {
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let x: u64 = rng.gen_range(0..100);
+        assert!(x < 100);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        rng.next_u64();
+        let mut fork = rng.clone();
+        assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+}

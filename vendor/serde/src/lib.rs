@@ -1,0 +1,452 @@
+//! A small, self-contained replacement for the `serde` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the subset the workspace needs: `#[derive(Serialize,
+//! Deserialize)]` plus the traits behind them, modelled as conversion to and
+//! from an in-memory [`Value`] tree (the vendored `serde_json` renders that
+//! tree as JSON).
+//!
+//! The derive macros support non-generic and plainly-generic (`struct
+//! Foo<T>`) structs and enums with named, tuple and unit fields/variants,
+//! which covers every type in this repository.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialization tree (a superset of the JSON data
+/// model: integers keep their signedness).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer that does not fit `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered set of named fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object, if this is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's shape, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Creates a "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a field of an object by name (derive-macro helper).
+///
+/// # Errors
+///
+/// Returns [`DeError`] if the field is absent.
+pub fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v Value, DeError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match value {
+                    Value::Int(v) => i128::from(*v),
+                    Value::UInt(v) => i128::from(*v),
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::new(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(v) => Value::Int(v),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: u64 = match value {
+                    Value::Int(v) if *v >= 0 => *v as u64,
+                    Value::UInt(v) => *v,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::new(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Float(v) => Ok(*v as $t),
+                    Value::Int(v) => Ok(*v as $t),
+                    Value::UInt(v) => Ok(*v as $t),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", value))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {expected}, found array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    /// Maps serialize as arrays of `[key, value]` pairs so that non-string
+    /// keys (this workspace uses `(usize, usize)` pairs) survive JSON.
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::expected("array of pairs", value))?;
+        let mut map = HashMap::with_capacity_and_hasher(items.len(), S::default());
+        for item in items {
+            let pair = item
+                .as_array()
+                .ok_or_else(|| DeError::expected("[key, value] pair", item))?;
+            if pair.len() != 2 {
+                return Err(DeError::new("map entry must be a [key, value] pair"));
+            }
+            map.insert(K::from_value(&pair[0])?, V::from_value(&pair[1])?);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+    }
+
+    #[test]
+    fn big_u64_uses_uint() {
+        let v = u64::MAX.to_value();
+        assert_eq!(v, Value::UInt(u64::MAX));
+        assert_eq!(u64::from_value(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert!(i8::from_value(&Value::UInt(200)).is_err());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+
+        let pair = (1u64, "x".to_string());
+        assert_eq!(<(u64, String)>::from_value(&pair.to_value()).unwrap(), pair);
+
+        let opt: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&opt.to_value()).unwrap(), None);
+
+        let mut map = HashMap::new();
+        map.insert((1usize, 2usize), 3i64);
+        let back: HashMap<(usize, usize), i64> = Deserialize::from_value(&map.to_value()).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn shape_errors_are_descriptive() {
+        let err = bool::from_value(&Value::Int(1)).unwrap_err();
+        assert!(err.to_string().contains("expected bool"));
+        let fields = vec![("a".to_string(), Value::Null)];
+        assert!(field(&fields, "a").is_ok());
+        assert!(field(&fields, "b").is_err());
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let arr = [1u8, 2, 3];
+        let back: [u8; 3] = Deserialize::from_value(&arr.to_value()).unwrap();
+        assert_eq!(back, arr);
+        assert!(<[u8; 4]>::from_value(&arr.to_value()).is_err());
+    }
+}

@@ -1,0 +1,471 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde` subset.
+//!
+//! The registry is unreachable in this build environment, so `syn`/`quote`
+//! are unavailable; the input item is parsed directly from the
+//! `proc_macro::TokenStream`. Supported shapes — which cover every derived
+//! type in this workspace:
+//!
+//! * structs with named fields, tuple structs (single-field tuples are
+//!   treated as transparent newtypes), unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde);
+//! * plain type-parameter generics (`struct Trace<S>`) without bounds.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Direction::Serialize)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Direction::Deserialize)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+/// The parsed shape of a derive target.
+struct Item {
+    name: String,
+    /// Plain type-parameter names (`["S"]` for `Foo<S>`).
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: field count.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Punct(punct)) if punct.as_char() == ';' => Body::Unit,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(group.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(*i) {
+        if ident.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<A, B>` after the type name into parameter names. Bounds,
+/// lifetimes and const parameters are not supported — none of the derived
+/// types in this workspace use them.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expecting_name = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                expecting_name = true;
+            }
+            Some(TokenTree::Ident(ident)) if depth == 1 && expecting_name => {
+                params.push(ident.to_string());
+                expecting_name = false;
+            }
+            Some(_) => {}
+            None => panic!("unterminated generics"),
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the next comma at angle-bracket
+/// depth zero (or at end of stream).
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(token) = tokens.get(*i) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields += 1;
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Struct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(group.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while let Some(token) = tokens.get(i) {
+            i += 1;
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let plain = item.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{plain}>",
+            bounded.join(", "),
+            item.name
+        )
+    }
+}
+
+fn generate(item: &Item, direction: Direction) -> String {
+    match direction {
+        Direction::Serialize => generate_serialize(item),
+        Direction::Deserialize => generate_deserialize(item),
+    }
+}
+
+fn object_literal(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::Struct(fields) => object_literal(fields, |f| format!("&self.{f}")),
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "Self::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let entries: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    entries.join(", ")
+                                )
+                            };
+                            format!(
+                                "Self::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {inner})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantBody::Struct(fields) => {
+                            let inner = object_literal(fields, |f| f.to_string());
+                            format!(
+                                "Self::{vname} {{ {} }} => \
+                                 ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {inner})]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn named_fields_constructor(fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::field({source}, \"{f}\")?)?")
+        })
+        .collect();
+    inits.join(", ")
+}
+
+fn tuple_constructor(n: usize, source: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{source}[{i}])?"))
+        .collect();
+    inits.join(", ")
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::Struct(fields) => format!(
+            "let __fields = __value.as_object().ok_or_else(|| \
+             ::serde::DeError::expected(\"object\", __value))?; \
+             ::std::result::Result::Ok(Self {{ {} }})",
+            named_fields_constructor(fields, "__fields")
+        ),
+        Body::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__value)?))"
+                .to_string()
+        }
+        Body::Tuple(n) => format!(
+            "let __items = __value.as_array().ok_or_else(|| \
+             ::serde::DeError::expected(\"array\", __value))?; \
+             if __items.len() != {n} {{ \
+             return ::std::result::Result::Err(::serde::DeError::new(\
+             ::std::format!(\"expected {n} elements, found {{}}\", __items.len()))); }} \
+             ::std::result::Result::Ok(Self({}))",
+            tuple_constructor(*n, "__items")
+        ),
+        Body::Unit => "::std::result::Result::Ok(Self)".to_string(),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => None,
+                        VariantBody::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                             Self::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantBody::Tuple(n) => Some(format!(
+                            "\"{vname}\" => {{ \
+                             let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array\", __inner))?; \
+                             if __items.len() != {n} {{ \
+                             return ::std::result::Result::Err(::serde::DeError::new(\
+                             \"wrong tuple variant arity\")); }} \
+                             ::std::result::Result::Ok(Self::{vname}({})) }}",
+                            tuple_constructor(*n, "__items")
+                        )),
+                        VariantBody::Struct(fields) => Some(format!(
+                            "\"{vname}\" => {{ \
+                             let __fields = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", __inner))?; \
+                             ::std::result::Result::Ok(Self::{vname} {{ {} }}) }}",
+                            named_fields_constructor(fields, "__fields")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {} \
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{__other}}`\"))), }}, \
+                 ::serde::Value::Object(__tagged) if __tagged.len() == 1 => {{ \
+                 let (__tag, __inner) = &__tagged[0]; \
+                 match __tag.as_str() {{ \
+                 {} \
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{__other}}`\"))), }} }}, \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum representation\", __other)), }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}

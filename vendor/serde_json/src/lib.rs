@@ -1,0 +1,446 @@
+//! JSON rendering and parsing over the vendored `serde` value tree.
+//!
+//! Provides the two entry points this workspace uses — [`to_string`] and
+//! [`from_str`] — with RFC 8259 string escaping and standard number
+//! grammar. Non-finite floats are rejected at serialization time, exactly
+//! like real `serde_json`.
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Error for JSON serialization or parsing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Fails if the value contains a non-finite float.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Parses a JSON string into `T`.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or when the document's shape does not match `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(value: &Value, out: &mut String) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(v) => out.push_str(&v.to_string()),
+        Value::UInt(v) => out.push_str(&v.to_string()),
+        Value::Float(v) => {
+            if !v.is_finite() {
+                return Err(Error::new("cannot serialize non-finite float"));
+            }
+            // `{:?}` prints the shortest representation that round-trips.
+            let rendered = format!("{v:?}");
+            out.push_str(&rendered);
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') if self.consume_literal("null") => Ok(Value::Null),
+            Some(b't') if self.consume_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.consume_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected input {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            let unit = self.parse_hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                if !self.consume_literal("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4_raw()?;
+                                let combined = 0x10000
+                                    + ((u32::from(unit) - 0xD800) << 10)
+                                    + (u32::from(low) - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(u32::from(unit))
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?
+                            };
+                            out.push(c);
+                            // parse_hex4 consumed through the escape already;
+                            // skip the shared `pos += 1` below.
+                            continue;
+                        }
+                        _ => return Err(Error::new("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Decode the next UTF-8 scalar from the source slice.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after a `\u` whose `u` is the current byte.
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        self.pos += 1; // consume the `u`
+        self.parse_hex4_raw()
+    }
+
+    /// Parses 4 hex digits at the current position.
+    fn parse_hex4_raw(&mut self) -> Result<u16, Error> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated unicode escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| Error::new("invalid unicode escape"))?;
+        let unit = u16::from_str_radix(s, 16).map_err(|_| Error::new("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Int(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<f64>("1e3").unwrap(), 1000.0);
+        assert_eq!(to_string(&u64::MAX).unwrap(), u64::MAX.to_string());
+        assert_eq!(from_str::<u64>(&u64::MAX.to_string()).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn float_shortest_representation_round_trips() {
+        for v in [0.1f64, 1.0 / 3.0, 6.02e23, -0.0, 1e-300] {
+            let json = to_string(&v).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} via {json}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_rejected() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nquote\"slash\\tab\tünïcødé 🦀".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>(r#""A""#).unwrap(), "A");
+        assert_eq!(from_str::<String>(r#""🦀""#).unwrap(), "🦀");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&json).unwrap(), v);
+
+        let pair = (7u64, "x".to_string());
+        let back: (u64, String) = from_str(&to_string(&pair).unwrap()).unwrap();
+        assert_eq!(back, pair);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(
+            from_str::<Vec<u32>>(" [ 1 , 2 ,\n3 ] ").unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("12x").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+    }
+}
