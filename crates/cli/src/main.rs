@@ -1,7 +1,8 @@
 //! `fairswap` — command-line runner for the reproduction experiments.
 //!
 //! ```text
-//! fairswap <command> [--nodes N] [--files N] [--seed S] [--out DIR] [--quick]
+//! fairswap <command> [--nodes N] [--files N] [--seed S] [--out DIR]
+//!          [--quick] [--threads T] [--bits B]
 //!
 //! Commands:
 //!   table1       Table I   — average forwarded chunks
@@ -15,40 +16,69 @@
 //!   caching      §V        — popularity + caching
 //!   mechanisms   §I/§II    — baseline mechanism comparison
 //!   churn        §V f.w.   — F1/F2 fairness vs churn rate, k ∈ {4, 20}
-//!   all          run everything
+//!   large-scale  scaling   — fairness at 10^5 nodes, 20-24-bit space
+//!   all          run everything (except large-scale)
 //! ```
+//!
+//! Sweeps are embarrassingly parallel across their grid cells:
+//! `--threads T` fans the cells out over `T` workers (`--threads 0` = one
+//! per CPU core) with **bit-identical output** to a serial run — every
+//! cell derives all of its randomness from its own seed, so scheduling
+//! cannot leak into results. Progress for the whole grid is rendered as
+//! one live line on stderr.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use fairswap_core::experiments::{
-    churn, extensions, fig4, fig5, fig6, sweeps, table1, ExperimentScale,
+    churn, extensions, fig4, fig5, fig6, large_scale, sweeps, table1, ExperimentScale,
 };
-use fairswap_core::CsvTable;
+use fairswap_core::{CsvTable, Executor};
 
 struct Options {
     command: String,
     scale: ExperimentScale,
+    /// Whether --nodes / --files were given explicitly (large-scale picks
+    /// bigger defaults than the paper scale when they were not).
+    nodes_set: bool,
+    files_set: bool,
+    bits: u32,
+    threads: usize,
     out: PathBuf,
 }
 
 fn usage() -> &'static str {
-    "usage: fairswap <table1|fig4|fig5|fig6|sweep-files|overhead|bucket0|freeride|caching|mechanisms|churn|all>\n\
-     \x20      [--nodes N] [--files N] [--seed S] [--out DIR] [--quick]\n\
+    "usage: fairswap <table1|fig4|fig5|fig6|sweep-files|overhead|bucket0|freeride|caching|mechanisms|churn|large-scale|all>\n\
+     \x20      [--nodes N] [--files N] [--seed S] [--out DIR] [--quick] [--threads T] [--bits B]\n\
      \n\
-     --quick   use the reduced test scale (300 nodes, 200 files)\n\
-     defaults: paper scale (1000 nodes, 10000 files), out = ./results"
+     --quick     use the reduced test scale (300 nodes, 200 files)\n\
+     --threads   worker threads for sweep cells (default 1; 0 = all cores);\n\
+     \x20           output is bit-identical for any thread count\n\
+     --bits      address-space width for large-scale (default 22)\n\
+     defaults: paper scale (1000 nodes, 10000 files), out = ./results;\n\
+     large-scale defaults to 100000 nodes, 2000 files"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut command = None;
     let mut scale = ExperimentScale::paper();
+    let mut nodes_set = false;
+    let mut files_set = false;
+    let mut bits = large_scale::DEFAULT_BITS;
+    let mut threads = 1usize;
     let mut out = PathBuf::from("results");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => scale = ExperimentScale::quick().with_seed(scale.seed),
-            "--nodes" | "--files" | "--seed" | "--out" => {
+            "--quick" => {
+                scale = ExperimentScale::quick().with_seed(scale.seed);
+                // The quick dimensions are an explicit sizing choice:
+                // large-scale must honor them instead of its 10^5 default.
+                nodes_set = true;
+                files_set = true;
+            }
+            "--nodes" | "--files" | "--seed" | "--out" | "--threads" | "--bits" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -59,16 +89,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         scale.nodes = value
                             .parse()
                             .map_err(|_| format!("invalid --nodes value: {value}"))?;
+                        nodes_set = true;
                     }
                     "--files" => {
                         scale.files = value
                             .parse()
                             .map_err(|_| format!("invalid --files value: {value}"))?;
+                        files_set = true;
                     }
                     "--seed" => {
                         scale.seed = value
                             .parse()
                             .map_err(|_| format!("invalid --seed value: {value}"))?;
+                    }
+                    "--threads" => {
+                        threads = value
+                            .parse()
+                            .map_err(|_| format!("invalid --threads value: {value}"))?;
+                    }
+                    "--bits" => {
+                        bits = value
+                            .parse()
+                            .map_err(|_| format!("invalid --bits value: {value}"))?;
                     }
                     "--out" => out = PathBuf::from(value),
                     _ => unreachable!(),
@@ -83,6 +125,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(Options {
         command: command.ok_or_else(|| "missing command".to_string())?,
         scale,
+        nodes_set,
+        files_set,
+        bits,
+        threads,
         out,
     })
 }
@@ -96,9 +142,30 @@ fn write_csv(out: &Path, name: &str, csv: &CsvTable) -> Result<(), String> {
     Ok(())
 }
 
+/// A grid-wide progress line on stderr, updated once per percent. Safe to
+/// call from several worker threads: the percentage gate is an atomic
+/// max, so updates only ever move forward.
+fn live_progress() -> impl Fn(u64, u64) + Sync {
+    let last_pct = AtomicU64::new(0);
+    move |done, total| {
+        if total == 0 {
+            return;
+        }
+        let pct = done * 100 / total;
+        if pct > last_pct.fetch_max(pct, Ordering::Relaxed) {
+            eprint!("\r  {done}/{total} steps ({pct}%)");
+            if done == total {
+                eprintln!();
+            }
+        }
+    }
+}
+
 fn run_command(opts: &Options) -> Result<(), String> {
     let scale = opts.scale;
     let out = &opts.out;
+    // `Executor::new(0)` resolves to one worker per available core.
+    let executor = Executor::new(opts.threads);
     let err = |e: fairswap_core::CoreError| e.to_string();
 
     let commands: Vec<&str> = if opts.command == "all" {
@@ -121,12 +188,15 @@ fn run_command(opts: &Options) -> Result<(), String> {
 
     for command in commands {
         println!(
-            "== {command} (nodes={}, files={}, seed={:#x})",
-            scale.nodes, scale.files, scale.seed
+            "== {command} (nodes={}, files={}, seed={:#x}, threads={})",
+            scale.nodes,
+            scale.files,
+            scale.seed,
+            executor.threads()
         );
         match command {
             "table1" => {
-                let table = table1::run(scale).map_err(err)?;
+                let table = table1::run_with(scale, &executor).map_err(err)?;
                 for row in &table.rows {
                     println!(
                         "  k={:<2} originators={:>4}%  mean_forwarded={:>10.1}",
@@ -139,7 +209,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
             }
             "fig4" => {
                 let bin = (scale.files as f64 / 2.0).max(10.0);
-                let fig = fig4::run(scale, bin).map_err(err)?;
+                let fig = fig4::run_with(scale, bin, &executor).map_err(err)?;
                 for fraction in [0.2, 1.0] {
                     if let Some(ratio) = fig.area_ratio(fraction) {
                         println!(
@@ -151,7 +221,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(out, "fig4.csv", &fig.to_csv())?;
             }
             "fig5" => {
-                let fig = fig5::run(scale).map_err(err)?;
+                let fig = fig5::run_with(scale, &executor).map_err(err)?;
                 for s in &fig.series {
                     println!(
                         "  k={:<2} originators={:>4}%  F2 gini={:.4}",
@@ -163,7 +233,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(out, "fig5.csv", &fig.to_csv())?;
             }
             "fig6" => {
-                let fig = fig6::run(scale).map_err(err)?;
+                let fig = fig6::run_with(scale, &executor).map_err(err)?;
                 for s in &fig.series {
                     println!(
                         "  k={:<2} originators={:>4}%  F1 gini={:.4} (paid nodes: {})",
@@ -176,7 +246,10 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(out, "fig6.csv", &fig.to_csv())?;
             }
             "sweep-files" => {
-                let result = sweeps::files_convergence(scale, 4, 1.0, 20).map_err(err)?;
+                let cells = [(4usize, 1.0f64)];
+                let results =
+                    sweeps::files_convergence_grid(scale, &cells, 20, &executor).map_err(err)?;
+                let result = &results[0];
                 for s in &result.trajectory {
                     println!("  files={:<6} F2 gini={:.4}", s.timestep, s.f2_gini);
                 }
@@ -184,7 +257,8 @@ fn run_command(opts: &Options) -> Result<(), String> {
             }
             "overhead" => {
                 let sweep =
-                    sweeps::overhead_vs_k(scale, &[4, 8, 12, 16, 20, 32], 1.0, 2).map_err(err)?;
+                    sweeps::overhead_vs_k_with(scale, &[4, 8, 12, 16, 20, 32], 1.0, 2, &executor)
+                        .map_err(err)?;
                 for r in &sweep.rows {
                     println!(
                         "  k={:<2} connections/node={:>6.1} settlements={:>8} mean_payment={:>7.2}",
@@ -194,7 +268,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(out, "overhead.csv", &sweep.to_csv())?;
             }
             "bucket0" => {
-                let result = extensions::bucket_zero(scale, 0.2).map_err(err)?;
+                let result = extensions::bucket_zero_with(scale, 0.2, &executor).map_err(err)?;
                 for r in &result.rows {
                     println!(
                         "  {:<16} connections/node={:>6.1} F2={:.4} F1={:.4}",
@@ -204,8 +278,13 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(out, "bucket0.csv", &result.to_csv())?;
             }
             "freeride" => {
-                let result = extensions::free_riding(scale, 4, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5])
-                    .map_err(err)?;
+                let result = extensions::free_riding_with(
+                    scale,
+                    4,
+                    &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
+                    &executor,
+                )
+                .map_err(err)?;
                 for r in &result.rows {
                     println!(
                         "  free-riders={:>4}%  F2={:.4} F1={:.4} income={:.0}",
@@ -218,7 +297,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(out, "freeride.csv", &result.to_csv())?;
             }
             "caching" => {
-                let result = extensions::caching(scale, 4, 1024).map_err(err)?;
+                let result = extensions::caching_with(scale, 4, 1024, &executor).map_err(err)?;
                 for r in &result.rows {
                     println!(
                         "  workload={:<8} cache={:<5} mean_forwarded={:>9.1} hits={:>8}",
@@ -228,7 +307,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(out, "caching.csv", &result.to_csv())?;
             }
             "mechanisms" => {
-                let result = extensions::mechanisms(scale, 4, 1.0).map_err(err)?;
+                let result = extensions::mechanisms_with(scale, 4, 1.0, &executor).map_err(err)?;
                 for r in &result.rows {
                     println!(
                         "  {:<20} F2={:.4} F1(income)={:.4} earning={:>5.1}%",
@@ -241,7 +320,8 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(out, "mechanisms.csv", &result.to_csv())?;
             }
             "churn" => {
-                let result = churn::run(scale, &churn::DEFAULT_RATES).map_err(err)?;
+                let result =
+                    churn::run_with(scale, &churn::DEFAULT_RATES, &executor).map_err(err)?;
                 for r in &result.rows {
                     println!(
                         "  k={:<2} churn={:>4.0}%  F1={:.4} F2={:.4} leaves={:>5} live={:>4} stuck={:>6}",
@@ -256,6 +336,44 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 }
                 write_csv(out, "churn.csv", &result.to_csv())?;
                 write_csv(out, "churn_timeline.csv", &result.timeline_csv())?;
+            }
+            "large-scale" => {
+                // Unless explicitly sized, run the 10^5-node headline scale
+                // rather than the 1000-node paper scale.
+                let mut big = large_scale::default_scale().with_seed(scale.seed);
+                if opts.nodes_set {
+                    big.nodes = scale.nodes;
+                }
+                if opts.files_set {
+                    big.files = scale.files;
+                }
+                println!(
+                    "  scaling to nodes={}, files={}, bits={}",
+                    big.nodes, big.files, opts.bits
+                );
+                let result =
+                    large_scale::run_with(big, opts.bits, &[4, 20], &executor, live_progress())
+                        .map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  k={:<2} F2={:.4} F1={:.4} mean_forwarded={:>9.1} hops={:.2} conn/node={:>6.1} stuck={}",
+                        r.k,
+                        r.f2_gini,
+                        r.f1_gini,
+                        r.mean_forwarded,
+                        r.mean_hops,
+                        r.mean_connections,
+                        r.stuck_requests
+                    );
+                }
+                if let Some(reduction) = result.f2_reduction() {
+                    println!(
+                        "  F2 gini reduction k=4 -> k=20 at {} nodes: {:.1}%",
+                        big.nodes,
+                        reduction * 100.0
+                    );
+                }
+                write_csv(out, "large_scale.csv", &result.to_csv())?;
             }
             other => return Err(format!("unknown command: {other}\n{}", usage())),
         }
@@ -289,23 +407,65 @@ mod tests {
         v.iter().map(|x| x.to_string()).collect()
     }
 
+    fn quick_opts(command: &str, nodes: usize, files: u64, out: PathBuf) -> Options {
+        Options {
+            command: command.into(),
+            scale: ExperimentScale {
+                nodes,
+                files,
+                seed: 1,
+            },
+            nodes_set: true,
+            files_set: true,
+            bits: large_scale::DEFAULT_BITS,
+            threads: 1,
+            out,
+        }
+    }
+
     #[test]
     fn parses_command_and_flags() {
         let opts = parse_args(&s(&[
-            "table1", "--nodes", "100", "--files", "50", "--seed", "9", "--out", "/tmp/x",
+            "table1",
+            "--nodes",
+            "100",
+            "--files",
+            "50",
+            "--seed",
+            "9",
+            "--out",
+            "/tmp/x",
+            "--threads",
+            "4",
+            "--bits",
+            "20",
         ]))
         .unwrap();
         assert_eq!(opts.command, "table1");
         assert_eq!(opts.scale.nodes, 100);
         assert_eq!(opts.scale.files, 50);
         assert_eq!(opts.scale.seed, 9);
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.bits, 20);
+        assert!(opts.nodes_set && opts.files_set);
         assert_eq!(opts.out, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn defaults_are_serial_paper_scale() {
+        let opts = parse_args(&s(&["fig5"])).unwrap();
+        assert_eq!(opts.threads, 1);
+        assert_eq!(opts.bits, large_scale::DEFAULT_BITS);
+        assert!(!opts.nodes_set && !opts.files_set);
     }
 
     #[test]
     fn quick_flag_shrinks_scale() {
         let opts = parse_args(&s(&["fig5", "--quick"])).unwrap();
         assert_eq!(opts.scale.nodes, ExperimentScale::quick().nodes);
+        // Quick is explicit sizing: large-scale must not override it with
+        // its 10^5-node default.
+        assert!(opts.nodes_set && opts.files_set);
     }
 
     #[test]
@@ -313,6 +473,8 @@ mod tests {
         assert!(parse_args(&s(&[])).is_err());
         assert!(parse_args(&s(&["table1", "--nodes"])).is_err());
         assert!(parse_args(&s(&["table1", "--nodes", "abc"])).is_err());
+        assert!(parse_args(&s(&["table1", "--threads", "x"])).is_err());
+        assert!(parse_args(&s(&["table1", "--bits", "x"])).is_err());
         assert!(parse_args(&s(&["table1", "--bogus"])).is_err());
         assert!(parse_args(&s(&["table1", "extra"])).is_err());
     }
@@ -320,32 +482,33 @@ mod tests {
     #[test]
     fn runs_a_tiny_experiment_end_to_end() {
         let dir = std::env::temp_dir().join("fairswap_cli_test");
-        let opts = Options {
-            command: "table1".into(),
-            scale: ExperimentScale {
-                nodes: 60,
-                files: 10,
-                seed: 1,
-            },
-            out: dir.clone(),
-        };
+        let opts = quick_opts("table1", 60, 10, dir.clone());
         run_command(&opts).unwrap();
         assert!(dir.join("table1.csv").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
+    fn threaded_run_matches_serial_run() {
+        let dir_a = std::env::temp_dir().join("fairswap_cli_serial");
+        let dir_b = std::env::temp_dir().join("fairswap_cli_threaded");
+        let mut serial = quick_opts("fig5", 80, 16, dir_a.clone());
+        let mut threaded = quick_opts("fig5", 80, 16, dir_b.clone());
+        serial.threads = 1;
+        threaded.threads = 4;
+        run_command(&serial).unwrap();
+        run_command(&threaded).unwrap();
+        let a = std::fs::read_to_string(dir_a.join("fig5.csv")).unwrap();
+        let b = std::fs::read_to_string(dir_b.join("fig5.csv")).unwrap();
+        assert_eq!(a, b, "threaded CSV must be byte-identical to serial");
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
     fn churn_command_writes_both_csvs() {
         let dir = std::env::temp_dir().join("fairswap_cli_churn_test");
-        let opts = Options {
-            command: "churn".into(),
-            scale: ExperimentScale {
-                nodes: 80,
-                files: 20,
-                seed: 1,
-            },
-            out: dir.clone(),
-        };
+        let opts = quick_opts("churn", 80, 20, dir.clone());
         run_command(&opts).unwrap();
         assert!(dir.join("churn.csv").exists());
         assert!(dir.join("churn_timeline.csv").exists());
@@ -357,12 +520,22 @@ mod tests {
     }
 
     #[test]
+    fn large_scale_command_at_test_size() {
+        let dir = std::env::temp_dir().join("fairswap_cli_large_scale_test");
+        let mut opts = quick_opts("large-scale", 2000, 20, dir.clone());
+        opts.bits = 18;
+        opts.threads = 2;
+        run_command(&opts).unwrap();
+        let csv = std::fs::read_to_string(dir.join("large_scale.csv")).unwrap();
+        assert!(csv.starts_with("nodes,bits,k,"));
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("2000,18,4"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn unknown_command_errors() {
-        let opts = Options {
-            command: "nope".into(),
-            scale: ExperimentScale::quick(),
-            out: PathBuf::from("/tmp"),
-        };
+        let opts = quick_opts("nope", 60, 10, PathBuf::from("/tmp"));
         assert!(run_command(&opts).is_err());
     }
 }

@@ -99,13 +99,18 @@ impl CadcadAdapter {
         let topology = Rc::new(sim.topology().clone());
 
         // The workload's pool/distributions are passed as engine *params*;
-        // draws go through the engine's per-run RNG via `sample_with`.
+        // draws go through the engine's per-run RNG via `sample_with`. The
+        // pool seed is forked exactly as `SimulationBuilder::build` forks
+        // it, so both harnesses sample identical originator pools.
         let space = fairswap_kademlia::AddressSpace::new(config.bits)?;
         let workload = fairswap_workload::WorkloadBuilder::new(space, config.nodes)
             .originator_fraction(config.originator_fraction)
             .file_size(config.file_size)
             .chunk_dist(config.chunk_dist.clone())
-            .seed(config.seed.wrapping_add(0x9E37_79B9))
+            .seed(fairswap_simcore::rng::sub_seed(
+                config.seed,
+                fairswap_simcore::rng::domain::WORKLOAD,
+            ))
             .build()?;
 
         let shared = Rc::new(RefCell::new(Shared {

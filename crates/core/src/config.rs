@@ -8,6 +8,7 @@ use fairswap_incentives::{
     TitForTat,
 };
 use fairswap_kademlia::{AddressSpace, BucketSizing, TopologyBuilder};
+use fairswap_simcore::rng::{domain, sub_seed};
 use fairswap_storage::CachePolicy;
 use fairswap_swap::{Bzz, ChannelConfig, Pricing};
 use fairswap_workload::{ChunkDist, FileSizeDist, WorkloadBuilder};
@@ -340,12 +341,13 @@ impl SimulationBuilder {
             .bucket_sizing(config.bucket_sizing.clone())
             .seed(config.seed)
             .build()?;
-        // Distinct sub-seeds per concern, all derived from the master seed.
+        // Distinct sub-seeds per concern, all forked from the master seed
+        // through the shared derivation in `fairswap_simcore::rng`.
         let workload = WorkloadBuilder::new(space, config.nodes)
             .originator_fraction(config.originator_fraction)
             .file_size(config.file_size)
             .chunk_dist(config.chunk_dist.clone())
-            .seed(config.seed.wrapping_add(0x9E37_79B9))
+            .seed(sub_seed(config.seed, domain::WORKLOAD))
             .build()?;
         Ok(BandwidthSim::new(config, topology, workload))
     }

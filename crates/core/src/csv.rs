@@ -15,6 +15,17 @@ pub struct CsvTable {
 }
 
 impl CsvTable {
+    /// Canonical fixed-precision rendering for floating-point CSV fields.
+    ///
+    /// Every experiment table renders its float columns through this one
+    /// helper, so artifacts use a uniform six-decimal precision instead of
+    /// the previous mix of shortest-representation (`{}`) and assorted
+    /// per-column precisions — which made diffing CSVs across presets (and
+    /// asserting byte-identical parallel runs) needlessly fragile.
+    pub fn fmt_float(value: f64) -> String {
+        format!("{value:.6}")
+    }
+
     /// Creates a table with the given column names.
     pub fn new<I, S>(columns: I) -> Self
     where
@@ -101,6 +112,13 @@ impl CsvTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn float_formatting_is_uniform() {
+        assert_eq!(CsvTable::fmt_float(0.2), "0.200000");
+        assert_eq!(CsvTable::fmt_float(17.0), "17.000000");
+        assert_eq!(CsvTable::fmt_float(0.123456789), "0.123457");
+    }
 
     #[test]
     fn renders_header_and_rows() {

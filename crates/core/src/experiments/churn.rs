@@ -7,13 +7,14 @@
 //! the `k = 20` fairness advantage survive when the overlay is no longer
 //! static?
 
+use fairswap_simcore::Executor;
 use serde::{Deserialize, Serialize};
 
 use fairswap_churn::ChurnConfig;
 
-use crate::config::SimulationBuilder;
 use crate::csv::CsvTable;
 use crate::error::CoreError;
+use crate::exec::{run_jobs, SimJob};
 use crate::experiments::scale::ExperimentScale;
 use crate::report::ChurnSample;
 
@@ -84,14 +85,14 @@ impl ChurnExperiment {
         for r in &self.rows {
             csv.push_row([
                 r.k.to_string(),
-                format!("{}", r.churn_rate),
-                format!("{:.6}", r.f1_gini),
-                format!("{:.6}", r.f2_gini),
+                CsvTable::fmt_float(r.churn_rate),
+                CsvTable::fmt_float(r.f1_gini),
+                CsvTable::fmt_float(r.f2_gini),
                 r.joins.to_string(),
                 r.leaves.to_string(),
                 r.departure_settlements.to_string(),
                 r.final_live.to_string(),
-                format!("{:.2}", r.mean_live),
+                CsvTable::fmt_float(r.mean_live),
                 r.stuck_requests.to_string(),
             ]);
         }
@@ -105,10 +106,10 @@ impl ChurnExperiment {
             for sample in timeline {
                 csv.push_row([
                     k.to_string(),
-                    format!("{rate}"),
+                    CsvTable::fmt_float(*rate),
                     sample.step.to_string(),
                     sample.live.to_string(),
-                    format!("{:.6}", sample.f2_gini),
+                    CsvTable::fmt_float(sample.f2_gini),
                 ]);
             }
         }
@@ -123,46 +124,61 @@ impl ChurnExperiment {
 ///
 /// Propagates configuration errors as [`CoreError`].
 pub fn run(scale: ExperimentScale, rates: &[f64]) -> Result<ChurnExperiment, CoreError> {
-    let mut rows = Vec::with_capacity(PAPER_KS.len() * rates.len());
-    let mut timelines = Vec::new();
+    run_with(scale, rates, &Executor::serial())
+}
+
+/// [`run`] with the `(k, rate)` cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_with(
+    scale: ExperimentScale,
+    rates: &[f64],
+    executor: &Executor,
+) -> Result<ChurnExperiment, CoreError> {
+    let mut cells = Vec::with_capacity(PAPER_KS.len() * rates.len());
+    let mut jobs = Vec::with_capacity(cells.capacity());
     for &k in &PAPER_KS {
         for &rate in rates {
-            let mut builder = SimulationBuilder::new()
-                .nodes(scale.nodes)
-                .bucket_size(k)
-                .files(scale.files)
-                .seed(scale.seed);
+            let mut config = scale.cell_config(k, 1.0);
             if rate != 0.0 {
-                builder = builder.churn(churn_config(rate)?);
+                config.churn = Some(churn_config(rate)?);
             }
-            let report = builder.build()?.run();
-            let (joins, leaves, departure_settlements, final_live, mean_live) = match report.churn()
-            {
-                Some(churn) => {
-                    timelines.push((k, rate, churn.timeline.clone()));
-                    (
-                        churn.joins,
-                        churn.leaves,
-                        churn.departure_settlements,
-                        churn.final_live,
-                        churn.mean_live(),
-                    )
-                }
-                None => (0, 0, 0, scale.nodes, scale.nodes as f64),
-            };
-            rows.push(ChurnRow {
-                k,
-                churn_rate: rate,
-                f1_gini: report.f1_contribution_gini(),
-                f2_gini: report.f2_income_gini(),
-                joins,
-                leaves,
-                departure_settlements,
-                final_live,
-                mean_live,
-                stuck_requests: report.traffic().stuck_requests(),
-            });
+            cells.push((k, rate));
+            jobs.push(SimJob::new(config));
         }
+    }
+    let reports = run_jobs(executor, jobs)?;
+
+    let mut rows = Vec::with_capacity(cells.len());
+    let mut timelines = Vec::new();
+    for (&(k, rate), report) in cells.iter().zip(&reports) {
+        let (joins, leaves, departure_settlements, final_live, mean_live) = match report.churn() {
+            Some(churn) => {
+                timelines.push((k, rate, churn.timeline.clone()));
+                (
+                    churn.joins,
+                    churn.leaves,
+                    churn.departure_settlements,
+                    churn.final_live,
+                    churn.mean_live(),
+                )
+            }
+            None => (0, 0, 0, scale.nodes, scale.nodes as f64),
+        };
+        rows.push(ChurnRow {
+            k,
+            churn_rate: rate,
+            f1_gini: report.f1_contribution_gini(),
+            f2_gini: report.f2_income_gini(),
+            joins,
+            leaves,
+            departure_settlements,
+            final_live,
+            mean_live,
+            stuck_requests: report.traffic().stuck_requests(),
+        });
     }
     Ok(ChurnExperiment { rows, timelines })
 }

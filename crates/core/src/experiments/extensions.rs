@@ -1,6 +1,7 @@
 //! §V extension experiments: bucket-zero-only `k`, free riding, caching +
 //! popularity, and the mechanism comparison.
 
+use fairswap_simcore::Executor;
 use serde::{Deserialize, Serialize};
 
 use fairswap_fairness::{atkinson, gini, hoover, theil};
@@ -8,9 +9,10 @@ use fairswap_kademlia::BucketSizing;
 use fairswap_storage::CachePolicy;
 use fairswap_workload::ChunkDist;
 
-use crate::config::{MechanismKind, SimulationBuilder};
+use crate::config::MechanismKind;
 use crate::csv::CsvTable;
 use crate::error::CoreError;
+use crate::exec::{run_jobs, SimJob};
 use crate::experiments::scale::ExperimentScale;
 
 /// One configuration of the bucket-zero experiment.
@@ -48,10 +50,10 @@ impl BucketZero {
         for r in &self.rows {
             csv.push_row([
                 r.label.clone(),
-                format!("{:.2}", r.mean_connections),
-                format!("{:.6}", r.f2_gini),
-                format!("{:.6}", r.f1_gini),
-                format!("{:.2}", r.mean_forwarded),
+                CsvTable::fmt_float(r.mean_connections),
+                CsvTable::fmt_float(r.f2_gini),
+                CsvTable::fmt_float(r.f1_gini),
+                CsvTable::fmt_float(r.mean_forwarded),
             ]);
         }
         csv
@@ -72,32 +74,47 @@ pub fn bucket_zero(
     scale: ExperimentScale,
     originator_fraction: f64,
 ) -> Result<BucketZero, CoreError> {
-    let variants: [(String, BucketSizing); 3] = [
-        ("uniform-k4".into(), BucketSizing::uniform(4)),
-        ("uniform-k20".into(), BucketSizing::uniform(20)),
+    bucket_zero_with(scale, originator_fraction, &Executor::serial())
+}
+
+/// [`bucket_zero`] with the sizing variants fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn bucket_zero_with(
+    scale: ExperimentScale,
+    originator_fraction: f64,
+    executor: &Executor,
+) -> Result<BucketZero, CoreError> {
+    let variants: [(&str, BucketSizing); 3] = [
+        ("uniform-k4", BucketSizing::uniform(4)),
+        ("uniform-k20", BucketSizing::uniform(20)),
         (
-            "k4-bucket0-k20".into(),
+            "k4-bucket0-k20",
             BucketSizing::uniform(4).with_override(0, 20),
         ),
     ];
-    let mut rows = Vec::with_capacity(variants.len());
-    for (label, sizing) in variants {
-        let report = SimulationBuilder::new()
-            .nodes(scale.nodes)
-            .bucket_sizing(sizing)
-            .originator_fraction(originator_fraction)
-            .files(scale.files)
-            .seed(scale.seed)
-            .build()?
-            .run();
-        rows.push(BucketZeroRow {
-            label,
+    let jobs: Vec<SimJob> = variants
+        .iter()
+        .map(|(_, sizing)| {
+            let mut config = scale.cell_config(4, originator_fraction);
+            config.bucket_sizing = sizing.clone();
+            SimJob::new(config)
+        })
+        .collect();
+    let reports = run_jobs(executor, jobs)?;
+    let rows = variants
+        .iter()
+        .zip(reports)
+        .map(|((label, _), report)| BucketZeroRow {
+            label: (*label).to_string(),
             mean_connections: report.mean_connections(),
             f2_gini: report.f2_income_gini(),
             f1_gini: report.f1_contribution_gini(),
             mean_forwarded: report.mean_forwarded(),
-        });
-    }
+        })
+        .collect();
     Ok(BucketZero { rows })
 }
 
@@ -136,10 +153,10 @@ impl FreeRiding {
         ]);
         for r in &self.rows {
             csv.push_row([
-                format!("{}", r.fraction),
-                format!("{:.6}", r.f2_gini),
-                format!("{:.6}", r.f1_gini),
-                format!("{:.0}", r.total_income),
+                CsvTable::fmt_float(r.fraction),
+                CsvTable::fmt_float(r.f2_gini),
+                CsvTable::fmt_float(r.f1_gini),
+                CsvTable::fmt_float(r.total_income),
                 r.amortized_total.to_string(),
             ]);
         }
@@ -158,24 +175,40 @@ pub fn free_riding(
     k: usize,
     fractions: &[f64],
 ) -> Result<FreeRiding, CoreError> {
-    let mut rows = Vec::with_capacity(fractions.len());
-    for &fraction in fractions {
-        let report = SimulationBuilder::new()
-            .nodes(scale.nodes)
-            .bucket_size(k)
-            .files(scale.files)
-            .seed(scale.seed)
-            .free_rider_fraction(fraction)
-            .build()?
-            .run();
-        rows.push(FreeRidingRow {
+    free_riding_with(scale, k, fractions, &Executor::serial())
+}
+
+/// [`free_riding`] with the fraction cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn free_riding_with(
+    scale: ExperimentScale,
+    k: usize,
+    fractions: &[f64],
+    executor: &Executor,
+) -> Result<FreeRiding, CoreError> {
+    let jobs: Vec<SimJob> = fractions
+        .iter()
+        .map(|&fraction| {
+            let mut config = scale.cell_config(k, 1.0);
+            config.free_rider_fraction = fraction;
+            SimJob::new(config)
+        })
+        .collect();
+    let reports = run_jobs(executor, jobs)?;
+    let rows = fractions
+        .iter()
+        .zip(reports)
+        .map(|(&fraction, report)| FreeRidingRow {
             fraction,
             f2_gini: report.f2_income_gini(),
             f1_gini: report.f1_income_gini(),
             total_income: report.incomes().iter().sum(),
             amortized_total: report.amortized_total(),
-        });
-    }
+        })
+        .collect();
     Ok(FreeRiding { rows })
 }
 
@@ -218,10 +251,10 @@ impl Caching {
             csv.push_row([
                 r.workload.clone(),
                 r.cache.clone(),
-                format!("{:.2}", r.mean_forwarded),
+                CsvTable::fmt_float(r.mean_forwarded),
                 r.cache_hits.to_string(),
                 r.amortized_total.to_string(),
-                format!("{:.0}", r.total_income),
+                CsvTable::fmt_float(r.total_income),
             ]);
         }
         csv
@@ -247,6 +280,21 @@ pub fn caching(
     k: usize,
     cache_capacity: usize,
 ) -> Result<Caching, CoreError> {
+    caching_with(scale, k, cache_capacity, &Executor::serial())
+}
+
+/// [`caching`] with the `(workload, cache)` cells fanned out over
+/// `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn caching_with(
+    scale: ExperimentScale,
+    k: usize,
+    cache_capacity: usize,
+    executor: &Executor,
+) -> Result<Caching, CoreError> {
     let workloads: [(&str, ChunkDist); 2] = [
         ("uniform", ChunkDist::Uniform),
         (
@@ -266,28 +314,30 @@ pub fn caching(
             },
         ),
     ];
-    let mut rows = Vec::with_capacity(4);
+    let mut labels = Vec::with_capacity(4);
+    let mut jobs = Vec::with_capacity(4);
     for (workload_label, chunk_dist) in &workloads {
         for (cache_label, cache) in &caches {
-            let report = SimulationBuilder::new()
-                .nodes(scale.nodes)
-                .bucket_size(k)
-                .files(scale.files)
-                .seed(scale.seed)
-                .chunk_dist(chunk_dist.clone())
-                .cache(*cache)
-                .build()?
-                .run();
-            rows.push(CachingRow {
-                workload: workload_label.to_string(),
-                cache: cache_label.to_string(),
-                mean_forwarded: report.mean_forwarded(),
-                cache_hits: report.cache_hits(),
-                amortized_total: report.amortized_total(),
-                total_income: report.incomes().iter().sum(),
-            });
+            labels.push((workload_label.to_string(), cache_label.to_string()));
+            let mut config = scale.cell_config(k, 1.0);
+            config.chunk_dist = chunk_dist.clone();
+            config.cache = *cache;
+            jobs.push(SimJob::new(config));
         }
     }
+    let reports = run_jobs(executor, jobs)?;
+    let rows = labels
+        .into_iter()
+        .zip(reports)
+        .map(|((workload, cache), report)| CachingRow {
+            workload,
+            cache,
+            mean_forwarded: report.mean_forwarded(),
+            cache_hits: report.cache_hits(),
+            amortized_total: report.amortized_total(),
+            total_income: report.incomes().iter().sum(),
+        })
+        .collect();
     Ok(Caching { rows })
 }
 
@@ -326,10 +376,10 @@ impl Mechanisms {
         for r in &self.rows {
             csv.push_row([
                 r.mechanism.clone(),
-                format!("{:.6}", r.f2_gini),
-                format!("{:.6}", r.f1_income_gini),
-                format!("{:.4}", r.earning_fraction),
-                format!("{:.0}", r.total_income),
+                CsvTable::fmt_float(r.f2_gini),
+                CsvTable::fmt_float(r.f1_income_gini),
+                CsvTable::fmt_float(r.earning_fraction),
+                CsvTable::fmt_float(r.total_income),
             ]);
         }
         csv
@@ -353,6 +403,20 @@ pub fn mechanisms(
     k: usize,
     originator_fraction: f64,
 ) -> Result<Mechanisms, CoreError> {
+    mechanisms_with(scale, k, originator_fraction, &Executor::serial())
+}
+
+/// [`mechanisms`] with the mechanism cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn mechanisms_with(
+    scale: ExperimentScale,
+    k: usize,
+    originator_fraction: f64,
+    executor: &Executor,
+) -> Result<Mechanisms, CoreError> {
     let kinds = [
         MechanismKind::Swarm,
         MechanismKind::PayAllHops,
@@ -362,26 +426,29 @@ pub fn mechanisms(
         },
         MechanismKind::ProofOfBandwidth { mint_per_chunk: 1 },
     ];
-    let mut rows = Vec::with_capacity(kinds.len());
-    for mechanism in kinds {
-        let report = SimulationBuilder::new()
-            .nodes(scale.nodes)
-            .bucket_size(k)
-            .originator_fraction(originator_fraction)
-            .files(scale.files)
-            .seed(scale.seed)
-            .mechanism(mechanism)
-            .build()?
-            .run();
-        let earning = report.incomes().iter().filter(|&&v| v > 0.0).count();
-        rows.push(MechanismRow {
-            mechanism: mechanism.id().to_string(),
-            f2_gini: report.f2_income_gini(),
-            f1_income_gini: report.f1_income_gini(),
-            earning_fraction: earning as f64 / report.node_count() as f64,
-            total_income: report.incomes().iter().sum(),
-        });
-    }
+    let jobs: Vec<SimJob> = kinds
+        .iter()
+        .map(|&mechanism| {
+            let mut config = scale.cell_config(k, originator_fraction);
+            config.mechanism = mechanism;
+            SimJob::new(config)
+        })
+        .collect();
+    let reports = run_jobs(executor, jobs)?;
+    let rows = kinds
+        .iter()
+        .zip(reports)
+        .map(|(mechanism, report)| {
+            let earning = report.incomes().iter().filter(|&&v| v > 0.0).count();
+            MechanismRow {
+                mechanism: mechanism.id().to_string(),
+                f2_gini: report.f2_income_gini(),
+                f1_income_gini: report.f1_income_gini(),
+                earning_fraction: earning as f64 / report.node_count() as f64,
+                total_income: report.incomes().iter().sum(),
+            }
+        })
+        .collect();
     Ok(Mechanisms { rows })
 }
 
@@ -392,7 +459,7 @@ mod tests {
     fn scale() -> ExperimentScale {
         ExperimentScale {
             nodes: 200,
-            files: 80,
+            files: 120,
             seed: 0xFA12,
         }
     }
@@ -489,10 +556,10 @@ impl MetricRobustness {
         for r in &self.rows {
             csv.push_row([
                 r.k.to_string(),
-                format!("{:.6}", r.gini),
-                format!("{:.6}", r.theil),
-                format!("{:.6}", r.atkinson_05),
-                format!("{:.6}", r.hoover),
+                CsvTable::fmt_float(r.gini),
+                CsvTable::fmt_float(r.theil),
+                CsvTable::fmt_float(r.atkinson_05),
+                CsvTable::fmt_float(r.hoover),
             ]);
         }
         csv
@@ -524,25 +591,39 @@ pub fn metric_robustness(
     ks: &[usize],
     originator_fraction: f64,
 ) -> Result<MetricRobustness, CoreError> {
-    let mut rows = Vec::with_capacity(ks.len());
-    for &k in ks {
-        let report = SimulationBuilder::new()
-            .nodes(scale.nodes)
-            .bucket_size(k)
-            .originator_fraction(originator_fraction)
-            .files(scale.files)
-            .seed(scale.seed)
-            .build()?
-            .run();
-        let incomes = report.incomes();
-        rows.push(MetricRow {
-            k,
-            gini: gini(incomes).unwrap_or(0.0),
-            theil: theil(incomes).unwrap_or(0.0),
-            atkinson_05: atkinson(incomes, 0.5).unwrap_or(0.0),
-            hoover: hoover(incomes).unwrap_or(0.0),
-        });
-    }
+    metric_robustness_with(scale, ks, originator_fraction, &Executor::serial())
+}
+
+/// [`metric_robustness`] with the `k` cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn metric_robustness_with(
+    scale: ExperimentScale,
+    ks: &[usize],
+    originator_fraction: f64,
+    executor: &Executor,
+) -> Result<MetricRobustness, CoreError> {
+    let jobs: Vec<SimJob> = ks
+        .iter()
+        .map(|&k| SimJob::new(scale.cell_config(k, originator_fraction)))
+        .collect();
+    let reports = run_jobs(executor, jobs)?;
+    let rows = ks
+        .iter()
+        .zip(reports)
+        .map(|(&k, report)| {
+            let incomes = report.incomes();
+            MetricRow {
+                k,
+                gini: gini(incomes).unwrap_or(0.0),
+                theil: theil(incomes).unwrap_or(0.0),
+                atkinson_05: atkinson(incomes, 0.5).unwrap_or(0.0),
+                hoover: hoover(incomes).unwrap_or(0.0),
+            }
+        })
+        .collect();
     Ok(MetricRobustness { rows })
 }
 
@@ -612,12 +693,12 @@ impl Churn {
         ]);
         for r in &self.rows {
             csv.push_row([
-                format!("{}", r.departed_fraction),
+                CsvTable::fmt_float(r.departed_fraction),
                 r.nodes.to_string(),
-                format!("{:.6}", r.f2_gini),
-                format!("{:.6}", r.f1_gini),
-                format!("{:.2}", r.mean_forwarded),
-                format!("{:.3}", r.mean_hops),
+                CsvTable::fmt_float(r.f2_gini),
+                CsvTable::fmt_float(r.f1_gini),
+                CsvTable::fmt_float(r.mean_forwarded),
+                CsvTable::fmt_float(r.mean_hops),
                 r.stuck.to_string(),
             ]);
         }
@@ -643,12 +724,28 @@ pub fn churn(
     k: usize,
     departed_fractions: &[f64],
 ) -> Result<Churn, CoreError> {
+    churn_with(scale, k, departed_fractions, &Executor::serial())
+}
+
+/// [`churn`] with the departure-fraction epochs fanned out over `executor`
+/// — each epoch rebuilds its own survivor overlay and replays the workload
+/// independently, so epochs are grid cells like any other.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn churn_with(
+    scale: ExperimentScale,
+    k: usize,
+    departed_fractions: &[f64],
+    executor: &Executor,
+) -> Result<Churn, CoreError> {
     use fairswap_incentives::{BandwidthIncentive, RewardState, SwarmIncentive};
     use fairswap_kademlia::{AddressSpace, TopologyBuilder};
+    use fairswap_simcore::rng::{domain, sub_rng, sub_seed};
     use fairswap_storage::DownloadSim;
     use fairswap_workload::WorkloadBuilder;
     use rand::seq::SliceRandom;
-    use rand::SeedableRng;
 
     let space = AddressSpace::new(16)?;
     // One fixed full-population address set; departures remove a random
@@ -660,69 +757,76 @@ pub fn churn(
         .seed(scale.seed)
         .build()?;
     let mut order: Vec<usize> = (0..scale.nodes).collect();
-    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(scale.seed ^ 0xC0FF_EE00);
+    let mut rng = sub_rng(scale.seed, domain::DEPARTURES);
     order.shuffle(&mut rng);
 
-    let mut rows = Vec::with_capacity(departed_fractions.len());
     for &fraction in departed_fractions {
         if !(0.0..1.0).contains(&fraction) {
             return Err(CoreError::InvalidConfig {
                 message: format!("departed fraction must be in [0, 1), got {fraction}"),
             });
         }
-        let departed = (scale.nodes as f64 * fraction).round() as usize;
-        let survivors: Vec<u64> = order[departed..]
-            .iter()
-            .map(|&i| full.address(fairswap_kademlia::NodeId(i)).raw())
-            .collect();
-        let nodes = survivors.len();
-        // Survivors rebuild their tables over the remaining population.
-        let topology = TopologyBuilder::new(space)
-            .explicit_addresses(survivors)
-            .bucket_size(k)
-            .seed(scale.seed.wrapping_add(departed as u64))
-            .build()?;
-        let mut workload = WorkloadBuilder::new(space, nodes)
-            .originator_fraction(1.0)
-            .seed(scale.seed.wrapping_add(0x9E37_79B9))
-            .build()?;
-        let mut mechanism = SwarmIncentive::new();
-        let mut state = RewardState::new(nodes, crate::config::SimConfig::paper_defaults().channel);
-        let mut download = DownloadSim::new(topology.clone(), fairswap_storage::CachePolicy::None);
-        let mut hop_total = 0u64;
-        let mut delivered = 0u64;
-        for _ in 0..scale.files {
-            let file = workload.next_download();
-            download.download_file_with(file.originator, &file.chunks, |d| {
-                if d.delivered() {
-                    hop_total += d.hops.len() as u64;
-                    delivered += 1;
-                }
-                mechanism.on_delivery(&topology, d, &mut state);
-            });
-            mechanism.on_tick(&topology, &mut state);
-        }
-        let incomes = state.incomes_f64();
-        let stats = download.stats();
-        rows.push(ChurnRow {
-            departed_fraction: fraction,
-            nodes,
-            f2_gini: fairswap_fairness::gini(&incomes).unwrap_or(0.0),
-            f1_gini: fairswap_fairness::f1_contribution_gini(
-                &stats.forwarded_f64(),
-                &stats.served_first_hop_f64(),
-            )
-            .unwrap_or(0.0),
-            mean_forwarded: stats.mean_forwarded(),
-            mean_hops: if delivered > 0 {
-                hop_total as f64 / delivered as f64
-            } else {
-                0.0
-            },
-            stuck: stats.stuck_requests(),
-        });
     }
-    Ok(Churn { rows })
+
+    executor
+        .run(departed_fractions.to_vec(), |_, fraction| {
+            let departed = (scale.nodes as f64 * fraction).round() as usize;
+            let survivors: Vec<u64> = order[departed..]
+                .iter()
+                .map(|&i| full.address(fairswap_kademlia::NodeId(i)).raw())
+                .collect();
+            let nodes = survivors.len();
+            // Survivors rebuild their tables over the remaining population.
+            let topology = TopologyBuilder::new(space)
+                .explicit_addresses(survivors)
+                .bucket_size(k)
+                .seed(scale.seed.wrapping_add(departed as u64))
+                .build()?;
+            let mut workload = WorkloadBuilder::new(space, nodes)
+                .originator_fraction(1.0)
+                .seed(sub_seed(scale.seed, domain::WORKLOAD))
+                .build()?;
+            let mut mechanism = SwarmIncentive::new();
+            let mut state =
+                RewardState::new(nodes, crate::config::SimConfig::paper_defaults().channel);
+            let mut download =
+                DownloadSim::new(topology.clone(), fairswap_storage::CachePolicy::None);
+            let mut hop_total = 0u64;
+            let mut delivered = 0u64;
+            for _ in 0..scale.files {
+                let file = workload.next_download();
+                download.download_file_with(file.originator, &file.chunks, |d| {
+                    if d.delivered() {
+                        hop_total += d.hops.len() as u64;
+                        delivered += 1;
+                    }
+                    mechanism.on_delivery(&topology, d, &mut state);
+                });
+                mechanism.on_tick(&topology, &mut state);
+            }
+            let incomes = state.incomes_f64();
+            let stats = download.stats();
+            Ok(ChurnRow {
+                departed_fraction: fraction,
+                nodes,
+                f2_gini: fairswap_fairness::gini(&incomes).unwrap_or(0.0),
+                f1_gini: fairswap_fairness::f1_contribution_gini(
+                    &stats.forwarded_f64(),
+                    &stats.served_first_hop_f64(),
+                )
+                .unwrap_or(0.0),
+                mean_forwarded: stats.mean_forwarded(),
+                mean_hops: if delivered > 0 {
+                    hop_total as f64 / delivered as f64
+                } else {
+                    0.0
+                },
+                stuck: stats.stuck_requests(),
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, CoreError>>()
+        .map(|rows| Churn { rows })
 }
 
 #[cfg(test)]

@@ -7,13 +7,14 @@
 //! the curves: "the area under k = 4 is 1.6x bigger than the area for
 //! k = 20" (20% panel) "and 1.25x on the right hand side".
 
+use fairswap_simcore::Executor;
 use serde::{Deserialize, Serialize};
 
 use fairswap_fairness::Histogram;
 
-use crate::config::SimulationBuilder;
 use crate::csv::CsvTable;
 use crate::error::CoreError;
+use crate::exec::{run_jobs, SimJob};
 use crate::experiments::scale::ExperimentScale;
 use crate::presets::paper_grid;
 
@@ -64,8 +65,8 @@ impl Fig4 {
             for &(edge, count) in &s.bins {
                 csv.push_row([
                     s.k.to_string(),
-                    format!("{}", s.originator_fraction),
-                    format!("{edge}"),
+                    CsvTable::fmt_float(s.originator_fraction),
+                    CsvTable::fmt_float(edge),
                     count.to_string(),
                 ]);
             }
@@ -74,33 +75,47 @@ impl Fig4 {
     }
 }
 
-/// Runs the four-cell grid and regenerates Fig. 4 with the given histogram
-/// bin width (the paper bins on the order of a few hundred chunks at full
-/// scale; pass a smaller width for reduced scales).
+/// Runs the four-cell grid serially and regenerates Fig. 4 with the given
+/// histogram bin width (the paper bins on the order of a few hundred chunks
+/// at full scale; pass a smaller width for reduced scales).
 ///
 /// # Errors
 ///
 /// Propagates configuration errors as [`CoreError`].
 pub fn run(scale: ExperimentScale, bin_width: f64) -> Result<Fig4, CoreError> {
-    let mut series = Vec::with_capacity(4);
-    for (k, fraction) in paper_grid() {
-        let report = SimulationBuilder::new()
-            .nodes(scale.nodes)
-            .bucket_size(k)
-            .originator_fraction(fraction)
-            .files(scale.files)
-            .seed(scale.seed)
-            .build()?
-            .run();
-        let histogram: Histogram = report.forwarded_histogram(bin_width);
-        series.push(Fig4Series {
-            k,
-            originator_fraction: fraction,
-            bins: histogram.bins().collect(),
-            total_forwarded: report.total_forwarded(),
-            forwarded_gini: report.forwarded_gini(),
-        });
-    }
+    run_with(scale, bin_width, &Executor::serial())
+}
+
+/// [`run`] with the grid cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_with(
+    scale: ExperimentScale,
+    bin_width: f64,
+    executor: &Executor,
+) -> Result<Fig4, CoreError> {
+    let cells = paper_grid();
+    let jobs: Vec<SimJob> = cells
+        .iter()
+        .map(|&(k, fraction)| SimJob::new(scale.cell_config(k, fraction)))
+        .collect();
+    let reports = run_jobs(executor, jobs)?;
+    let series = cells
+        .iter()
+        .zip(reports)
+        .map(|(&(k, fraction), report)| {
+            let histogram: Histogram = report.forwarded_histogram(bin_width);
+            Fig4Series {
+                k,
+                originator_fraction: fraction,
+                bins: histogram.bins().collect(),
+                total_forwarded: report.total_forwarded(),
+                forwarded_gini: report.forwarded_gini(),
+            }
+        })
+        .collect();
     Ok(Fig4 { series, bin_width })
 }
 

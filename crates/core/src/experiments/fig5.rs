@@ -6,11 +6,12 @@
 //! wealth distribution is more equitable for both scenarios", with roughly
 //! a 7% Gini decrease; k = 4 with 20% originators is the least fair.
 
+use fairswap_simcore::Executor;
 use serde::{Deserialize, Serialize};
 
-use crate::config::SimulationBuilder;
 use crate::csv::CsvTable;
 use crate::error::CoreError;
+use crate::exec::{run_jobs, SimJob};
 use crate::experiments::scale::ExperimentScale;
 use crate::presets::paper_grid;
 
@@ -63,10 +64,10 @@ impl Fig5 {
             for &(p, v) in &s.lorenz {
                 csv.push_row([
                     s.k.to_string(),
-                    format!("{}", s.originator_fraction),
-                    format!("{:.6}", s.gini),
-                    format!("{p:.6}"),
-                    format!("{v:.6}"),
+                    CsvTable::fmt_float(s.originator_fraction),
+                    CsvTable::fmt_float(s.gini),
+                    CsvTable::fmt_float(p),
+                    CsvTable::fmt_float(v),
                 ]);
             }
         }
@@ -74,35 +75,45 @@ impl Fig5 {
     }
 }
 
-/// Runs the four-cell grid and regenerates Fig. 5.
+/// Runs the four-cell grid serially and regenerates Fig. 5.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors as [`CoreError`].
 pub fn run(scale: ExperimentScale) -> Result<Fig5, CoreError> {
-    let mut series = Vec::with_capacity(4);
-    for (k, fraction) in paper_grid() {
-        let report = SimulationBuilder::new()
-            .nodes(scale.nodes)
-            .bucket_size(k)
-            .originator_fraction(fraction)
-            .files(scale.files)
-            .seed(scale.seed)
-            .build()?
-            .run();
-        let lorenz = report
-            .lorenz_income()
-            .expect("paper-scale workloads always pay someone")
-            .into_iter()
-            .map(|p| (p.population_share, p.value_share))
-            .collect();
-        series.push(Fig5Series {
-            k,
-            originator_fraction: fraction,
-            gini: report.f2_income_gini(),
-            lorenz,
-        });
-    }
+    run_with(scale, &Executor::serial())
+}
+
+/// [`run`] with the grid cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_with(scale: ExperimentScale, executor: &Executor) -> Result<Fig5, CoreError> {
+    let cells = paper_grid();
+    let jobs: Vec<SimJob> = cells
+        .iter()
+        .map(|&(k, fraction)| SimJob::new(scale.cell_config(k, fraction)))
+        .collect();
+    let reports = run_jobs(executor, jobs)?;
+    let series = cells
+        .iter()
+        .zip(reports)
+        .map(|(&(k, fraction), report)| {
+            let lorenz = report
+                .lorenz_income()
+                .expect("paper-scale workloads always pay someone")
+                .into_iter()
+                .map(|p| (p.population_share, p.value_share))
+                .collect();
+            Fig5Series {
+                k,
+                originator_fraction: fraction,
+                gini: report.f2_income_gini(),
+                lorenz,
+            }
+        })
+        .collect();
     Ok(Fig5 { series })
 }
 

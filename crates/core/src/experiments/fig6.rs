@@ -7,11 +7,12 @@
 //! equity", while k = 4 with 20% originators pays "very uneven rewards for
 //! the provided bandwidth"; overall ≈6% Gini reduction from k = 20.
 
+use fairswap_simcore::Executor;
 use serde::{Deserialize, Serialize};
 
-use crate::config::SimulationBuilder;
 use crate::csv::CsvTable;
 use crate::error::CoreError;
+use crate::exec::{run_jobs, SimJob};
 use crate::experiments::scale::ExperimentScale;
 use crate::presets::paper_grid;
 
@@ -66,11 +67,11 @@ impl Fig6 {
             for &(p, v) in &s.lorenz {
                 csv.push_row([
                     s.k.to_string(),
-                    format!("{}", s.originator_fraction),
-                    format!("{:.6}", s.gini),
+                    CsvTable::fmt_float(s.originator_fraction),
+                    CsvTable::fmt_float(s.gini),
                     s.paid_nodes.to_string(),
-                    format!("{p:.6}"),
-                    format!("{v:.6}"),
+                    CsvTable::fmt_float(p),
+                    CsvTable::fmt_float(v),
                 ]);
             }
         }
@@ -78,39 +79,49 @@ impl Fig6 {
     }
 }
 
-/// Runs the four-cell grid and regenerates Fig. 6.
+/// Runs the four-cell grid serially and regenerates Fig. 6.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors as [`CoreError`].
 pub fn run(scale: ExperimentScale) -> Result<Fig6, CoreError> {
-    let mut series = Vec::with_capacity(4);
-    for (k, fraction) in paper_grid() {
-        let report = SimulationBuilder::new()
-            .nodes(scale.nodes)
-            .bucket_size(k)
-            .originator_fraction(fraction)
-            .files(scale.files)
-            .seed(scale.seed)
-            .build()?
-            .run();
-        let values = report
-            .f1_values()
-            .expect("paper-scale workloads always pay someone");
-        let lorenz = report
-            .lorenz_f1()
-            .expect("ratios of paid nodes are positive")
-            .into_iter()
-            .map(|p| (p.population_share, p.value_share))
-            .collect();
-        series.push(Fig6Series {
-            k,
-            originator_fraction: fraction,
-            gini: report.f1_contribution_gini(),
-            paid_nodes: values.len(),
-            lorenz,
-        });
-    }
+    run_with(scale, &Executor::serial())
+}
+
+/// [`run`] with the grid cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_with(scale: ExperimentScale, executor: &Executor) -> Result<Fig6, CoreError> {
+    let cells = paper_grid();
+    let jobs: Vec<SimJob> = cells
+        .iter()
+        .map(|&(k, fraction)| SimJob::new(scale.cell_config(k, fraction)))
+        .collect();
+    let reports = run_jobs(executor, jobs)?;
+    let series = cells
+        .iter()
+        .zip(reports)
+        .map(|(&(k, fraction), report)| {
+            let values = report
+                .f1_values()
+                .expect("paper-scale workloads always pay someone");
+            let lorenz = report
+                .lorenz_f1()
+                .expect("ratios of paid nodes are positive")
+                .into_iter()
+                .map(|p| (p.population_share, p.value_share))
+                .collect();
+            Fig6Series {
+                k,
+                originator_fraction: fraction,
+                gini: report.f1_contribution_gini(),
+                paid_nodes: values.len(),
+                lorenz,
+            }
+        })
+        .collect();
     Ok(Fig6 { series })
 }
 

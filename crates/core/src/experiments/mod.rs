@@ -14,15 +14,21 @@
 //! | [`extensions::caching`] | §V popularity + caching vs amortization |
 //! | [`extensions::mechanisms`] | §I/§II baseline-mechanism comparison |
 //! | [`churn::run`] | §V future work: F1/F2 fairness vs churn rate |
+//! | [`large_scale::run`] | scaling: fairness at 10⁵ nodes, 20–24-bit space |
 //!
 //! Every preset takes an [`ExperimentScale`] so the full paper-scale run
-//! (1000 nodes, 10k files) and a laptop-quick run share one code path.
+//! (1000 nodes, 10k files) and a laptop-quick run share one code path, and
+//! every preset has a `run_with` variant that fans its grid cells out over
+//! a [`fairswap_simcore::Executor`] worker pool — with bit-identical
+//! output for any thread count, since each cell forks all of its RNG
+//! streams from its own config seed (see [`crate::exec`]).
 
 pub mod churn;
 pub mod extensions;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod large_scale;
 pub mod sweeps;
 pub mod table1;
 

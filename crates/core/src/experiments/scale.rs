@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::config::SimConfig;
+
 /// How large to run an experiment.
 ///
 /// [`ExperimentScale::paper`] reproduces the paper's dimensions exactly;
@@ -42,6 +44,20 @@ impl ExperimentScale {
         self.seed = seed;
         self
     }
+
+    /// The base configuration of one sweep cell at this scale: paper
+    /// defaults with this scale's dimensions, uniform bucket size `k` and
+    /// the given originator fraction. Presets mutate the remaining fields
+    /// (mechanism, caching, churn, ...) per cell.
+    pub fn cell_config(&self, k: usize, originator_fraction: f64) -> SimConfig {
+        let mut config = SimConfig::paper_defaults();
+        config.nodes = self.nodes;
+        config.files = self.files;
+        config.seed = self.seed;
+        config.bucket_sizing = fairswap_kademlia::BucketSizing::uniform(k);
+        config.originator_fraction = originator_fraction;
+        config
+    }
 }
 
 impl Default for ExperimentScale {
@@ -61,5 +77,20 @@ mod tests {
         assert!(ExperimentScale::quick().files < 1000);
         assert_eq!(ExperimentScale::default(), ExperimentScale::paper());
         assert_eq!(ExperimentScale::quick().with_seed(7).seed, 7);
+    }
+
+    #[test]
+    fn cell_config_applies_scale_and_cell_axes() {
+        let scale = ExperimentScale {
+            nodes: 321,
+            files: 42,
+            seed: 9,
+        };
+        let config = scale.cell_config(20, 0.2);
+        assert_eq!(config.nodes, 321);
+        assert_eq!(config.files, 42);
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.bucket_sizing.default_k(), 20);
+        assert_eq!(config.originator_fraction, 0.2);
     }
 }

@@ -1,12 +1,13 @@
 //! Parameter sweeps: file-count convergence (§IV-B) and overhead vs `k`
 //! (§V).
 
+use fairswap_simcore::Executor;
 use serde::{Deserialize, Serialize};
 
 use crate::cadcad::{CadcadAdapter, GiniTrajectory};
-use crate::config::{SimConfig, SimulationBuilder};
 use crate::csv::CsvTable;
 use crate::error::CoreError;
+use crate::exec::{run_jobs, SimJob};
 use crate::experiments::scale::ExperimentScale;
 
 /// Result of the file-count convergence sweep.
@@ -27,9 +28,9 @@ impl FilesConvergence {
         for s in &self.trajectory {
             csv.push_row([
                 self.k.to_string(),
-                format!("{}", self.originator_fraction),
+                CsvTable::fmt_float(self.originator_fraction),
                 s.timestep.to_string(),
-                format!("{:.6}", s.f2_gini),
+                CsvTable::fmt_float(s.f2_gini),
             ]);
         }
         csv
@@ -50,12 +51,7 @@ pub fn files_convergence(
     originator_fraction: f64,
     samples: u64,
 ) -> Result<FilesConvergence, CoreError> {
-    let mut config = SimConfig::paper_defaults();
-    config.nodes = scale.nodes;
-    config.files = scale.files;
-    config.seed = scale.seed;
-    config.bucket_sizing = fairswap_kademlia::BucketSizing::uniform(k);
-    config.originator_fraction = originator_fraction;
+    let config = scale.cell_config(k, originator_fraction);
     let stride = (scale.files / samples.max(1)).max(1);
     let trajectory = CadcadAdapter::new(config, stride).run()?;
     Ok(FilesConvergence {
@@ -63,6 +59,44 @@ pub fn files_convergence(
         originator_fraction,
         trajectory,
     })
+}
+
+/// Runs one [`files_convergence`] trajectory per `(k, originator
+/// fraction)` cell, fanned out over `executor` — the cadCAD-style engine
+/// composes with the worker pool exactly like direct-loop cells do, since
+/// each adapter builds its whole model (engine RNG streams included) from
+/// its own cell config.
+///
+/// # Errors
+///
+/// Propagates the first failing cell's [`CoreError`] in cell order.
+pub fn files_convergence_grid(
+    scale: ExperimentScale,
+    cells: &[(usize, f64)],
+    samples: u64,
+    executor: &Executor,
+) -> Result<Vec<FilesConvergence>, CoreError> {
+    let stride = (scale.files / samples.max(1)).max(1);
+    let adapters: Vec<(usize, f64, CadcadAdapter)> = cells
+        .iter()
+        .map(|&(k, fraction)| {
+            (
+                k,
+                fraction,
+                CadcadAdapter::new(scale.cell_config(k, fraction), stride),
+            )
+        })
+        .collect();
+    executor
+        .run(adapters, |_, (k, originator_fraction, adapter)| {
+            adapter.run().map(|trajectory| FilesConvergence {
+                k,
+                originator_fraction,
+                trajectory,
+            })
+        })
+        .into_iter()
+        .collect()
 }
 
 /// One row of the overhead-vs-`k` sweep.
@@ -118,13 +152,13 @@ impl OverheadSweep {
         for r in &self.rows {
             csv.push_row([
                 r.k.to_string(),
-                format!("{:.2}", r.mean_connections),
+                CsvTable::fmt_float(r.mean_connections),
                 r.settlements.to_string(),
                 r.settlement_volume.to_string(),
                 r.tx_cost_total.to_string(),
-                format!("{:.3}", r.mean_payment),
+                CsvTable::fmt_float(r.mean_payment),
                 r.nodes_wiped_by_tx_cost.to_string(),
-                format!("{:.6}", r.f2_gini),
+                CsvTable::fmt_float(r.f2_gini),
                 r.amortized_total.to_string(),
             ]);
         }
@@ -147,41 +181,59 @@ pub fn overhead_vs_k(
     originator_fraction: f64,
     tx_cost: u64,
 ) -> Result<OverheadSweep, CoreError> {
-    let mut rows = Vec::with_capacity(ks.len());
-    for &k in ks {
-        let report = SimulationBuilder::new()
-            .nodes(scale.nodes)
-            .bucket_size(k)
-            .originator_fraction(originator_fraction)
-            .files(scale.files)
-            .seed(scale.seed)
-            .tx_cost(fairswap_swap::Bzz(tx_cost))
-            .build()?
-            .run();
-        let settlements = report.settlement_count();
-        let volume = report.settlement_volume();
-        let wiped = report
-            .net_income_bzz()
-            .iter()
-            .zip(report.incomes())
-            .filter(|(&net, &gross)| net == 0 && gross > 0.0)
-            .count();
-        rows.push(OverheadRow {
-            k,
-            mean_connections: report.mean_connections(),
-            settlements,
-            settlement_volume: volume,
-            tx_cost_total: report.settlement_tx_cost(),
-            mean_payment: if settlements > 0 {
-                volume as f64 / settlements as f64
-            } else {
-                0.0
-            },
-            nodes_wiped_by_tx_cost: wiped,
-            f2_gini: report.f2_income_gini(),
-            amortized_total: report.amortized_total(),
-        });
-    }
+    overhead_vs_k_with(scale, ks, originator_fraction, tx_cost, &Executor::serial())
+}
+
+/// [`overhead_vs_k`] with the `k` cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn overhead_vs_k_with(
+    scale: ExperimentScale,
+    ks: &[usize],
+    originator_fraction: f64,
+    tx_cost: u64,
+    executor: &Executor,
+) -> Result<OverheadSweep, CoreError> {
+    let jobs: Vec<SimJob> = ks
+        .iter()
+        .map(|&k| {
+            let mut config = scale.cell_config(k, originator_fraction);
+            config.tx_cost = fairswap_swap::Bzz(tx_cost);
+            SimJob::new(config)
+        })
+        .collect();
+    let reports = run_jobs(executor, jobs)?;
+    let rows = ks
+        .iter()
+        .zip(reports)
+        .map(|(&k, report)| {
+            let settlements = report.settlement_count();
+            let volume = report.settlement_volume();
+            let wiped = report
+                .net_income_bzz()
+                .iter()
+                .zip(report.incomes())
+                .filter(|(&net, &gross)| net == 0 && gross > 0.0)
+                .count();
+            OverheadRow {
+                k,
+                mean_connections: report.mean_connections(),
+                settlements,
+                settlement_volume: volume,
+                tx_cost_total: report.settlement_tx_cost(),
+                mean_payment: if settlements > 0 {
+                    volume as f64 / settlements as f64
+                } else {
+                    0.0
+                },
+                nodes_wiped_by_tx_cost: wiped,
+                f2_gini: report.f2_income_gini(),
+                amortized_total: report.amortized_total(),
+            }
+        })
+        .collect();
     Ok(OverheadSweep { rows })
 }
 
@@ -211,6 +263,18 @@ mod tests {
             (result.trajectory[n - 1].f2_gini - result.trajectory[n - 2].f2_gini).abs();
         assert!(tail_delta <= head_delta + 0.05);
         assert!(!result.to_csv().is_empty());
+    }
+
+    #[test]
+    fn convergence_grid_composes_with_the_executor() {
+        let cells = [(4usize, 1.0f64), (20, 1.0)];
+        let serial = files_convergence_grid(scale(), &cells, 4, &Executor::serial()).unwrap();
+        let parallel = files_convergence_grid(scale(), &cells, 4, &Executor::new(4)).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 2);
+        // Each grid cell matches the single-cell entry point.
+        let single = files_convergence(scale(), 4, 1.0, 4).unwrap();
+        assert_eq!(serial[0], single);
     }
 
     #[test]

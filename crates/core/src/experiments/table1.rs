@@ -6,11 +6,12 @@
 //! *shape*: fewer forwarded chunks for k = 20 than k = 4, and fewer for
 //! 100% originators than for 20%.
 
+use fairswap_simcore::Executor;
 use serde::{Deserialize, Serialize};
 
-use crate::config::SimulationBuilder;
 use crate::csv::CsvTable;
 use crate::error::CoreError;
+use crate::exec::{run_jobs, SimJob};
 use crate::experiments::scale::ExperimentScale;
 use crate::presets::paper_grid;
 
@@ -56,40 +57,48 @@ impl Table1 {
         for r in &self.rows {
             csv.push_row([
                 r.k.to_string(),
-                format!("{}", r.originator_fraction),
-                format!("{:.2}", r.mean_forwarded),
+                CsvTable::fmt_float(r.originator_fraction),
+                CsvTable::fmt_float(r.mean_forwarded),
                 r.total_forwarded.to_string(),
-                format!("{:.3}", r.mean_hops),
+                CsvTable::fmt_float(r.mean_hops),
             ]);
         }
         csv
     }
 }
 
-/// Runs the four-cell grid and regenerates Table I.
+/// Runs the four-cell grid serially and regenerates Table I.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors as [`CoreError`].
 pub fn run(scale: ExperimentScale) -> Result<Table1, CoreError> {
-    let mut rows = Vec::with_capacity(4);
-    for (k, fraction) in paper_grid() {
-        let report = SimulationBuilder::new()
-            .nodes(scale.nodes)
-            .bucket_size(k)
-            .originator_fraction(fraction)
-            .files(scale.files)
-            .seed(scale.seed)
-            .build()?
-            .run();
-        rows.push(Table1Row {
+    run_with(scale, &Executor::serial())
+}
+
+/// [`run`] with the grid cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_with(scale: ExperimentScale, executor: &Executor) -> Result<Table1, CoreError> {
+    let cells = paper_grid();
+    let jobs: Vec<SimJob> = cells
+        .iter()
+        .map(|&(k, fraction)| SimJob::new(scale.cell_config(k, fraction)))
+        .collect();
+    let reports = run_jobs(executor, jobs)?;
+    let rows = cells
+        .iter()
+        .zip(reports)
+        .map(|(&(k, fraction), report)| Table1Row {
             k,
             originator_fraction: fraction,
             mean_forwarded: report.mean_forwarded(),
             total_forwarded: report.total_forwarded(),
             mean_hops: report.hops().mean().unwrap_or(0.0),
-        });
-    }
+        })
+        .collect();
     Ok(Table1 { rows })
 }
 
@@ -119,5 +128,20 @@ mod tests {
         let csv = table.to_csv().to_csv_string();
         assert!(csv.starts_with("k,originator_fraction"));
         assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    fn parallel_table_is_byte_identical_to_serial() {
+        let scale = ExperimentScale {
+            nodes: 150,
+            files: 40,
+            seed: 0xFA12,
+        };
+        let serial = run_with(scale, &Executor::serial()).unwrap();
+        let parallel = run_with(scale, &Executor::new(4)).unwrap();
+        assert_eq!(
+            serial.to_csv().to_csv_string(),
+            parallel.to_csv().to_csv_string()
+        );
     }
 }

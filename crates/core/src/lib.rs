@@ -31,6 +31,7 @@ mod error;
 mod report;
 mod sim;
 
+pub mod exec;
 pub mod experiments;
 pub mod presets;
 
@@ -38,7 +39,9 @@ pub use cadcad::{CadcadAdapter, GiniTrajectory};
 pub use config::{MechanismKind, SimConfig, SimulationBuilder};
 pub use csv::CsvTable;
 pub use error::CoreError;
+pub use exec::{run_jobs, run_jobs_with_progress, SimJob};
 pub use report::{ChurnOutcome, ChurnSample, SimReport};
 pub use sim::BandwidthSim;
 
 pub use fairswap_churn::{ChurnConfig, LifetimeDist};
+pub use fairswap_simcore::Executor;

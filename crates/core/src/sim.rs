@@ -1,21 +1,15 @@
 //! The bandwidth-incentive simulator.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
-
 use fairswap_churn::{ChurnEventKind, ChurnPlan};
 use fairswap_fairness::gini;
 use fairswap_incentives::{FreeRiderSet, RewardState};
 use fairswap_kademlia::{HopHistogram, Topology};
+use fairswap_simcore::rng::{domain, sub_rng, sub_seed};
 use fairswap_storage::DownloadSim;
 use fairswap_workload::Workload;
 
 use crate::config::SimConfig;
 use crate::report::{ChurnOutcome, ChurnSample, SimReport};
-
-/// Sub-seed offset separating the churn plan's randomness from topology,
-/// workload and free-rider sampling.
-const CHURN_SEED_OFFSET: u64 = 0xC4A2_11E5;
 
 /// One fully-wired simulation instance.
 ///
@@ -66,8 +60,10 @@ impl BandwidthSim {
     {
         let nodes = self.topology.len();
         let bits = self.topology.space().bits();
-        let mut free_rider_rng =
-            ChaCha12Rng::seed_from_u64(self.config.seed.wrapping_add(0x5EED_F00D));
+        // Every concern forks its own stream off the master seed via the
+        // shared sub-seed derivation (topology and workload streams were
+        // forked the same way at build time).
+        let mut free_rider_rng = sub_rng(self.config.seed, domain::FREE_RIDERS);
         let free_riders =
             FreeRiderSet::sample(nodes, self.config.free_rider_fraction, &mut free_rider_rng);
         let mut mechanism = self.config.build_mechanism(free_riders.clone());
@@ -78,7 +74,7 @@ impl BandwidthSim {
                 nodes,
                 total,
                 churn,
-                self.config.seed.wrapping_add(CHURN_SEED_OFFSET),
+                sub_seed(self.config.seed, domain::CHURN),
             )
             .expect("churn config was validated at build time")
         });
@@ -90,6 +86,9 @@ impl BandwidthSim {
             timeline: Vec::new(),
         });
         let timeline_stride = (total / 32).max(1);
+        // Reused across timeline samples so per-step fairness sampling does
+        // not allocate.
+        let mut income_buf: Vec<f64> = Vec::new();
 
         let mut download = DownloadSim::new(self.topology, self.config.cache);
         let mut hops = HopHistogram::new();
@@ -152,10 +151,11 @@ impl BandwidthSim {
             // 3. Timeline sampling (fairness-over-time, live-node series).
             if let Some(outcome) = churn_outcome.as_mut() {
                 if step % timeline_stride == 0 || step == total {
+                    state.incomes_f64_into(&mut income_buf);
                     outcome.timeline.push(ChurnSample {
                         step,
                         live: download.topology().live_count(),
-                        f2_gini: gini(&state.incomes_f64()).unwrap_or(0.0),
+                        f2_gini: gini(&income_buf).unwrap_or(0.0),
                     });
                 }
                 if step == total {

@@ -68,6 +68,14 @@ impl RewardState {
         self.income.iter().map(|u| u.as_f64()).collect()
     }
 
+    /// Writes all incomes as `f64` into `out`, replacing its contents — the
+    /// allocation-free variant of [`RewardState::incomes_f64`] for sampling
+    /// loops that recompute fairness every few timesteps.
+    pub fn incomes_f64_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.income.iter().map(|u| u.as_f64()));
+    }
+
     /// Total income paid out across the network.
     pub fn total_income(&self) -> AccountingUnits {
         self.income.iter().copied().sum()
@@ -126,6 +134,9 @@ mod tests {
         assert_eq!(s.income(NodeId(0)), AccountingUnits::ZERO);
         assert_eq!(s.total_income(), AccountingUnits(7));
         assert_eq!(s.incomes_f64(), vec![0.0, 7.0, 0.0]);
+        let mut buf = vec![9.9; 8];
+        s.incomes_f64_into(&mut buf);
+        assert_eq!(buf, s.incomes_f64());
         assert_eq!(s.node_count(), 3);
     }
 

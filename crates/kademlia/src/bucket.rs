@@ -21,11 +21,16 @@ pub struct KBucket {
 impl KBucket {
     /// Creates an empty bucket for proximity order `index` with room for
     /// `capacity` peers.
+    ///
+    /// Entry storage is allocated lazily on first insert: most buckets of a
+    /// large overlay stay empty (deep buckets rarely have candidates), and
+    /// eagerly reserving `capacity` slots for `nodes × bits` buckets was
+    /// the dominant memory cost of 10⁵-node topologies.
     pub fn new(index: u32, capacity: usize) -> Self {
         Self {
             index,
             capacity,
-            entries: Vec::with_capacity(capacity.min(64)),
+            entries: Vec::new(),
         }
     }
 
@@ -57,6 +62,13 @@ impl KBucket {
     #[inline]
     pub fn is_full(&self) -> bool {
         self.entries.len() >= self.capacity
+    }
+
+    /// Pre-allocates room for `additional` more entries — used by bulk
+    /// construction, which knows each bucket's final size up front and
+    /// avoids growth reallocations.
+    pub(crate) fn reserve_exact(&mut self, additional: usize) {
+        self.entries.reserve_exact(additional);
     }
 
     /// Inserts a peer. Returns `false` (and does not insert) if the bucket is

@@ -81,6 +81,14 @@ impl RoutingTable {
         self.buckets.get(index)
     }
 
+    /// Pre-allocates room for `additional` entries in bucket `index` (bulk
+    /// construction fast path; see [`KBucket::reserve_exact`]).
+    pub(crate) fn reserve_bucket(&mut self, index: usize, additional: usize) {
+        if let Some(bucket) = self.buckets.get_mut(index) {
+            bucket.reserve_exact(additional);
+        }
+    }
+
     /// Iterate over all buckets, shallowest (bucket 0) first.
     pub fn buckets(&self) -> impl Iterator<Item = &KBucket> {
         self.buckets.iter()

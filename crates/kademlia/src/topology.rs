@@ -11,8 +11,10 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::ops::Range;
 
-use rand::seq::SliceRandom;
+use fairswap_simcore::rng::{domain, sub_seed};
+use fairswap_simcore::{derive_rng, Executor, SimRng};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
@@ -118,11 +120,13 @@ pub struct TopologyBuilder {
     explicit_addresses: Option<Vec<u64>>,
     sizing: BucketSizing,
     seed: u64,
+    threads: usize,
 }
 
 impl TopologyBuilder {
     /// Starts a builder over the given address space with the paper's
-    /// defaults: 1000 nodes, uniform `k = 4`, seed `0xFA12`.
+    /// defaults: 1000 nodes, uniform `k = 4`, seed `0xFA12`, single-threaded
+    /// construction.
     pub fn new(space: AddressSpace) -> Self {
         Self {
             space,
@@ -130,6 +134,7 @@ impl TopologyBuilder {
             explicit_addresses: None,
             sizing: BucketSizing::uniform(4),
             seed: 0xFA12,
+            threads: 1,
         }
     }
 
@@ -170,9 +175,26 @@ impl TopologyBuilder {
         self
     }
 
+    /// Worker threads used to fill routing tables (`0` = one per CPU core).
+    ///
+    /// Every node's buckets are sampled from its own seed-derived RNG
+    /// stream, so the built topology is identical for any thread count —
+    /// this knob only trades wall-clock for cores on large-`N` builds.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Builds the topology: sample addresses, then fill every node's buckets
     /// by choosing `min(k_i, |candidates|)` peers uniformly without
     /// replacement from the exact-prefix candidate set.
+    ///
+    /// Candidate sets are located through a sorted-address index (the peers
+    /// at proximity exactly `b` from an owner are the set difference of two
+    /// contiguous prefix ranges), so construction costs
+    /// `O(n · bits · log n)` instead of the quadratic all-pairs scan — the
+    /// difference between minutes and milliseconds at 10⁵ nodes.
     ///
     /// # Errors
     ///
@@ -207,40 +229,41 @@ impl TopologyBuilder {
         }
 
         let capacities = self.sizing.capacities(self.space.bits());
-        let bits = self.space.bits() as usize;
         let n = addresses.len();
 
-        let mut tables = Vec::with_capacity(n);
-        // Reusable per-bucket candidate scratch space.
-        let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); bits];
-        for owner in 0..n {
-            for bucket in candidates.iter_mut() {
-                bucket.clear();
-            }
-            let owner_addr = addresses[owner];
-            for (peer, &peer_addr) in addresses.iter().enumerate() {
-                if peer == owner {
-                    continue;
-                }
-                let prox = self.space.proximity(owner_addr, peer_addr);
-                candidates[prox.bucket_index()].push(peer);
-            }
-            let mut table = RoutingTable::new(NodeId(owner), owner_addr, self.space, &capacities);
-            for (i, bucket_candidates) in candidates.iter_mut().enumerate() {
-                let take = capacities[i].min(bucket_candidates.len());
-                if take == 0 {
-                    continue;
-                }
-                // `choose_multiple` samples without replacement; shuffle-free
-                // partial Fisher-Yates keeps determinism cheap.
-                bucket_candidates.partial_shuffle(&mut rng, take);
-                for &peer in bucket_candidates.iter().take(take) {
-                    let inserted = table.insert(NodeId(peer), addresses[peer]);
-                    debug_assert!(inserted, "candidate must fit its bucket");
-                }
-            }
-            tables.push(table);
-        }
+        let index = SortedAddressIndex::new(&addresses);
+        // Each owner samples its buckets from its own derived stream, so
+        // neither construction order nor thread count can influence the
+        // result.
+        let table_seed = sub_seed(self.seed, domain::TOPOLOGY);
+        let space = self.space;
+        let executor = Executor::new(self.threads);
+        // Hand each worker a contiguous owner range; results concatenate in
+        // owner order, keeping table[i] at index i.
+        let chunk = n.div_ceil(executor.threads() * 8).max(64);
+        let owner_ranges: Vec<Range<usize>> = (0..n)
+            .step_by(chunk)
+            .map(|start| start..(start + chunk).min(n))
+            .collect();
+        let tables: Vec<RoutingTable> = executor
+            .run(owner_ranges, |_, owners| {
+                owners
+                    .map(|owner| {
+                        let mut owner_rng = derive_rng(table_seed, owner, 0);
+                        fill_table_sampled(
+                            space,
+                            &addresses,
+                            &index,
+                            &capacities,
+                            owner,
+                            &mut owner_rng,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
 
         let trie = AddressTrie::build(self.space, &addresses);
         let knowers = build_knowers(&tables, n);
@@ -280,11 +303,120 @@ fn sample_distinct_addresses(
     Ok(out)
 }
 
+/// Node slots sorted by raw address, supporting binary-search prefix
+/// narrowing: the addresses sharing a given `p`-bit prefix occupy one
+/// contiguous range, so the candidates at proximity exactly `b` from an
+/// owner are `range(b) \ range(b + 1)` — two contiguous pieces found in
+/// `O(log n)` instead of scanning all `n` addresses.
+struct SortedAddressIndex {
+    /// Node indices in ascending address order.
+    nodes: Vec<u32>,
+    /// Raw addresses in the same order.
+    raws: Vec<u64>,
+}
+
+impl SortedAddressIndex {
+    fn new(addresses: &[OverlayAddress]) -> Self {
+        let mut nodes: Vec<u32> = (0..addresses.len() as u32).collect();
+        nodes.sort_unstable_by_key(|&i| addresses[i as usize].raw());
+        let raws = nodes.iter().map(|&i| addresses[i as usize].raw()).collect();
+        Self { nodes, raws }
+    }
+
+    #[inline]
+    fn node_at(&self, pos: usize) -> usize {
+        self.nodes[pos] as usize
+    }
+
+    /// Narrows `range` — all sorted positions sharing some shorter prefix
+    /// with `addr` — to the positions sharing the first `prefix_len` bits.
+    fn narrow(&self, range: &Range<usize>, addr: OverlayAddress, prefix_len: u32) -> Range<usize> {
+        debug_assert!(prefix_len >= 1 && prefix_len <= addr.bits());
+        let shift = addr.bits() - prefix_len;
+        let prefix = addr.raw() >> shift;
+        let slice = &self.raws[range.clone()];
+        let start = range.start + slice.partition_point(|&raw| (raw >> shift) < prefix);
+        let end = range.start + slice.partition_point(|&raw| (raw >> shift) <= prefix);
+        start..end
+    }
+}
+
+/// Fills one owner's routing table, sampling `min(k_b, |candidates_b|)`
+/// peers uniformly without replacement from each exact-prefix candidate
+/// range of the sorted index.
+fn fill_table_sampled(
+    space: AddressSpace,
+    addresses: &[OverlayAddress],
+    index: &SortedAddressIndex,
+    capacities: &[usize],
+    owner: usize,
+    rng: &mut SimRng,
+) -> RoutingTable {
+    let owner_addr = addresses[owner];
+    let mut table = RoutingTable::new(NodeId(owner), owner_addr, space, capacities);
+    // Sparse partial Fisher–Yates state, reused across buckets: at most
+    // `k` swap records, so sampling never allocates O(candidates).
+    let mut swaps: Vec<(usize, usize)> = Vec::new();
+    let lookup = |swaps: &[(usize, usize)], i: usize| {
+        swaps
+            .iter()
+            .find(|&&(at, _)| at == i)
+            .map_or(i, |&(_, value)| value)
+    };
+    // `range` holds the sorted positions sharing the first `bucket` bits
+    // with the owner; it narrows monotonically and ends at the owner alone.
+    let mut range = 0..addresses.len();
+    for (bucket, &capacity) in capacities.iter().enumerate() {
+        let deeper = index.narrow(&range, owner_addr, bucket as u32 + 1);
+        // Proximity exactly `bucket`: in `range` but not in `deeper`.
+        let left = range.start..deeper.start;
+        let right = deeper.end..range.end;
+        let candidates = left.len() + right.len();
+        let take = capacity.min(candidates);
+        table.reserve_bucket(bucket, take);
+        swaps.clear();
+        for i in 0..take {
+            let j = rng.gen_range(i..candidates);
+            let pick = lookup(&swaps, j);
+            let displaced = lookup(&swaps, i);
+            if let Some(entry) = swaps.iter_mut().find(|(at, _)| *at == j) {
+                entry.1 = displaced;
+            } else {
+                swaps.push((j, displaced));
+            }
+            let pos = if pick < left.len() {
+                left.start + pick
+            } else {
+                right.start + (pick - left.len())
+            };
+            let peer = index.node_at(pos);
+            let inserted = table.insert(NodeId(peer), addresses[peer]);
+            debug_assert!(inserted, "candidate must fit its bucket");
+        }
+        range = deeper;
+    }
+    debug_assert_eq!(range.len(), 1, "final range must be the owner itself");
+    table
+}
+
 /// Reverse index: for each node, which owners currently list it.
-fn build_knowers(tables: &[RoutingTable], n: usize) -> Vec<Vec<usize>> {
-    let mut knowers: Vec<Vec<usize>> = vec![Vec::new(); n];
+///
+/// Two passes: count in-degrees first so every per-node list is allocated
+/// exactly once — tens of millions of entries at large `N`, where growth
+/// reallocation used to dominate.
+fn build_knowers(tables: &[RoutingTable], n: usize) -> Vec<Vec<u32>> {
+    let mut counts = vec![0u32; n];
     for table in tables {
-        let owner = table.owner().index();
+        for (peer, _) in table.peers() {
+            counts[peer.index()] += 1;
+        }
+    }
+    let mut knowers: Vec<Vec<u32>> = counts
+        .iter()
+        .map(|&c| Vec::with_capacity(c as usize))
+        .collect();
+    for table in tables {
+        let owner = table.owner().index() as u32;
         for (peer, _) in table.peers() {
             knowers[peer.index()].push(owner);
         }
@@ -295,13 +427,13 @@ fn build_knowers(tables: &[RoutingTable], n: usize) -> Vec<Vec<usize>> {
     knowers
 }
 
-fn knowers_insert(list: &mut Vec<usize>, owner: usize) {
+fn knowers_insert(list: &mut Vec<u32>, owner: u32) {
     if let Err(pos) = list.binary_search(&owner) {
         list.insert(pos, owner);
     }
 }
 
-fn knowers_remove(list: &mut Vec<usize>, owner: usize) {
+fn knowers_remove(list: &mut Vec<u32>, owner: u32) {
     if let Ok(pos) = list.binary_search(&owner) {
         list.remove(pos);
     }
@@ -320,7 +452,7 @@ pub struct Topology {
     trie: AddressTrie,
     /// `knowers[i]`: owners whose routing table currently lists node `i`
     /// (kept sorted). Makes departures O(holders) instead of O(n).
-    knowers: Vec<Vec<usize>>,
+    knowers: Vec<Vec<u32>>,
     sizing: BucketSizing,
     seed: u64,
 }
@@ -434,8 +566,11 @@ impl Topology {
     /// refills each affected bucket with the closest eligible live peer so
     /// the "full whenever candidates exist" invariant survives.
     ///
-    /// Runs in `O(holders × n)` — the node's typical in-degree is a few
-    /// dozen — instead of the `O(n²)` of a full rebuild.
+    /// Each refill is answered by a trie descent over the matching
+    /// exact-proximity subtree, so a departure costs
+    /// `O(holders × k × bits)` — the node's typical in-degree is a few
+    /// dozen — instead of the `O(n²)` of a full rebuild or the former
+    /// `O(holders × n)` candidate scan.
     ///
     /// # Errors
     ///
@@ -463,6 +598,7 @@ impl Topology {
         // the vacated bucket where candidates remain.
         let holders = std::mem::take(&mut self.knowers[index]);
         for owner in holders {
+            let owner = owner as usize;
             let removed = self.tables[owner].remove(node);
             debug_assert!(removed, "knowers index out of sync");
             let bucket = self
@@ -473,14 +609,14 @@ impl Topology {
                 let inserted =
                     self.tables[owner].insert(NodeId(replacement), self.addresses[replacement]);
                 debug_assert!(inserted, "refill candidate must fit");
-                knowers_insert(&mut self.knowers[replacement], owner);
+                knowers_insert(&mut self.knowers[replacement], owner as u32);
             }
         }
 
         // The departed node drops all of its own connections.
         let peers: Vec<usize> = self.tables[index].peers().map(|(p, _)| p.0).collect();
         for peer in peers {
-            knowers_remove(&mut self.knowers[peer], index);
+            knowers_remove(&mut self.knowers[peer], index as u32);
         }
         self.tables[index].clear();
         Ok(())
@@ -512,7 +648,7 @@ impl Topology {
         let capacities = self.sizing.capacities(self.space.bits());
         let table = self.fill_table_closest(index, &capacities);
         for (peer, _) in table.peers() {
-            knowers_insert(&mut self.knowers[peer.0], index);
+            knowers_insert(&mut self.knowers[peer.0], index as u32);
         }
         self.tables[index] = table;
 
@@ -523,7 +659,7 @@ impl Topology {
                 continue;
             }
             if self.tables[owner].insert(node, joiner_addr) {
-                knowers_insert(&mut self.knowers[index], owner);
+                knowers_insert(&mut self.knowers[index], owner as u32);
             }
         }
         Ok(())
@@ -531,25 +667,32 @@ impl Topology {
 
     /// The closest eligible live peer for `owner`'s bucket `bucket`, if any:
     /// live, not the owner, proximity exactly `bucket`, not already listed.
-    /// A proximity-`bucket` peer can only sit in bucket `bucket`, so the
-    /// membership test checks that single bucket instead of the whole
-    /// table.
+    ///
+    /// Answered by descending the exact-proximity subtree of the address
+    /// trie in ascending XOR distance and returning the first peer the
+    /// bucket does not already hold — `O(k × bits)` against the former
+    /// whole-population scan.
     fn refill_candidate(&self, owner: usize, bucket: usize) -> Option<usize> {
         let owner_addr = self.addresses[owner];
         let occupied = self.tables[owner]
             .bucket(bucket)
             .expect("bucket index comes from a proximity computation");
-        self.addresses
-            .iter()
-            .enumerate()
-            .filter(|&(peer, &peer_addr)| {
-                peer != owner
-                    && self.live[peer]
-                    && self.space.proximity(owner_addr, peer_addr).bucket_index() == bucket
-                    && !occupied.contains(NodeId(peer))
-            })
-            .min_by_key(|&(_, &peer_addr)| self.space.distance(owner_addr, peer_addr))
-            .map(|(peer, _)| peer)
+        let subtree = self.trie.sibling_subtree(owner_addr, bucket as u32)?;
+        let mut found = None;
+        self.trie.visit_nearest_live(
+            subtree,
+            bucket as u32 + 1,
+            owner_addr,
+            &mut |peer: usize| {
+                if occupied.contains(NodeId(peer)) {
+                    true
+                } else {
+                    found = Some(peer);
+                    false
+                }
+            },
+        );
+        found
     }
 
     /// Builds a fresh routing table for `owner` over the current live
@@ -558,28 +701,29 @@ impl Topology {
     /// addresses never tie). Shared by [`Topology::add_node`] and
     /// [`Topology::rebuilt_naive`] so the two maintenance paths can never
     /// drift apart in selection policy.
+    ///
+    /// The candidates of bucket `b` live in one trie subtree (the owner's
+    /// sibling at depth `b`), which is walked in ascending XOR distance, so
+    /// filling a whole table costs `O(bits × k × bits)` instead of a full
+    /// population scan.
     fn fill_table_closest(&self, owner: usize, capacities: &[usize]) -> RoutingTable {
         let owner_addr = self.addresses[owner];
-        let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); self.space.bits() as usize];
-        for (peer, &peer_addr) in self.addresses.iter().enumerate() {
-            if peer == owner || !self.live[peer] {
-                continue;
-            }
-            candidates[self.space.proximity(owner_addr, peer_addr).bucket_index()].push(peer);
-        }
         let mut table = RoutingTable::new(NodeId(owner), owner_addr, self.space, capacities);
-        for (bucket, bucket_candidates) in candidates.iter_mut().enumerate() {
-            let take = capacities[bucket].min(bucket_candidates.len());
-            if take == 0 {
+        for bucket in 0..self.space.bits() {
+            let Some(subtree) = self.trie.sibling_subtree(owner_addr, bucket) else {
+                continue;
+            };
+            let mut remaining = capacities[bucket as usize];
+            if remaining == 0 {
                 continue;
             }
-            bucket_candidates.sort_unstable_by_key(|&peer| {
-                self.space.distance(owner_addr, self.addresses[peer])
-            });
-            for &peer in bucket_candidates.iter().take(take) {
-                let inserted = table.insert(NodeId(peer), self.addresses[peer]);
-                debug_assert!(inserted, "candidate must fit its bucket");
-            }
+            self.trie
+                .visit_nearest_live(subtree, bucket + 1, owner_addr, &mut |peer: usize| {
+                    let inserted = table.insert(NodeId(peer), self.addresses[peer]);
+                    debug_assert!(inserted, "candidate must fit its bucket");
+                    remaining -= 1;
+                    remaining > 0
+                });
         }
         table
     }
@@ -626,7 +770,7 @@ impl Topology {
         if self.live.iter().filter(|&&alive| alive).count() != self.live_count {
             return Err("live_count out of sync".into());
         }
-        let mut knowers_check: Vec<Vec<usize>> = vec![Vec::new(); self.addresses.len()];
+        let mut knowers_check: Vec<Vec<u32>> = vec![Vec::new(); self.addresses.len()];
         for (owner, table) in self.tables.iter().enumerate() {
             if !self.live[owner] {
                 if table.connection_count() != 0 {
@@ -677,7 +821,7 @@ impl Topology {
                             prox
                         ));
                     }
-                    knowers_check[peer.0].push(owner);
+                    knowers_check[peer.0].push(owner as u32);
                 }
             }
         }
@@ -694,29 +838,37 @@ impl Topology {
 /// Binary trie over the node addresses for O(bits) closest-live-node
 /// queries under the XOR metric. Every subtree tracks how many live
 /// addresses it contains so offline nodes are skipped in O(1).
+///
+/// Beyond global closest-node queries, the trie answers the routing-table
+/// maintenance queries that used to need population scans: the peers at
+/// proximity exactly `b` from an address are one subtree
+/// ([`AddressTrie::sibling_subtree`]), and
+/// [`AddressTrie::visit_nearest_live`] walks any subtree in ascending XOR
+/// distance. Trie nodes are a compact 16-byte representation (`u32` child
+/// indices with a sentinel) so million-node tries stay cache- and
+/// memory-friendly.
 #[derive(Debug, Clone)]
 struct AddressTrie {
     space: AddressSpace,
     nodes: Vec<TrieNode>,
 }
 
+/// Sentinel for an absent trie child.
+const NIL: u32 = u32::MAX;
+
 #[derive(Debug, Clone)]
 enum TrieNode {
     /// Leaf: index of the overlay node and whether it is live.
     Leaf {
         /// The overlay node stored at this address.
-        node: usize,
+        node: u32,
         /// Whether the node currently counts for closest-node queries.
         live: bool,
     },
-    /// Internal: child trie-node indices for bit = 0 / bit = 1 (either may be
-    /// absent when no address lies in that subtree), plus the live count of
-    /// the whole subtree.
-    Branch {
-        zero: Option<usize>,
-        one: Option<usize>,
-        live: u32,
-    },
+    /// Internal: child trie-node indices for bit = 0 / bit = 1 ([`NIL`] when
+    /// no address lies in that subtree), plus the live count of the whole
+    /// subtree.
+    Branch { zero: u32, one: u32, live: u32 },
 }
 
 impl AddressTrie {
@@ -724,8 +876,8 @@ impl AddressTrie {
         let mut trie = Self {
             space,
             nodes: vec![TrieNode::Branch {
-                zero: None,
-                one: None,
+                zero: NIL,
+                one: NIL,
                 live: 0,
             }],
         };
@@ -735,8 +887,8 @@ impl AddressTrie {
         trie
     }
 
-    fn subtree_live(&self, index: usize) -> u32 {
-        match &self.nodes[index] {
+    fn subtree_live(&self, index: u32) -> u32 {
+        match &self.nodes[index as usize] {
             TrieNode::Leaf { live, .. } => u32::from(*live),
             TrieNode::Branch { live, .. } => *live,
         }
@@ -766,34 +918,34 @@ impl AddressTrie {
                 }
                 TrieNode::Leaf { .. } => unreachable!(),
             };
-            let next = match existing {
-                Some(next) => next,
-                None => {
-                    let idx = self.nodes.len();
-                    self.nodes.push(if is_last {
-                        TrieNode::Leaf {
-                            node: node_index,
-                            live: true,
-                        }
-                    } else {
-                        TrieNode::Branch {
-                            zero: None,
-                            one: None,
-                            live: 0,
-                        }
-                    });
-                    match &mut self.nodes[current] {
-                        TrieNode::Branch { zero, one, .. } => {
-                            if bit {
-                                *one = Some(idx);
-                            } else {
-                                *zero = Some(idx);
-                            }
-                        }
-                        TrieNode::Leaf { .. } => unreachable!(),
+            let next = if existing != NIL {
+                existing as usize
+            } else {
+                let idx = self.nodes.len();
+                assert!(idx < NIL as usize, "trie node index overflow");
+                self.nodes.push(if is_last {
+                    TrieNode::Leaf {
+                        node: node_index as u32,
+                        live: true,
                     }
-                    idx
+                } else {
+                    TrieNode::Branch {
+                        zero: NIL,
+                        one: NIL,
+                        live: 0,
+                    }
+                });
+                match &mut self.nodes[current] {
+                    TrieNode::Branch { zero, one, .. } => {
+                        if bit {
+                            *one = idx as u32;
+                        } else {
+                            *zero = idx as u32;
+                        }
+                    }
+                    TrieNode::Leaf { .. } => unreachable!(),
                 }
+                idx
             };
             current = next;
         }
@@ -806,15 +958,18 @@ impl AddressTrie {
     /// Marks the leaf at `addr` live or offline, updating subtree counts.
     fn set_live(&mut self, addr: OverlayAddress, alive: bool) {
         let bits = self.space.bits();
-        // Collect the root-to-leaf path first, then adjust counts.
-        let mut path = Vec::with_capacity(bits as usize + 1);
+        // Collect the root-to-leaf path first, then adjust counts. Depth is
+        // bounded by the 64-bit address-space cap, so the path lives on the
+        // stack.
+        let mut path = [0u32; 64];
         let mut current = 0usize;
         for depth in 0..bits {
-            path.push(current);
+            path[depth as usize] = current as u32;
             current = match &self.nodes[current] {
                 TrieNode::Branch { zero, one, .. } => {
                     let child = if addr.bit(depth) { *one } else { *zero };
-                    child.expect("address was inserted at build time")
+                    debug_assert_ne!(child, NIL, "address was inserted at build time");
+                    child as usize
                 }
                 TrieNode::Leaf { .. } => unreachable!("leaves only exist at full depth"),
             };
@@ -837,8 +992,8 @@ impl AddressTrie {
         if delta == 0 {
             return;
         }
-        for index in path {
-            match &mut self.nodes[index] {
+        for &index in &path[..bits as usize] {
+            match &mut self.nodes[index as usize] {
                 TrieNode::Branch { live, .. } => {
                     *live = (i64::from(*live) + delta) as u32;
                 }
@@ -866,7 +1021,7 @@ impl AddressTrie {
             match &self.nodes[current] {
                 TrieNode::Leaf { node, live } => {
                     debug_assert!(*live, "walk must stay inside live subtrees");
-                    return NodeId(*node);
+                    return NodeId(*node as usize);
                 }
                 TrieNode::Branch { zero, one, .. } => {
                     let (preferred, fallback) = if target.bit(depth) {
@@ -874,17 +1029,87 @@ impl AddressTrie {
                     } else {
                         (*zero, *one)
                     };
-                    let live_child =
-                        |child: Option<usize>| child.filter(|&c| self.subtree_live(c) > 0);
+                    let live_child = |child: u32| {
+                        (child != NIL && self.subtree_live(child) > 0).then_some(child)
+                    };
                     current = live_child(preferred)
                         .or_else(|| live_child(fallback))
-                        .expect("trie contains at least one live address");
+                        .expect("trie contains at least one live address")
+                        as usize;
                 }
             }
         }
         match &self.nodes[current] {
-            TrieNode::Leaf { node, .. } => NodeId(*node),
+            TrieNode::Leaf { node, .. } => NodeId(*node as usize),
             TrieNode::Branch { .. } => unreachable!("walked past all bits"),
+        }
+    }
+
+    /// The subtree holding exactly the stored addresses at proximity
+    /// `bucket` from `addr`: follow `addr`'s bits for `bucket` levels, then
+    /// take the opposite-bit child. `None` when no stored address diverges
+    /// from `addr` at that depth.
+    fn sibling_subtree(&self, addr: OverlayAddress, bucket: u32) -> Option<u32> {
+        let mut current = 0usize;
+        for depth in 0..bucket {
+            current = match &self.nodes[current] {
+                TrieNode::Branch { zero, one, .. } => {
+                    let child = if addr.bit(depth) { *one } else { *zero };
+                    if child == NIL {
+                        return None;
+                    }
+                    child as usize
+                }
+                TrieNode::Leaf { .. } => unreachable!("leaves only exist at full depth"),
+            };
+        }
+        match &self.nodes[current] {
+            TrieNode::Branch { zero, one, .. } => {
+                // The opposite bit: addresses diverging from `addr` exactly
+                // at depth `bucket` share its first `bucket` bits and differ
+                // in the next one.
+                let child = if addr.bit(bucket) { *zero } else { *one };
+                (child != NIL).then_some(child)
+            }
+            TrieNode::Leaf { .. } => unreachable!("leaves only exist at full depth"),
+        }
+    }
+
+    /// Visits the live node indices stored under `subtree` (whose root sits
+    /// at `depth`) in ascending XOR distance from `target`, stopping as
+    /// soon as `visit` returns `false`.
+    ///
+    /// The preferred-bit-first descent enumerates leaves in exact distance
+    /// order, so "the closest live peer not in this set" and "the k closest
+    /// live peers" are both O(answer × bits) walks.
+    fn visit_nearest_live(
+        &self,
+        subtree: u32,
+        depth: u32,
+        target: OverlayAddress,
+        visit: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        match &self.nodes[subtree as usize] {
+            TrieNode::Leaf { node, live } => !*live || visit(*node as usize),
+            TrieNode::Branch { zero, one, live } => {
+                if *live == 0 {
+                    return true;
+                }
+                let (preferred, fallback) = if target.bit(depth) {
+                    (*one, *zero)
+                } else {
+                    (*zero, *one)
+                };
+                for child in [preferred, fallback] {
+                    if child != NIL
+                        && self.subtree_live(child) > 0
+                        && !self.visit_nearest_live(child, depth + 1, target, visit)
+                    {
+                        return false;
+                    }
+                }
+                true
+            }
         }
     }
 }
@@ -932,6 +1157,46 @@ mod tests {
             a.node_ids().map(|n| a.address(n)).collect::<Vec<_>>(),
             c.node_ids().map(|n| c.address(n)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn threaded_build_matches_serial_build() {
+        let build = |threads| {
+            TopologyBuilder::new(space(16))
+                .nodes(400)
+                .bucket_size(4)
+                .seed(9)
+                .threads(threads)
+                .build()
+                .unwrap()
+        };
+        let serial = build(1);
+        let parallel = build(8);
+        assert_eq!(serial.tables(), parallel.tables());
+        parallel.validate().unwrap();
+    }
+
+    #[test]
+    fn build_scales_past_the_16_bit_space() {
+        // 3000 nodes in a 20-bit space: impossible under 16 bits, cheap
+        // under the sorted-index builder.
+        let t = TopologyBuilder::new(space(20))
+            .nodes(3000)
+            .bucket_size(4)
+            .seed(2)
+            .threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(t.len(), 3000);
+        // Spot-check the trie against linear scans in the wider space.
+        for raw in (0..(1u64 << 20)).step_by(99_991) {
+            let target = t.space().address(raw).unwrap();
+            let by_scan = t
+                .node_ids()
+                .min_by_key(|n| t.space().distance(t.address(*n), target))
+                .unwrap();
+            assert_eq!(t.closest_node(target), by_scan, "target {raw:#x}");
+        }
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! A seed-deterministic scoped-thread worker pool for experiment grids.
+//!
+//! The paper's sweeps — `(k, mechanism, originator fraction, churn rate)`
+//! cells — are embarrassingly parallel: every cell derives its own RNG
+//! stream from the master seed, so cells can run in any order on any number
+//! of threads and still produce bit-identical results. [`Executor`] turns
+//! that property into wall-clock speedups: it fans a `Vec` of jobs out over
+//! `std::thread`-scoped workers and merges the results **in stable job
+//! order**, so `Executor::new(8)` and [`Executor::serial`] return the exact
+//! same `Vec`.
+//!
+//! Progress across all cells is aggregated through [`Progress`]: each job
+//! advances a shared atomic counter (in whatever unit the caller chose —
+//! simulation timesteps, rows, bytes) and the caller's notify hook observes
+//! the monotone global count, which is how the CLI renders one live
+//! progress line for a whole multi-core sweep.
+//!
+//! ```
+//! use fairswap_simcore::Executor;
+//!
+//! let squares = Executor::new(4).run((0..32u64).collect(), |_idx, n| n * n);
+//! assert_eq!(squares[5], 25);
+//! assert_eq!(squares.len(), 32);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Aggregated progress over one grid of jobs.
+///
+/// Shared by every worker; [`Progress::advance`] is safe to call from any
+/// thread and invokes the notify hook with the post-increment global count.
+pub struct Progress<'a> {
+    done: &'a AtomicU64,
+    total: u64,
+    notify: &'a (dyn Fn(u64, u64) + Sync),
+}
+
+impl Progress<'_> {
+    /// Records `delta` completed units and notifies the observer with the
+    /// new global `(done, total)` pair.
+    pub fn advance(&self, delta: u64) {
+        let done = self.done.fetch_add(delta, Ordering::Relaxed) + delta;
+        (self.notify)(done.min(self.total), self.total);
+    }
+
+    /// Units completed so far across all jobs.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Total units across all jobs (0 when the caller did not pre-compute
+    /// one; `advance` still counts, the observer just sees `total = 0`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// A fixed-width worker pool over scoped `std::thread`s.
+///
+/// The pool is stateless between calls: each [`Executor::run`] /
+/// [`Executor::run_with_progress`] spawns its workers, drains the job list
+/// through an atomic cursor, and joins before returning. Results land at
+/// their job's index, so output order never depends on scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor running `threads` workers; `0` means "one worker per
+    /// available CPU core".
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// The single-threaded executor: runs every job inline on the calling
+    /// thread. The deterministic baseline every parallel run must match.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Number of worker threads this executor uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job and returns the results in job order.
+    ///
+    /// `run` receives the job's index alongside the job so callers can
+    /// derive per-cell sub-seeds without embedding the index in the job
+    /// type.
+    pub fn run<J, R, F>(&self, jobs: Vec<J>, run: F) -> Vec<R>
+    where
+        J: Send,
+        R: Send,
+        F: Fn(usize, J) -> R + Sync,
+    {
+        self.run_with_progress(jobs, 0, |_, _| {}, |index, job, _| run(index, job))
+    }
+
+    /// Runs every job with aggregated progress reporting.
+    ///
+    /// `total_units` is the grid-wide unit count the jobs will collectively
+    /// [`Progress::advance`] through; `notify` observes every advance with
+    /// the global `(done, total)` and may be called concurrently from
+    /// several workers.
+    pub fn run_with_progress<J, R, F, P>(
+        &self,
+        jobs: Vec<J>,
+        total_units: u64,
+        notify: P,
+        run: F,
+    ) -> Vec<R>
+    where
+        J: Send,
+        R: Send,
+        F: Fn(usize, J, &Progress) -> R + Sync,
+        P: Fn(u64, u64) + Sync,
+    {
+        let job_count = jobs.len();
+        let done = AtomicU64::new(0);
+        let workers = self.threads.min(job_count).max(1);
+
+        if workers == 1 {
+            // Inline fast path: no threads, no locks — and the reference
+            // behaviour the parallel path must reproduce bit-for-bit.
+            let progress = Progress {
+                done: &done,
+                total: total_units,
+                notify: &notify,
+            };
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(index, job)| run(index, job, &progress))
+                .collect();
+        }
+
+        // Each pending job and result slot sits behind its own mutex; a
+        // worker claims a job by bumping the shared cursor, so every lock
+        // is uncontended and held only for a take/store.
+        let slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..job_count).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let progress = Progress {
+                        done: &done,
+                        total: total_units,
+                        notify: &notify,
+                    };
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= job_count {
+                            break;
+                        }
+                        let job = slots[index]
+                            .lock()
+                            .expect("job slot poisoned")
+                            .take()
+                            .expect("each index is claimed exactly once");
+                        let result = run(index, job, &progress);
+                        *results[index].lock().expect("result slot poisoned") = Some(result);
+                    }
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("scope joined every worker, so every slot is filled")
+            })
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    /// Defaults to the serial executor, matching the library's
+    /// deterministic-by-default posture.
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+    use rand::RngCore;
+
+    #[test]
+    fn results_arrive_in_job_order() {
+        let exec = Executor::new(8);
+        let out = exec.run((0..100usize).collect(), |index, job| {
+            assert_eq!(index, job);
+            job * 3
+        });
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_seeded_jobs() {
+        // The contract that makes sweep parallelism sound: per-cell derived
+        // RNG streams make results independent of scheduling.
+        let jobs: Vec<u64> = (0..40).collect();
+        let work = |index: usize, _job: u64| {
+            let mut rng = derive_rng(0xFA12, index, 0);
+            (0..100)
+                .map(|_| rng.next_u64())
+                .fold(0u64, u64::wrapping_add)
+        };
+        let serial = Executor::serial().run(jobs.clone(), work);
+        let parallel = Executor::new(8).run(jobs, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn progress_counts_every_unit() {
+        let total = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        Executor::new(4).run_with_progress(
+            vec![5u64; 12],
+            60,
+            |done, grid_total| {
+                assert_eq!(grid_total, 60);
+                peak.fetch_max(done, Ordering::Relaxed);
+            },
+            |_, units, progress| {
+                for _ in 0..units {
+                    progress.advance(1);
+                }
+                total.fetch_add(units, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 60);
+        assert_eq!(peak.load(Ordering::Relaxed), 60);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let exec = Executor::new(0);
+        assert!(exec.threads() >= 1);
+        assert_eq!(Executor::serial().threads(), 1);
+        assert_eq!(Executor::default(), Executor::serial());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = Executor::new(64).run(vec![1, 2, 3], |_, v| v * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let out: Vec<u32> = Executor::new(4).run(Vec::<u32>::new(), |_, v| v);
+        assert!(out.is_empty());
+    }
+}

@@ -40,10 +40,12 @@
 
 mod block;
 mod engine;
+mod executor;
 mod recorder;
-mod rng;
+pub mod rng;
 
 pub use block::Block;
 pub use engine::{RunTrace, Simulation, StepInfo, SweepResults};
+pub use executor::{Executor, Progress};
 pub use recorder::{NullRecorder, Recorder, TrajectoryRecorder};
 pub use rng::{derive_rng, SimRng};

@@ -70,6 +70,10 @@ pub struct DownloadSim {
     caches: Vec<NodeCache>,
     stats: TrafficStats,
     cache_on_path: bool,
+    /// Recycled hop buffer: [`DownloadSim::download_file_with`] routes
+    /// hundreds of chunks per call, and reusing one allocation across them
+    /// keeps the per-step allocation count flat regardless of file size.
+    route_buf: Vec<NodeId>,
 }
 
 impl DownloadSim {
@@ -86,6 +90,7 @@ impl DownloadSim {
             caches: (0..n).map(|_| NodeCache::new(cache_policy)).collect(),
             stats: TrafficStats::new(n),
             cache_on_path: !matches!(cache_policy, CachePolicy::None),
+            route_buf: Vec::with_capacity(8),
         }
     }
 
@@ -136,6 +141,11 @@ impl DownloadSim {
 
     /// Downloads all chunks of a file, invoking `on_delivery` for every
     /// chunk so callers (e.g. incentive mechanisms) can account payments.
+    ///
+    /// The hop vector inside the [`ChunkDelivery`] handed to `on_delivery`
+    /// is recycled across the file's chunks (and across calls), so a
+    /// thousand-chunk download performs O(1) route allocations rather than
+    /// one per chunk.
     pub fn download_file_with<F>(
         &mut self,
         originator: NodeId,
@@ -152,8 +162,17 @@ impl DownloadSim {
             cache_served: 0,
             total_hops: 0,
         };
+        let mut hops = std::mem::take(&mut self.route_buf);
         for &chunk in chunks {
-            let delivery = self.request_chunk(originator, chunk);
+            hops.clear();
+            let (outcome, from_cache) = self.route_chunk(originator, chunk, &mut hops);
+            let delivery = ChunkDelivery {
+                originator,
+                chunk,
+                hops,
+                from_cache,
+                outcome,
+            };
             if delivery.delivered() {
                 report.delivered += 1;
             } else {
@@ -164,31 +183,48 @@ impl DownloadSim {
             }
             report.total_hops += delivery.hops.len();
             on_delivery(&delivery);
+            // Reclaim the hop allocation for the next chunk.
+            hops = delivery.hops;
         }
+        self.route_buf = hops;
         report
     }
 
     /// Routes a single chunk request and updates the statistics.
-    ///
-    /// The walk is greedy forwarding-Kademlia, with one refinement when
-    /// caching is enabled: a hop holding the chunk in cache serves it
-    /// immediately, cutting the route short. On delivery the chunk is
-    /// inserted into the caches of every node on the return path, which is
-    /// how Swarm populates caches opportunistically.
     pub fn request_chunk(&mut self, originator: NodeId, chunk: OverlayAddress) -> ChunkDelivery {
+        // The returned delivery owns its hop vector, so allocate a fresh
+        // one rather than giving away (and losing) the recycled buffer.
+        let mut hops = Vec::with_capacity(8);
+        let (outcome, from_cache) = self.route_chunk(originator, chunk, &mut hops);
+        ChunkDelivery {
+            originator,
+            chunk,
+            hops,
+            from_cache,
+            outcome,
+        }
+    }
+
+    /// The greedy forwarding-Kademlia walk behind every chunk request, with
+    /// one refinement when caching is enabled: a hop holding the chunk in
+    /// cache serves it immediately, cutting the route short. On delivery
+    /// the chunk is inserted into the caches of every node on the return
+    /// path, which is how Swarm populates caches opportunistically.
+    ///
+    /// `hops` must arrive empty; the path is appended to it.
+    fn route_chunk(
+        &mut self,
+        originator: NodeId,
+        chunk: OverlayAddress,
+        hops: &mut Vec<NodeId>,
+    ) -> (RouteOutcome, bool) {
+        debug_assert!(hops.is_empty());
         self.stats.add_request(originator);
         let storer = self.topology.closest_node(chunk);
         if storer == originator {
-            return ChunkDelivery {
-                originator,
-                chunk,
-                hops: Vec::new(),
-                from_cache: false,
-                outcome: RouteOutcome::AlreadyAtStorer,
-            };
+            return (RouteOutcome::AlreadyAtStorer, false);
         }
 
-        let mut hops: Vec<NodeId> = Vec::with_capacity(8);
         let mut current = originator;
         let (outcome, from_cache) = loop {
             match self.topology.table(current).next_hop(chunk) {
@@ -209,7 +245,7 @@ impl DownloadSim {
         match outcome {
             RouteOutcome::Delivered => {
                 // Every node on the path transmits the chunk downstream.
-                for &hop in &hops {
+                for &hop in hops.iter() {
                     self.stats.add_forwarded(hop);
                 }
                 let first = hops.first().copied().expect("delivered implies >=1 hop");
@@ -233,14 +269,7 @@ impl DownloadSim {
             }
             RouteOutcome::AlreadyAtStorer => unreachable!("handled above"),
         }
-
-        ChunkDelivery {
-            originator,
-            chunk,
-            hops,
-            from_cache,
-            outcome,
-        }
+        (outcome, from_cache)
     }
 }
 

@@ -118,7 +118,10 @@ fn manual_pipeline_matches_harness() {
         .expect("valid topology");
     let mut workload = WorkloadBuilder::new(space, nodes)
         .originator_fraction(1.0)
-        .seed(seed.wrapping_add(0x9E37_79B9))
+        .seed(fairswap::simcore::rng::sub_seed(
+            seed,
+            fairswap::simcore::rng::domain::WORKLOAD,
+        ))
         .build()
         .expect("valid workload");
     let mut mechanism = SwarmIncentive::new();
