@@ -28,6 +28,21 @@ pub enum ChurnError {
     },
     /// A plan over an empty network or zero steps.
     EmptyPlan,
+    /// A scripted composition whose initial-live vector does not cover the
+    /// plan's node slots.
+    InvalidInitialLive {
+        /// Node slots the plan covers.
+        expected: usize,
+        /// Length of the provided initial-live vector.
+        got: usize,
+    },
+    /// A scripted event referencing a node outside the plan's slots.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Node slots the plan covers.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for ChurnError {
@@ -43,6 +58,15 @@ impl fmt::Display for ChurnError {
                 write!(f, "live floor must be in (0, 1], got {fraction}")
             }
             Self::EmptyPlan => write!(f, "churn plans need at least one node and one step"),
+            Self::InvalidInitialLive { expected, got } => {
+                write!(
+                    f,
+                    "initial-live vector covers {got} slots, plan has {expected}"
+                )
+            }
+            Self::NodeOutOfRange { node, nodes } => {
+                write!(f, "scripted event references node {node} of {nodes}")
+            }
         }
     }
 }

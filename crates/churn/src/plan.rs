@@ -5,6 +5,7 @@ use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 use fairswap_kademlia::NodeId;
+use fairswap_simcore::scenario::{EventScript, ScriptEventKind};
 
 use crate::config::{ChurnConfig, ChurnError};
 
@@ -151,14 +152,162 @@ impl ChurnPlan {
         }
 
         // 4. Step index for O(1) per-step lookup.
-        let mut offsets = vec![0usize; steps as usize + 2];
-        for event in &events {
-            offsets[event.step as usize + 1] += 1;
+        let offsets = step_offsets(&events, steps);
+
+        Ok(Self {
+            nodes,
+            steps,
+            events,
+            offsets,
+            joins,
+            leaves,
+            final_live: live_count,
+        })
+    }
+
+    /// Compiles a scripted [`EventScript`] alone into a replayable plan —
+    /// the scenario-without-background-churn case.
+    ///
+    /// `initially_live[i]` says whether node slot `i` is part of the overlay
+    /// before step 1 (scenarios such as flash crowds hold a cohort offline
+    /// until their scripted join). The script is swept for consistency the
+    /// same way [`ChurnPlan::generate`] sweeps its renewal events: a node
+    /// leaves only while live, joins only while down, and leaves that would
+    /// drop the live population below the structural floor of 2 are
+    /// suppressed. Scripted shocks are allowed to cut far deeper than
+    /// statistical churn, so no fractional floor applies here.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChurnError::EmptyPlan`] for zero nodes or steps.
+    /// * [`ChurnError::InvalidInitialLive`] if `initially_live` does not
+    ///   cover exactly `nodes` slots.
+    /// * [`ChurnError::NodeOutOfRange`] if the script references a node
+    ///   outside `0..nodes`.
+    pub fn from_script(
+        nodes: usize,
+        steps: u64,
+        script: &EventScript,
+        initially_live: &[bool],
+    ) -> Result<Self, ChurnError> {
+        Self::composed(nodes, steps, Vec::new(), script, initially_live)
+    }
+
+    /// Layers a scripted [`EventScript`] on top of this plan's events,
+    /// producing a new plan that replays both (the scenario engine's plan
+    /// composition: background statistical churn plus scripted shocks).
+    ///
+    /// The merged stream is re-swept for consistency from `initially_live`,
+    /// so scripted and statistical events can never produce an impossible
+    /// replay (double leaves, joins of live nodes); conflicting events are
+    /// dropped deterministically. Within one step, leaves replay before
+    /// joins and nodes in ascending id order, independent of which source
+    /// contributed the event.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChurnPlan::from_script`].
+    pub fn with_script(
+        &self,
+        script: &EventScript,
+        initially_live: &[bool],
+    ) -> Result<Self, ChurnError> {
+        Self::composed(
+            self.nodes,
+            self.steps,
+            self.events.clone(),
+            script,
+            initially_live,
+        )
+    }
+
+    /// Shared sweep behind [`ChurnPlan::from_script`] /
+    /// [`ChurnPlan::with_script`].
+    fn composed(
+        nodes: usize,
+        steps: u64,
+        mut raw: Vec<ChurnEvent>,
+        script: &EventScript,
+        initially_live: &[bool],
+    ) -> Result<Self, ChurnError> {
+        if nodes == 0 || steps == 0 {
+            return Err(ChurnError::EmptyPlan);
         }
-        for i in 1..offsets.len() {
-            offsets[i] += offsets[i - 1];
+        if initially_live.len() != nodes {
+            return Err(ChurnError::InvalidInitialLive {
+                expected: nodes,
+                got: initially_live.len(),
+            });
+        }
+        for event in script.events() {
+            if event.node >= nodes {
+                return Err(ChurnError::NodeOutOfRange {
+                    node: event.node,
+                    nodes,
+                });
+            }
+        }
+        // Initially-offline nodes belong to the script until it first
+        // touches them: base-plan events generated under the all-live
+        // assumption must not trickle a held-back cohort in early (or
+        // resurrect nodes the script never schedules).
+        let mut first_scripted = vec![u64::MAX; nodes];
+        for event in script.events() {
+            let slot = &mut first_scripted[event.node];
+            *slot = (*slot).min(event.step);
+        }
+        raw.retain(|e| initially_live[e.node.index()] || e.step >= first_scripted[e.node.index()]);
+        raw.extend(
+            script
+                .sorted_events()
+                .into_iter()
+                .filter(|e| e.step >= 1 && e.step <= steps)
+                .map(|e| ChurnEvent {
+                    step: e.step,
+                    node: NodeId(e.node),
+                    kind: match e.kind {
+                        ScriptEventKind::Join => ChurnEventKind::Join,
+                        ScriptEventKind::Leave => ChurnEventKind::Leave,
+                    },
+                }),
+        );
+        raw.sort_unstable_by_key(|e| (e.step, e.node, matches!(e.kind, ChurnEventKind::Join)));
+        raw.dedup();
+
+        // Plain consistency sweep (no renewal-pairing bookkeeping: merged
+        // streams have no alternation invariant to preserve). Only the
+        // structural floor of 2 live nodes is enforced — the minimum the
+        // topology's mutation APIs require.
+        let floor = 2usize;
+        let mut live = initially_live.to_vec();
+        let mut live_count = live.iter().filter(|&&l| l).count();
+        let mut events = Vec::with_capacity(raw.len());
+        let (mut joins, mut leaves) = (0usize, 0usize);
+        for event in raw {
+            let idx = event.node.index();
+            match event.kind {
+                ChurnEventKind::Leave => {
+                    if !live[idx] || live_count <= floor {
+                        continue;
+                    }
+                    live[idx] = false;
+                    live_count -= 1;
+                    leaves += 1;
+                    events.push(event);
+                }
+                ChurnEventKind::Join => {
+                    if live[idx] {
+                        continue;
+                    }
+                    live[idx] = true;
+                    live_count += 1;
+                    joins += 1;
+                    events.push(event);
+                }
+            }
         }
 
+        let offsets = step_offsets(&events, steps);
         Ok(Self {
             nodes,
             steps,
@@ -207,6 +356,19 @@ impl ChurnPlan {
     pub fn final_live_count(&self) -> usize {
         self.final_live
     }
+}
+
+/// `offsets[step]` = index of the first event at `step` (len `steps + 2` so
+/// per-step lookup is a plain slice).
+fn step_offsets(events: &[ChurnEvent], steps: u64) -> Vec<usize> {
+    let mut offsets = vec![0usize; steps as usize + 2];
+    for event in events {
+        offsets[event.step as usize + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    offsets
 }
 
 #[cfg(test)]
@@ -301,6 +463,120 @@ mod tests {
             ChurnPlan::generate(10, 0, &config(0.1), 1).unwrap_err(),
             ChurnError::EmptyPlan
         );
+    }
+
+    fn replay_counts(plan: &ChurnPlan, initially_live: &[bool]) -> (usize, usize, usize) {
+        let mut live = initially_live.to_vec();
+        let (mut joins, mut leaves) = (0usize, 0usize);
+        for step in 1..=plan.steps() {
+            for event in plan.events_at(step) {
+                match event.kind {
+                    ChurnEventKind::Leave => {
+                        assert!(live[event.node.index()], "leave of down node");
+                        live[event.node.index()] = false;
+                        leaves += 1;
+                    }
+                    ChurnEventKind::Join => {
+                        assert!(!live[event.node.index()], "join of live node");
+                        live[event.node.index()] = true;
+                        joins += 1;
+                    }
+                }
+            }
+        }
+        (joins, leaves, live.iter().filter(|&&l| l).count())
+    }
+
+    #[test]
+    fn script_composes_onto_a_base_plan_consistently() {
+        let base = ChurnPlan::generate(60, 300, &config(0.05), 5).unwrap();
+        let mut script = EventScript::new();
+        script.mass_leave(150, 0..10);
+        script.mass_join(200, 0..10);
+        let composed = base.with_script(&script, &[true; 60]).unwrap();
+        assert_eq!(composed.nodes(), 60);
+        assert_eq!(composed.steps(), 300);
+        // The composed plan replays consistently from the initial state...
+        let (joins, leaves, final_live) = replay_counts(&composed, &[true; 60]);
+        assert_eq!(joins, composed.join_count());
+        assert_eq!(leaves, composed.leave_count());
+        assert_eq!(final_live, composed.final_live_count());
+        // ...and the scripted shock is present: some of the cohort was live
+        // at step 150 and departs there (the sweep may in turn drop base
+        // events invalidated by the shock, so total counts are not simply
+        // additive).
+        assert!(composed
+            .events_at(150)
+            .iter()
+            .any(|e| e.kind == ChurnEventKind::Leave && e.node.index() < 10));
+        assert_ne!(composed, base);
+        // Deterministic: same inputs, same plan.
+        assert_eq!(composed, base.with_script(&script, &[true; 60]).unwrap());
+    }
+
+    #[test]
+    fn script_only_plans_support_initially_offline_cohorts() {
+        let mut initially_live = vec![true; 40];
+        for slot in initially_live.iter_mut().take(8) {
+            *slot = false;
+        }
+        let mut script = EventScript::new();
+        script.mass_join(20, 0..8);
+        let plan = ChurnPlan::from_script(40, 100, &script, &initially_live).unwrap();
+        assert_eq!(plan.join_count(), 8);
+        assert_eq!(plan.leave_count(), 0);
+        assert_eq!(plan.final_live_count(), 40);
+        // Joins of already-live nodes are swept out.
+        let mut redundant = EventScript::new();
+        redundant.mass_join(20, 10..15);
+        let noop = ChurnPlan::from_script(40, 100, &redundant, &initially_live).unwrap();
+        assert_eq!(noop.join_count(), 0);
+    }
+
+    #[test]
+    fn composed_sweep_enforces_the_structural_floor() {
+        let mut script = EventScript::new();
+        script.mass_leave(5, 0..30);
+        let plan = ChurnPlan::from_script(30, 50, &script, &[true; 30]).unwrap();
+        // Leaves stop once only two nodes remain.
+        assert_eq!(plan.leave_count(), 28);
+        assert_eq!(plan.final_live_count(), 2);
+    }
+
+    #[test]
+    fn composed_rejects_bad_inputs() {
+        let script = EventScript::new();
+        assert_eq!(
+            ChurnPlan::from_script(0, 10, &script, &[]).unwrap_err(),
+            ChurnError::EmptyPlan
+        );
+        assert!(matches!(
+            ChurnPlan::from_script(10, 10, &script, &[true; 4]).unwrap_err(),
+            ChurnError::InvalidInitialLive {
+                expected: 10,
+                got: 4
+            }
+        ));
+        let mut oob = EventScript::new();
+        oob.leave(1, 99);
+        assert!(matches!(
+            ChurnPlan::from_script(10, 10, &oob, &[true; 10]).unwrap_err(),
+            ChurnError::NodeOutOfRange {
+                node: 99,
+                nodes: 10
+            }
+        ));
+    }
+
+    #[test]
+    fn scripted_events_outside_the_horizon_are_dropped() {
+        let mut script = EventScript::new();
+        script.leave(0, 1);
+        script.leave(999, 2);
+        script.leave(10, 3);
+        let plan = ChurnPlan::from_script(20, 50, &script, &[true; 20]).unwrap();
+        assert_eq!(plan.leave_count(), 1);
+        assert_eq!(plan.events()[0].node, NodeId(3));
     }
 
     #[test]

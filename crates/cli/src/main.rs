@@ -1,24 +1,10 @@
 //! `fairswap` — command-line runner for the reproduction experiments.
 //!
-//! ```text
-//! fairswap <command> [--nodes N] [--files N] [--seed S] [--out DIR]
-//!          [--quick] [--threads T] [--bits B]
-//!
-//! Commands:
-//!   table1       Table I   — average forwarded chunks
-//!   fig4         Figure 4  — forwarded-chunk distributions
-//!   fig5         Figure 5  — F2 Lorenz + Gini
-//!   fig6         Figure 6  — F1 Lorenz + Gini
-//!   sweep-files  §IV-B     — Gini convergence over file count
-//!   overhead     §V        — connections & settlements vs k
-//!   bucket0      §V        — bucket-zero-only k increase
-//!   freeride     §V        — free-riding fraction sweep
-//!   caching      §V        — popularity + caching
-//!   mechanisms   §I/§II    — baseline mechanism comparison
-//!   churn        §V f.w.   — F1/F2 fairness vs churn rate, k ∈ {4, 20}
-//!   large-scale  scaling   — fairness at 10^5 nodes, 20-24-bit space
-//!   all          run everything (except large-scale)
-//! ```
+//! One subcommand per experiment preset (`fairswap` with no arguments
+//! prints the full list — it is derived from the same dispatch table that
+//! executes commands, so the help text can never drift from reality).
+//! See `docs/EXPERIMENTS.md` for every preset's invocation, runtime,
+//! output schema and headline finding.
 //!
 //! Sweeps are embarrassingly parallel across their grid cells:
 //! `--threads T` fans the cells out over `T` workers (`--threads 0` = one
@@ -32,9 +18,110 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use fairswap_core::experiments::{
-    churn, extensions, fig4, fig5, fig6, large_scale, sweeps, table1, ExperimentScale,
+    churn, extensions, fig4, fig5, fig6, large_scale, scenarios, sweeps, table1, ExperimentScale,
 };
 use fairswap_core::{CsvTable, Executor};
+
+/// One dispatchable experiment command: the single source of truth behind
+/// both `usage()` and the `all` meta-command, so the help text and the
+/// dispatch table cannot drift apart (`run_command` rejects names not
+/// listed here before dispatching).
+struct CommandSpec {
+    name: &'static str,
+    /// Paper anchor ("Table I", "§V", ...) shown in the help text.
+    section: &'static str,
+    blurb: &'static str,
+    /// Whether `fairswap all` includes it (the very large presets opt
+    /// out).
+    in_all: bool,
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "table1",
+        section: "Table I",
+        blurb: "average forwarded chunks",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "fig4",
+        section: "Figure 4",
+        blurb: "forwarded-chunk distributions",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "fig5",
+        section: "Figure 5",
+        blurb: "F2 Lorenz + Gini",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "fig6",
+        section: "Figure 6",
+        blurb: "F1 Lorenz + Gini",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "sweep-files",
+        section: "§IV-B",
+        blurb: "Gini convergence over file count",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "overhead",
+        section: "§V",
+        blurb: "connections & settlements vs k",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "bucket0",
+        section: "§V",
+        blurb: "bucket-zero-only k increase",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "freeride",
+        section: "§V",
+        blurb: "free-riding fraction sweep",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "caching",
+        section: "§V",
+        blurb: "popularity + caching",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "mechanisms",
+        section: "§I/§II",
+        blurb: "baseline mechanism comparison",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "metric-robustness",
+        section: "ablation",
+        blurb: "Theil/Atkinson/Hoover vs Gini",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "churn",
+        section: "§V f.w.",
+        blurb: "F1/F2 fairness vs churn rate, k in {4, 20}",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "scenarios",
+        section: "shocks",
+        blurb: "targeted departures, flash crowds, outages, heterogeneity",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "large-scale",
+        section: "scaling",
+        blurb: "fairness at 10^5 nodes, 20-24-bit space",
+        in_all: false,
+    },
+];
 
 struct Options {
     command: String,
@@ -45,19 +132,44 @@ struct Options {
     files_set: bool,
     bits: u32,
     threads: usize,
+    /// Restricts the `scenarios` command to one named scenario.
+    scenario: Option<String>,
     out: PathBuf,
 }
 
-fn usage() -> &'static str {
-    "usage: fairswap <table1|fig4|fig5|fig6|sweep-files|overhead|bucket0|freeride|caching|mechanisms|churn|large-scale|all>\n\
-     \x20      [--nodes N] [--files N] [--seed S] [--out DIR] [--quick] [--threads T] [--bits B]\n\
-     \n\
-     --quick     use the reduced test scale (300 nodes, 200 files)\n\
-     --threads   worker threads for sweep cells (default 1; 0 = all cores);\n\
-     \x20           output is bit-identical for any thread count\n\
-     --bits      address-space width for large-scale (default 22)\n\
-     defaults: paper scale (1000 nodes, 10000 files), out = ./results;\n\
-     large-scale defaults to 100000 nodes, 2000 files"
+fn usage() -> String {
+    let names: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
+    let mut text = format!("usage: fairswap <{}|all>\n", names.join("|"));
+    text.push_str(
+        "       [--nodes N] [--files N] [--seed S] [--out DIR] [--quick] [--threads T]\n\
+         \x20      [--bits B] [--scenario NAME]\n\nCommands:\n",
+    );
+    for command in COMMANDS {
+        text.push_str(&format!(
+            "  {:<18} {:<9} — {}\n",
+            command.name, command.section, command.blurb
+        ));
+    }
+    let all_count = COMMANDS.iter().filter(|c| c.in_all).count();
+    text.push_str(&format!(
+        "  {:<18} {:<9} — run the {all_count} standard presets above\n",
+        "all", ""
+    ));
+    text.push_str(
+        "\n\
+         --quick     use the reduced test scale (300 nodes, 200 files)\n\
+         --threads   worker threads for sweep cells (default 1; 0 = all cores);\n\
+         \x20           output is bit-identical for any thread count\n\
+         --bits      address-space width for large-scale (default 22)\n\
+         --scenario  restrict `scenarios` to one of: ",
+    );
+    text.push_str(&scenarios::SCENARIO_NAMES.join(", "));
+    text.push_str(
+        "\n\
+         defaults: paper scale (1000 nodes, 10000 files), out = ./results;\n\
+         large-scale defaults to 100000 nodes, 2000 files",
+    );
+    text
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -67,18 +179,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut files_set = false;
     let mut bits = large_scale::DEFAULT_BITS;
     let mut threads = 1usize;
+    let mut scenario = None;
+    let mut quick = false;
     let mut out = PathBuf::from("results");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => {
-                scale = ExperimentScale::quick().with_seed(scale.seed);
-                // The quick dimensions are an explicit sizing choice:
-                // large-scale must honor them instead of its 10^5 default.
-                nodes_set = true;
-                files_set = true;
-            }
-            "--nodes" | "--files" | "--seed" | "--out" | "--threads" | "--bits" => {
+            "--quick" => quick = true,
+            "--nodes" | "--files" | "--seed" | "--out" | "--threads" | "--bits" | "--scenario" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -112,6 +220,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                             .parse()
                             .map_err(|_| format!("invalid --bits value: {value}"))?;
                     }
+                    "--scenario" => {
+                        if !scenarios::SCENARIO_NAMES.contains(&value.as_str()) {
+                            return Err(format!(
+                                "invalid --scenario value: {value} (expected one of {})",
+                                scenarios::SCENARIO_NAMES.join(", ")
+                            ));
+                        }
+                        scenario = Some(value.clone());
+                    }
                     "--out" => out = PathBuf::from(value),
                     _ => unreachable!(),
                 }
@@ -122,6 +239,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
         i += 1;
     }
+    if quick {
+        // Quick supplies the reduced dimensions only where the user gave
+        // none — an explicit --nodes/--files wins regardless of flag
+        // order. Either way the sizing is now an explicit choice, so
+        // large-scale must honor it instead of its 10^5-node default.
+        let reduced = ExperimentScale::quick();
+        if !nodes_set {
+            scale.nodes = reduced.nodes;
+        }
+        if !files_set {
+            scale.files = reduced.files;
+        }
+        nodes_set = true;
+        files_set = true;
+    }
     Ok(Options {
         command: command.ok_or_else(|| "missing command".to_string())?,
         scale,
@@ -129,6 +261,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         files_set,
         bits,
         threads,
+        scenario,
         out,
     })
 }
@@ -169,20 +302,17 @@ fn run_command(opts: &Options) -> Result<(), String> {
     let err = |e: fairswap_core::CoreError| e.to_string();
 
     let commands: Vec<&str> = if opts.command == "all" {
-        vec![
-            "table1",
-            "fig4",
-            "fig5",
-            "fig6",
-            "sweep-files",
-            "overhead",
-            "bucket0",
-            "freeride",
-            "caching",
-            "mechanisms",
-            "churn",
-        ]
+        COMMANDS
+            .iter()
+            .filter(|c| c.in_all)
+            .map(|c| c.name)
+            .collect()
     } else {
+        // Reject unknown names against the same table that generates the
+        // help text, so dispatch and usage cannot drift.
+        if !COMMANDS.iter().any(|c| c.name == opts.command) {
+            return Err(format!("unknown command: {}\n{}", opts.command, usage()));
+        }
         vec![opts.command.as_str()]
     };
 
@@ -319,6 +449,56 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 }
                 write_csv(out, "mechanisms.csv", &result.to_csv())?;
             }
+            "metric-robustness" => {
+                let result = extensions::metric_robustness_with(scale, &[4, 20], 0.2, &executor)
+                    .map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  k={:<2} gini={:.4} theil={:.4} atkinson(0.5)={:.4} hoover={:.4}",
+                        r.k, r.gini, r.theil, r.atkinson_05, r.hoover
+                    );
+                }
+                println!(
+                    "  all indices agree on the k=4 vs k=20 ordering: {}",
+                    result.all_indices_agree()
+                );
+                write_csv(out, "metric_robustness.csv", &result.to_csv())?;
+            }
+            "scenarios" => {
+                let names: Vec<&str> = match &opts.scenario {
+                    Some(name) => vec![name.as_str()],
+                    None => scenarios::SCENARIO_NAMES.to_vec(),
+                };
+                let result = scenarios::run_with(scale, &names, &executor).map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  {:<18} k={:<2} F2={:.4} (pre-shock {:.4}) F1={:.4} leaves={:>5} targeted={:>3} blocked={:>6} live={:>4}",
+                        r.scenario,
+                        r.k,
+                        r.f2_gini,
+                        r.f2_pre_shock,
+                        r.f1_gini,
+                        r.leaves,
+                        r.targeted_removals,
+                        r.capacity_blocked,
+                        r.final_live
+                    );
+                }
+                for &name in &names {
+                    for k in [4, 20] {
+                        if let Some(reduction) = result.shock_gini_reduction(name, k) {
+                            if result.row(name, k).is_some_and(|r| r.shock_step > 0) {
+                                println!(
+                                    "  {name} k={k}: shock changed F2 gini by {:+.1}%",
+                                    -reduction * 100.0
+                                );
+                            }
+                        }
+                    }
+                }
+                write_csv(out, "scenarios.csv", &result.to_csv())?;
+                write_csv(out, "scenarios_timeline.csv", &result.timeline_csv())?;
+            }
             "churn" => {
                 let result =
                     churn::run_with(scale, &churn::DEFAULT_RATES, &executor).map_err(err)?;
@@ -419,6 +599,7 @@ mod tests {
             files_set: true,
             bits: large_scale::DEFAULT_BITS,
             threads: 1,
+            scenario: None,
             out,
         }
     }
@@ -466,6 +647,19 @@ mod tests {
         // Quick is explicit sizing: large-scale must not override it with
         // its 10^5-node default.
         assert!(opts.nodes_set && opts.files_set);
+    }
+
+    #[test]
+    fn explicit_dimensions_beat_quick_in_any_order() {
+        for order in [
+            ["fig5", "--nodes", "500", "--quick"],
+            ["fig5", "--quick", "--nodes", "500"],
+        ] {
+            let opts = parse_args(&s(&order)).unwrap();
+            assert_eq!(opts.scale.nodes, 500, "order {order:?}");
+            assert_eq!(opts.scale.files, ExperimentScale::quick().files);
+            assert!(opts.nodes_set && opts.files_set);
+        }
     }
 
     #[test]
@@ -536,6 +730,53 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         let opts = quick_opts("nope", 60, 10, PathBuf::from("/tmp"));
-        assert!(run_command(&opts).is_err());
+        let err = run_command(&opts).unwrap_err();
+        // The rejection cites the derived usage text.
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("scenarios"));
+    }
+
+    #[test]
+    fn usage_lists_every_dispatchable_command_and_only_those() {
+        let text = usage();
+        for command in COMMANDS {
+            assert!(text.contains(command.name), "usage misses {}", command.name);
+        }
+        assert!(text.contains("all"));
+        // Every table entry actually dispatches: run each one at a tiny
+        // scale and require an artifact, so a table/dispatch drift fails
+        // loudly here rather than at a user's prompt.
+        let dir = std::env::temp_dir().join("fairswap_cli_dispatch_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        for command in COMMANDS {
+            let mut opts = quick_opts(command.name, 80, 8, dir.clone());
+            opts.bits = 17;
+            run_command(&opts).unwrap_or_else(|e| panic!("{} failed: {e}", command.name));
+        }
+        assert!(dir.join("scenarios.csv").exists());
+        assert!(dir.join("metric_robustness.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_flag_parses_and_validates() {
+        let opts = parse_args(&s(&["scenarios", "--scenario", "flash-crowd"])).unwrap();
+        assert_eq!(opts.scenario.as_deref(), Some("flash-crowd"));
+        assert!(parse_args(&s(&["scenarios", "--scenario", "bogus"])).is_err());
+        assert!(parse_args(&s(&["scenarios", "--scenario"])).is_err());
+    }
+
+    #[test]
+    fn scenarios_command_writes_both_csvs() {
+        let dir = std::env::temp_dir().join("fairswap_cli_scenarios_test");
+        let mut opts = quick_opts("scenarios", 100, 20, dir.clone());
+        opts.scenario = Some("targeted-departure".into());
+        run_command(&opts).unwrap();
+        let csv = std::fs::read_to_string(dir.join("scenarios.csv")).unwrap();
+        assert!(csv.starts_with("scenario,k,shock_step,"));
+        // One scenario × two k values, plus the header.
+        assert_eq!(csv.lines().count(), 3);
+        assert!(dir.join("scenarios_timeline.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

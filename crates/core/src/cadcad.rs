@@ -116,7 +116,7 @@ impl CadcadAdapter {
         let shared = Rc::new(RefCell::new(Shared {
             download: DownloadSim::new(topology.clone(), config.cache),
             rewards: RewardState::with_tx_cost(config.nodes, config.channel, config.tx_cost),
-            mechanism: config.build_mechanism(fairswap_incentives::FreeRiderSet::none()),
+            mechanism: config.build_mechanism(fairswap_incentives::FreeRiderSet::none(), None),
             topology,
         }));
 

@@ -14,6 +14,7 @@ use fairswap_swap::{Bzz, ChannelConfig, Pricing};
 use fairswap_workload::{ChunkDist, FileSizeDist, WorkloadBuilder};
 
 use crate::error::CoreError;
+use crate::scenario::ScenarioKind;
 use crate::sim::BandwidthSim;
 
 /// Which incentive mechanism the simulation runs.
@@ -91,6 +92,10 @@ pub struct SimConfig {
     /// overlay ("the routing tables remain static for the entirety of the
     /// experiments").
     pub churn: Option<ChurnConfig>,
+    /// Scripted overlay shock (targeted departures, flash crowds, regional
+    /// outages, capacity heterogeneity) layered on top of the churn model;
+    /// `None` runs no scenario.
+    pub scenario: Option<ScenarioKind>,
 }
 
 impl SimConfig {
@@ -117,6 +122,7 @@ impl SimConfig {
             mechanism: MechanismKind::Swarm,
             pricing: Pricing::proximity_unit(),
             churn: None,
+            scenario: None,
         }
     }
 
@@ -139,10 +145,21 @@ impl SimConfig {
         if let Some(churn) = &self.churn {
             churn.validate()?;
         }
+        if let Some(scenario) = &self.scenario {
+            scenario.validate(self.bits, self.files)?;
+        }
         Ok(())
     }
 
-    pub(crate) fn build_mechanism(&self, free_riders: FreeRiderSet) -> Box<dyn BandwidthIncentive> {
+    /// Builds the configured incentive mechanism. `capacities` are the
+    /// scenario's per-node bandwidth budgets, if any: the effort-based
+    /// baseline rewards *offered* bandwidth, so heterogeneous capacities
+    /// flow straight into its effort vector.
+    pub(crate) fn build_mechanism(
+        &self,
+        free_riders: FreeRiderSet,
+        capacities: Option<&[u64]>,
+    ) -> Box<dyn BandwidthIncentive> {
         match self.mechanism {
             MechanismKind::Swarm => Box::new(
                 SwarmIncentive::new()
@@ -151,9 +168,10 @@ impl SimConfig {
             ),
             MechanismKind::PayAllHops => Box::new(PayAllHops::new().with_pricing(self.pricing)),
             MechanismKind::TitForTat => Box::new(TitForTat::new()),
-            MechanismKind::EffortBased { budget_per_tick } => {
-                Box::new(EffortBased::uniform(self.nodes, budget_per_tick))
-            }
+            MechanismKind::EffortBased { budget_per_tick } => match capacities {
+                Some(caps) => Box::new(EffortBased::from_capacities(caps, budget_per_tick)),
+                None => Box::new(EffortBased::uniform(self.nodes, budget_per_tick)),
+            },
             MechanismKind::ProofOfBandwidth { mint_per_chunk } => {
                 Box::new(ProofOfBandwidth::new(mint_per_chunk))
             }
@@ -317,6 +335,14 @@ impl SimulationBuilder {
     #[must_use]
     pub fn churn_rate(mut self, rate: f64) -> Self {
         self.config.churn = (rate != 0.0).then(|| ChurnConfig::from_rate_unchecked(rate));
+        self
+    }
+
+    /// Scripted overlay shock (see [`ScenarioKind`]); validated by
+    /// [`SimulationBuilder::build`].
+    #[must_use]
+    pub fn scenario(mut self, scenario: ScenarioKind) -> Self {
+        self.config.scenario = Some(scenario);
         self
     }
 

@@ -13,8 +13,10 @@
 //! | [`extensions::free_riding`] | §V misbehaving peers vs F1/F2 |
 //! | [`extensions::caching`] | §V popularity + caching vs amortization |
 //! | [`extensions::mechanisms`] | §I/§II baseline-mechanism comparison |
+//! | [`extensions::metric_robustness`] | ablation: Theil/Atkinson/Hoover vs Gini |
 //! | [`churn::run`] | §V future work: F1/F2 fairness vs churn rate |
 //! | [`large_scale::run`] | scaling: fairness at 10⁵ nodes, 20–24-bit space |
+//! | [`scenarios::run`] | scripted shocks: targeted departures, flash crowds, regional outages, heterogeneity |
 //!
 //! Every preset takes an [`ExperimentScale`] so the full paper-scale run
 //! (1000 nodes, 10k files) and a laptop-quick run share one code path, and
@@ -29,6 +31,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod large_scale;
+pub mod scenarios;
 pub mod sweeps;
 pub mod table1;
 

@@ -8,6 +8,15 @@
 //! preset per table and figure of the evaluation section (see
 //! [`experiments`]).
 //!
+//! Beyond the paper's static overlay, a simulation can run with
+//! background churn ([`SimulationBuilder::churn_rate`]) and a scripted
+//! [`ScenarioKind`] shock ([`SimulationBuilder::scenario`]): targeted
+//! departure of the top earners, flash crowds, regional outages, and
+//! per-node bandwidth heterogeneity. Every run — and every experiment
+//! grid fanned out over an [`Executor`] — is a pure function of its
+//! configuration seed; see `docs/ARCHITECTURE.md` for the determinism
+//! rules.
+//!
 //! ```
 //! use fairswap_core::SimulationBuilder;
 //!
@@ -29,6 +38,7 @@ mod config;
 mod csv;
 mod error;
 mod report;
+mod scenario;
 mod sim;
 
 pub mod exec;
@@ -41,6 +51,7 @@ pub use csv::CsvTable;
 pub use error::CoreError;
 pub use exec::{run_jobs, run_jobs_with_progress, SimJob};
 pub use report::{ChurnOutcome, ChurnSample, SimReport};
+pub use scenario::ScenarioKind;
 pub use sim::BandwidthSim;
 
 pub use fairswap_churn::{ChurnConfig, LifetimeDist};

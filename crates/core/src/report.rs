@@ -32,6 +32,10 @@ pub struct ChurnOutcome {
     pub leaves: u64,
     /// Settlements executed by departing peers closing their channels.
     pub departure_settlements: u64,
+    /// Departures triggered by a targeted-departure scenario (a subset of
+    /// neither `leaves` nor the churn plan: these fire at runtime against
+    /// the income ranking). 0 without such a scenario.
+    pub targeted_removals: u64,
     /// Live nodes after the final step.
     pub final_live: usize,
     /// Per-epoch live-node counts and fairness-over-time series (sampled

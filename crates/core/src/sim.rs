@@ -10,6 +10,7 @@ use fairswap_workload::Workload;
 
 use crate::config::SimConfig;
 use crate::report::{ChurnOutcome, ChurnSample, SimReport};
+use crate::scenario;
 
 /// One fully-wired simulation instance.
 ///
@@ -21,6 +22,13 @@ use crate::report::{ChurnOutcome, ChurnSample, SimReport};
 /// overlay (routing tables repaired incrementally, caches dropped,
 /// outstanding cheque balances settled) and arrivals rejoin at their
 /// original address.
+///
+/// With a [`scenario`](crate::ScenarioKind), scripted shocks compose into
+/// the same event stream: flash-crowd cohorts start offline and arrive en
+/// masse, regional outages take out whole address prefixes, targeted
+/// departures remove the top earners at runtime, and capacity
+/// heterogeneity installs per-node bandwidth budgets that download
+/// scheduling honors.
 pub struct BandwidthSim {
     config: SimConfig,
     topology: Topology,
@@ -60,16 +68,31 @@ impl BandwidthSim {
     {
         let nodes = self.topology.len();
         let bits = self.topology.space().bits();
+        let total = self.config.files;
+        // The scenario compiles against the freshly built (all-live)
+        // topology: scripted membership events, any initially-offline
+        // cohort, the runtime targeted-departure trigger and per-node
+        // bandwidth budgets.
+        let compiled = self
+            .config
+            .scenario
+            .as_ref()
+            .map(|kind| scenario::compile(kind, &self.topology, self.config.seed));
         // Every concern forks its own stream off the master seed via the
-        // shared sub-seed derivation (topology and workload streams were
-        // forked the same way at build time).
+        // shared sub-seed derivation (topology, workload and scenario
+        // streams were forked the same way at build/compile time).
         let mut free_rider_rng = sub_rng(self.config.seed, domain::FREE_RIDERS);
         let free_riders =
             FreeRiderSet::sample(nodes, self.config.free_rider_fraction, &mut free_rider_rng);
-        let mut mechanism = self.config.build_mechanism(free_riders.clone());
+        let capacities = compiled.as_ref().and_then(|c| c.capacities.clone());
+        let mut mechanism = self
+            .config
+            .build_mechanism(free_riders.clone(), capacities.as_deref());
         let mut state = RewardState::with_tx_cost(nodes, self.config.channel, self.config.tx_cost);
-        let total = self.config.files;
-        let plan = self.config.churn.as_ref().map(|churn| {
+
+        // Background churn plan, with the scenario's scripted events
+        // composed in: both replay through one consistent event stream.
+        let base_plan = self.config.churn.as_ref().map(|churn| {
             ChurnPlan::generate(
                 nodes,
                 total,
@@ -78,45 +101,98 @@ impl BandwidthSim {
             )
             .expect("churn config was validated at build time")
         });
-        let mut churn_outcome = plan.as_ref().map(|_| ChurnOutcome {
+        let mut initially_live = vec![true; nodes];
+        if let Some(compiled) = &compiled {
+            for node in &compiled.initially_offline {
+                initially_live[node.index()] = false;
+            }
+        }
+        let script = compiled.as_ref().map(|c| &c.script);
+        let plan = match (base_plan, script.filter(|s| !s.is_empty())) {
+            (Some(base), Some(script)) => Some(
+                base.with_script(script, &initially_live)
+                    .expect("script compiled against this topology"),
+            ),
+            (Some(base), None) => Some(base),
+            (None, Some(script)) => Some(
+                ChurnPlan::from_script(nodes, total, script, &initially_live)
+                    .expect("script compiled against this topology"),
+            ),
+            (None, None) => None,
+        };
+        let targeted = compiled.as_ref().and_then(|c| c.targeted);
+        // Membership/fairness timelines are tracked whenever anything
+        // dynamic can happen: churn, scripted events, or runtime triggers.
+        let mut churn_outcome = (plan.is_some() || compiled.is_some()).then(|| ChurnOutcome {
             joins: 0,
             leaves: 0,
             departure_settlements: 0,
+            targeted_removals: 0,
             final_live: nodes,
             timeline: Vec::new(),
         });
         let timeline_stride = (total / 32).max(1);
-        // Reused across timeline samples so per-step fairness sampling does
-        // not allocate.
+        // Reused across timeline samples and targeted-departure rankings so
+        // per-step fairness sampling does not allocate.
         let mut income_buf: Vec<f64> = Vec::new();
 
         let mut download = DownloadSim::new(self.topology, self.config.cache);
+        if let Some(capacities) = capacities {
+            download.set_capacities(capacities);
+        }
+        // Flash-crowd cohorts exist but stay offline until their scripted
+        // arrival; the plan's consistency sweep started from this state.
+        if let Some(compiled) = &compiled {
+            for &node in &compiled.initially_offline {
+                download
+                    .topology_mut()
+                    .remove_node(node)
+                    .expect("cohort selected from the live population");
+                download.on_node_leave(node);
+            }
+            if !compiled.initially_offline.is_empty() {
+                let topology = download.topology_rc();
+                self.workload.sync_live(|node| topology.is_live(node));
+            }
+        }
         let mut hops = HopHistogram::new();
         // Which routing-table bucket of the originator the paid first hop
         // sat in (§III-B: zero-proximity nodes take most first-hop load).
         let mut first_hop_buckets = vec![0u64; bits as usize + 1];
 
         for step in 1..=total {
-            // 1. Membership changes scheduled for this step.
+            // 1. Membership changes scheduled for this step. The guards
+            //    tolerate events invalidated by runtime triggers: a
+            //    targeted departure may have removed a node the plan later
+            //    schedules, so replay re-checks liveness instead of
+            //    trusting the sweep.
             if let (Some(plan), Some(outcome)) = (plan.as_ref(), churn_outcome.as_mut()) {
                 let events = plan.events_at(step);
                 for event in events {
                     match event.kind {
                         ChurnEventKind::Leave => {
+                            if !download.topology().is_live(event.node)
+                                || download.topology().live_count() <= 2
+                            {
+                                continue;
+                            }
                             download
                                 .topology_mut()
                                 .remove_node(event.node)
-                                .expect("plan respects the live floor");
+                                .expect("liveness checked above");
                             download.on_node_leave(event.node);
                             outcome.departure_settlements +=
                                 state.settle_departed(event.node) as u64;
                             outcome.leaves += 1;
                         }
                         ChurnEventKind::Join => {
+                            if download.topology().is_live(event.node) {
+                                continue;
+                            }
                             download
                                 .topology_mut()
                                 .add_node(event.node)
-                                .expect("plan alternates join/leave per node");
+                                .expect("liveness checked above");
                             outcome.joins += 1;
                         }
                     }
@@ -127,7 +203,36 @@ impl BandwidthSim {
                 }
             }
 
-            // 2. One file download, accounted by the incentive mechanism.
+            // 2. Runtime scenario trigger: the targeted departure wave
+            //    removes the current top earners — a selection only the
+            //    live simulation state can answer.
+            if let Some((at_step, top_fraction)) = targeted {
+                if step == at_step {
+                    state.incomes_f64_into(&mut income_buf);
+                    let live = download.topology().live_count();
+                    let count = ((live as f64 * top_fraction).ceil() as usize).max(1);
+                    let victims = download.topology().top_k_live_by_score(&income_buf, count);
+                    let outcome = churn_outcome
+                        .as_mut()
+                        .expect("targeted scenarios track membership");
+                    for node in victims {
+                        if download.topology().live_count() <= 2 {
+                            break;
+                        }
+                        download
+                            .topology_mut()
+                            .remove_node(node)
+                            .expect("victims are live by selection");
+                        download.on_node_leave(node);
+                        outcome.departure_settlements += state.settle_departed(node) as u64;
+                        outcome.targeted_removals += 1;
+                    }
+                    let topology = download.topology_rc();
+                    self.workload.sync_live(|node| topology.is_live(node));
+                }
+            }
+
+            // 3. One file download, accounted by the incentive mechanism.
             let file = self.workload.next_download();
             let topology = download.topology_rc();
             let origin_addr = topology.address(file.originator);
@@ -148,7 +253,7 @@ impl BandwidthSim {
             // mutate the topology in place instead of copying it.
             drop(topology);
 
-            // 3. Timeline sampling (fairness-over-time, live-node series).
+            // 4. Timeline sampling (fairness-over-time, live-node series).
             if let Some(outcome) = churn_outcome.as_mut() {
                 if step % timeline_stride == 0 || step == total {
                     state.incomes_f64_into(&mut income_buf);
@@ -162,6 +267,8 @@ impl BandwidthSim {
                     outcome.final_live = download.topology().live_count();
                 }
             }
+            // 5. Close this step's bandwidth-budget window.
+            download.advance_step();
             progress(step, total);
         }
 
@@ -196,6 +303,7 @@ impl std::fmt::Debug for BandwidthSim {
             .field("files", &self.config.files)
             .field("mechanism", &self.config.mechanism.id())
             .field("churn", &self.config.churn.is_some())
+            .field("scenario", &self.config.scenario.as_ref().map(|s| s.id()))
             .finish()
     }
 }

@@ -49,6 +49,19 @@ impl EffortBased {
         }
     }
 
+    /// Efforts proportional to per-node bandwidth budgets (chunks per
+    /// step): a node offering twice the capacity declares twice the
+    /// effort. This is how capacity-heterogeneity scenarios flow into the
+    /// effort-based baseline — the mechanism rewards *offered* bandwidth,
+    /// so the reward distribution follows the capacity distribution
+    /// directly.
+    pub fn from_capacities(capacities: &[u64], budget_per_tick: i64) -> Self {
+        Self::with_efforts(
+            capacities.iter().map(|&c| c as f64).collect(),
+            budget_per_tick,
+        )
+    }
+
     /// Declared effort of one node.
     pub fn effort(&self, node: NodeId) -> f64 {
         self.efforts.get(node.index()).copied().unwrap_or(0.0)
@@ -115,6 +128,23 @@ mod tests {
         assert!(incomes.iter().all(|&i| (i - incomes[0]).abs() < 1e-9));
         // Budget fully distributed: 10 ticks * 100 units.
         assert_eq!(state.total_income(), AccountingUnits(1000));
+    }
+
+    #[test]
+    fn capacity_budgets_translate_to_proportional_efforts() {
+        let t = topology();
+        let mut caps = vec![8u64; 10];
+        caps[0] = 32;
+        let mut mech = EffortBased::from_capacities(&caps, 100);
+        assert_eq!(mech.effort(NodeId(0)), 32.0);
+        assert_eq!(mech.effort(NodeId(1)), 8.0);
+        let mut state = RewardState::new(10, ChannelConfig::unlimited());
+        for _ in 0..50 {
+            mech.on_tick(&t, &mut state);
+        }
+        // The 4x-capacity node collects ~4x the income.
+        let ratio = state.incomes_f64()[0] / state.incomes_f64()[1];
+        assert!((ratio - 4.0).abs() < 0.1, "ratio = {ratio}");
     }
 
     #[test]

@@ -728,6 +728,78 @@ impl Topology {
         table
     }
 
+    /// The live nodes whose addresses share the first `prefix_bits` bits
+    /// with `anchor` — an address *region* in the sense of correlated
+    /// failures (one datacenter, one jurisdiction, one /16). Returned in
+    /// ascending node-id order.
+    ///
+    /// `prefix_bits = 0` selects the whole live population; a prefix longer
+    /// than the address width selects at most the node at `anchor` itself.
+    /// Answered by descending the address trie to the region's subtree and
+    /// collecting its live leaves, so the cost is `O(prefix + answer)`.
+    pub fn live_nodes_with_prefix(&self, anchor: OverlayAddress, prefix_bits: u32) -> Vec<NodeId> {
+        let prefix_bits = prefix_bits.min(self.space.bits());
+        let Some(subtree) = self.trie.prefix_subtree(anchor, prefix_bits) else {
+            return Vec::new();
+        };
+        let mut nodes = Vec::new();
+        self.trie
+            .visit_nearest_live(subtree, prefix_bits, anchor, &mut |peer: usize| {
+                nodes.push(NodeId(peer));
+                true
+            });
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// The `count` live nodes closest to `target` under the XOR metric, in
+    /// ascending distance order (fewer if the live population is smaller).
+    ///
+    /// This is the selection primitive behind content-targeted scenarios:
+    /// "the nodes responsible for (closest to) this popular address". A
+    /// trie walk in exact distance order, `O(count × bits)`.
+    pub fn closest_live_nodes(&self, target: OverlayAddress, count: usize) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(count);
+        if count == 0 {
+            return nodes;
+        }
+        self.trie
+            .visit_nearest_live(0, 0, target, &mut |peer: usize| {
+                nodes.push(NodeId(peer));
+                nodes.len() < count
+            });
+        nodes
+    }
+
+    /// The `count` live nodes with the highest scores, ranked descending
+    /// with ties broken by ascending node id (fewer if the live population
+    /// is smaller).
+    ///
+    /// `scores` is any per-node metric indexed by node id — incomes for
+    /// "take out the top earners", forwarded counts for "take out the
+    /// hardest workers". Slots beyond `scores.len()` score 0, and
+    /// non-finite scores rank lowest, so the selection is total and
+    /// deterministic for any input.
+    pub fn top_k_live_by_score(&self, scores: &[f64], count: usize) -> Vec<NodeId> {
+        let mut ranked: Vec<NodeId> = self.live_ids().collect();
+        let score = |n: NodeId| {
+            let s = scores.get(n.index()).copied().unwrap_or(0.0);
+            if s.is_finite() {
+                s
+            } else {
+                f64::NEG_INFINITY
+            }
+        };
+        ranked.sort_by(|&a, &b| {
+            score(b)
+                .partial_cmp(&score(a))
+                .expect("non-finite scores mapped to -inf")
+                .then_with(|| a.cmp(&b))
+        });
+        ranked.truncate(count);
+        ranked
+    }
+
     /// Rebuilds every routing table from scratch over the current live set
     /// (deterministic closest-per-bucket selection) — the naive `O(n²)`
     /// alternative to the incremental maintenance done by
@@ -1043,6 +1115,27 @@ impl AddressTrie {
             TrieNode::Leaf { node, .. } => NodeId(*node as usize),
             TrieNode::Branch { .. } => unreachable!("walked past all bits"),
         }
+    }
+
+    /// The subtree holding exactly the stored addresses sharing the first
+    /// `prefix_bits` bits with `addr`: follow `addr`'s bits for
+    /// `prefix_bits` levels. `None` when no stored address has that prefix.
+    /// `prefix_bits = 0` is the whole trie.
+    fn prefix_subtree(&self, addr: OverlayAddress, prefix_bits: u32) -> Option<u32> {
+        let mut current = 0u32;
+        for depth in 0..prefix_bits {
+            current = match &self.nodes[current as usize] {
+                TrieNode::Branch { zero, one, .. } => {
+                    let child = if addr.bit(depth) { *one } else { *zero };
+                    if child == NIL {
+                        return None;
+                    }
+                    child
+                }
+                TrieNode::Leaf { .. } => unreachable!("leaves only exist at full depth"),
+            };
+        }
+        Some(current)
     }
 
     /// The subtree holding exactly the stored addresses at proximity
@@ -1467,5 +1560,68 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a.tables(), b.tables());
+    }
+
+    #[test]
+    fn prefix_selection_matches_linear_scan() {
+        let mut t = dynamic_topology(300, 4, 51);
+        t.remove_node(NodeId(17)).unwrap();
+        let anchor = t.address(NodeId(0));
+        for prefix_bits in [0u32, 1, 3, 6, 16, 99] {
+            let effective = prefix_bits.min(16);
+            let shift = 16 - effective;
+            let expected: Vec<NodeId> = t
+                .node_ids()
+                .filter(|&n| {
+                    t.is_live(n) && (t.address(n).raw() >> shift) == (anchor.raw() >> shift)
+                })
+                .collect();
+            assert_eq!(
+                t.live_nodes_with_prefix(anchor, prefix_bits),
+                expected,
+                "prefix_bits = {prefix_bits}"
+            );
+        }
+        // The anchor owner itself always matches the full prefix.
+        assert_eq!(t.live_nodes_with_prefix(anchor, 16), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn closest_live_nodes_match_sorted_distances() {
+        let mut t = dynamic_topology(200, 4, 53);
+        t.remove_node(NodeId(5)).unwrap();
+        let target = t.space().address(0x1A2B).unwrap();
+        let got = t.closest_live_nodes(target, 10);
+        let mut expected: Vec<NodeId> = t.live_ids().collect();
+        expected.sort_by_key(|&n| t.space().distance(t.address(n), target).raw());
+        expected.truncate(10);
+        assert_eq!(got, expected);
+        // Count 0 and oversized counts behave.
+        assert!(t.closest_live_nodes(target, 0).is_empty());
+        assert_eq!(t.closest_live_nodes(target, 10_000).len(), 199);
+    }
+
+    #[test]
+    fn top_k_by_score_ranks_live_nodes_deterministically() {
+        let mut t = dynamic_topology(50, 4, 57);
+        let mut scores = vec![1.0; 50];
+        scores[7] = 100.0;
+        scores[3] = 100.0;
+        scores[20] = 50.0;
+        scores[9] = f64::NAN;
+        let top = t.top_k_live_by_score(&scores, 3);
+        // Ties break toward the lower id.
+        assert_eq!(top, vec![NodeId(3), NodeId(7), NodeId(20)]);
+        // Offline nodes never rank.
+        t.remove_node(NodeId(7)).unwrap();
+        assert_eq!(
+            t.top_k_live_by_score(&scores, 2),
+            vec![NodeId(3), NodeId(20)]
+        );
+        // Short score vectors and oversized counts are total.
+        let all = t.top_k_live_by_score(&scores[..10], 10_000);
+        assert_eq!(all.len(), 49);
+        // NaN ranks last.
+        assert_eq!(all.last().copied(), Some(NodeId(9)));
     }
 }

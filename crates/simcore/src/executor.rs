@@ -39,10 +39,17 @@ pub struct Progress<'a> {
 
 impl Progress<'_> {
     /// Records `delta` completed units and notifies the observer with the
-    /// new global `(done, total)` pair.
+    /// new global `(done, total)` pair. With a pre-computed total the
+    /// reported count is clamped to it; without one (`total = 0`) the raw
+    /// count passes through, so the observer still sees progress.
     pub fn advance(&self, delta: u64) {
         let done = self.done.fetch_add(delta, Ordering::Relaxed) + delta;
-        (self.notify)(done.min(self.total), self.total);
+        let reported = if self.total == 0 {
+            done
+        } else {
+            done.min(self.total)
+        };
+        (self.notify)(reported, self.total);
     }
 
     /// Units completed so far across all jobs.

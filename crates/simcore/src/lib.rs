@@ -16,6 +16,19 @@
 //! [`rand_chacha::ChaCha12Rng`] stream, so results are reproducible across
 //! machines and independent of execution order.
 //!
+//! Beyond the engine, this crate hosts the substrate-level machinery the
+//! rest of the workspace shares:
+//!
+//! * [`Executor`] — a scoped-thread worker pool with stable-order merge,
+//!   behind every parallel experiment grid and threaded topology build;
+//! * [`rng`] — the domain-separated sub-seed derivation
+//!   ([`rng::sub_seed`]) that lets every concern fork an independent
+//!   stream off one master seed;
+//! * [`scenario`] — index-based scripted-event streams
+//!   ([`scenario::EventScript`]) and per-node bandwidth budgets
+//!   ([`scenario::CapacityPlan`]) for the overlay-shock scenarios built
+//!   on top of churn.
+//!
 //! ```
 //! use fairswap_simcore::{Block, Simulation};
 //!
@@ -43,9 +56,11 @@ mod engine;
 mod executor;
 mod recorder;
 pub mod rng;
+pub mod scenario;
 
 pub use block::Block;
 pub use engine::{RunTrace, Simulation, StepInfo, SweepResults};
 pub use executor::{Executor, Progress};
 pub use recorder::{NullRecorder, Recorder, TrajectoryRecorder};
 pub use rng::{derive_rng, SimRng};
+pub use scenario::{CapacityPlan, EventScript, ScriptEvent, ScriptEventKind};

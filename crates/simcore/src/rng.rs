@@ -40,6 +40,9 @@ pub mod domain {
     pub const CHURN: u64 = 0x04;
     /// Departure-order shuffles in epoch-style churn experiments.
     pub const DEPARTURES: u64 = 0x05;
+    /// Scenario compilation (region anchors, capacity tiers, cohort
+    /// sampling).
+    pub const SCENARIO: u64 = 0x06;
 }
 
 /// Derives the sub-seed of one `domain` (see [`domain`]) from a master
@@ -98,6 +101,7 @@ mod tests {
             domain::FREE_RIDERS,
             domain::CHURN,
             domain::DEPARTURES,
+            domain::SCENARIO,
         ] {
             assert!(seen.insert(sub_seed(master, d)), "domain {d} collides");
             assert_ne!(sub_seed(master, d), master);

@@ -74,6 +74,17 @@ pub struct DownloadSim {
     /// hundreds of chunks per call, and reusing one allocation across them
     /// keeps the per-step allocation count flat regardless of file size.
     route_buf: Vec<NodeId>,
+    /// Per-node forwarding budget per simulation step (`None` = the
+    /// paper's unlimited-capacity model).
+    capacities: Option<Vec<u64>>,
+    /// Chunks each node forwarded in the current step. Reset lazily via
+    /// `used_stamp` so advancing a step is O(1) even at 10⁵ nodes.
+    used_in_step: Vec<u64>,
+    /// The step `used_in_step[i]` was last written at.
+    used_stamp: Vec<u64>,
+    /// Current step counter for the lazy reset (bumped by
+    /// [`DownloadSim::advance_step`]).
+    step: u64,
 }
 
 impl DownloadSim {
@@ -91,6 +102,10 @@ impl DownloadSim {
             stats: TrafficStats::new(n),
             cache_on_path: !matches!(cache_policy, CachePolicy::None),
             route_buf: Vec::with_capacity(8),
+            capacities: None,
+            used_in_step: vec![0; n],
+            used_stamp: vec![0; n],
+            step: 1,
         }
     }
 
@@ -122,6 +137,62 @@ impl DownloadSim {
         if let Some(cache) = self.caches.get_mut(node.index()) {
             cache.clear_entries();
         }
+    }
+
+    /// Installs per-node bandwidth budgets: node `i` forwards at most
+    /// `capacities[i]` chunks per simulation step; a request whose chosen
+    /// next hop is saturated is dropped (counted as stuck and
+    /// capacity-blocked). Budget windows advance via
+    /// [`DownloadSim::advance_step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` does not cover every node.
+    pub fn set_capacities(&mut self, capacities: Vec<u64>) {
+        assert_eq!(
+            capacities.len(),
+            self.topology.len(),
+            "capacity budgets must cover every node"
+        );
+        self.capacities = Some(capacities);
+    }
+
+    /// The installed per-node budgets, if any.
+    pub fn capacities(&self) -> Option<&[u64]> {
+        self.capacities.as_deref()
+    }
+
+    /// Opens the next budget window: every node's per-step forwarding
+    /// usage resets. O(1) — usage counters are stamped per step and reset
+    /// lazily on first touch. A no-op without capacity budgets.
+    pub fn advance_step(&mut self) {
+        self.step += 1;
+    }
+
+    /// Chunks `node` may still forward in the current step.
+    fn remaining_capacity(&self, node: NodeId) -> u64 {
+        let Some(capacities) = &self.capacities else {
+            return u64::MAX;
+        };
+        let used = if self.used_stamp[node.index()] == self.step {
+            self.used_in_step[node.index()]
+        } else {
+            0
+        };
+        capacities[node.index()].saturating_sub(used)
+    }
+
+    /// Charges one forwarded chunk against `node`'s current-step budget.
+    fn charge_capacity(&mut self, node: NodeId) {
+        if self.capacities.is_none() {
+            return;
+        }
+        let i = node.index();
+        if self.used_stamp[i] != self.step {
+            self.used_stamp[i] = self.step;
+            self.used_in_step[i] = 0;
+        }
+        self.used_in_step[i] += 1;
     }
 
     /// Accumulated traffic statistics.
@@ -229,6 +300,16 @@ impl DownloadSim {
         let (outcome, from_cache) = loop {
             match self.topology.table(current).next_hop(chunk) {
                 Some((next, _)) => {
+                    // Bandwidth budgets are enforced at forwarding time: a
+                    // saturated next hop cannot serve this step, and greedy
+                    // forwarding-Kademlia has no detour, so the request is
+                    // dropped. Capacity is consumed whether or not the
+                    // route later completes — the bandwidth was spent.
+                    if self.remaining_capacity(next) == 0 {
+                        self.stats.add_capacity_blocked();
+                        break (RouteOutcome::Stuck, false);
+                    }
+                    self.charge_capacity(next);
                     hops.push(next);
                     current = next;
                     if current == storer {
@@ -438,6 +519,59 @@ mod tests {
             assert!(cache.is_empty(), "departed cache must be dropped");
             assert_eq!(cache.hits(), hits_before, "history must survive");
         }
+    }
+
+    #[test]
+    fn capacity_budgets_block_saturated_hops_and_reset_per_step() {
+        let t = topology(200, 4, 23);
+        let chunk = t.space().address(0x0F0F).unwrap();
+        let originator = t
+            .node_ids()
+            .max_by_key(|n| t.space().distance(t.address(*n), chunk))
+            .unwrap();
+        let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+        let unconstrained = sim.request_chunk(originator, chunk);
+        assert!(unconstrained.delivered() && !unconstrained.hops.is_empty());
+
+        // Give every node exactly the budget the route needs once.
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.set_capacities(vec![1; 200]);
+        assert_eq!(sim.capacities().unwrap().len(), 200);
+        let first = sim.request_chunk(originator, chunk);
+        assert!(first.delivered());
+        // The same route again in the same step saturates the first hop.
+        let second = sim.request_chunk(originator, chunk);
+        assert!(!second.delivered());
+        assert_eq!(sim.stats().capacity_blocked(), 1);
+        assert_eq!(sim.stats().stuck_requests(), 1);
+        // A new step opens fresh budget windows.
+        sim.advance_step();
+        let third = sim.request_chunk(originator, chunk);
+        assert!(third.delivered());
+        assert_eq!(third.hops, first.hops);
+        assert_eq!(sim.stats().capacity_blocked(), 1);
+    }
+
+    #[test]
+    fn generous_budgets_change_nothing() {
+        let t = topology(150, 4, 29);
+        let chunks = chunk_addresses(&t, 301);
+        let mut plain = DownloadSim::new(t.clone(), CachePolicy::None);
+        let baseline = plain.download_file(NodeId(3), &chunks);
+        let mut budgeted = DownloadSim::new(t, CachePolicy::None);
+        budgeted.set_capacities(vec![u64::MAX; 150]);
+        let constrained = budgeted.download_file(NodeId(3), &chunks);
+        assert_eq!(baseline, constrained);
+        assert_eq!(plain.stats(), budgeted.stats());
+        assert_eq!(budgeted.stats().capacity_blocked(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn capacity_budgets_must_cover_every_node() {
+        let t = topology(100, 4, 31);
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.set_capacities(vec![1; 99]);
     }
 
     #[test]

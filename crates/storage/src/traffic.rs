@@ -24,6 +24,10 @@ pub struct TrafficStats {
     requests_issued: Vec<u64>,
     /// Requests that could not be delivered (greedy routing got stuck).
     stuck_requests: u64,
+    /// Requests dropped because the chosen next hop had exhausted its
+    /// per-step bandwidth budget (a subset of `stuck_requests`; always 0
+    /// without capacity budgets).
+    capacity_blocked: u64,
 }
 
 impl TrafficStats {
@@ -36,6 +40,7 @@ impl TrafficStats {
             served_from_cache: vec![0; nodes],
             requests_issued: vec![0; nodes],
             stuck_requests: 0,
+            capacity_blocked: 0,
         }
     }
 
@@ -68,6 +73,10 @@ impl TrafficStats {
         self.stuck_requests += 1;
     }
 
+    pub(crate) fn add_capacity_blocked(&mut self) {
+        self.capacity_blocked += 1;
+    }
+
     /// Chunks transmitted by each node.
     pub fn forwarded(&self) -> &[u64] {
         &self.forwarded
@@ -96,6 +105,12 @@ impl TrafficStats {
     /// Requests whose route got stuck before the storer.
     pub fn stuck_requests(&self) -> u64 {
         self.stuck_requests
+    }
+
+    /// Requests dropped on a bandwidth-saturated next hop (a subset of
+    /// [`TrafficStats::stuck_requests`]).
+    pub fn capacity_blocked(&self) -> u64 {
+        self.capacity_blocked
     }
 
     /// Total chunk transmissions network-wide.
@@ -162,6 +177,7 @@ impl TrafficStats {
             *a += b;
         }
         self.stuck_requests += other.stuck_requests;
+        self.capacity_blocked += other.capacity_blocked;
     }
 }
 
@@ -197,9 +213,11 @@ mod tests {
         b.add_forwarded(NodeId(0));
         b.add_forwarded(NodeId(1));
         b.add_stuck();
+        b.add_capacity_blocked();
         a.merge(&b);
         assert_eq!(a.forwarded(), &[2, 1]);
         assert_eq!(a.stuck_requests(), 1);
+        assert_eq!(a.capacity_blocked(), 1);
     }
 
     #[test]

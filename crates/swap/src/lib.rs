@@ -1,4 +1,4 @@
-//! SWAP — the Swarm Accounting Protocol (paper §III-B, reference [20]).
+//! SWAP — the Swarm Accounting Protocol (paper §III-B, reference \[20\]).
 //!
 //! SWAP is the heart of Swarm's bandwidth incentives: every pair of connected
 //! peers keeps a relative balance of *accounting units* for the bandwidth

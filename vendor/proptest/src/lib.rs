@@ -294,7 +294,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
