@@ -1,0 +1,87 @@
+//! Standalone benchmark runner: times the standard presets and writes the
+//! tracked `BENCH_4.json` (same driver as `fairswap bench`; see
+//! [`fairswap_core::benchrun`]).
+//!
+//! ```sh
+//! cargo run --release -p fairswap_bench --bin bench_presets -- [--quick]
+//!     [--threads N] [--out DIR] [--baseline FILE]
+//! cargo run --release -p fairswap_bench --bin bench_presets -- --check FILE
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fairswap_core::benchrun;
+use fairswap_core::Executor;
+
+struct Args {
+    quick: bool,
+    threads: usize,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    check: Option<PathBuf>,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        threads: 1,
+        out: PathBuf::from("."),
+        baseline: None,
+        check: None,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--quick" => args.quick = true,
+            flag @ ("--threads" | "--out" | "--baseline" | "--check") => {
+                i += 1;
+                let value = raw
+                    .get(i)
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                match flag {
+                    "--threads" => {
+                        args.threads = value
+                            .parse()
+                            .map_err(|_| format!("invalid --threads value: {value}"))?;
+                    }
+                    "--out" => args.out = PathBuf::from(value),
+                    "--baseline" => args.baseline = Some(PathBuf::from(value)),
+                    _ => args.check = Some(PathBuf::from(value)),
+                }
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.check {
+        return benchrun::check_command(path);
+    }
+    let executor = Executor::new(args.threads);
+    benchrun::run_command(args.quick, &executor, args.baseline.as_deref(), &args.out)?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse() {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: bench_presets [--quick] [--threads N] [--out DIR] [--baseline FILE] | --check FILE"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,6 +17,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use fairswap_core::benchrun;
 use fairswap_core::experiments::{
     churn, extensions, fig4, fig5, fig6, large_scale, scenarios, sweeps, table1, ExperimentScale,
 };
@@ -121,6 +122,12 @@ const COMMANDS: &[CommandSpec] = &[
         blurb: "fairness at 10^5 nodes, 20-24-bit space",
         in_all: false,
     },
+    CommandSpec {
+        name: "bench",
+        section: "tracking",
+        blurb: "time the standard presets, write BENCH_4.json",
+        in_all: false,
+    },
 ];
 
 struct Options {
@@ -130,10 +137,16 @@ struct Options {
     /// bigger defaults than the paper scale when they were not).
     nodes_set: bool,
     files_set: bool,
+    /// Whether --quick was given (`bench` uses its reduced CI dimensions).
+    quick: bool,
     bits: u32,
     threads: usize,
     /// Restricts the `scenarios` command to one named scenario.
     scenario: Option<String>,
+    /// `bench`: validate an existing BENCH_*.json instead of running.
+    check: Option<PathBuf>,
+    /// `bench`: embed this previous report as the new file's baseline.
+    baseline: Option<PathBuf>,
     out: PathBuf,
 }
 
@@ -166,6 +179,8 @@ fn usage() -> String {
     text.push_str(&scenarios::SCENARIO_NAMES.join(", "));
     text.push_str(
         "\n\
+         --check     bench: validate an existing BENCH_*.json and exit\n\
+         --baseline  bench: embed a previous BENCH_*.json as the baseline\n\
          defaults: paper scale (1000 nodes, 10000 files), out = ./results;\n\
          large-scale defaults to 100000 nodes, 2000 files",
     );
@@ -180,13 +195,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut bits = large_scale::DEFAULT_BITS;
     let mut threads = 1usize;
     let mut scenario = None;
+    let mut check = None;
+    let mut baseline = None;
     let mut quick = false;
     let mut out = PathBuf::from("results");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
-            "--nodes" | "--files" | "--seed" | "--out" | "--threads" | "--bits" | "--scenario" => {
+            "--nodes" | "--files" | "--seed" | "--out" | "--threads" | "--bits" | "--scenario"
+            | "--check" | "--baseline" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -229,6 +247,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         }
                         scenario = Some(value.clone());
                     }
+                    "--check" => check = Some(PathBuf::from(value)),
+                    "--baseline" => baseline = Some(PathBuf::from(value)),
                     "--out" => out = PathBuf::from(value),
                     _ => unreachable!(),
                 }
@@ -259,9 +279,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         scale,
         nodes_set,
         files_set,
+        quick,
         bits,
         threads,
         scenario,
+        check,
+        baseline,
         out,
     })
 }
@@ -555,6 +578,13 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 }
                 write_csv(out, "large_scale.csv", &result.to_csv())?;
             }
+            "bench" => {
+                if let Some(path) = &opts.check {
+                    benchrun::check_command(path)?;
+                    continue;
+                }
+                benchrun::run_command(opts.quick, &executor, opts.baseline.as_deref(), out)?;
+            }
             other => return Err(format!("unknown command: {other}\n{}", usage())),
         }
     }
@@ -597,9 +627,12 @@ mod tests {
             },
             nodes_set: true,
             files_set: true,
+            quick: true,
             bits: large_scale::DEFAULT_BITS,
             threads: 1,
             scenario: None,
+            check: None,
+            baseline: None,
             out,
         }
     }
@@ -748,9 +781,32 @@ mod tests {
         // loudly here rather than at a user's prompt.
         let dir = std::env::temp_dir().join("fairswap_cli_dispatch_test");
         let _ = std::fs::remove_dir_all(&dir);
+        // `bench` dispatches through its validate-only path: the timed run
+        // is minutes of work in a debug build and has its own CI step.
+        let bench_file = {
+            let report = benchrun::BenchReport {
+                pr: benchrun::BENCH_PR,
+                quick: true,
+                threads: 1,
+                presets: benchrun::PRESET_NAMES
+                    .iter()
+                    .map(|&name| benchrun::BenchRow {
+                        preset: name.to_string(),
+                        wall_ms: 1000,
+                        chunks_routed: 1000,
+                        chunks_per_sec: 1000.0,
+                    })
+                    .collect(),
+                baseline: Vec::new(),
+            };
+            report.write_to(&dir).unwrap()
+        };
         for command in COMMANDS {
             let mut opts = quick_opts(command.name, 80, 8, dir.clone());
             opts.bits = 17;
+            if command.name == "bench" {
+                opts.check = Some(bench_file.clone());
+            }
             run_command(&opts).unwrap_or_else(|e| panic!("{} failed: {e}", command.name));
         }
         assert!(dir.join("scenarios.csv").exists());

@@ -1,0 +1,396 @@
+//! The tracked benchmark runner behind `fairswap bench`.
+//!
+//! Times the standard presets end to end — grid construction, topology
+//! build and every routed chunk — and emits one [`BenchRow`] per preset
+//! into a `BENCH_<pr>.json` file. The file is the repo's performance
+//! trajectory: each perf-focused PR runs the same presets in the same
+//! container, embeds the previous file as its `baseline` (via
+//! [`BenchReport::with_baseline`]) and commits the new one, so
+//! chunks-per-second regressions and wins stay measurable across the
+//! project's history.
+//!
+//! The workload per preset is deterministic (every cell derives all
+//! randomness from its seed), so `chunks_routed` is reproducible and only
+//! `wall_ms` / `chunks_per_sec` vary run to run. Timings include topology
+//! construction; routing dominates at every shipped scale.
+
+use std::path::Path;
+use std::time::Instant;
+
+use fairswap_simcore::Executor;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::exec::{run_jobs_with_progress, SimJob};
+use crate::experiments::{churn, fig4, large_scale, scenarios, ExperimentScale};
+
+/// The benchmark file this revision of the runner writes.
+pub const BENCH_FILE: &str = "BENCH_4.json";
+
+/// The PR number stamped into emitted reports.
+pub const BENCH_PR: u32 = 4;
+
+/// Names of the timed presets, in run order.
+pub const PRESET_NAMES: [&str; 4] = ["fig4", "churn", "scenarios", "large_scale_quick"];
+
+/// One timed preset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Preset name (one of [`PRESET_NAMES`]).
+    pub preset: String,
+    /// End-to-end wall-clock time for the preset's whole grid.
+    pub wall_ms: u64,
+    /// Chunk requests routed across the grid (deterministic per preset).
+    pub chunks_routed: u64,
+    /// `chunks_routed` per wall-clock second — the tracked figure.
+    pub chunks_per_sec: f64,
+}
+
+/// A benchmark report: the current rows plus the previous PR's rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// PR number that produced the `presets` rows.
+    pub pr: u32,
+    /// Whether the reduced `--quick` dimensions were used.
+    pub quick: bool,
+    /// Worker threads used for grid cells.
+    pub threads: usize,
+    /// One row per timed preset, in [`PRESET_NAMES`] order.
+    pub presets: Vec<BenchRow>,
+    /// The previous tracked report's rows (empty for a fresh baseline).
+    pub baseline: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// Embeds `previous.presets` as this report's baseline.
+    #[must_use]
+    pub fn with_baseline(mut self, previous: &BenchReport) -> Self {
+        self.baseline = previous.presets.clone();
+        self
+    }
+
+    /// The row for one preset name.
+    pub fn row(&self, preset: &str) -> Option<&BenchRow> {
+        self.presets.iter().find(|r| r.preset == preset)
+    }
+
+    /// `chunks_per_sec` speedup of `preset` over the embedded baseline.
+    pub fn speedup(&self, preset: &str) -> Option<f64> {
+        let current = self.row(preset)?;
+        let base = self.baseline.iter().find(|r| r.preset == preset)?;
+        (base.chunks_per_sec > 0.0).then(|| current.chunks_per_sec / base.chunks_per_sec)
+    }
+
+    /// Serializes to the committed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures as a message.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| format!("serializing bench report: {e}"))
+    }
+
+    /// Writes the report to `dir/BENCH_4.json` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures as a message.
+    pub fn write_to(&self, dir: &Path) -> Result<std::path::PathBuf, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let path = dir.join(BENCH_FILE);
+        std::fs::write(&path, self.to_json()? + "\n")
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        Ok(path)
+    }
+
+    /// Checks the schema invariants CI relies on: every standard preset
+    /// present exactly once with positive work and self-consistent
+    /// throughput (`chunks_per_sec ≈ chunks_routed / wall`), and baseline
+    /// rows (if any) well-formed the same way.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for name in PRESET_NAMES {
+            let matches = self.presets.iter().filter(|r| r.preset == name).count();
+            if matches != 1 {
+                return Err(format!("preset '{name}' appears {matches} times, want 1"));
+            }
+        }
+        for row in self.presets.iter().chain(&self.baseline) {
+            if row.wall_ms == 0 || row.chunks_routed == 0 {
+                return Err(format!("row '{}' records no work", row.preset));
+            }
+            let implied = row.chunks_routed as f64 * 1000.0 / row.wall_ms as f64;
+            // wall_ms truncation skews the stored rate by up to 1/wall_ms
+            // relative (a 10.9 ms run stores wall_ms = 10), so very short
+            // runs need a proportionally wider tolerance.
+            let tolerance = (1.0 / row.wall_ms as f64).max(0.05);
+            if !row.chunks_per_sec.is_finite()
+                || row.chunks_per_sec <= 0.0
+                || (row.chunks_per_sec - implied).abs() / implied > tolerance
+            {
+                return Err(format!(
+                    "row '{}': chunks_per_sec {} inconsistent with {} chunks in {} ms",
+                    row.preset, row.chunks_per_sec, row.chunks_routed, row.wall_ms
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses and validates an emitted report file.
+///
+/// # Errors
+///
+/// Describes the I/O, parse or schema failure.
+pub fn validate_file(path: &Path) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let report: BenchReport =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    report.validate()?;
+    Ok(report)
+}
+
+/// Validates an existing report file and prints a one-line confirmation
+/// — the `--check` mode shared by `fairswap bench` and `bench_presets`.
+///
+/// # Errors
+///
+/// Describes the I/O, parse or schema failure.
+pub fn check_command(path: &Path) -> Result<(), String> {
+    let report = validate_file(path)?;
+    println!(
+        "{} valid: {} presets, {} baseline rows",
+        path.display(),
+        report.presets.len(),
+        report.baseline.len()
+    );
+    Ok(())
+}
+
+/// The shared run driver behind `fairswap bench` and `bench_presets`:
+/// times the presets (progress lines on stderr), embeds the optional
+/// baseline file, validates, prints one row per preset to stdout and
+/// writes [`BENCH_FILE`] under `out`. Having one driver keeps the two
+/// entry points CI exercises from drifting apart.
+///
+/// # Errors
+///
+/// Describes the configuration, baseline, schema or I/O failure.
+pub fn run_command(
+    quick: bool,
+    executor: &Executor,
+    baseline: Option<&Path>,
+    out: &Path,
+) -> Result<std::path::PathBuf, String> {
+    let mut report = run(quick, executor, |preset, wall_ms| {
+        eprintln!("timed {preset:<18} {wall_ms:>7} ms");
+    })
+    .map_err(|e| e.to_string())?;
+    if let Some(path) = baseline {
+        report = report.with_baseline(&validate_file(path)?);
+    }
+    report.validate()?;
+    for row in &report.presets {
+        let speedup = report
+            .speedup(&row.preset)
+            .map_or(String::new(), |s| format!("  ({s:.2}x vs baseline)"));
+        println!(
+            "{:<18} {:>9} chunks  {:>10.0} chunks/s{speedup}",
+            row.preset, row.chunks_routed, row.chunks_per_sec
+        );
+    }
+    let path = report.write_to(out)?;
+    println!("wrote {}", path.display());
+    Ok(path)
+}
+
+/// The job grid one named preset times.
+///
+/// Dimensions are fixed here (not taken from the CLI scale flags) so every
+/// PR's numbers are comparable; `quick` switches to reduced CI dimensions.
+/// `large_scale_quick` is the routing-dominated headline preset: 2 × 10⁴
+/// nodes in a 20-bit space, where per-hop next-hop selection is the
+/// bottleneck.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn preset_jobs(name: &str, quick: bool) -> Result<Vec<SimJob>, CoreError> {
+    let scale = |nodes, files| ExperimentScale {
+        nodes,
+        files,
+        seed: 0xFA12,
+    };
+    match name {
+        "fig4" => {
+            let s = if quick {
+                scale(300, 60)
+            } else {
+                scale(1000, 300)
+            };
+            Ok(fig4::jobs(s))
+        }
+        "churn" => {
+            let s = if quick {
+                scale(200, 40)
+            } else {
+                scale(500, 120)
+            };
+            churn::jobs(s, &churn::DEFAULT_RATES)
+        }
+        "scenarios" => {
+            let s = if quick {
+                scale(150, 40)
+            } else {
+                scale(400, 120)
+            };
+            scenarios::jobs(s, &scenarios::SCENARIO_NAMES)
+        }
+        "large_scale_quick" => {
+            let s = if quick {
+                scale(4_000, 30)
+            } else {
+                scale(20_000, 400)
+            };
+            let bits = if quick { 18 } else { 20 };
+            Ok(large_scale::jobs(s, bits, &[4, 20]))
+        }
+        other => Err(CoreError::InvalidConfig {
+            message: format!(
+                "unknown bench preset '{other}' (expected one of {})",
+                PRESET_NAMES.join(", ")
+            ),
+        }),
+    }
+}
+
+/// Times every standard preset on `executor` and assembles the report
+/// (with an empty baseline — see [`BenchReport::with_baseline`]).
+/// `progress(preset, wall_ms)` fires after each preset completes.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run(
+    quick: bool,
+    executor: &Executor,
+    mut progress: impl FnMut(&str, u64),
+) -> Result<BenchReport, CoreError> {
+    let mut rows = Vec::with_capacity(PRESET_NAMES.len());
+    for name in PRESET_NAMES {
+        let jobs = preset_jobs(name, quick)?;
+        let started = Instant::now();
+        let reports = run_jobs_with_progress(executor, jobs, |_, _| {})?;
+        let wall = started.elapsed();
+        let chunks_routed: u64 = reports
+            .iter()
+            .map(|r| r.traffic().requests_issued().iter().sum::<u64>())
+            .sum();
+        let wall_ms = wall.as_millis().max(1) as u64;
+        rows.push(BenchRow {
+            preset: name.to_string(),
+            wall_ms,
+            chunks_routed,
+            chunks_per_sec: chunks_routed as f64 / wall.as_secs_f64().max(1e-9),
+        });
+        progress(name, wall_ms);
+    }
+    Ok(BenchReport {
+        pr: BENCH_PR,
+        quick,
+        threads: executor.threads(),
+        presets: rows,
+        baseline: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        BenchReport {
+            pr: BENCH_PR,
+            quick: true,
+            threads: 1,
+            presets: PRESET_NAMES
+                .iter()
+                .map(|&name| BenchRow {
+                    preset: name.to_string(),
+                    wall_ms: 2000,
+                    chunks_routed: 10_000,
+                    chunks_per_sec: 5_000.0,
+                })
+                .collect(),
+            baseline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_reports() {
+        tiny_report().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_missing_or_inconsistent_presets() {
+        let mut missing = tiny_report();
+        missing.presets.pop();
+        assert!(missing.validate().is_err());
+
+        let mut skewed = tiny_report();
+        skewed.presets[0].chunks_per_sec = 123.0;
+        assert!(skewed.validate().unwrap_err().contains("inconsistent"));
+
+        let mut empty = tiny_report();
+        empty.presets[1].chunks_routed = 0;
+        assert!(empty.validate().unwrap_err().contains("no work"));
+    }
+
+    #[test]
+    fn baseline_embedding_and_speedup() {
+        let mut base = tiny_report();
+        base.presets[0].chunks_per_sec = 1_000.0;
+        base.presets[0].wall_ms = 10_000;
+        let current = tiny_report().with_baseline(&base);
+        assert_eq!(current.baseline.len(), PRESET_NAMES.len());
+        let speedup = current.speedup("fig4").unwrap();
+        assert!((speedup - 5.0).abs() < 1e-9);
+        assert!(current.speedup("nope").is_none());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = tiny_report().with_baseline(&tiny_report());
+        let json = report.to_json().unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn preset_jobs_cover_every_name_and_reject_unknowns() {
+        for name in PRESET_NAMES {
+            assert!(!preset_jobs(name, true).unwrap().is_empty(), "{name}");
+        }
+        assert!(preset_jobs("bogus", true).is_err());
+    }
+
+    #[test]
+    fn quick_run_emits_a_valid_file() {
+        // Shrink further than --quick for a unit test: reuse the quick
+        // grids but only time the cheapest preset end to end.
+        let jobs = preset_jobs("fig4", true).unwrap();
+        assert_eq!(jobs.len(), 4);
+        // Full runner pass at quick scale is exercised by CI; here just
+        // check write/validate round-trip on a synthetic report.
+        let dir = std::env::temp_dir().join("fairswap_benchrun_test");
+        let path = tiny_report().write_to(&dir).unwrap();
+        validate_file(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -137,19 +137,8 @@ pub fn run_with(
     rates: &[f64],
     executor: &Executor,
 ) -> Result<ChurnExperiment, CoreError> {
-    let mut cells = Vec::with_capacity(PAPER_KS.len() * rates.len());
-    let mut jobs = Vec::with_capacity(cells.capacity());
-    for &k in &PAPER_KS {
-        for &rate in rates {
-            let mut config = scale.cell_config(k, 1.0);
-            if rate != 0.0 {
-                config.churn = Some(churn_config(rate)?);
-            }
-            cells.push((k, rate));
-            jobs.push(SimJob::new(config));
-        }
-    }
-    let reports = run_jobs(executor, jobs)?;
+    let cells = grid(rates);
+    let reports = run_jobs(executor, jobs(scale, rates)?)?;
 
     let mut rows = Vec::with_capacity(cells.len());
     let mut timelines = Vec::new();
@@ -185,6 +174,35 @@ pub fn run_with(
 
 fn churn_config(rate: f64) -> Result<ChurnConfig, CoreError> {
     Ok(ChurnConfig::from_rate(rate)?)
+}
+
+/// The `(k, rate)` cells in `PAPER_KS` × `rates` order — the single
+/// source of cell order for both [`run_with`]'s row labels and the job
+/// list, so the pairing can never drift.
+fn grid(rates: &[f64]) -> Vec<(usize, f64)> {
+    PAPER_KS
+        .iter()
+        .flat_map(|&k| rates.iter().map(move |&rate| (k, rate)))
+        .collect()
+}
+
+/// The sweep grid's [`SimJob`]s — shared by [`run_with`] and the
+/// benchmark runner ([`crate::benchrun`]).
+///
+/// # Errors
+///
+/// Propagates invalid churn rates as [`CoreError`].
+pub fn jobs(scale: ExperimentScale, rates: &[f64]) -> Result<Vec<SimJob>, CoreError> {
+    grid(rates)
+        .into_iter()
+        .map(|(k, rate)| {
+            let mut config = scale.cell_config(k, 1.0);
+            if rate != 0.0 {
+                config.churn = Some(churn_config(rate)?);
+            }
+            Ok(SimJob::new(config))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -97,11 +97,7 @@ pub fn run_with(
     executor: &Executor,
 ) -> Result<Fig4, CoreError> {
     let cells = paper_grid();
-    let jobs: Vec<SimJob> = cells
-        .iter()
-        .map(|&(k, fraction)| SimJob::new(scale.cell_config(k, fraction)))
-        .collect();
-    let reports = run_jobs(executor, jobs)?;
+    let reports = run_jobs(executor, jobs(scale))?;
     let series = cells
         .iter()
         .zip(reports)
@@ -117,6 +113,17 @@ pub fn run_with(
         })
         .collect();
     Ok(Fig4 { series, bin_width })
+}
+
+/// The four-cell grid behind this figure, one [`SimJob`] per
+/// `(k, originator fraction)` cell — shared by [`run_with`] and the
+/// benchmark runner ([`crate::benchrun`]) so both always time the same
+/// work.
+pub fn jobs(scale: ExperimentScale) -> Vec<SimJob> {
+    paper_grid()
+        .iter()
+        .map(|&(k, fraction)| SimJob::new(scale.cell_config(k, fraction)))
+        .collect()
 }
 
 #[cfg(test)]

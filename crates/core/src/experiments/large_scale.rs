@@ -132,15 +132,7 @@ pub fn run_with(
     executor: &Executor,
     notify: impl Fn(u64, u64) + Sync,
 ) -> Result<LargeScale, CoreError> {
-    let jobs: Vec<SimJob> = ks
-        .iter()
-        .map(|&k| {
-            let mut config = scale.cell_config(k, 1.0);
-            config.bits = bits;
-            SimJob::new(config)
-        })
-        .collect();
-    let reports = run_jobs_with_progress(executor, jobs, notify)?;
+    let reports = run_jobs_with_progress(executor, jobs(scale, bits, ks), notify)?;
     let rows = ks
         .iter()
         .zip(reports)
@@ -158,6 +150,18 @@ pub fn run_with(
         })
         .collect();
     Ok(LargeScale { rows })
+}
+
+/// The per-`k` grid at `bits` address width, one [`SimJob`] per cell —
+/// shared by [`run_with`] and the benchmark runner ([`crate::benchrun`]).
+pub fn jobs(scale: ExperimentScale, bits: u32, ks: &[usize]) -> Vec<SimJob> {
+    ks.iter()
+        .map(|&k| {
+            let mut config = scale.cell_config(k, 1.0);
+            config.bits = bits;
+            SimJob::new(config)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -208,23 +208,15 @@ pub fn run_with(
     names: &[&str],
     executor: &Executor,
 ) -> Result<ScenarioExperiment, CoreError> {
-    let mut cells = Vec::with_capacity(names.len() * PAPER_KS.len());
-    let mut jobs = Vec::with_capacity(cells.capacity());
-    for &name in names {
-        let spec = preset_spec(name, scale.files).ok_or_else(|| CoreError::InvalidConfig {
-            message: format!(
-                "unknown scenario '{name}' (expected one of {})",
-                SCENARIO_NAMES.join(", ")
-            ),
-        })?;
-        for &k in &PAPER_KS {
-            let mut config = scale.cell_config(k, 1.0);
-            config.churn = Some(ChurnConfig::from_rate(BACKGROUND_CHURN_RATE)?);
-            config.scenario = Some(spec.clone());
-            cells.push((name, k, spec.shock_step()));
-            jobs.push(SimJob::new(config));
-        }
-    }
+    let grid = grid(scale, names)?;
+    let cells: Vec<(&str, usize, u64)> = grid
+        .iter()
+        .map(|(name, k, spec)| (*name, *k, spec.shock_step()))
+        .collect();
+    let jobs: Vec<SimJob> = grid
+        .into_iter()
+        .map(|(_, k, spec)| cell_job(scale, k, spec))
+        .collect::<Result<_, _>>()?;
     let reports = run_jobs(executor, jobs)?;
 
     let mut rows = Vec::with_capacity(cells.len());
@@ -259,6 +251,53 @@ pub fn run_with(
         });
     }
     Ok(ScenarioExperiment { rows, timelines })
+}
+
+/// The `(scenario, k, spec)` cells in `names` × `PAPER_KS` order — the
+/// single source of cell order, so [`run_with`]'s row labels and the job
+/// list can never pair up differently.
+///
+/// # Errors
+///
+/// Rejects unknown scenario names as [`CoreError::InvalidConfig`].
+#[allow(clippy::type_complexity)]
+fn grid<'a>(
+    scale: ExperimentScale,
+    names: &[&'a str],
+) -> Result<Vec<(&'a str, usize, ScenarioKind)>, CoreError> {
+    let mut cells = Vec::with_capacity(names.len() * PAPER_KS.len());
+    for &name in names {
+        let spec = preset_spec(name, scale.files).ok_or_else(|| CoreError::InvalidConfig {
+            message: format!(
+                "unknown scenario '{name}' (expected one of {})",
+                SCENARIO_NAMES.join(", ")
+            ),
+        })?;
+        for &k in &PAPER_KS {
+            cells.push((name, k, spec.clone()));
+        }
+    }
+    Ok(cells)
+}
+
+fn cell_job(scale: ExperimentScale, k: usize, spec: ScenarioKind) -> Result<SimJob, CoreError> {
+    let mut config = scale.cell_config(k, 1.0);
+    config.churn = Some(ChurnConfig::from_rate(BACKGROUND_CHURN_RATE)?);
+    config.scenario = Some(spec);
+    Ok(SimJob::new(config))
+}
+
+/// The grid's [`SimJob`]s — shared by [`run_with`] and the benchmark
+/// runner ([`crate::benchrun`]).
+///
+/// # Errors
+///
+/// Rejects unknown scenario names as [`CoreError::InvalidConfig`].
+pub fn jobs(scale: ExperimentScale, names: &[&str]) -> Result<Vec<SimJob>, CoreError> {
+    grid(scale, names)?
+        .into_iter()
+        .map(|(_, k, spec)| cell_job(scale, k, spec))
+        .collect()
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ mod report;
 mod scenario;
 mod sim;
 
+pub mod benchrun;
 pub mod exec;
 pub mod experiments;
 pub mod presets;

@@ -135,6 +135,10 @@ impl BandwidthSim {
         // Reused across timeline samples and targeted-departure rankings so
         // per-step fairness sampling does not allocate.
         let mut income_buf: Vec<f64> = Vec::new();
+        // The liveness flips actually applied in the current step, handed
+        // to the workload so pool maintenance is O(flips), not a rescan of
+        // the whole population per churn batch. Reused across steps.
+        let mut flips: Vec<(fairswap_kademlia::NodeId, bool)> = Vec::new();
 
         let mut download = DownloadSim::new(self.topology, self.config.cache);
         if let Some(capacities) = capacities {
@@ -152,7 +156,13 @@ impl BandwidthSim {
             }
             if !compiled.initially_offline.is_empty() {
                 let topology = download.topology_rc();
-                self.workload.sync_live(|node| topology.is_live(node));
+                let changes: Vec<_> = compiled
+                    .initially_offline
+                    .iter()
+                    .map(|&node| (node, false))
+                    .collect();
+                self.workload
+                    .apply_membership(&changes, |node| topology.is_live(node));
             }
         }
         let mut hops = HopHistogram::new();
@@ -168,6 +178,7 @@ impl BandwidthSim {
             //    trusting the sweep.
             if let (Some(plan), Some(outcome)) = (plan.as_ref(), churn_outcome.as_mut()) {
                 let events = plan.events_at(step);
+                flips.clear();
                 for event in events {
                     match event.kind {
                         ChurnEventKind::Leave => {
@@ -184,6 +195,7 @@ impl BandwidthSim {
                             outcome.departure_settlements +=
                                 state.settle_departed(event.node) as u64;
                             outcome.leaves += 1;
+                            flips.push((event.node, false));
                         }
                         ChurnEventKind::Join => {
                             if download.topology().is_live(event.node) {
@@ -194,12 +206,14 @@ impl BandwidthSim {
                                 .add_node(event.node)
                                 .expect("liveness checked above");
                             outcome.joins += 1;
+                            flips.push((event.node, true));
                         }
                     }
                 }
-                if !events.is_empty() {
+                if !flips.is_empty() {
                     let topology = download.topology_rc();
-                    self.workload.sync_live(|node| topology.is_live(node));
+                    self.workload
+                        .apply_membership(&flips, |node| topology.is_live(node));
                 }
             }
 
@@ -215,6 +229,7 @@ impl BandwidthSim {
                     let outcome = churn_outcome
                         .as_mut()
                         .expect("targeted scenarios track membership");
+                    flips.clear();
                     for node in victims {
                         if download.topology().live_count() <= 2 {
                             break;
@@ -226,9 +241,11 @@ impl BandwidthSim {
                         download.on_node_leave(node);
                         outcome.departure_settlements += state.settle_departed(node) as u64;
                         outcome.targeted_removals += 1;
+                        flips.push((node, false));
                     }
                     let topology = download.topology_rc();
-                    self.workload.sync_live(|node| topology.is_live(node));
+                    self.workload
+                        .apply_membership(&flips, |node| topology.is_live(node));
                 }
             }
 

@@ -1,36 +1,45 @@
-//! K-buckets: fixed-capacity groups of peers at one proximity order.
+//! K-bucket views: fixed-capacity groups of peers at one proximity order.
+//!
+//! Buckets no longer own storage — entries live in the topology's
+//! [`TableArena`](crate::routing_table) — so a `BucketRef` is a pair of
+//! borrowed slices plus metadata, obtained through
+//! [`TableRef::bucket`](crate::TableRef::bucket) /
+//! [`TableRef::buckets`](crate::TableRef::buckets).
 
-use serde::{Deserialize, Serialize};
-
-use crate::address::OverlayAddress;
+use crate::address::{AddressSpace, OverlayAddress};
 use crate::topology::NodeId;
 
-/// A single routing-table bucket.
+/// A read view of a single routing-table bucket.
 ///
-/// Bucket `i` of a node holds peers whose addresses share a prefix of length
-/// *exactly* `i` with the node's own address (paper §IV-B: "The i-th bucket
-/// of a node contains addresses that have a common prefix of length i with
-/// the node's address. Each bucket contains at most k addresses.").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct KBucket {
+/// Bucket `i` of a node holds peers whose addresses share a prefix of
+/// length *exactly* `i` with the node's own address (paper §IV-B: "The
+/// i-th bucket of a node contains addresses that have a common prefix of
+/// length i with the node's address. Each bucket contains at most k
+/// addresses.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketRef<'a> {
     index: u32,
     capacity: usize,
-    entries: Vec<(NodeId, OverlayAddress)>,
+    space: AddressSpace,
+    ids: &'a [u32],
+    raws: &'a [u64],
 }
 
-impl KBucket {
-    /// Creates an empty bucket for proximity order `index` with room for
-    /// `capacity` peers.
-    ///
-    /// Entry storage is allocated lazily on first insert: most buckets of a
-    /// large overlay stay empty (deep buckets rarely have candidates), and
-    /// eagerly reserving `capacity` slots for `nodes × bits` buckets was
-    /// the dominant memory cost of 10⁵-node topologies.
-    pub fn new(index: u32, capacity: usize) -> Self {
+impl<'a> BucketRef<'a> {
+    pub(crate) fn new(
+        index: u32,
+        capacity: usize,
+        space: AddressSpace,
+        ids: &'a [u32],
+        raws: &'a [u64],
+    ) -> Self {
+        debug_assert_eq!(ids.len(), raws.len());
         Self {
             index,
             capacity,
-            entries: Vec::new(),
+            space,
+            ids,
+            raws,
         }
     }
 
@@ -49,124 +58,77 @@ impl KBucket {
     /// Current number of peers.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ids.len()
     }
 
     /// Whether the bucket holds no peers.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ids.is_empty()
     }
 
     /// Whether the bucket is at capacity.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
-    }
-
-    /// Pre-allocates room for `additional` more entries — used by bulk
-    /// construction, which knows each bucket's final size up front and
-    /// avoids growth reallocations.
-    pub(crate) fn reserve_exact(&mut self, additional: usize) {
-        self.entries.reserve_exact(additional);
-    }
-
-    /// Inserts a peer. Returns `false` (and does not insert) if the bucket is
-    /// full or the peer is already present.
-    pub fn insert(&mut self, node: NodeId, address: OverlayAddress) -> bool {
-        if self.is_full() || self.contains(node) {
-            return false;
-        }
-        self.entries.push((node, address));
-        true
+        self.ids.len() >= self.capacity
     }
 
     /// Whether `node` is in this bucket.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.entries.iter().any(|(id, _)| *id == node)
+        self.ids.contains(&(node.0 as u32))
     }
 
-    /// Removes a peer, preserving the order of the remaining entries.
-    /// Returns `false` if the peer was not present.
-    pub fn remove(&mut self, node: NodeId) -> bool {
-        match self.entries.iter().position(|(id, _)| *id == node) {
-            Some(index) => {
-                self.entries.remove(index);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Removes every peer (used when the bucket's owner goes offline).
-    pub fn clear(&mut self) {
-        self.entries.clear();
-    }
-
-    /// Iterates over `(NodeId, OverlayAddress)` entries in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, OverlayAddress)> + '_ {
-        self.entries.iter().copied()
+    /// Iterates over `(NodeId, OverlayAddress)` entries in insertion
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, OverlayAddress)> + 'a {
+        let bits = self.space.bits();
+        self.ids.iter().zip(self.raws).map(move |(&id, &raw)| {
+            (
+                NodeId(id as usize),
+                OverlayAddress::from_raw_unchecked(raw, bits),
+            )
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::address::AddressSpace;
 
-    fn addr(raw: u64) -> OverlayAddress {
-        AddressSpace::new(16).unwrap().address(raw).unwrap()
+    fn space16() -> AddressSpace {
+        AddressSpace::new(16).unwrap()
     }
 
     #[test]
-    fn insert_until_full() {
-        let mut b = KBucket::new(3, 2);
-        assert!(b.is_empty());
-        assert!(b.insert(NodeId(0), addr(1)));
-        assert!(b.insert(NodeId(1), addr(2)));
-        assert!(b.is_full());
-        assert!(!b.insert(NodeId(2), addr(3)));
-        assert_eq!(b.len(), 2);
-    }
-
-    #[test]
-    fn rejects_duplicates() {
-        let mut b = KBucket::new(0, 4);
-        assert!(b.insert(NodeId(7), addr(9)));
-        assert!(!b.insert(NodeId(7), addr(9)));
-        assert_eq!(b.len(), 1);
-        assert!(b.contains(NodeId(7)));
-        assert!(!b.contains(NodeId(8)));
-    }
-
-    #[test]
-    fn iteration_preserves_insertion_order() {
-        let mut b = KBucket::new(1, 8);
-        for i in 0..5u64 {
-            b.insert(NodeId(i as usize), addr(i));
-        }
-        let ids: Vec<_> = b.iter().map(|(id, _)| id.0).collect();
-        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
-    }
-
-    #[test]
-    fn remove_preserves_order_of_rest() {
-        let mut b = KBucket::new(0, 8);
-        for i in 0..5u64 {
-            b.insert(NodeId(i as usize), addr(i));
-        }
-        assert!(b.remove(NodeId(2)));
-        assert!(!b.remove(NodeId(2)));
-        let ids: Vec<_> = b.iter().map(|(id, _)| id.0).collect();
-        assert_eq!(ids, vec![0, 1, 3, 4]);
-        b.clear();
-        assert!(b.is_empty());
-    }
-
-    #[test]
-    fn metadata_accessors() {
-        let b = KBucket::new(5, 20);
+    fn metadata_and_iteration() {
+        let ids = [7u32, 9, 11];
+        let raws = [0x00F0u64, 0x00F1, 0x00F2];
+        let b = BucketRef::new(5, 20, space16(), &ids, &raws);
         assert_eq!(b.index(), 5);
         assert_eq!(b.capacity(), 20);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(!b.is_full());
+        assert!(b.contains(NodeId(9)));
+        assert!(!b.contains(NodeId(10)));
+        let entries: Vec<(usize, u64)> = b.iter().map(|(id, a)| (id.0, a.raw())).collect();
+        assert_eq!(entries, vec![(7, 0x00F0), (9, 0x00F1), (11, 0x00F2)]);
+    }
+
+    #[test]
+    fn fullness_uses_configured_capacity() {
+        let ids = [1u32, 2];
+        let raws = [1u64, 2];
+        let full = BucketRef::new(0, 2, space16(), &ids, &raws);
+        assert!(full.is_full());
+        let spare = BucketRef::new(0, 3, space16(), &ids, &raws);
+        assert!(!spare.is_full());
+    }
+
+    #[test]
+    fn empty_bucket() {
+        let b = BucketRef::new(3, 4, space16(), &[], &[]);
+        assert!(b.is_empty());
+        assert_eq!(b.iter().count(), 0);
     }
 }

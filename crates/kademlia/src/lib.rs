@@ -5,8 +5,10 @@
 //!
 //! * an [`AddressSpace`] of configurable bit-width (the paper uses 16 bits)
 //!   with [`OverlayAddress`]es compared by the Kademlia XOR metric,
-//! * per-node [`RoutingTable`]s made of exact-shared-prefix [`KBucket`]s of
-//!   capacity `k` (Swarm default 4, Kademlia classic 20),
+//! * arena-backed per-node routing tables read through [`TableRef`] views
+//!   over exact-shared-prefix [`BucketRef`] buckets of capacity `k` (Swarm
+//!   default 4, Kademlia classic 20), with a bucket-ordered next-hop
+//!   search that typically inspects a single bucket,
 //! * a static [`Topology`] built deterministically from a seed, and
 //! * a greedy forwarding-Kademlia [`Router`] that produces full [`Route`]s so
 //!   callers can attribute per-hop bandwidth and identify the paid first hop.
@@ -38,9 +40,9 @@ mod routing_table;
 mod topology;
 
 pub use address::{AddressSpace, Distance, OverlayAddress, Proximity};
-pub use bucket::KBucket;
+pub use bucket::BucketRef;
 pub use error::KademliaError;
 pub use metrics::{BucketOccupancy, HopHistogram, TopologyMetrics};
 pub use router::{Route, RouteOutcome, Router};
-pub use routing_table::RoutingTable;
+pub use routing_table::TableRef;
 pub use topology::{BucketSizing, NodeId, Topology, TopologyBuilder};

@@ -140,8 +140,8 @@ impl<'a> Router<'a> {
         let mut hops = Vec::with_capacity(8);
         let mut current = originator;
         loop {
-            match self.topology.table(current).next_hop(target) {
-                Some((next, _)) => {
+            match self.topology.next_hop(current, target) {
+                Some(next) => {
                     hops.push(next);
                     current = next;
                     if current == storer {

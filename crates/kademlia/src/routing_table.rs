@@ -1,54 +1,396 @@
-//! Per-node routing tables.
-
-use serde::{Deserialize, Serialize};
+//! Arena-backed routing tables and the bucket-ordered next-hop search.
+//!
+//! Every routing table of a topology lives in one contiguous
+//! structure-of-arrays arena ([`TableArena`]): peer ids and raw peer
+//! addresses in two flat slices, with each `(node, bucket)` pair owning a
+//! fixed `(offset, len)` slot range. Routing walks therefore touch
+//! consecutive cache lines instead of chasing `nodes × bits` little heap
+//! vectors, and building a 10⁵-node overlay performs a handful of
+//! allocations instead of millions.
+//!
+//! The slot range reserved for bucket `b` of a node is
+//! `min(capacity_b, candidates_b)`, where `candidates_b` counts *every*
+//! node slot (live or offline) at proximity exactly `b` from the owner.
+//! Bucket occupancy can never exceed that bound — entries are distinct
+//! nodes at exactly that proximity, and inserts beyond the candidate
+//! count are necessarily duplicates — so the layout computed at build
+//! time stays valid across arbitrary [`add_node`] / [`remove_node`]
+//! churn and the arena never reallocates.
+//!
+//! [`add_node`]: crate::topology::Topology::add_node
+//! [`remove_node`]: crate::topology::Topology::remove_node
 
 use crate::address::{AddressSpace, OverlayAddress, Proximity};
-use crate::bucket::KBucket;
+use crate::bucket::BucketRef;
 use crate::topology::NodeId;
 
-/// The routing table of one overlay node: `bits` buckets of capacity `k`
-/// (possibly overridden per bucket), bucket `i` holding peers at proximity
-/// order exactly `i`.
+/// Per-topology storage for all routing tables.
 ///
-/// Tables are static for the lifetime of a simulation, mirroring the paper's
-/// setup ("The routing tables remain static for the entirety of the
-/// experiments").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RoutingTable {
-    owner: NodeId,
-    owner_address: OverlayAddress,
-    space: AddressSpace,
-    buckets: Vec<KBucket>,
+/// See the module docs for the layout. All indices are dense: node `i`'s
+/// bucket `b` is slot `i * bits + b`.
+/// Slot range of one bucket: start offset into the entry arrays plus
+/// current occupancy, packed into 8 bytes so a hop's bucket lookup costs
+/// one cache line (the reserved size is the next span's offset minus this
+/// one's, adjacent in memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BucketSpan {
+    offset: u32,
+    len: u32,
 }
 
-impl RoutingTable {
-    /// Creates an empty routing table for `owner` where bucket `i` has
-    /// capacity `capacities[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TableArena {
+    bits: u32,
+    /// Peer node ids, all buckets of all nodes concatenated.
+    ids: Vec<u32>,
+    /// Raw peer addresses, parallel to `ids`.
+    raws: Vec<u64>,
+    /// Per `(node, bucket)` slot ranges, plus one zero-length sentinel
+    /// whose offset is the total entry count: bucket `s` owns slots
+    /// `spans[s].offset .. spans[s + 1].offset` and occupies the first
+    /// `spans[s].len` of them.
+    spans: Vec<BucketSpan>,
+}
+
+/// Freshly sampled tables for one contiguous owner range, produced by the
+/// (possibly threaded) topology builder and concatenated into the arena
+/// by [`TableArena::assemble`]. Initial buckets are exactly full
+/// (`len == reserved`), so per-bucket lengths double as the reserved slot
+/// sizes. Batching whole worker ranges into three vectors — instead of
+/// three per owner — keeps build-time allocation counts flat in `n`.
+#[derive(Debug)]
+pub(crate) struct OwnerFill {
+    /// Entries per bucket, `bits` values per owner, owners in range order.
+    pub lens: Vec<u32>,
+    /// Peer ids, owners and buckets concatenated shallow-to-deep.
+    pub ids: Vec<u32>,
+    /// Raw peer addresses, parallel to `ids`.
+    pub raws: Vec<u64>,
+}
+
+impl OwnerFill {
+    pub(crate) fn new() -> Self {
+        Self {
+            lens: Vec::new(),
+            ids: Vec::new(),
+            raws: Vec::new(),
+        }
+    }
+}
+
+impl TableArena {
+    /// Concatenates range fills (in node order) into one arena. A
+    /// single-range build (the serial path) moves its three vectors into
+    /// place instead of copying — at 10⁵ nodes with `k = 20` that skips
+    /// re-copying hundreds of megabytes.
     ///
     /// # Panics
     ///
-    /// Panics if `capacities.len() != space.bits()`.
-    pub fn new(
+    /// Panics if the total entry count overflows the `u32` offset space
+    /// (≈ 4 × 10⁹ connections, far beyond simulated scales).
+    pub(crate) fn assemble(bits: u32, mut fills: Vec<OwnerFill>) -> Self {
+        fn spans_of(bucket_lens: impl Iterator<Item = u32>, buckets: usize) -> Vec<BucketSpan> {
+            let mut spans = Vec::with_capacity(buckets + 1);
+            let mut cursor = 0u64;
+            for len in bucket_lens {
+                assert!(u32::try_from(cursor).is_ok(), "arena offset overflow");
+                spans.push(BucketSpan {
+                    offset: cursor as u32,
+                    len,
+                });
+                cursor += u64::from(len);
+            }
+            assert!(u32::try_from(cursor).is_ok(), "arena offset overflow");
+            spans.push(BucketSpan {
+                offset: cursor as u32,
+                len: 0,
+            });
+            spans
+        }
+
+        if fills.len() == 1 {
+            let fill = fills.pop().expect("one fill");
+            debug_assert_eq!(fill.lens.len() % bits as usize, 0);
+            let spans = spans_of(fill.lens.iter().copied(), fill.lens.len());
+            debug_assert_eq!(
+                spans.last().expect("never empty").offset as usize,
+                fill.ids.len()
+            );
+            return Self {
+                bits,
+                ids: fill.ids,
+                raws: fill.raws,
+                spans,
+            };
+        }
+
+        let buckets: usize = fills.iter().map(|f| f.lens.len()).sum();
+        let total: usize = fills.iter().map(|f| f.ids.len()).sum();
+        assert!(u32::try_from(total).is_ok(), "arena offset overflow");
+        let mut ids = Vec::with_capacity(total);
+        let mut raws = Vec::with_capacity(total);
+        for fill in &fills {
+            debug_assert_eq!(fill.lens.len() % bits as usize, 0);
+            ids.extend_from_slice(&fill.ids);
+            raws.extend_from_slice(&fill.raws);
+        }
+        let spans = spans_of(fills.iter().flat_map(|f| f.lens.iter().copied()), buckets);
+        debug_assert_eq!(spans.last().expect("never empty").offset as usize, total);
+        Self {
+            bits,
+            ids,
+            raws,
+            spans,
+        }
+    }
+
+    /// An arena for a single table whose bucket `b` reserves
+    /// `reserved[b]` slots — unit-test and doctest harness.
+    #[cfg(test)]
+    pub(crate) fn single(bits: u32, reserved: &[u32]) -> Self {
+        assert_eq!(reserved.len(), bits as usize);
+        let total: u32 = reserved.iter().sum();
+        let mut spans = Vec::with_capacity(reserved.len() + 1);
+        let mut cursor = 0u32;
+        for &r in reserved {
+            spans.push(BucketSpan {
+                offset: cursor,
+                len: 0,
+            });
+            cursor += r;
+        }
+        spans.push(BucketSpan {
+            offset: cursor,
+            len: 0,
+        });
+        Self {
+            bits,
+            ids: vec![0; total as usize],
+            raws: vec![0; total as usize],
+            spans,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, node: usize, bucket: usize) -> usize {
+        node * self.bits as usize + bucket
+    }
+
+    #[inline]
+    pub(crate) fn bucket_len(&self, node: usize, bucket: usize) -> usize {
+        self.spans[self.slot(node, bucket)].len as usize
+    }
+
+    /// Slots reserved for a bucket (its maximum possible occupancy).
+    #[inline]
+    pub(crate) fn bucket_reserved(&self, node: usize, bucket: usize) -> usize {
+        let slot = self.slot(node, bucket);
+        (self.spans[slot + 1].offset - self.spans[slot].offset) as usize
+    }
+
+    /// The occupied `(ids, raws)` slices of one bucket.
+    #[inline]
+    pub(crate) fn bucket_entries(&self, node: usize, bucket: usize) -> (&[u32], &[u64]) {
+        let span = self.spans[self.slot(node, bucket)];
+        let start = span.offset as usize;
+        let end = start + span.len as usize;
+        (&self.ids[start..end], &self.raws[start..end])
+    }
+
+    /// Whether `peer` occupies the bucket.
+    pub(crate) fn contains(&self, node: usize, bucket: usize, peer: u32) -> bool {
+        self.bucket_entries(node, bucket).0.contains(&peer)
+    }
+
+    /// Appends `peer` to the bucket. Returns `false` (no insert) when the
+    /// bucket's reserved slots are exhausted or the peer is present — the
+    /// same acceptance rule as a capacity-checked k-bucket, because
+    /// reserved slots are `min(capacity, candidates)` and an insert past
+    /// the candidate count is always a duplicate.
+    pub(crate) fn insert(&mut self, node: usize, bucket: usize, peer: u32, raw: u64) -> bool {
+        let slot = self.slot(node, bucket);
+        let span = self.spans[slot];
+        let start = span.offset as usize;
+        let len = span.len as usize;
+        let reserved = (self.spans[slot + 1].offset - span.offset) as usize;
+        if len >= reserved || self.ids[start..start + len].contains(&peer) {
+            return false;
+        }
+        self.ids[start + len] = peer;
+        self.raws[start + len] = raw;
+        self.spans[slot].len += 1;
+        true
+    }
+
+    /// Removes `peer` from the bucket, preserving the order of the
+    /// remaining entries. Returns `false` if the peer was not present.
+    pub(crate) fn remove(&mut self, node: usize, bucket: usize, peer: u32) -> bool {
+        let slot = self.slot(node, bucket);
+        let span = self.spans[slot];
+        let start = span.offset as usize;
+        let len = span.len as usize;
+        let Some(pos) = self.ids[start..start + len]
+            .iter()
+            .position(|&id| id == peer)
+        else {
+            return false;
+        };
+        self.ids
+            .copy_within(start + pos + 1..start + len, start + pos);
+        self.raws
+            .copy_within(start + pos + 1..start + len, start + pos);
+        self.spans[slot].len -= 1;
+        true
+    }
+
+    /// Empties every bucket of `node` (the owner went offline).
+    pub(crate) fn clear_node(&mut self, node: usize) {
+        let base = node * self.bits as usize;
+        for span in &mut self.spans[base..base + self.bits as usize] {
+            span.len = 0;
+        }
+    }
+
+    /// Total entries across all of `node`'s buckets.
+    pub(crate) fn connection_count(&self, node: usize) -> usize {
+        let base = node * self.bits as usize;
+        self.spans[base..base + self.bits as usize]
+            .iter()
+            .map(|span| span.len as usize)
+            .sum()
+    }
+
+    /// Total entries across the whole arena.
+    pub(crate) fn total_connections(&self) -> usize {
+        // The sentinel's len is always zero, so including it is harmless.
+        self.spans.iter().map(|span| span.len as usize).sum()
+    }
+
+    /// `node`'s peer ids, shallowest bucket first, insertion order within
+    /// a bucket.
+    pub(crate) fn node_peers<'a>(&'a self, node: usize) -> impl Iterator<Item = u32> + 'a {
+        let bits = self.bits as usize;
+        (0..bits).flat_map(move |b| self.bucket_entries(node, b).0.iter().copied())
+    }
+
+    /// The known peer of `node` strictly closest (XOR) to `target_raw`,
+    /// if any peer beats the owner's own distance.
+    ///
+    /// Bucket-ordered search. With `p` the proximity order between owner
+    /// and target:
+    ///
+    /// * every peer in bucket `p` shares at least `p + 1` target-prefix
+    ///   bits, so it strictly beats the owner and every peer of every
+    ///   other bucket — one bucket scan answers the common case;
+    /// * peers in buckets shallower than `p` are strictly farther than
+    ///   the owner and are never scanned;
+    /// * peers in bucket `b > p` inherit the top `b` bits of the owner's
+    ///   own distance and flip bit `b`, which yields a per-bucket lower
+    ///   bound; buckets that cannot beat the best distance found are
+    ///   skipped, and the walk stops as soon as the (monotone) shared
+    ///   prefix alone exceeds it.
+    ///
+    /// Worst case `O(k + bits)` against the former all-bucket scan; XOR
+    /// distances to distinct addresses are unique, so the result is
+    /// exactly the linear scan's.
+    pub(crate) fn next_hop(
+        &self,
+        node: usize,
+        owner_raw: u64,
+        target_raw: u64,
+    ) -> Option<(u32, u64)> {
+        let bits = self.bits;
+        let own = owner_raw ^ target_raw;
+        if own == 0 {
+            // The owner sits on the target address; nothing is closer.
+            return None;
+        }
+        let prox = (own << (64 - bits)).leading_zeros() as usize;
+        let base = node * bits as usize;
+
+        let span = self.spans[base + prox];
+        if span.len > 0 {
+            let start = span.offset as usize;
+            let raws = &self.raws[start..start + span.len as usize];
+            let mut best_i = 0usize;
+            let mut best_d = raws[0] ^ target_raw;
+            for (i, &raw) in raws.iter().enumerate().skip(1) {
+                let d = raw ^ target_raw;
+                if d < best_d {
+                    best_d = d;
+                    best_i = i;
+                }
+            }
+            return Some((self.ids[start + best_i], raws[best_i]));
+        }
+
+        let mut best_d = own;
+        let mut best: Option<usize> = None;
+        for bucket in prox + 1..bits as usize {
+            let span = self.spans[base + bucket];
+            // `shift` is the weight position of bit `bucket`; safe because
+            // `bucket >= 1` keeps it under the space width.
+            let shift = bits - 1 - bucket as u32;
+            let prefix = (own >> (shift + 1)) << (shift + 1);
+            if prefix >= best_d {
+                // Deeper buckets share ever longer prefixes of `own`, so
+                // no remaining bucket can beat the best distance.
+                break;
+            }
+            if span.len == 0 {
+                continue;
+            }
+            // Entries flip bit `bucket` of `own`; zeros below bound them.
+            let floor = prefix | (!own >> shift & 1) << shift;
+            if floor >= best_d {
+                continue;
+            }
+            let start = span.offset as usize;
+            for i in start..start + span.len as usize {
+                let d = self.raws[i] ^ target_raw;
+                if d < best_d {
+                    best_d = d;
+                    best = Some(i);
+                }
+            }
+        }
+        best.map(|i| (self.ids[i], self.raws[i]))
+    }
+}
+
+/// A read view of one node's routing table: `bits` buckets of capacity
+/// `k` (possibly overridden per bucket), bucket `i` holding peers at
+/// proximity order exactly `i`.
+///
+/// Obtained from [`Topology::table`]; borrows the topology's shared
+/// arena. Two views compare equal when owner, address space,
+/// capacities and every bucket's entries agree.
+///
+/// [`Topology::table`]: crate::topology::Topology::table
+#[derive(Debug, Clone, Copy)]
+pub struct TableRef<'a> {
+    owner: NodeId,
+    owner_address: OverlayAddress,
+    space: AddressSpace,
+    arena: &'a TableArena,
+    capacities: &'a [usize],
+}
+
+impl<'a> TableRef<'a> {
+    pub(crate) fn new(
         owner: NodeId,
         owner_address: OverlayAddress,
         space: AddressSpace,
-        capacities: &[usize],
+        arena: &'a TableArena,
+        capacities: &'a [usize],
     ) -> Self {
-        assert_eq!(
-            capacities.len(),
-            space.bits() as usize,
-            "one capacity per bucket required"
-        );
-        let buckets = capacities
-            .iter()
-            .enumerate()
-            .map(|(i, &cap)| KBucket::new(i as u32, cap))
-            .collect();
+        debug_assert_eq!(capacities.len(), space.bits() as usize);
         Self {
             owner,
             owner_address,
             space,
-            buckets,
+            arena,
+            capacities,
         }
     }
 
@@ -73,115 +415,108 @@ impl RoutingTable {
     /// Number of buckets (= address-space bit-width).
     #[inline]
     pub fn bucket_count(&self) -> usize {
-        self.buckets.len()
+        self.space.bits() as usize
     }
 
     /// Access a bucket by index.
-    pub fn bucket(&self, index: usize) -> Option<&KBucket> {
-        self.buckets.get(index)
+    pub fn bucket(&self, index: usize) -> Option<BucketRef<'a>> {
+        (index < self.bucket_count()).then(|| self.bucket_ref(index))
     }
 
-    /// Pre-allocates room for `additional` entries in bucket `index` (bulk
-    /// construction fast path; see [`KBucket::reserve_exact`]).
-    pub(crate) fn reserve_bucket(&mut self, index: usize, additional: usize) {
-        if let Some(bucket) = self.buckets.get_mut(index) {
-            bucket.reserve_exact(additional);
-        }
+    fn bucket_ref(&self, index: usize) -> BucketRef<'a> {
+        let (ids, raws) = self.arena.bucket_entries(self.owner.0, index);
+        BucketRef::new(index as u32, self.capacities[index], self.space, ids, raws)
     }
 
-    /// Iterate over all buckets, shallowest (bucket 0) first.
-    pub fn buckets(&self) -> impl Iterator<Item = &KBucket> {
-        self.buckets.iter()
+    /// Iterate over all buckets, shallowest (bucket 0) first. Takes the
+    /// (copyable) view by value so the iterator can outlive it.
+    pub fn buckets(self) -> impl Iterator<Item = BucketRef<'a>> {
+        (0..self.bucket_count()).map(move |b| self.bucket_ref(b))
     }
 
     /// Total number of peers across all buckets (the node's connection
     /// count — the §V overhead discussion charges per open connection).
     pub fn connection_count(&self) -> usize {
-        self.buckets.iter().map(KBucket::len).sum()
+        self.arena.connection_count(self.owner.0)
     }
 
-    /// Inserts `peer` into the bucket determined by its proximity to the
-    /// owner. Returns `false` if the peer is the owner itself, the bucket is
-    /// full, or the peer is already present.
-    pub fn insert(&mut self, peer: NodeId, address: OverlayAddress) -> bool {
-        if peer == self.owner {
-            return false;
-        }
-        let prox = self.space.proximity(self.owner_address, address);
-        // Proximity == bits would mean an address collision with the owner;
-        // the topology builder guarantees distinct addresses.
-        let Some(bucket) = self.buckets.get_mut(prox.bucket_index()) else {
-            return false;
-        };
-        bucket.insert(peer, address)
-    }
-
-    /// Removes `peer` from whichever bucket holds it. Returns `false` if
-    /// the peer was not present.
-    pub fn remove(&mut self, peer: NodeId) -> bool {
-        self.buckets.iter_mut().any(|bucket| bucket.remove(peer))
-    }
-
-    /// Empties every bucket (the owner went offline and drops all
-    /// connections).
-    pub fn clear(&mut self) {
-        for bucket in &mut self.buckets {
-            bucket.clear();
-        }
-    }
-
-    /// Iterates over every known peer.
-    pub fn peers(&self) -> impl Iterator<Item = (NodeId, OverlayAddress)> + '_ {
-        self.buckets.iter().flat_map(KBucket::iter)
+    /// Iterates over every known peer, shallowest bucket first.
+    pub fn peers(&self) -> impl Iterator<Item = (NodeId, OverlayAddress)> + 'a {
+        let bits = self.space.bits();
+        let arena = self.arena;
+        let node = self.owner.0;
+        (0..bits as usize).flat_map(move |b| {
+            let (ids, raws) = arena.bucket_entries(node, b);
+            ids.iter().zip(raws).map(move |(&id, &raw)| {
+                (
+                    NodeId(id as usize),
+                    OverlayAddress::from_raw_unchecked(raw, bits),
+                )
+            })
+        })
     }
 
     /// Whether `peer` appears anywhere in the table.
     pub fn knows(&self, peer: NodeId) -> bool {
-        self.buckets.iter().any(|b| b.contains(peer))
+        let bits = self.space.bits() as usize;
+        (0..bits).any(|b| self.arena.contains(self.owner.0, b, peer.0 as u32))
     }
 
     /// The known peer closest (XOR metric) to `target`, if any peer is
     /// strictly closer to the target than the owner itself.
     ///
-    /// This is the forwarding-Kademlia next-hop choice: requests are relayed
-    /// to "the closest possible node" (paper Fig. 1) and forwarding stops
-    /// when no known peer improves on the current node.
+    /// This is the forwarding-Kademlia next-hop choice: requests are
+    /// relayed to "the closest possible node" (paper Fig. 1) and
+    /// forwarding stops when no known peer improves on the current node.
+    /// See the module docs for the bucket-ordered search.
     pub fn next_hop(&self, target: OverlayAddress) -> Option<(NodeId, OverlayAddress)> {
-        let own_distance = self.space.distance(self.owner_address, target);
-        let best = self
-            .peers()
-            .min_by_key(|(_, addr)| self.space.distance(*addr, target))?;
-        if self.space.distance(best.1, target) < own_distance {
-            Some(best)
-        } else {
-            None
-        }
+        self.arena
+            .next_hop(self.owner.0, self.owner_address.raw(), target.raw())
+            .map(|(id, raw)| {
+                (
+                    NodeId(id as usize),
+                    OverlayAddress::from_raw_unchecked(raw, self.space.bits()),
+                )
+            })
     }
 
-    /// The `n` known peers closest (XOR metric) to `target`, nearest first.
+    /// The `n` known peers closest (XOR metric) to `target`, nearest
+    /// first.
     ///
     /// This is the classic Kademlia `FIND_NODE` answer shape. Forwarding
     /// Kademlia only ever uses the single best peer
-    /// ([`RoutingTable::next_hop`]), but redundancy analyses — how many
+    /// ([`TableRef::next_hop`]), but redundancy analyses — how many
     /// fallback relays a node has toward a region of the address space —
-    /// need the full ranking.
+    /// need the ranking. Selection is partial: only the top `n` entries
+    /// are ever sorted, so small-`n` queries on big tables cost
+    /// `O(peers + n log n)` rather than a full sort.
     pub fn closest_peers(&self, target: OverlayAddress, n: usize) -> Vec<(NodeId, OverlayAddress)> {
+        if n == 0 {
+            return Vec::new();
+        }
         let mut peers: Vec<(NodeId, OverlayAddress)> = self.peers().collect();
-        peers.sort_by_key(|(_, addr)| self.space.distance(*addr, target));
-        peers.truncate(n);
+        let key = |entry: &(NodeId, OverlayAddress)| entry.1.raw() ^ target.raw();
+        if peers.len() > n {
+            peers.select_nth_unstable_by_key(n, key);
+            peers.truncate(n);
+        }
+        // Unique XOR distances make the order total, so the partial
+        // selection reproduces the full sort's prefix exactly.
+        peers.sort_unstable_by_key(key);
         peers
     }
 
-    /// The *neighborhood depth*: the shallowest bucket index from which all
-    /// deeper buckets are not full (paper §III-A — the neighborhood is the
-    /// proximity at which the node can no longer fill a bucket).
+    /// The *neighborhood depth*: the shallowest bucket index from which
+    /// all deeper buckets are not full (paper §III-A — the neighborhood is
+    /// the proximity at which the node can no longer fill a bucket).
     pub fn neighborhood_depth(&self) -> u32 {
-        let mut depth = self.buckets.len() as u32;
-        for bucket in self.buckets.iter().rev() {
-            if bucket.is_full() {
+        let bits = self.bucket_count();
+        let mut depth = bits as u32;
+        for bucket in (0..bits).rev() {
+            if self.arena.bucket_len(self.owner.0, bucket) >= self.capacities[bucket] {
                 break;
             }
-            depth = bucket.index();
+            depth = bucket as u32;
         }
         depth
     }
@@ -192,6 +527,21 @@ impl RoutingTable {
     }
 }
 
+impl PartialEq for TableRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.owner == other.owner
+            && self.owner_address == other.owner_address
+            && self.space == other.space
+            && self.capacities == other.capacities
+            && (0..self.bucket_count()).all(|b| {
+                self.arena.bucket_entries(self.owner.0, b)
+                    == other.arena.bucket_entries(other.owner.0, b)
+            })
+    }
+}
+
+impl Eq for TableRef<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,97 +550,199 @@ mod tests {
         AddressSpace::new(8).unwrap()
     }
 
-    fn table(owner_raw: u64, k: usize) -> RoutingTable {
-        let space = space8();
-        let caps = vec![k; 8];
-        RoutingTable::new(NodeId(0), space.address(owner_raw).unwrap(), space, &caps)
+    /// A single-table harness with `k` slots reserved per bucket.
+    struct Harness {
+        arena: TableArena,
+        owner_address: OverlayAddress,
+        space: AddressSpace,
+        capacities: Vec<usize>,
+    }
+
+    impl Harness {
+        fn new(owner_raw: u64, k: usize) -> Self {
+            let space = space8();
+            Self {
+                arena: TableArena::single(8, &[k as u32; 8]),
+                owner_address: space.address(owner_raw).unwrap(),
+                space,
+                capacities: vec![k; 8],
+            }
+        }
+
+        fn insert(&mut self, peer: NodeId, address: OverlayAddress) -> bool {
+            if peer == NodeId(0) {
+                return false;
+            }
+            let bucket = self
+                .space
+                .proximity(self.owner_address, address)
+                .bucket_index();
+            self.arena.insert(0, bucket, peer.0 as u32, address.raw())
+        }
+
+        fn table(&self) -> TableRef<'_> {
+            TableRef::new(
+                NodeId(0),
+                self.owner_address,
+                self.space,
+                &self.arena,
+                &self.capacities,
+            )
+        }
+
+        /// Linear-scan reference for the bucket-ordered search.
+        fn next_hop_reference(&self, target: OverlayAddress) -> Option<(NodeId, OverlayAddress)> {
+            let own = self.space.distance(self.owner_address, target);
+            let best = self
+                .table()
+                .peers()
+                .min_by_key(|(_, addr)| self.space.distance(*addr, target))?;
+            (self.space.distance(best.1, target) < own).then_some(best)
+        }
     }
 
     #[test]
     fn insert_routes_to_correct_bucket() {
-        let mut t = table(0b0101_1011, 4);
+        let mut h = Harness::new(0b0101_1011, 4);
         let space = space8();
         // Proximity 0 peer (first bit differs).
-        assert!(t.insert(NodeId(1), space.address(0b1101_1011).unwrap()));
-        assert_eq!(t.bucket(0).unwrap().len(), 1);
+        assert!(h.insert(NodeId(1), space.address(0b1101_1011).unwrap()));
+        assert_eq!(h.table().bucket(0).unwrap().len(), 1);
         // Proximity 4 peer.
-        assert!(t.insert(NodeId(2), space.address(0b0101_0011).unwrap()));
-        assert_eq!(t.bucket(4).unwrap().len(), 1);
-        assert_eq!(t.connection_count(), 2);
+        assert!(h.insert(NodeId(2), space.address(0b0101_0011).unwrap()));
+        assert_eq!(h.table().bucket(4).unwrap().len(), 1);
+        assert_eq!(h.table().connection_count(), 2);
     }
 
     #[test]
     fn rejects_self_insert() {
-        let mut t = table(0b0101_1011, 4);
+        let mut h = Harness::new(0b0101_1011, 4);
         let space = space8();
-        assert!(!t.insert(NodeId(0), space.address(0b0000_0001).unwrap()));
-        assert_eq!(t.connection_count(), 0);
+        assert!(!h.insert(NodeId(0), space.address(0b0000_0001).unwrap()));
+        assert_eq!(h.table().connection_count(), 0);
     }
 
     #[test]
-    fn bucket_capacity_enforced() {
-        let mut t = table(0, 2);
+    fn reserved_slots_enforced() {
+        let mut h = Harness::new(0, 2);
         let space = space8();
         // All of these have first bit 1 => bucket 0.
-        assert!(t.insert(NodeId(1), space.address(0b1000_0000).unwrap()));
-        assert!(t.insert(NodeId(2), space.address(0b1000_0001).unwrap()));
-        assert!(!t.insert(NodeId(3), space.address(0b1000_0010).unwrap()));
-        assert_eq!(t.bucket(0).unwrap().len(), 2);
+        assert!(h.insert(NodeId(1), space.address(0b1000_0000).unwrap()));
+        assert!(h.insert(NodeId(2), space.address(0b1000_0001).unwrap()));
+        assert!(!h.insert(NodeId(3), space.address(0b1000_0010).unwrap()));
+        assert_eq!(h.table().bucket(0).unwrap().len(), 2);
+        // Duplicates are rejected below capacity too.
+        assert!(!h.insert(NodeId(1), space.address(0b1000_0000).unwrap()));
     }
 
     #[test]
     fn next_hop_picks_strictly_closer_peer() {
-        let mut t = table(0b0000_0000, 4);
+        let mut h = Harness::new(0b0000_0000, 4);
         let space = space8();
         let far = space.address(0b1000_0000).unwrap();
         let near = space.address(0b0111_0000).unwrap();
-        t.insert(NodeId(1), far);
-        t.insert(NodeId(2), near);
+        h.insert(NodeId(1), far);
+        h.insert(NodeId(2), near);
         // Target close to `near`.
         let target = space.address(0b0111_0001).unwrap();
-        let (hop, _) = t.next_hop(target).unwrap();
+        let (hop, _) = h.table().next_hop(target).unwrap();
         assert_eq!(hop, NodeId(2));
     }
 
     #[test]
     fn next_hop_none_when_owner_is_closest() {
-        let mut t = table(0b0000_0001, 4);
+        let mut h = Harness::new(0b0000_0001, 4);
         let space = space8();
-        t.insert(NodeId(1), space.address(0b1111_1111).unwrap());
+        h.insert(NodeId(1), space.address(0b1111_1111).unwrap());
         // Target equals owner address: nobody can be closer.
         let target = space.address(0b0000_0001).unwrap();
-        assert!(t.next_hop(target).is_none());
+        assert!(h.table().next_hop(target).is_none());
     }
 
     #[test]
     fn next_hop_none_on_empty_table() {
-        let t = table(0, 4);
+        let h = Harness::new(0, 4);
         let target = space8().address(0xFF).unwrap();
-        assert!(t.next_hop(target).is_none());
+        assert!(h.table().next_hop(target).is_none());
+    }
+
+    #[test]
+    fn next_hop_searches_deeper_buckets_when_proximity_bucket_is_empty() {
+        // Owner 0x00, target 0x80 => proximity 0. Leave bucket 0 empty and
+        // park peers in deeper buckets; the owner itself must win because
+        // deep peers share its (wrong) first bit... unless one of them is
+        // closer to the target on the low-order bits.
+        let mut h = Harness::new(0b0000_0000, 4);
+        let space = space8();
+        h.insert(NodeId(1), space.address(0b0100_0000).unwrap()); // bucket 1
+        h.insert(NodeId(2), space.address(0b0010_0000).unwrap()); // bucket 2
+        let target = space.address(0b1000_0000).unwrap();
+        // d(owner) = 0x80, d(n1) = 0xC0, d(n2) = 0xA0: owner is closest.
+        assert!(h.table().next_hop(target).is_none());
+
+        // Now a target where a deeper peer wins: target 0b0110_0000.
+        // d(owner) = 0x60, d(n1) = 0x20, d(n2) = 0x40.
+        let target = space.address(0b0110_0000).unwrap();
+        let (hop, _) = h.table().next_hop(target).unwrap();
+        assert_eq!(hop, NodeId(1));
+    }
+
+    #[test]
+    fn next_hop_matches_linear_scan_exhaustively() {
+        // Dense 8-bit harness: every possible target against a table with
+        // peers sprinkled across all buckets.
+        let mut h = Harness::new(0b0101_1011, 2);
+        let space = space8();
+        for (i, raw) in [
+            0b1101_1011u64,
+            0b1000_0000,
+            0b0001_0000,
+            0b0110_0000,
+            0b0100_1111,
+            0b0101_0000,
+            0b0101_1100,
+            0b0101_1010,
+            0b0011_0011,
+            0b0101_1111,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            h.insert(NodeId(i + 1), space.address(raw).unwrap());
+        }
+        for raw in 0..=0xFFu64 {
+            let target = space.address(raw).unwrap();
+            assert_eq!(
+                h.table().next_hop(target),
+                h.next_hop_reference(target),
+                "target {raw:#010b}"
+            );
+        }
     }
 
     #[test]
     fn neighborhood_depth_tracks_unfilled_tail() {
-        let mut t = table(0b0000_0000, 1);
+        let mut h = Harness::new(0b0000_0000, 1);
         let space = space8();
         // Fill buckets 0 and 1 (k = 1).
-        t.insert(NodeId(1), space.address(0b1000_0000).unwrap());
-        t.insert(NodeId(2), space.address(0b0100_0000).unwrap());
+        h.insert(NodeId(1), space.address(0b1000_0000).unwrap());
+        h.insert(NodeId(2), space.address(0b0100_0000).unwrap());
         // Buckets 2..8 empty => depth is 2.
-        assert_eq!(t.neighborhood_depth(), 2);
+        assert_eq!(h.table().neighborhood_depth(), 2);
     }
 
     #[test]
     fn closest_peers_ranks_by_distance() {
-        let mut t = table(0b0000_0000, 4);
+        let mut h = Harness::new(0b0000_0000, 4);
         let space = space8();
         let far = space.address(0b1111_0000).unwrap();
         let mid = space.address(0b0011_0000).unwrap();
         let near = space.address(0b0000_0111).unwrap();
-        t.insert(NodeId(1), far);
-        t.insert(NodeId(2), mid);
-        t.insert(NodeId(3), near);
+        h.insert(NodeId(1), far);
+        h.insert(NodeId(2), mid);
+        h.insert(NodeId(3), near);
         let target = space.address(0b0000_0110).unwrap();
+        let t = h.table();
         let ranked = t.closest_peers(target, 8);
         let ids: Vec<usize> = ranked.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![3, 2, 1]);
@@ -298,31 +750,61 @@ mod tests {
         let top1 = t.closest_peers(target, 1);
         assert_eq!(top1.len(), 1);
         assert_eq!(top1[0].0, NodeId(3));
-        // Asking for more than known returns all.
+        // Asking for more than known returns all; zero returns none.
         assert_eq!(t.closest_peers(target, 99).len(), 3);
+        assert!(t.closest_peers(target, 0).is_empty());
     }
 
     #[test]
     fn remove_and_clear() {
-        let mut t = table(0, 4);
+        let mut h = Harness::new(0, 4);
         let space = space8();
-        t.insert(NodeId(1), space.address(0xF0).unwrap());
-        t.insert(NodeId(2), space.address(0x0F).unwrap());
-        assert!(t.remove(NodeId(1)));
-        assert!(!t.remove(NodeId(1)));
-        assert!(!t.knows(NodeId(1)));
-        assert_eq!(t.connection_count(), 1);
-        t.clear();
-        assert_eq!(t.connection_count(), 0);
+        let a = space.address(0xF0).unwrap();
+        let b = space.address(0x0F).unwrap();
+        h.insert(NodeId(1), a);
+        h.insert(NodeId(2), b);
+        let bucket_a = h.space.proximity(h.owner_address, a).bucket_index();
+        assert!(h.arena.remove(0, bucket_a, 1));
+        assert!(!h.arena.remove(0, bucket_a, 1));
+        assert!(!h.table().knows(NodeId(1)));
+        assert_eq!(h.table().connection_count(), 1);
+        h.arena.clear_node(0);
+        assert_eq!(h.table().connection_count(), 0);
+    }
+
+    #[test]
+    fn remove_preserves_order_of_rest() {
+        let mut h = Harness::new(0, 8);
+        let space = space8();
+        // Five peers in bucket 0 (first bit set).
+        for i in 1..=5u64 {
+            h.insert(NodeId(i as usize), space.address(0x80 | i).unwrap());
+        }
+        assert!(h.arena.remove(0, 0, 2));
+        let ids: Vec<usize> = h.table().peers().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 3, 4, 5]);
     }
 
     #[test]
     fn knows_and_peers() {
-        let mut t = table(0, 4);
+        let mut h = Harness::new(0, 4);
         let space = space8();
-        t.insert(NodeId(5), space.address(0xF0).unwrap());
+        h.insert(NodeId(5), space.address(0xF0).unwrap());
+        let t = h.table();
         assert!(t.knows(NodeId(5)));
         assert!(!t.knows(NodeId(6)));
         assert_eq!(t.peers().count(), 1);
+    }
+
+    #[test]
+    fn table_refs_compare_by_content() {
+        let mut a = Harness::new(0b0101_1011, 4);
+        let mut b = Harness::new(0b0101_1011, 4);
+        let space = space8();
+        let peer = space.address(0b1101_1011).unwrap();
+        a.insert(NodeId(1), peer);
+        assert_ne!(a.table(), b.table());
+        b.insert(NodeId(1), peer);
+        assert_eq!(a.table(), b.table());
     }
 }

@@ -153,6 +153,70 @@ proptest! {
         }
     }
 
+    /// The arena-backed bucket-ordered next-hop search and the partial
+    /// `closest_peers` selection match brute-force linear scans on every
+    /// live table after an arbitrary interleaving of node departures and
+    /// rejoins, and the structural invariants survive throughout.
+    #[test]
+    fn arena_tables_match_linear_reference_under_churn(
+        nodes in 8usize..40,
+        k in 1usize..6,
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<u16>(), any::<bool>()), 0..25),
+        target in any::<u64>(),
+    ) {
+        let space = AddressSpace::new(12).unwrap();
+        let mut t = TopologyBuilder::new(space)
+            .nodes(nodes)
+            .bucket_size(k)
+            .seed(seed)
+            .build()
+            .unwrap();
+        for (pick, join) in ops {
+            let node = NodeId(pick as usize % nodes);
+            if join {
+                let _ = t.add_node(node);
+            } else {
+                let _ = t.remove_node(node);
+            }
+        }
+        prop_assert!(t.validate().is_ok());
+        let target = space.address_truncated(target);
+        for owner in t.live_ids() {
+            let table = t.table(owner);
+            // next_hop == the strictly-closer minimum over a full scan
+            // (XOR distances to distinct addresses are unique, so the
+            // reference answer is unambiguous).
+            let own = space.distance(t.address(owner), target);
+            let reference = table
+                .peers()
+                .min_by_key(|(_, addr)| space.distance(*addr, target))
+                .filter(|(_, addr)| space.distance(*addr, target) < own);
+            prop_assert_eq!(table.next_hop(target), reference, "owner {}", owner);
+            prop_assert_eq!(
+                t.next_hop(owner, target),
+                reference.map(|(id, _)| id),
+                "owner {}",
+                owner
+            );
+            // closest_peers == the sorted prefix of a full scan.
+            let mut all: Vec<_> = table.peers().collect();
+            all.sort_by_key(|(_, addr)| space.distance(*addr, target));
+            for n in [0usize, 1, 2, k, nodes] {
+                let mut expected = all.clone();
+                expected.truncate(n);
+                prop_assert_eq!(table.closest_peers(target, n), expected, "owner {}", owner);
+            }
+        }
+        // Offline tables must be empty and unreachable from live ones.
+        for node in t.node_ids() {
+            if !t.is_live(node) {
+                prop_assert_eq!(t.table(node).connection_count(), 0);
+                prop_assert!(t.table(node).next_hop(target).is_none());
+            }
+        }
+    }
+
     /// A route never visits the same node twice (follows from strict
     /// distance decrease, checked directly for defence in depth).
     #[test]

@@ -169,32 +169,6 @@ impl DownloadSim {
         self.step += 1;
     }
 
-    /// Chunks `node` may still forward in the current step.
-    fn remaining_capacity(&self, node: NodeId) -> u64 {
-        let Some(capacities) = &self.capacities else {
-            return u64::MAX;
-        };
-        let used = if self.used_stamp[node.index()] == self.step {
-            self.used_in_step[node.index()]
-        } else {
-            0
-        };
-        capacities[node.index()].saturating_sub(used)
-    }
-
-    /// Charges one forwarded chunk against `node`'s current-step budget.
-    fn charge_capacity(&mut self, node: NodeId) {
-        if self.capacities.is_none() {
-            return;
-        }
-        let i = node.index();
-        if self.used_stamp[i] != self.step {
-            self.used_stamp[i] = self.step;
-            self.used_in_step[i] = 0;
-        }
-        self.used_in_step[i] += 1;
-    }
-
     /// Accumulated traffic statistics.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
@@ -263,17 +237,22 @@ impl DownloadSim {
 
     /// Routes a single chunk request and updates the statistics.
     pub fn request_chunk(&mut self, originator: NodeId, chunk: OverlayAddress) -> ChunkDelivery {
-        // The returned delivery owns its hop vector, so allocate a fresh
-        // one rather than giving away (and losing) the recycled buffer.
-        let mut hops = Vec::with_capacity(8);
+        // Route through the recycled buffer; the returned delivery owns
+        // its hop vector, so copy out exactly the hops taken (zero-hop
+        // outcomes allocate nothing) instead of growing a fresh vector
+        // hop by hop.
+        let mut hops = std::mem::take(&mut self.route_buf);
+        hops.clear();
         let (outcome, from_cache) = self.route_chunk(originator, chunk, &mut hops);
-        ChunkDelivery {
+        let delivery = ChunkDelivery {
             originator,
             chunk,
-            hops,
+            hops: hops.as_slice().to_vec(),
             from_cache,
             outcome,
-        }
+        };
+        self.route_buf = hops;
+        delivery
     }
 
     /// The greedy forwarding-Kademlia walk behind every chunk request, with
@@ -296,30 +275,49 @@ impl DownloadSim {
             return (RouteOutcome::AlreadyAtStorer, false);
         }
 
+        // The walk borrows each concern once, up front: the topology (one
+        // `Rc` deref for the whole route), the capacity table (the
+        // budget-disabled common case decides a single `Option` branch
+        // here, not one per hop), and the cache flag. Field-disjoint
+        // borrows let the loop update budgets and caches while the
+        // topology stays borrowed.
+        let topology: &Topology = &self.topology;
+        let capacities = self.capacities.as_deref();
+        let used_in_step = &mut self.used_in_step;
+        let used_stamp = &mut self.used_stamp;
+        let caches = &mut self.caches;
+        let use_cache = self.cache_on_path;
+        let step = self.step;
+
         let mut current = originator;
         let (outcome, from_cache) = loop {
-            match self.topology.table(current).next_hop(chunk) {
-                Some((next, _)) => {
-                    // Bandwidth budgets are enforced at forwarding time: a
-                    // saturated next hop cannot serve this step, and greedy
-                    // forwarding-Kademlia has no detour, so the request is
-                    // dropped. Capacity is consumed whether or not the
-                    // route later completes — the bandwidth was spent.
-                    if self.remaining_capacity(next) == 0 {
-                        self.stats.add_capacity_blocked();
-                        break (RouteOutcome::Stuck, false);
-                    }
-                    self.charge_capacity(next);
-                    hops.push(next);
-                    current = next;
-                    if current == storer {
-                        break (RouteOutcome::Delivered, false);
-                    }
-                    if self.cache_on_path && self.caches[current.index()].lookup(chunk) {
-                        break (RouteOutcome::Delivered, true);
-                    }
+            let Some(next) = topology.next_hop(current, chunk) else {
+                break (RouteOutcome::Stuck, false);
+            };
+            if let Some(capacities) = capacities {
+                // Bandwidth budgets are enforced at forwarding time: a
+                // saturated next hop cannot serve this step, and greedy
+                // forwarding-Kademlia has no detour, so the request is
+                // dropped. Capacity is consumed whether or not the route
+                // later completes — the bandwidth was spent.
+                let i = next.index();
+                if used_stamp[i] != step {
+                    used_stamp[i] = step;
+                    used_in_step[i] = 0;
                 }
-                None => break (RouteOutcome::Stuck, false),
+                if used_in_step[i] >= capacities[i] {
+                    self.stats.add_capacity_blocked();
+                    break (RouteOutcome::Stuck, false);
+                }
+                used_in_step[i] += 1;
+            }
+            hops.push(next);
+            current = next;
+            if current == storer {
+                break (RouteOutcome::Delivered, false);
+            }
+            if use_cache && caches[current.index()].lookup(chunk) {
+                break (RouteOutcome::Delivered, true);
             }
         };
 

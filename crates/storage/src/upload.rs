@@ -135,8 +135,8 @@ impl UploadSim {
         let mut hops: Vec<NodeId> = Vec::with_capacity(8);
         let mut current = originator;
         let outcome = loop {
-            match self.topology.table(current).next_hop(chunk) {
-                Some((next, _)) => {
+            match self.topology.next_hop(current, chunk) {
+                Some(next) => {
                     hops.push(next);
                     current = next;
                     if current == storer {

@@ -67,6 +67,10 @@ pub struct Channel {
     amortized: AccountingUnits,
     /// Total units settled in BZZ over the channel's lifetime.
     settled: AccountingUnits,
+    /// Whether the owning [`SwapNetwork`](crate::SwapNetwork) currently
+    /// tracks this channel in its nonzero-balance index. Maintained by the
+    /// network, not the channel.
+    hot: bool,
 }
 
 impl Channel {
@@ -91,6 +95,18 @@ impl Channel {
     #[inline]
     pub fn settled_total(&self) -> AccountingUnits {
         self.settled
+    }
+
+    /// Whether the channel sits in its network's nonzero-balance index.
+    #[inline]
+    pub(crate) fn is_hot(&self) -> bool {
+        self.hot
+    }
+
+    /// Marks index membership (see [`Channel::is_hot`]).
+    #[inline]
+    pub(crate) fn set_hot(&mut self, hot: bool) {
+        self.hot = hot;
     }
 
     /// Records that `a` served `amount` of bandwidth to `b` (b's debt toward

@@ -1,6 +1,7 @@
 //! All SWAP channels of an overlay, plus settlement plumbing.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
 
@@ -11,6 +12,42 @@ use crate::cheque::{Chequebook, Settlement, SettlementLedger};
 use crate::error::SwapError;
 use crate::units::{AccountingUnits, Bzz};
 
+/// Multiplicative mixer for `(usize, usize)` channel keys. The channel
+/// map is probed two to three times per routed chunk, where the default
+/// DoS-resistant SipHash is measurable overhead; node-pair keys from a
+/// simulator need no adversarial resistance, and a fixed hasher also
+/// makes map iteration order reproducible across runs (not that anything
+/// may depend on it — every whole-map walk commutes or sorts).
+#[derive(Debug, Clone, Default)]
+pub struct PairHasher(u64);
+
+impl Hasher for PairHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.write_u64(u64::from(byte));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        // fxhash-style: rotate to spread low-entropy keys, multiply by a
+        // large odd constant to mix into the high bits the map indexes by.
+        self.0 = (self.0.rotate_left(26) ^ value).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+type ChannelMap = HashMap<(usize, usize), Channel, BuildHasherDefault<PairHasher>>;
+
 /// The SWAP state of a whole network: one lazily-created [`Channel`] per
 /// pair of peers that ever exchanged service, per-node chequebooks and
 /// wallets, and the global [`SettlementLedger`].
@@ -19,7 +56,14 @@ pub struct SwapNetwork {
     nodes: usize,
     config: ChannelConfig,
     /// Channels keyed by `(a, b)` with `a < b`.
-    channels: HashMap<(usize, usize), Channel>,
+    channels: ChannelMap,
+    /// Keys of channels that may carry a nonzero balance (every channel
+    /// with a nonzero balance is here; zero-balance members are pruned by
+    /// [`SwapNetwork::tick`]). Amortization, due-settlement sweeps and
+    /// departure settlement walk this set instead of every channel ever
+    /// created — the difference between O(recent traffic) and O(history)
+    /// per simulation step.
+    hot: Vec<(usize, usize)>,
     chequebooks: Vec<Chequebook>,
     wallets: Vec<Bzz>,
     ledger: SettlementLedger,
@@ -43,7 +87,10 @@ impl SwapNetwork {
         Self {
             nodes,
             config,
-            channels: HashMap::new(),
+            // Pre-size for a few channels per node; long runs still grow,
+            // but the early doubling rehashes disappear.
+            channels: ChannelMap::with_capacity_and_hasher(nodes * 4, Default::default()),
+            hot: Vec::new(),
             chequebooks: vec![Chequebook::new(); nodes],
             // Endow wallets generously; the paper does not model depletion.
             // 2^50 per node keeps even network-wide u64 sums overflow-free.
@@ -117,6 +164,10 @@ impl SwapNetwork {
         } else {
             channel.record_b_serves(amount, &self.config)
         };
+        if !channel.is_hot() {
+            channel.set_hot(true);
+            self.hot.push(key);
+        }
         Ok(outcome)
     }
 
@@ -144,22 +195,37 @@ impl SwapNetwork {
         self.debt(debtor, creditor) >= self.config.disconnect_threshold
     }
 
-    /// Applies one tick of time-based amortization to every channel.
-    /// Returns the total units forgiven this tick.
+    /// Applies one tick of time-based amortization to every channel with
+    /// an outstanding balance. Returns the total units forgiven this tick.
+    ///
+    /// Walks the nonzero-balance index rather than every channel (a
+    /// zero-balance channel amortizes nothing), pruning channels whose
+    /// balance reached zero. All per-channel effects commute, so the walk
+    /// order cannot influence results.
     pub fn tick(&mut self) -> AccountingUnits {
         let mut total = AccountingUnits::ZERO;
-        for (&(a, b), channel) in &mut self.channels {
+        let mut kept = 0;
+        for idx in 0..self.hot.len() {
+            let key = self.hot[idx];
+            let channel = self.channels.get_mut(&key).expect("hot channels exist");
             let balance_before = channel.balance().raw();
             let forgiven = channel.amortize(&self.config);
-            if forgiven.is_zero() {
-                continue;
+            if !forgiven.is_zero() {
+                total += forgiven;
+                // Positive balance: b owed a, so a forgave and b received.
+                let (a, b) = key;
+                let (creditor, debtor) = if balance_before > 0 { (a, b) } else { (b, a) };
+                self.amortized_given[creditor] += forgiven;
+                self.amortized_received[debtor] += forgiven;
             }
-            total += forgiven;
-            // Positive balance: b owed a, so a forgave and b received.
-            let (creditor, debtor) = if balance_before > 0 { (a, b) } else { (b, a) };
-            self.amortized_given[creditor] += forgiven;
-            self.amortized_received[debtor] += forgiven;
+            if channel.balance().raw() != 0 {
+                self.hot[kept] = key;
+                kept += 1;
+            } else {
+                channel.set_hot(false);
+            }
         }
+        self.hot.truncate(kept);
         total
     }
 
@@ -242,10 +308,13 @@ impl SwapNetwork {
     /// Propagates [`SwapError::InsufficientFunds`] from individual
     /// settlements; earlier settlements in the sweep remain applied.
     pub fn settle_due(&mut self) -> Result<Vec<Settlement>, SwapError> {
+        // A due balance is nonzero, so the hot index covers every
+        // candidate without touching settled history.
         let due: Vec<(usize, usize, bool)> = self
-            .channels
+            .hot
             .iter()
-            .filter_map(|(&(a, b), channel)| {
+            .filter_map(|&(a, b)| {
+                let channel = &self.channels[&(a, b)];
                 let balance = channel.balance();
                 if balance.abs() >= self.config.payment_threshold {
                     // balance > 0: b owes a.
@@ -290,14 +359,18 @@ impl SwapNetwork {
                 nodes: self.nodes,
             });
         }
+        // Outstanding debt means a nonzero balance, so the departing
+        // node's channels of interest all sit in the hot index — the sweep
+        // costs O(recently active channels), not O(every pair that ever
+        // traded).
         let mut due: Vec<(NodeId, NodeId)> = self
-            .channels
+            .hot
             .iter()
-            .filter_map(|(&(a, b), channel)| {
+            .filter_map(|&(a, b)| {
                 if a != node.index() && b != node.index() {
                     return None;
                 }
-                let balance = channel.balance().raw();
+                let balance = self.channels[&(a, b)].balance().raw();
                 if balance == 0 {
                     return None;
                 }
@@ -356,6 +429,12 @@ impl SwapNetwork {
         self.channels.len()
     }
 
+    /// Number of channels currently tracked as possibly carrying a
+    /// balance (the amortization working set; pruned every tick).
+    pub fn hot_channels(&self) -> usize {
+        self.hot.len()
+    }
+
     /// Net signed balance of each node across all its channels (positive:
     /// the network owes the node). The sum over all nodes is always zero.
     pub fn net_positions(&self) -> Vec<AccountingUnits> {
@@ -379,6 +458,35 @@ mod tests {
             disconnect_threshold: AccountingUnits(disc),
             refresh_rate: AccountingUnits(refresh),
         }
+    }
+
+    #[test]
+    fn hot_index_tracks_exactly_the_outstanding_balances() {
+        let mut net = SwapNetwork::new(6, config(1000, 2000, 3));
+        // Three pairs trade; all are hot.
+        for (c, s, amount) in [(0usize, 1usize, 6i64), (2, 3, 3), (4, 5, 2)] {
+            net.record_service(NodeId(c), NodeId(s), AccountingUnits(amount))
+                .unwrap();
+        }
+        assert_eq!(net.hot_channels(), 3);
+        // One tick forgives 3 per channel: two balances reach zero and
+        // must drop out of the working set; the amounts still amortized.
+        let forgiven = net.tick();
+        assert_eq!(forgiven, AccountingUnits(3 + 3 + 2));
+        assert_eq!(net.hot_channels(), 1);
+        assert_eq!(net.debt(NodeId(0), NodeId(1)), AccountingUnits(3));
+        // The settled-out pair trades again and re-enters the set.
+        net.record_service(NodeId(2), NodeId(3), AccountingUnits(5))
+            .unwrap();
+        assert_eq!(net.hot_channels(), 2);
+        // Every channel with a nonzero balance is always tracked.
+        let nonzero = net
+            .channels
+            .values()
+            .filter(|c| !c.balance().is_zero())
+            .count();
+        assert_eq!(net.hot_channels(), nonzero);
+        assert_eq!(net.active_channels(), 3, "history is never dropped");
     }
 
     #[test]

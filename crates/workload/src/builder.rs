@@ -161,11 +161,22 @@ impl Workload {
         &self.pool
     }
 
-    /// Resamples the originator pool over the live node set (see
-    /// [`OriginatorPool::sync_live`]). Called by churn-aware harnesses
-    /// whenever membership changes.
+    /// Resamples the originator pool over the live node set with a full
+    /// rescan (see [`OriginatorPool::sync_live`]).
     pub fn sync_live(&mut self, is_live: impl Fn(NodeId) -> bool) {
         self.pool.sync_live(is_live);
+    }
+
+    /// Applies one step's liveness flips to the originator pool without
+    /// rescanning the population (see
+    /// [`OriginatorPool::apply_membership`]). Called by churn-aware
+    /// harnesses with exactly the nodes that joined or left this step.
+    pub fn apply_membership(
+        &mut self,
+        changes: &[(NodeId, bool)],
+        is_live: impl Fn(NodeId) -> bool,
+    ) {
+        self.pool.apply_membership(changes, is_live);
     }
 
     /// Draws the next file download from the workload's own RNG stream.

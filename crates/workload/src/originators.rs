@@ -17,10 +17,18 @@ use crate::builder::WorkloadError;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OriginatorPool {
     members: Vec<NodeId>,
-    /// `members` restricted to the currently live overlay (equal to
-    /// `members` on static topologies). [`OriginatorPool::pick`] draws from
-    /// this set; [`OriginatorPool::sync_live`] maintains it under churn.
+    /// The nodes [`OriginatorPool::pick`] draws from, kept sorted: the
+    /// live pool members, or — when every member is offline — the whole
+    /// live population (`fallback`). Maintained incrementally by
+    /// [`OriginatorPool::apply_membership`]; [`OriginatorPool::sync_live`]
+    /// rebuilds it from scratch.
     active: Vec<NodeId>,
+    /// Whether `active` currently holds the whole-live-population
+    /// substitute rather than the live members.
+    fallback: bool,
+    /// Live pool members while in fallback mode (0 by definition on
+    /// entry); a positive count ends the fallback at the next batch end.
+    fallback_live_members: usize,
     total_nodes: usize,
 }
 
@@ -46,6 +54,8 @@ impl OriginatorPool {
         Ok(Self {
             active: members.clone(),
             members,
+            fallback: false,
+            fallback_live_members: 0,
             total_nodes: nodes,
         })
     }
@@ -59,6 +69,8 @@ impl OriginatorPool {
         Ok(Self {
             active: members.clone(),
             members,
+            fallback: false,
+            fallback_live_members: 0,
             total_nodes: nodes,
         })
     }
@@ -102,13 +114,82 @@ impl OriginatorPool {
     /// If every pool member is offline, the live population substitutes as
     /// the active set (deterministically), so the workload never stalls;
     /// the churn plan's live floor guarantees `is_live` holds somewhere.
+    ///
+    /// This is the full `O(members)` (or `O(nodes)`) rebuild; churn-aware
+    /// harnesses that know exactly which nodes flipped should use
+    /// [`OriginatorPool::apply_membership`] instead.
     pub fn sync_live(&mut self, is_live: impl Fn(NodeId) -> bool) {
         self.active.clear();
         self.active
             .extend(self.members.iter().copied().filter(|&n| is_live(n)));
-        if self.active.is_empty() {
+        self.fallback = self.active.is_empty();
+        self.fallback_live_members = 0;
+        if self.fallback {
             self.active
                 .extend((0..self.total_nodes).map(NodeId).filter(|&n| is_live(n)));
+        }
+    }
+
+    /// Applies one step's liveness flips — `(node, now_live)` for exactly
+    /// the nodes whose membership actually changed — keeping `active`
+    /// byte-identical to what a full [`OriginatorPool::sync_live`] rescan
+    /// would produce, at `O(changes × log |active|)` instead of
+    /// `O(members)` per churn batch.
+    ///
+    /// `is_live` is only consulted on the rare mode switches (the whole
+    /// pool going offline, or the first member coming back), where the
+    /// substitute set genuinely needs a population scan.
+    pub fn apply_membership(
+        &mut self,
+        changes: &[(NodeId, bool)],
+        is_live: impl Fn(NodeId) -> bool,
+    ) {
+        if changes.is_empty() {
+            return;
+        }
+        if self.fallback {
+            // `active` mirrors the whole live population: every flip lands.
+            for &(node, alive) in changes {
+                if alive {
+                    sorted_insert(&mut self.active, node);
+                } else {
+                    sorted_remove(&mut self.active, node);
+                }
+                if self.contains(node) {
+                    if alive {
+                        self.fallback_live_members += 1;
+                    } else {
+                        debug_assert!(self.fallback_live_members > 0, "member left while offline");
+                        self.fallback_live_members = self.fallback_live_members.saturating_sub(1);
+                    }
+                }
+            }
+            if self.fallback_live_members > 0 {
+                // A member returned: drop the substitute set.
+                self.fallback = false;
+                self.fallback_live_members = 0;
+                self.active.clear();
+                self.active
+                    .extend(self.members.iter().copied().filter(|&n| is_live(n)));
+            }
+        } else {
+            // `active` mirrors members ∩ live: only member flips land.
+            for &(node, alive) in changes {
+                if self.contains(node) {
+                    if alive {
+                        sorted_insert(&mut self.active, node);
+                    } else {
+                        sorted_remove(&mut self.active, node);
+                    }
+                }
+            }
+            if self.active.is_empty() {
+                // The whole pool went offline: substitute the live
+                // population so the workload never stalls.
+                self.fallback = true;
+                self.active
+                    .extend((0..self.total_nodes).map(NodeId).filter(|&n| is_live(n)));
+            }
         }
     }
 
@@ -120,6 +201,18 @@ impl OriginatorPool {
     /// plan's live floor rules out.
     pub fn pick<R: Rng>(&self, rng: &mut R) -> NodeId {
         self.active[rng.gen_range(0..self.active.len())]
+    }
+}
+
+fn sorted_insert(list: &mut Vec<NodeId>, node: NodeId) {
+    if let Err(pos) = list.binary_search(&node) {
+        list.insert(pos, node);
+    }
+}
+
+fn sorted_remove(list: &mut Vec<NodeId>, node: NodeId) {
+    if let Ok(pos) = list.binary_search(&node) {
+        list.remove(pos);
     }
 }
 
@@ -209,6 +302,63 @@ mod tests {
             let picked = pool.pick(&mut rng);
             assert!(!members.contains(&picked));
         }
+    }
+
+    #[test]
+    fn apply_membership_matches_full_rescan() {
+        // Random interleaved flips, including phases where the whole pool
+        // goes offline (fallback) and comes back: after every batch the
+        // incremental pool must equal a freshly rescanned one.
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let nodes = 40;
+        let mut incremental = OriginatorPool::sample(nodes, 0.2, &mut rng).unwrap();
+        let mut reference = incremental.clone();
+        let mut live = vec![true; nodes];
+        for batch in 0..200 {
+            let mut changes = Vec::new();
+            let batch_len = 1 + (batch % 4);
+            for _ in 0..batch_len {
+                let node = rng.gen_range(0..nodes);
+                // Keep at least two nodes live, like the churn floor.
+                if live[node] && live.iter().filter(|&&l| l).count() <= 2 {
+                    continue;
+                }
+                live[node] = !live[node];
+                changes.push((NodeId(node), live[node]));
+            }
+            incremental.apply_membership(&changes, |n| live[n.index()]);
+            reference.sync_live(|n| live[n.index()]);
+            assert_eq!(
+                incremental.active_members(),
+                reference.active_members(),
+                "batch {batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_membership_handles_pool_wide_outage_and_return() {
+        let mut rng = ChaCha12Rng::seed_from_u64(13);
+        let mut pool = OriginatorPool::sample(20, 0.2, &mut rng).unwrap();
+        let members = pool.members().to_vec();
+        let mut live = [true; 20];
+        // Take every member down one at a time.
+        for &m in &members {
+            live[m.index()] = false;
+            pool.apply_membership(&[(m, false)], |n| live[n.index()]);
+        }
+        // Fallback: every remaining live node substitutes.
+        let expected: Vec<NodeId> = (0..20).map(NodeId).filter(|n| live[n.index()]).collect();
+        assert_eq!(pool.active_members(), expected);
+        // Non-member flips must keep the substitute set in sync.
+        let outsider = (0..20).map(NodeId).find(|n| !members.contains(n)).unwrap();
+        live[outsider.index()] = false;
+        pool.apply_membership(&[(outsider, false)], |n| live[n.index()]);
+        assert!(!pool.active_members().contains(&outsider));
+        // First member back ends the fallback.
+        live[members[0].index()] = true;
+        pool.apply_membership(&[(members[0], true)], |n| live[n.index()]);
+        assert_eq!(pool.active_members(), &[members[0]]);
     }
 
     #[test]
