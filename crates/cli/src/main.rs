@@ -19,9 +19,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use fairswap_core::benchrun;
 use fairswap_core::experiments::{
-    churn, extensions, fig4, fig5, fig6, large_scale, scenarios, sweeps, table1, ExperimentScale,
+    cache_churn, churn, extensions, fig4, fig5, fig6, large_scale, routing, scenarios, sweeps,
+    table1, ExperimentScale,
 };
-use fairswap_core::{CsvTable, Executor};
+use fairswap_core::{CsvTable, Executor, SimJob, SimSpec};
 
 /// One dispatchable experiment command: the single source of truth behind
 /// both `usage()` and the `all` meta-command, so the help text and the
@@ -117,6 +118,24 @@ const COMMANDS: &[CommandSpec] = &[
         in_all: true,
     },
     CommandSpec {
+        name: "routing",
+        section: "policy",
+        blurb: "drop vs capacity-detour routing under heterogeneity",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "cache-churn",
+        section: "policy",
+        blurb: "cache policy x churn rate grid",
+        in_all: true,
+    },
+    CommandSpec {
+        name: "run",
+        section: "spec",
+        blurb: "execute a SimSpec JSON file (--config FILE)",
+        in_all: false,
+    },
+    CommandSpec {
         name: "large-scale",
         section: "scaling",
         blurb: "fairness at 10^5 nodes, 20-24-bit space",
@@ -125,7 +144,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "bench",
         section: "tracking",
-        blurb: "time the standard presets, write BENCH_4.json",
+        blurb: "time the standard presets, write BENCH_5.json",
         in_all: false,
     },
 ];
@@ -143,6 +162,8 @@ struct Options {
     threads: usize,
     /// Restricts the `scenarios` command to one named scenario.
     scenario: Option<String>,
+    /// `run`: the SimSpec JSON file to execute.
+    config: Option<PathBuf>,
     /// `bench`: validate an existing BENCH_*.json instead of running.
     check: Option<PathBuf>,
     /// `bench`: embed this previous report as the new file's baseline.
@@ -155,7 +176,7 @@ fn usage() -> String {
     let mut text = format!("usage: fairswap <{}|all>\n", names.join("|"));
     text.push_str(
         "       [--nodes N] [--files N] [--seed S] [--out DIR] [--quick] [--threads T]\n\
-         \x20      [--bits B] [--scenario NAME]\n\nCommands:\n",
+         \x20      [--bits B] [--scenario NAME] [--config FILE]\n\nCommands:\n",
     );
     for command in COMMANDS {
         text.push_str(&format!(
@@ -179,6 +200,7 @@ fn usage() -> String {
     text.push_str(&scenarios::SCENARIO_NAMES.join(", "));
     text.push_str(
         "\n\
+         --config    run: the SimSpec JSON file to execute (see docs/EXPERIMENTS.md)\n\
          --check     bench: validate an existing BENCH_*.json and exit\n\
          --baseline  bench: embed a previous BENCH_*.json as the baseline\n\
          defaults: paper scale (1000 nodes, 10000 files), out = ./results;\n\
@@ -195,6 +217,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut bits = large_scale::DEFAULT_BITS;
     let mut threads = 1usize;
     let mut scenario = None;
+    let mut config = None;
     let mut check = None;
     let mut baseline = None;
     let mut quick = false;
@@ -204,7 +227,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--nodes" | "--files" | "--seed" | "--out" | "--threads" | "--bits" | "--scenario"
-            | "--check" | "--baseline" => {
+            | "--config" | "--check" | "--baseline" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -247,6 +270,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         }
                         scenario = Some(value.clone());
                     }
+                    "--config" => config = Some(PathBuf::from(value)),
                     "--check" => check = Some(PathBuf::from(value)),
                     "--baseline" => baseline = Some(PathBuf::from(value)),
                     "--out" => out = PathBuf::from(value),
@@ -283,6 +307,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         bits,
         threads,
         scenario,
+        config,
         check,
         baseline,
         out,
@@ -522,6 +547,127 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(out, "scenarios.csv", &result.to_csv())?;
                 write_csv(out, "scenarios_timeline.csv", &result.timeline_csv())?;
             }
+            "routing" => {
+                let result = routing::run_with(scale, &executor).map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  {:<16} k={:<2} delivered={:>5.1}% blocked={:>6} detoured={:>6} hops={:.2} F2={:.4}",
+                        r.route,
+                        r.k,
+                        r.delivery_rate() * 100.0,
+                        r.capacity_blocked,
+                        r.detoured,
+                        r.mean_hops,
+                        r.f2_gini
+                    );
+                }
+                for k in [4, 20] {
+                    if let Some(reduction) = result.drop_reduction(k) {
+                        println!(
+                            "  k={k}: detour recovers {:.1}% of greedy's capacity drops",
+                            reduction * 100.0
+                        );
+                    }
+                }
+                write_csv(out, "routing.csv", &result.to_csv())?;
+            }
+            "cache-churn" => {
+                let result = cache_churn::run_with(scale, &cache_churn::DEFAULT_RATES, &executor)
+                    .map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  cache={:<5} churn={:>4.0}%  served={:>7} hits={:>7} mean_forwarded={:>9.1} F2={:.4}",
+                        r.cache,
+                        r.churn_rate * 100.0,
+                        r.cache_served,
+                        r.cache_hits,
+                        r.mean_forwarded,
+                        r.f2_gini
+                    );
+                }
+                write_csv(out, "cache_churn.csv", &result.to_csv())?;
+            }
+            "run" => {
+                let path = opts.config.as_ref().ok_or_else(|| {
+                    "run requires --config FILE (a SimSpec JSON document)".to_string()
+                })?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {}: {e}", path.display()))?;
+                let spec = SimSpec::from_json(&text).map_err(err)?;
+                let config = spec.to_config();
+                println!(
+                    "  spec: nodes={} bits={} k={} files={} seed={:#x} mechanism={} route={} cache={} repair={}",
+                    config.nodes,
+                    config.bits,
+                    config.bucket_sizing.default_k(),
+                    config.files,
+                    config.seed,
+                    config.mechanism.id(),
+                    config.route.id(),
+                    config.cache.id(),
+                    config.repair.id()
+                );
+                let reports = fairswap_core::run_jobs_with_progress(
+                    &executor,
+                    vec![SimJob::new(config.clone())],
+                    live_progress(),
+                )
+                .map_err(err)?;
+                let report = &reports[0];
+                let requests: u64 = report.traffic().requests_issued().iter().sum();
+                println!(
+                    "  delivered {} of {} requests  mean_forwarded={:.1} hops={:.2} F1={:.4} F2={:.4}",
+                    requests - report.traffic().stuck_requests(),
+                    requests,
+                    report.mean_forwarded(),
+                    report.hops().mean().unwrap_or(0.0),
+                    report.f1_contribution_gini(),
+                    report.f2_income_gini()
+                );
+                let mut csv = CsvTable::new([
+                    "nodes",
+                    "bits",
+                    "k",
+                    "files",
+                    "seed",
+                    "mechanism",
+                    "route",
+                    "cache",
+                    "repair",
+                    "requests",
+                    "stuck_requests",
+                    "capacity_blocked",
+                    "detoured",
+                    "cache_hits",
+                    "mean_forwarded",
+                    "mean_hops",
+                    "f1_gini",
+                    "f2_gini",
+                    "repair_events",
+                ]);
+                csv.push_row([
+                    config.nodes.to_string(),
+                    config.bits.to_string(),
+                    config.bucket_sizing.default_k().to_string(),
+                    config.files.to_string(),
+                    config.seed.to_string(),
+                    config.mechanism.id().to_string(),
+                    config.route.id().to_string(),
+                    config.cache.id().to_string(),
+                    config.repair.id().to_string(),
+                    requests.to_string(),
+                    report.traffic().stuck_requests().to_string(),
+                    report.traffic().capacity_blocked().to_string(),
+                    report.traffic().detoured().to_string(),
+                    report.cache_hits().to_string(),
+                    CsvTable::fmt_float(report.mean_forwarded()),
+                    CsvTable::fmt_float(report.hops().mean().unwrap_or(0.0)),
+                    CsvTable::fmt_float(report.f1_contribution_gini()),
+                    CsvTable::fmt_float(report.f2_income_gini()),
+                    report.churn().map_or(0, |c| c.repair_events).to_string(),
+                ]);
+                write_csv(out, "run.csv", &csv)?;
+            }
             "churn" => {
                 let result =
                     churn::run_with(scale, &churn::DEFAULT_RATES, &executor).map_err(err)?;
@@ -631,6 +777,7 @@ mod tests {
             bits: large_scale::DEFAULT_BITS,
             threads: 1,
             scenario: None,
+            config: None,
             check: None,
             baseline: None,
             out,
@@ -801,16 +948,87 @@ mod tests {
             };
             report.write_to(&dir).unwrap()
         };
+        // `run` executes a SimSpec document; give it a tiny one.
+        let spec_file = dir.join("dispatch_spec.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            &spec_file,
+            r#"{ "topology": { "nodes": 80 }, "workload": { "files": 8 } }"#,
+        )
+        .unwrap();
         for command in COMMANDS {
             let mut opts = quick_opts(command.name, 80, 8, dir.clone());
             opts.bits = 17;
             if command.name == "bench" {
                 opts.check = Some(bench_file.clone());
             }
+            if command.name == "run" {
+                opts.config = Some(spec_file.clone());
+            }
             run_command(&opts).unwrap_or_else(|e| panic!("{} failed: {e}", command.name));
         }
         assert!(dir.join("scenarios.csv").exists());
         assert!(dir.join("metric_robustness.csv").exists());
+        assert!(dir.join("routing.csv").exists());
+        assert!(dir.join("cache_churn.csv").exists());
+        assert!(dir.join("run.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_command_requires_and_executes_a_spec() {
+        let dir = std::env::temp_dir().join("fairswap_cli_run_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing --config is a clear error.
+        let opts = quick_opts("run", 80, 8, dir.clone());
+        assert!(run_command(&opts).unwrap_err().contains("--config"));
+        // A malformed spec is rejected with the parse error.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{ nope").unwrap();
+        let mut opts = quick_opts("run", 80, 8, dir.clone());
+        opts.config = Some(bad);
+        assert!(run_command(&opts).unwrap_err().contains("parsing spec"));
+        // A valid spec runs end to end and writes the summary CSV.
+        let good = dir.join("good.json");
+        std::fs::write(
+            &good,
+            r#"{
+                "seed": 11,
+                "topology": { "nodes": 100 },
+                "workload": { "files": 10 },
+                "dynamics": { "scenario": { "Heterogeneity": {
+                    "slow_fraction": 0.3, "slow_budget": 4, "fast_budget": 64 } } },
+                "policies": { "route": { "CapacityDetour": { "max_detours": 3 } } }
+            }"#,
+        )
+        .unwrap();
+        let mut opts = quick_opts("run", 80, 8, dir.clone());
+        opts.config = Some(good);
+        run_command(&opts).unwrap();
+        let csv = std::fs::read_to_string(dir.join("run.csv")).unwrap();
+        assert!(csv.starts_with("nodes,bits,k,files,seed,mechanism,route,"));
+        assert!(csv.contains("capacity-detour"));
+        assert!(csv.contains("100,16,4,10,11"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn routing_and_cache_churn_commands_write_csvs() {
+        let dir = std::env::temp_dir().join("fairswap_cli_policy_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = quick_opts("routing", 100, 16, dir.clone());
+        run_command(&opts).unwrap();
+        let csv = std::fs::read_to_string(dir.join("routing.csv")).unwrap();
+        assert!(csv.starts_with("route,k,requests,"));
+        // Two policies × two k values, plus the header.
+        assert_eq!(csv.lines().count(), 5);
+        let opts = quick_opts("cache-churn", 100, 16, dir.clone());
+        run_command(&opts).unwrap();
+        let csv = std::fs::read_to_string(dir.join("cache_churn.csv")).unwrap();
+        assert!(csv.starts_with("cache,churn_rate,"));
+        // Four policies × four rates, plus the header.
+        assert_eq!(csv.lines().count(), 17);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -22,16 +22,18 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::exec::{run_jobs_with_progress, SimJob};
-use crate::experiments::{churn, fig4, large_scale, scenarios, ExperimentScale};
+use crate::experiments::{churn, fig4, large_scale, routing, scenarios, ExperimentScale};
 
 /// The benchmark file this revision of the runner writes.
-pub const BENCH_FILE: &str = "BENCH_4.json";
+pub const BENCH_FILE: &str = "BENCH_5.json";
 
 /// The PR number stamped into emitted reports.
-pub const BENCH_PR: u32 = 4;
+pub const BENCH_PR: u32 = 5;
 
-/// Names of the timed presets, in run order.
-pub const PRESET_NAMES: [&str; 4] = ["fig4", "churn", "scenarios", "large_scale_quick"];
+/// Names of the timed presets, in run order. `routing` (added with the
+/// policy layer) times the capacity-detour slow path; the others carry
+/// over from BENCH_4 so the trajectory stays comparable.
+pub const PRESET_NAMES: [&str; 5] = ["fig4", "churn", "scenarios", "routing", "large_scale_quick"];
 
 /// One timed preset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,7 +92,7 @@ impl BenchReport {
         serde_json::to_string(self).map_err(|e| format!("serializing bench report: {e}"))
     }
 
-    /// Writes the report to `dir/BENCH_4.json` and returns the path.
+    /// Writes the report to `dir/BENCH_5.json` and returns the path.
     ///
     /// # Errors
     ///
@@ -118,27 +120,33 @@ impl BenchReport {
                 return Err(format!("preset '{name}' appears {matches} times, want 1"));
             }
         }
-        for row in self.presets.iter().chain(&self.baseline) {
-            if row.wall_ms == 0 || row.chunks_routed == 0 {
-                return Err(format!("row '{}' records no work", row.preset));
-            }
-            let implied = row.chunks_routed as f64 * 1000.0 / row.wall_ms as f64;
-            // wall_ms truncation skews the stored rate by up to 1/wall_ms
-            // relative (a 10.9 ms run stores wall_ms = 10), so very short
-            // runs need a proportionally wider tolerance.
-            let tolerance = (1.0 / row.wall_ms as f64).max(0.05);
-            if !row.chunks_per_sec.is_finite()
-                || row.chunks_per_sec <= 0.0
-                || (row.chunks_per_sec - implied).abs() / implied > tolerance
-            {
-                return Err(format!(
-                    "row '{}': chunks_per_sec {} inconsistent with {} chunks in {} ms",
-                    row.preset, row.chunks_per_sec, row.chunks_routed, row.wall_ms
-                ));
-            }
-        }
-        Ok(())
+        check_rows(self.presets.iter().chain(&self.baseline))
     }
+}
+
+/// Row-level invariants shared by current and baseline rows: positive
+/// work and self-consistent throughput (`chunks_per_sec ≈ chunks / wall`).
+fn check_rows<'a>(rows: impl Iterator<Item = &'a BenchRow>) -> Result<(), String> {
+    for row in rows {
+        if row.wall_ms == 0 || row.chunks_routed == 0 {
+            return Err(format!("row '{}' records no work", row.preset));
+        }
+        let implied = row.chunks_routed as f64 * 1000.0 / row.wall_ms as f64;
+        // wall_ms truncation skews the stored rate by up to 1/wall_ms
+        // relative (a 10.9 ms run stores wall_ms = 10), so very short
+        // runs need a proportionally wider tolerance.
+        let tolerance = (1.0 / row.wall_ms as f64).max(0.05);
+        if !row.chunks_per_sec.is_finite()
+            || row.chunks_per_sec <= 0.0
+            || (row.chunks_per_sec - implied).abs() / implied > tolerance
+        {
+            return Err(format!(
+                "row '{}': chunks_per_sec {} inconsistent with {} chunks in {} ms",
+                row.preset, row.chunks_per_sec, row.chunks_routed, row.wall_ms
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Parses and validates an emitted report file.
@@ -147,12 +155,24 @@ impl BenchReport {
 ///
 /// Describes the I/O, parse or schema failure.
 pub fn validate_file(path: &Path) -> Result<BenchReport, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-    let report: BenchReport =
-        serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    let report = load_report(path)?;
     report.validate()?;
     Ok(report)
+}
+
+/// Parses a report file checking only row well-formedness, not coverage
+/// of the *current* preset list — the right bar for `--baseline` files,
+/// which legitimately predate presets added since their PR.
+pub fn load_baseline(path: &Path) -> Result<BenchReport, String> {
+    let report = load_report(path)?;
+    check_rows(report.presets.iter().chain(&report.baseline))?;
+    Ok(report)
+}
+
+fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
 }
 
 /// Validates an existing report file and prints a one-line confirmation
@@ -192,7 +212,7 @@ pub fn run_command(
     })
     .map_err(|e| e.to_string())?;
     if let Some(path) = baseline {
-        report = report.with_baseline(&validate_file(path)?);
+        report = report.with_baseline(&load_baseline(path)?);
     }
     report.validate()?;
     for row in &report.presets {
@@ -250,6 +270,14 @@ pub fn preset_jobs(name: &str, quick: bool) -> Result<Vec<SimJob>, CoreError> {
                 scale(400, 120)
             };
             scenarios::jobs(s, &scenarios::SCENARIO_NAMES)
+        }
+        "routing" => {
+            let s = if quick {
+                scale(200, 40)
+            } else {
+                scale(500, 150)
+            };
+            Ok(routing::jobs(s))
         }
         "large_scale_quick" => {
             let s = if quick {
@@ -370,6 +398,29 @@ mod tests {
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
         back.validate().unwrap();
+    }
+
+    #[test]
+    fn baselines_from_older_prs_load_without_current_coverage() {
+        // A BENCH_4-era file knows nothing about the `routing` preset:
+        // strict validation rejects it, baseline loading accepts it.
+        let mut old = tiny_report();
+        old.pr = 4;
+        old.presets.retain(|r| r.preset != "routing");
+        assert!(old.validate().is_err());
+        let dir = std::env::temp_dir().join("fairswap_benchrun_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_old.json");
+        std::fs::write(&path, old.to_json().unwrap()).unwrap();
+        assert!(validate_file(&path).is_err());
+        let loaded = load_baseline(&path).unwrap();
+        assert_eq!(loaded, old);
+        // Malformed rows still fail the baseline bar.
+        let mut broken = old.clone();
+        broken.presets[0].chunks_routed = 0;
+        std::fs::write(&path, broken.to_json().unwrap()).unwrap();
+        assert!(load_baseline(&path).unwrap_err().contains("no work"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

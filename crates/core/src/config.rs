@@ -9,11 +9,12 @@ use fairswap_incentives::{
 };
 use fairswap_kademlia::{AddressSpace, BucketSizing, TopologyBuilder};
 use fairswap_simcore::rng::{domain, sub_seed};
-use fairswap_storage::CachePolicy;
+use fairswap_storage::{CachePolicy, RoutePolicy};
 use fairswap_swap::{Bzz, ChannelConfig, Pricing};
 use fairswap_workload::{ChunkDist, FileSizeDist, WorkloadBuilder};
 
 use crate::error::CoreError;
+use crate::policy::RepairPolicy;
 use crate::scenario::ScenarioKind;
 use crate::sim::BandwidthSim;
 
@@ -96,6 +97,13 @@ pub struct SimConfig {
     /// outages, capacity heterogeneity) layered on top of the churn model;
     /// `None` runs no scenario.
     pub scenario: Option<ScenarioKind>,
+    /// Routing policy: what a request does when its greedy next hop is
+    /// bandwidth-saturated ([`RoutePolicy::Greedy`] reproduces the paper's
+    /// drop rule bit-for-bit).
+    pub route: RoutePolicy,
+    /// Repair policy: how the simulation reacts to departures that strand
+    /// chunks ([`RepairPolicy::None`] reproduces the paper's model).
+    pub repair: RepairPolicy,
 }
 
 impl SimConfig {
@@ -123,13 +131,40 @@ impl SimConfig {
             pricing: Pricing::proximity_unit(),
             churn: None,
             scenario: None,
+            route: RoutePolicy::Greedy,
+            repair: RepairPolicy::None,
         }
     }
 
-    fn validate(&self) -> Result<(), CoreError> {
+    pub(crate) fn validate(&self) -> Result<(), CoreError> {
+        if self.nodes == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "nodes must be at least 1".into(),
+            });
+        }
+        if self.bits == 0 || self.bits > 64 {
+            return Err(CoreError::InvalidConfig {
+                message: format!("bits must be in 1..=64, got {}", self.bits),
+            });
+        }
         if self.files == 0 {
             return Err(CoreError::InvalidConfig {
                 message: "files must be at least 1".into(),
+            });
+        }
+        // An out-of-range originator fraction would otherwise surface much
+        // later as a workload-build failure (or, for NaN/0, an empty
+        // originator pool panicking mid-run) — reject it up front with the
+        // other config errors.
+        if !(self.originator_fraction.is_finite()
+            && self.originator_fraction > 0.0
+            && self.originator_fraction <= 1.0)
+        {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "originator fraction must be in (0, 1], got {}",
+                    self.originator_fraction
+                ),
             });
         }
         if !(self.free_rider_fraction.is_finite()
@@ -148,6 +183,7 @@ impl SimConfig {
         if let Some(scenario) = &self.scenario {
             scenario.validate(self.bits, self.files)?;
         }
+        self.repair.validate(self.bits)?;
         Ok(())
     }
 
@@ -346,6 +382,21 @@ impl SimulationBuilder {
         self
     }
 
+    /// Routing policy (see [`RoutePolicy`]).
+    #[must_use]
+    pub fn route_policy(mut self, route: RoutePolicy) -> Self {
+        self.config.route = route;
+        self
+    }
+
+    /// Repair policy (see [`RepairPolicy`]); validated by
+    /// [`SimulationBuilder::build`].
+    #[must_use]
+    pub fn repair_policy(mut self, repair: RepairPolicy) -> Self {
+        self.config.repair = repair;
+        self
+    }
+
     /// The configuration as currently set.
     pub fn config(&self) -> &SimConfig {
         &self.config
@@ -418,6 +469,77 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, CoreError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("files must be at least 1"));
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        let err = SimulationBuilder::new().nodes(0).build().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("nodes must be at least 1"));
+    }
+
+    #[test]
+    fn out_of_range_bits_rejected() {
+        for bits in [0u32, 65] {
+            let err = SimulationBuilder::new()
+                .nodes(10)
+                .bits(bits)
+                .files(1)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, CoreError::InvalidConfig { .. }), "{bits}");
+            assert!(
+                err.to_string().contains("bits must be in 1..=64"),
+                "{bits}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_originator_fractions_rejected() {
+        for fraction in [0.0, -0.2, 1.5, f64::NAN, f64::INFINITY] {
+            let err = SimulationBuilder::new()
+                .nodes(10)
+                .files(1)
+                .originator_fraction(fraction)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, CoreError::InvalidConfig { .. }),
+                "{fraction}: {err}"
+            );
+            assert!(
+                err.to_string()
+                    .contains("originator fraction must be in (0, 1]"),
+                "{fraction}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_repair_policy_rejected() {
+        let err = SimulationBuilder::new()
+            .nodes(10)
+            .files(1)
+            .repair_policy(RepairPolicy::ReReplicate {
+                neighborhood_bits: 0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("neighborhood_bits"));
+    }
+
+    #[test]
+    fn policy_setters_reach_the_config() {
+        let b = SimulationBuilder::new()
+            .route_policy(RoutePolicy::CapacityDetour { max_detours: 3 })
+            .repair_policy(RepairPolicy::ReReplicate {
+                neighborhood_bits: 8,
+            });
+        assert_eq!(b.config().route.id(), "capacity-detour");
+        assert_eq!(b.config().repair.id(), "re-replicate");
+        assert!(b.build().is_ok());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! | [`churn::run`] | §V future work: F1/F2 fairness vs churn rate |
 //! | [`large_scale::run`] | scaling: fairness at 10⁵ nodes, 20–24-bit space |
 //! | [`scenarios::run`] | scripted shocks: targeted departures, flash crowds, regional outages, heterogeneity |
+//! | [`routing::run`] | policy layer: drop vs capacity-detour routing under heterogeneity |
+//! | [`cache_churn::run`] | policy layer: cache policy × churn rate (§V caching × the churn axis) |
 //!
 //! Every preset takes an [`ExperimentScale`] so the full paper-scale run
 //! (1000 nodes, 10k files) and a laptop-quick run share one code path, and
@@ -25,12 +27,14 @@
 //! output for any thread count, since each cell forks all of its RNG
 //! streams from its own config seed (see [`crate::exec`]).
 
+pub mod cache_churn;
 pub mod churn;
 pub mod extensions;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod large_scale;
+pub mod routing;
 pub mod scenarios;
 pub mod sweeps;
 pub mod table1;

@@ -1,0 +1,243 @@
+//! Drop vs detour: the capacity-aware routing study, the first client of
+//! the policy layer.
+//!
+//! Under heterogeneous bandwidth (the two-tier capacity scenario), greedy
+//! forwarding-Kademlia drops every request whose next hop is saturated.
+//! The [`RoutePolicy::CapacityDetour`] policy instead escapes through the
+//! next-closest table entries. This preset crosses the two policies with
+//! `k ∈ {4, 20}` and reports the trade-off the roadmap asks for: how many
+//! drops the detour recovers (availability), what it costs in extra hops
+//! (latency), and what it does to the paper's F1/F2 fairness metrics.
+
+use fairswap_simcore::Executor;
+use serde::{Deserialize, Serialize};
+
+use fairswap_storage::RoutePolicy;
+
+use crate::csv::CsvTable;
+use crate::error::CoreError;
+use crate::exec::{run_jobs, SimJob};
+use crate::experiments::churn::PAPER_KS;
+use crate::experiments::scale::ExperimentScale;
+use crate::scenario::ScenarioKind;
+
+/// The routing policies the preset compares, in sweep order.
+pub const ROUTE_POLICIES: [RoutePolicy; 2] = [
+    RoutePolicy::Greedy,
+    RoutePolicy::CapacityDetour { max_detours: 3 },
+];
+
+/// The two-tier capacity scenario every cell runs under: 30% slow nodes
+/// at 4 chunks/step vs 64 chunks/step, matching the `scenarios` preset's
+/// heterogeneity cell so the two experiments stay comparable.
+pub const HETEROGENEITY: ScenarioKind = ScenarioKind::Heterogeneity {
+    slow_fraction: 0.3,
+    slow_budget: 4,
+    fast_budget: 64,
+};
+
+/// One `(route, k)` cell of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingRow {
+    /// Routing policy identifier (`greedy` / `capacity-detour`).
+    pub route: String,
+    /// Bucket size.
+    pub k: usize,
+    /// Chunk requests issued.
+    pub requests: u64,
+    /// Requests that never reached a storer.
+    pub stuck_requests: u64,
+    /// Requests dropped with every candidate hop saturated.
+    pub capacity_blocked: u64,
+    /// Hops that detoured around a saturated greedy choice.
+    pub detoured: u64,
+    /// Mean hops per delivered chunk (the latency cost of detouring).
+    pub mean_hops: f64,
+    /// Mean forwarded chunks per node.
+    pub mean_forwarded: f64,
+    /// F1 contribution Gini.
+    pub f1_gini: f64,
+    /// F2 income Gini.
+    pub f2_gini: f64,
+}
+
+impl RoutingRow {
+    /// Fraction of issued requests that were delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        (self.requests - self.stuck_requests) as f64 / self.requests as f64
+    }
+}
+
+/// The full drop-vs-detour sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingExperiment {
+    /// One row per `(route, k)` cell, in sweep order.
+    pub rows: Vec<RoutingRow>,
+}
+
+impl RoutingExperiment {
+    /// The row of one `(route, k)` cell.
+    pub fn row(&self, route: &str, k: usize) -> Option<&RoutingRow> {
+        self.rows.iter().find(|r| r.route == route && r.k == k)
+    }
+
+    /// Fraction of greedy's capacity drops the detour policy recovered at
+    /// this `k` — the headline availability win. `None` when either cell
+    /// is missing or greedy never dropped.
+    pub fn drop_reduction(&self, k: usize) -> Option<f64> {
+        let greedy = self.row("greedy", k)?;
+        let detour = self.row("capacity-detour", k)?;
+        (greedy.capacity_blocked > 0).then(|| {
+            (greedy.capacity_blocked as f64 - detour.capacity_blocked as f64)
+                / greedy.capacity_blocked as f64
+        })
+    }
+
+    /// One row per cell — the artifact `fairswap routing` writes.
+    pub fn to_csv(&self) -> CsvTable {
+        let mut csv = CsvTable::new([
+            "route",
+            "k",
+            "requests",
+            "stuck_requests",
+            "capacity_blocked",
+            "detoured",
+            "delivery_rate",
+            "mean_hops",
+            "mean_forwarded",
+            "f1_gini",
+            "f2_gini",
+        ]);
+        for r in &self.rows {
+            csv.push_row([
+                r.route.clone(),
+                r.k.to_string(),
+                r.requests.to_string(),
+                r.stuck_requests.to_string(),
+                r.capacity_blocked.to_string(),
+                r.detoured.to_string(),
+                CsvTable::fmt_float(r.delivery_rate()),
+                CsvTable::fmt_float(r.mean_hops),
+                CsvTable::fmt_float(r.mean_forwarded),
+                CsvTable::fmt_float(r.f1_gini),
+                CsvTable::fmt_float(r.f2_gini),
+            ]);
+        }
+        csv
+    }
+}
+
+/// Runs the drop-vs-detour sweep serially.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run(scale: ExperimentScale) -> Result<RoutingExperiment, CoreError> {
+    run_with(scale, &Executor::serial())
+}
+
+/// [`run`] with the `(route, k)` cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    scale: ExperimentScale,
+    executor: &Executor,
+) -> Result<RoutingExperiment, CoreError> {
+    let cells = grid();
+    let reports = run_jobs(executor, jobs(scale))?;
+    let rows = cells
+        .iter()
+        .zip(&reports)
+        .map(|(&(route, k), report)| RoutingRow {
+            route: route.id().to_string(),
+            k,
+            requests: report.traffic().requests_issued().iter().sum(),
+            stuck_requests: report.traffic().stuck_requests(),
+            capacity_blocked: report.traffic().capacity_blocked(),
+            detoured: report.traffic().detoured(),
+            mean_hops: report.hops().mean().unwrap_or(0.0),
+            mean_forwarded: report.mean_forwarded(),
+            f1_gini: report.f1_contribution_gini(),
+            f2_gini: report.f2_income_gini(),
+        })
+        .collect();
+    Ok(RoutingExperiment { rows })
+}
+
+/// The `(route, k)` cells in `ROUTE_POLICIES` × `PAPER_KS` order — the
+/// single source of cell order for row labels and the job list.
+fn grid() -> Vec<(RoutePolicy, usize)> {
+    ROUTE_POLICIES
+        .iter()
+        .flat_map(|&route| PAPER_KS.iter().map(move |&k| (route, k)))
+        .collect()
+}
+
+/// The grid's [`SimJob`]s — shared by [`run_with`] and the benchmark
+/// runner ([`crate::benchrun`]).
+pub fn jobs(scale: ExperimentScale) -> Vec<SimJob> {
+    grid()
+        .into_iter()
+        .map(|(route, k)| {
+            let mut config = scale.cell_config(k, 1.0);
+            config.scenario = Some(HETEROGENEITY);
+            config.route = route;
+            SimJob::new(config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> ExperimentScale {
+        ExperimentScale {
+            nodes: 150,
+            files: 60,
+            seed: 0xFA12,
+        }
+    }
+
+    #[test]
+    fn detour_recovers_drops_at_extra_hop_cost() {
+        let result = run(scale()).unwrap();
+        assert_eq!(result.rows.len(), 4);
+        for k in PAPER_KS {
+            let greedy = result.row("greedy", k).unwrap();
+            let detour = result.row("capacity-detour", k).unwrap();
+            assert_eq!(greedy.detoured, 0, "greedy never detours");
+            assert!(greedy.capacity_blocked > 0, "{greedy:?}");
+            assert!(detour.detoured > 0, "{detour:?}");
+            assert!(
+                detour.capacity_blocked < greedy.capacity_blocked,
+                "detour must recover drops: {detour:?} vs {greedy:?}"
+            );
+            assert!(
+                detour.delivery_rate() >= greedy.delivery_rate(),
+                "recovered drops must show up as deliveries"
+            );
+            assert!(result.drop_reduction(k).unwrap() > 0.0);
+        }
+        assert!(!result.to_csv().is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(scale()).unwrap();
+        let b = run(scale()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run(scale()).unwrap();
+        let threaded = run_with(scale(), &Executor::new(4)).unwrap();
+        assert_eq!(serial, threaded);
+    }
+}

@@ -40,10 +40,12 @@ mod error;
 mod report;
 mod scenario;
 mod sim;
+mod spec;
 
 pub mod benchrun;
 pub mod exec;
 pub mod experiments;
+pub mod policy;
 pub mod presets;
 
 pub use cadcad::{CadcadAdapter, GiniTrajectory};
@@ -51,9 +53,12 @@ pub use config::{MechanismKind, SimConfig, SimulationBuilder};
 pub use csv::CsvTable;
 pub use error::CoreError;
 pub use exec::{run_jobs, run_jobs_with_progress, SimJob};
+pub use policy::{RepairHook, RepairPolicy};
 pub use report::{ChurnOutcome, ChurnSample, SimReport};
 pub use scenario::ScenarioKind;
 pub use sim::BandwidthSim;
+pub use spec::{DynamicsSpec, EconomicsSpec, PolicySpec, SimSpec, TopologySpec, WorkloadSpec};
 
 pub use fairswap_churn::{ChurnConfig, LifetimeDist};
 pub use fairswap_simcore::Executor;
+pub use fairswap_storage::{CachePolicy, RoutePolicy};

@@ -1,0 +1,231 @@
+//! The policy layer: pluggable routing, caching and repair behavior.
+//!
+//! The paper's model hardcodes one rule on each of three axes — greedy
+//! next-hop routing (drop on saturation), per-node opportunistic caching,
+//! and no response at all when churn empties a chunk's storage
+//! neighborhood. Every open extension on the roadmap is a variation of
+//! exactly those axes, so this module turns each into a configuration
+//! value:
+//!
+//! * **Routing** — [`RoutePolicy`] (re-exported from
+//!   [`fairswap_storage`]): `Greedy`, the paper's rule, or
+//!   `CapacityDetour`, which escapes a saturated next hop through the
+//!   next-closest table entries.
+//! * **Caching** — [`CachePolicy`] (re-exported from
+//!   [`fairswap_storage`]): `None`/`Lru`/`Lfu` plus the churn-aware `Ttl`
+//!   variant.
+//! * **Repair** — [`RepairPolicy`] and the [`RepairHook`] trait below.
+//!
+//! Routing and caching policies are closed, serde-stable enums because
+//! they run on the per-chunk hot path and live inside the
+//! [`SimSpec`](crate::SimSpec) wire format. Repair is the **open**
+//! extension point: it fires off the hot path (once per departure), so a
+//! user-defined `RepairHook` can be injected through
+//! [`BandwidthSim::run_with_repair`](crate::BandwidthSim::run_with_repair)
+//! — see `examples/custom_policy.rs`.
+//!
+//! Determinism rules for any policy implementation: decisions may depend
+//! only on the deterministic simulation state handed in (topology, target
+//! addresses, capacity ledgers, step numbers) — never on wall-clock time,
+//! map iteration order or an unseeded RNG. Under that contract every run,
+//! including multi-threaded experiment grids, stays a pure function of
+//! its configuration seed.
+
+use serde::{Deserialize, Serialize};
+
+use fairswap_kademlia::{NodeId, Topology};
+
+pub use fairswap_storage::{CachePolicy, RoutePolicy};
+
+/// What the simulation does when a departure may have stranded chunks.
+///
+/// The storage model keeps exactly one storer per chunk — the XOR-closest
+/// *live* node — so a departure silently migrates responsibility. When a
+/// whole address neighborhood empties, though, there is nobody meaningfully
+/// close left: a real network would re-replicate the region's chunks. The
+/// policy decides whether (and how) that response is modeled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairPolicy {
+    /// The paper's (non-)behavior: departures are never repaired.
+    #[default]
+    None,
+    /// Detect-and-count stub of re-replication: a departure whose address
+    /// region (the `neighborhood_bits`-bit prefix around the departed
+    /// node) holds no other live node is flagged as a repair event. This
+    /// pins down the engine hook and its accounting
+    /// ([`ChurnOutcome::repair_events`](crate::ChurnOutcome)); modeling
+    /// the actual re-upload traffic and its bandwidth/fairness cost is the
+    /// roadmap's re-replication item and slots in behind this interface
+    /// without touching the engine again.
+    ReReplicate {
+        /// Width of the monitored address-prefix region in bits (wider =
+        /// smaller region = more sensitive detection).
+        neighborhood_bits: u32,
+    },
+}
+
+impl RepairPolicy {
+    /// A short stable identifier, used in CSV output and on the CLI.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::ReReplicate { .. } => "re-replicate",
+        }
+    }
+
+    /// Builds the hook the simulation drives ([`RepairPolicy::None`]
+    /// yields a no-op that accounts nothing).
+    pub fn build(&self) -> Box<dyn RepairHook> {
+        match *self {
+            Self::None => Box::new(NoRepair),
+            Self::ReReplicate { neighborhood_bits } => Box::new(ReReplicate { neighborhood_bits }),
+        }
+    }
+
+    /// Checks the policy against the run's address-space width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`](crate::CoreError) when the
+    /// monitored region is degenerate (0 bits) or wider than the space.
+    pub fn validate(&self, bits: u32) -> Result<(), crate::CoreError> {
+        match *self {
+            Self::None => Ok(()),
+            Self::ReReplicate { neighborhood_bits } => {
+                if neighborhood_bits == 0 || neighborhood_bits > bits {
+                    Err(crate::CoreError::InvalidConfig {
+                        message: format!(
+                            "repair neighborhood_bits must be in 1..={bits}, got {neighborhood_bits}"
+                        ),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// The repair extension point of the policy layer.
+///
+/// The simulation invokes the hook from its churn sweep, once per applied
+/// departure (scheduled churn and targeted-departure waves alike), *after*
+/// the topology has been repaired and the departed node's cache dropped.
+/// The return value is the number of repair events to account into
+/// [`ChurnOutcome::repair_events`](crate::ChurnOutcome).
+///
+/// Implementations must follow the module-level determinism rules; the
+/// topology reference is the live post-departure overlay.
+pub trait RepairHook {
+    /// Reacts to `departed` leaving the overlay at 1-based `step`.
+    fn on_departure(&mut self, topology: &Topology, departed: NodeId, step: u64) -> u64;
+}
+
+/// The [`RepairPolicy::None`] hook: departures go unrepaired and
+/// unaccounted, exactly the paper's model.
+#[derive(Debug, Clone)]
+struct NoRepair;
+
+impl RepairHook for NoRepair {
+    fn on_departure(&mut self, _topology: &Topology, _departed: NodeId, _step: u64) -> u64 {
+        0
+    }
+}
+
+/// The built-in [`RepairPolicy::ReReplicate`] stub: counts departures that
+/// emptied their address neighborhood.
+#[derive(Debug, Clone)]
+struct ReReplicate {
+    neighborhood_bits: u32,
+}
+
+impl RepairHook for ReReplicate {
+    fn on_departure(&mut self, topology: &Topology, departed: NodeId, _step: u64) -> u64 {
+        let address = topology.address(departed);
+        // The globally closest live node maximizes the shared prefix
+        // (smaller XOR distance = longer common prefix), so one trie
+        // descent answers "does any live node still cover the region?" —
+        // no need to enumerate the whole prefix region per departure. The
+        // departed node itself is already offline and cannot match.
+        let Some(&nearest) = topology.closest_live_nodes(address, 1).first() else {
+            return 1;
+        };
+        let shift = topology.space().bits() - self.neighborhood_bits;
+        let covered = (topology.address(nearest).raw() >> shift) == (address.raw() >> shift);
+        u64::from(!covered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairswap_kademlia::{AddressSpace, TopologyBuilder};
+
+    #[test]
+    fn ids_defaults_and_build() {
+        assert_eq!(RepairPolicy::None.id(), "none");
+        assert_eq!(
+            RepairPolicy::ReReplicate {
+                neighborhood_bits: 4
+            }
+            .id(),
+            "re-replicate"
+        );
+        assert_eq!(RepairPolicy::default(), RepairPolicy::None);
+    }
+
+    #[test]
+    fn no_repair_hook_accounts_nothing() {
+        let topology = TopologyBuilder::new(AddressSpace::new(16).unwrap())
+            .nodes(20)
+            .bucket_size(4)
+            .seed(1)
+            .build()
+            .unwrap();
+        let mut hook = RepairPolicy::None.build();
+        assert_eq!(hook.on_departure(&topology, NodeId(3), 1), 0);
+    }
+
+    #[test]
+    fn validation_bounds_the_region() {
+        RepairPolicy::None.validate(16).unwrap();
+        RepairPolicy::ReReplicate {
+            neighborhood_bits: 16,
+        }
+        .validate(16)
+        .unwrap();
+        for bad in [0u32, 17] {
+            let err = RepairPolicy::ReReplicate {
+                neighborhood_bits: bad,
+            }
+            .validate(16)
+            .unwrap_err();
+            assert!(err.to_string().contains("neighborhood_bits"), "{err}");
+        }
+    }
+
+    #[test]
+    fn re_replicate_counts_emptied_neighborhoods() {
+        let mut topology = TopologyBuilder::new(AddressSpace::new(16).unwrap())
+            .nodes(60)
+            .bucket_size(4)
+            .seed(0xFA12)
+            .build()
+            .unwrap();
+        let mut hook = RepairPolicy::ReReplicate {
+            neighborhood_bits: 16,
+        }
+        .build();
+        // A full-width prefix region contains only the departed node, so
+        // with it gone the neighborhood is empty by construction.
+        let victim = NodeId(7);
+        topology.remove_node(victim).unwrap();
+        assert_eq!(hook.on_departure(&topology, victim, 1), 1);
+        // A 1-bit region spans half the space and stays populated.
+        let mut wide = RepairPolicy::ReReplicate {
+            neighborhood_bits: 1,
+        }
+        .build();
+        assert_eq!(wide.on_departure(&topology, victim, 1), 0);
+    }
+}

@@ -36,6 +36,12 @@ pub struct ChurnOutcome {
     /// neither `leaves` nor the churn plan: these fire at runtime against
     /// the income ranking). 0 without such a scenario.
     pub targeted_removals: u64,
+    /// Repair events accounted by the run's
+    /// [`RepairHook`](crate::policy::RepairHook) (e.g. departures that
+    /// emptied their storage neighborhood under
+    /// [`RepairPolicy::ReReplicate`](crate::RepairPolicy)). 0 under the
+    /// default no-repair policy.
+    pub repair_events: u64,
     /// Live nodes after the final step.
     pub final_live: usize,
     /// Per-epoch live-node counts and fairness-over-time series (sampled

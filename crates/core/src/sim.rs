@@ -9,6 +9,7 @@ use fairswap_storage::DownloadSim;
 use fairswap_workload::Workload;
 
 use crate::config::SimConfig;
+use crate::policy::RepairHook;
 use crate::report::{ChurnOutcome, ChurnSample, SimReport};
 use crate::scenario;
 
@@ -62,7 +63,26 @@ impl BandwidthSim {
     /// Runs the simulation, invoking `progress(done, total)` after every
     /// timestep — used by the CLI for long experiments, and by convergence
     /// experiments to snapshot intermediate fairness.
-    pub fn run_with_progress<F>(mut self, mut progress: F) -> SimReport
+    pub fn run_with_progress<F>(self, progress: F) -> SimReport
+    where
+        F: FnMut(u64, u64),
+    {
+        let mut hook = self.config().repair.build();
+        let report = self.run_inner(progress, hook.as_mut());
+        report
+    }
+
+    /// Runs the simulation with a caller-supplied [`RepairHook`] instead of
+    /// the one the configured [`RepairPolicy`](crate::RepairPolicy) would
+    /// build — the public entry point for user-defined repair policies (see
+    /// `examples/custom_policy.rs`). The hook fires once per applied
+    /// departure; its returned counts land in
+    /// [`ChurnOutcome::repair_events`].
+    pub fn run_with_repair(self, hook: &mut dyn RepairHook) -> SimReport {
+        self.run_inner(|_, _| {}, hook)
+    }
+
+    fn run_inner<F>(mut self, mut progress: F, repair: &mut dyn RepairHook) -> SimReport
     where
         F: FnMut(u64, u64),
     {
@@ -128,6 +148,7 @@ impl BandwidthSim {
             leaves: 0,
             departure_settlements: 0,
             targeted_removals: 0,
+            repair_events: 0,
             final_live: nodes,
             timeline: Vec::new(),
         });
@@ -141,6 +162,7 @@ impl BandwidthSim {
         let mut flips: Vec<(fairswap_kademlia::NodeId, bool)> = Vec::new();
 
         let mut download = DownloadSim::new(self.topology, self.config.cache);
+        download.set_route_policy(self.config.route);
         if let Some(capacities) = capacities {
             download.set_capacities(capacities);
         }
@@ -195,6 +217,8 @@ impl BandwidthSim {
                             outcome.departure_settlements +=
                                 state.settle_departed(event.node) as u64;
                             outcome.leaves += 1;
+                            outcome.repair_events +=
+                                repair.on_departure(download.topology(), event.node, step);
                             flips.push((event.node, false));
                         }
                         ChurnEventKind::Join => {
@@ -241,6 +265,8 @@ impl BandwidthSim {
                         download.on_node_leave(node);
                         outcome.departure_settlements += state.settle_departed(node) as u64;
                         outcome.targeted_removals += 1;
+                        outcome.repair_events +=
+                            repair.on_departure(download.topology(), node, step);
                         flips.push((node, false));
                     }
                     let topology = download.topology_rc();
@@ -451,6 +477,65 @@ mod tests {
         assert_eq!(a.traffic().forwarded(), b.traffic().forwarded());
         assert_eq!(a.incomes(), b.incomes());
         assert_eq!(a.churn(), b.churn());
+    }
+
+    #[test]
+    fn repair_policy_counts_events_without_disturbing_the_run() {
+        use crate::policy::RepairPolicy;
+        let base = churn_sim(0.2, 7).run();
+        let repaired = SimulationBuilder::new()
+            .nodes(150)
+            .bucket_size(4)
+            .files(60)
+            .seed(7)
+            .churn_rate(0.2)
+            .repair_policy(RepairPolicy::ReReplicate {
+                neighborhood_bits: 16,
+            })
+            .build()
+            .unwrap()
+            .run();
+        // The stub only observes: traffic and incomes stay identical.
+        assert_eq!(base.traffic(), repaired.traffic());
+        assert_eq!(base.incomes(), repaired.incomes());
+        assert_eq!(base.churn().unwrap().repair_events, 0);
+        // Full-width neighborhoods empty on every departure by
+        // construction, so the count matches the departures applied.
+        let churn = repaired.churn().unwrap();
+        assert_eq!(
+            churn.repair_events,
+            churn.leaves + churn.targeted_removals,
+            "{churn:?}"
+        );
+    }
+
+    #[test]
+    fn custom_repair_hook_sees_every_departure() {
+        use crate::policy::RepairHook;
+        use fairswap_kademlia::{NodeId, Topology};
+
+        struct Recorder {
+            departures: Vec<(u64, NodeId)>,
+        }
+        impl RepairHook for Recorder {
+            fn on_departure(&mut self, _t: &Topology, departed: NodeId, step: u64) -> u64 {
+                self.departures.push((step, departed));
+                1
+            }
+        }
+
+        let mut hook = Recorder {
+            departures: Vec::new(),
+        };
+        let report = churn_sim(0.2, 7).run_with_repair(&mut hook);
+        let churn = report.churn().unwrap();
+        assert_eq!(
+            hook.departures.len() as u64,
+            churn.leaves + churn.targeted_removals
+        );
+        assert_eq!(churn.repair_events, hook.departures.len() as u64);
+        // Steps arrive in order.
+        assert!(hook.departures.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! `SimSpec`: the serde-stable, nested simulation specification.
+//!
+//! [`SimConfig`] is the engine's flat internal configuration; `SimSpec` is
+//! its public wire format — the shape `fairswap run --config spec.json`
+//! executes and the one external tooling should generate. Fields are
+//! grouped by concern:
+//!
+//! ```json
+//! {
+//!   "seed": 64018,
+//!   "topology":  { "nodes": 1000, "bits": 16, "bucket_sizing": {...} },
+//!   "workload":  { "originator_fraction": 1.0, "files": 10000, ... },
+//!   "economics": { "mechanism": "Swarm", "pricing": {...}, ... },
+//!   "dynamics":  { "churn": null, "scenario": null },
+//!   "policies":  { "route": "Greedy", "cache": "None", "repair": "None" }
+//! }
+//! ```
+//!
+//! **Stability contract.** Every field — and every group — is optional
+//! and defaults to the paper's §IV-B configuration, so `{}` is a valid
+//! spec and specs written against an older schema keep parsing as the
+//! format grows (the vendored serde derive has no `#[serde(default)]`,
+//! so the `Deserialize` impls here are written by hand to supply
+//! defaults for missing fields). Serialization emits every group in a
+//! fixed order with `serialize → deserialize → re-serialize` producing
+//! byte-identical JSON; `tests/spec_stability.rs` pins both properties.
+//!
+//! Unknown fields are ignored on input (new writers, old readers);
+//! out-of-range *values* are rejected by [`SimSpec::build`] through the
+//! same validation every other entry point uses.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use fairswap_churn::ChurnConfig;
+use fairswap_kademlia::BucketSizing;
+use fairswap_storage::{CachePolicy, RoutePolicy};
+use fairswap_swap::{Bzz, ChannelConfig, Pricing};
+use fairswap_workload::{ChunkDist, FileSizeDist};
+
+use crate::config::{MechanismKind, SimConfig, SimulationBuilder};
+use crate::error::CoreError;
+use crate::policy::RepairPolicy;
+use crate::scenario::ScenarioKind;
+use crate::sim::BandwidthSim;
+
+/// Deserializes `fields[name]` if present, otherwise hands back `default`.
+fn field_or<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    default: T,
+) -> Result<T, DeError> {
+    match fields.iter().find(|(key, _)| key == name) {
+        Some((_, value)) => T::from_value(value),
+        None => Ok(default),
+    }
+}
+
+fn as_object(value: &Value) -> Result<&[(String, Value)], DeError> {
+    value
+        .as_object()
+        .ok_or_else(|| DeError::expected("object", value))
+}
+
+/// Overlay dimensions: who exists and how they are wired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySpec {
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// Address-space bit width.
+    pub bits: u32,
+    /// Bucket sizing (uniform `k` or per-bucket overrides).
+    pub bucket_sizing: BucketSizing,
+}
+
+/// Download workload: who requests what, how often.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Fraction of nodes acting as originators, `(0, 1]`.
+    pub originator_fraction: f64,
+    /// Number of files to download (timesteps).
+    pub files: u64,
+    /// File-size distribution.
+    pub file_size: FileSizeDist,
+    /// Chunk-address distribution.
+    pub chunk_dist: ChunkDist,
+}
+
+/// Incentive economics: who pays whom, and how much.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EconomicsSpec {
+    /// The incentive mechanism.
+    pub mechanism: MechanismKind,
+    /// Pricing scheme used by payment mechanisms.
+    pub pricing: Pricing,
+    /// SWAP channel thresholds and amortization rate.
+    pub channel: ChannelConfig,
+    /// Cost charged per settlement transaction.
+    pub tx_cost: Bzz,
+    /// Fraction of nodes that free-ride (never pay the first hop).
+    pub free_rider_fraction: f64,
+}
+
+/// Overlay dynamics: background churn and scripted shocks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DynamicsSpec {
+    /// Dynamic-membership model; `null` reproduces the paper's static
+    /// overlay.
+    pub churn: Option<ChurnConfig>,
+    /// Scripted overlay shock; `null` runs no scenario.
+    pub scenario: Option<ScenarioKind>,
+}
+
+/// The policy layer: routing, caching and repair behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySpec {
+    /// Routing policy (drop vs capacity detour).
+    pub route: RoutePolicy,
+    /// Per-node cache policy.
+    pub cache: CachePolicy,
+    /// Repair policy for stranded chunks.
+    pub repair: RepairPolicy,
+}
+
+/// A complete simulation specification — see the module docs for the wire
+/// format and its stability contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    /// Master seed for every random stream of the run.
+    pub seed: u64,
+    /// Overlay dimensions.
+    pub topology: TopologySpec,
+    /// Download workload.
+    pub workload: WorkloadSpec,
+    /// Incentive economics.
+    pub economics: EconomicsSpec,
+    /// Churn and scripted shocks.
+    pub dynamics: DynamicsSpec,
+    /// Routing / caching / repair policies.
+    pub policies: PolicySpec,
+}
+
+impl SimSpec {
+    /// The paper-defaults spec (the meaning of the empty document `{}`).
+    pub fn paper_defaults() -> Self {
+        Self::from_config(&SimConfig::paper_defaults())
+    }
+
+    /// Regroups a flat [`SimConfig`] into the nested spec form.
+    pub fn from_config(config: &SimConfig) -> Self {
+        Self {
+            seed: config.seed,
+            topology: TopologySpec {
+                nodes: config.nodes,
+                bits: config.bits,
+                bucket_sizing: config.bucket_sizing.clone(),
+            },
+            workload: WorkloadSpec {
+                originator_fraction: config.originator_fraction,
+                files: config.files,
+                file_size: config.file_size,
+                chunk_dist: config.chunk_dist.clone(),
+            },
+            economics: EconomicsSpec {
+                mechanism: config.mechanism,
+                pricing: config.pricing,
+                channel: config.channel,
+                tx_cost: config.tx_cost,
+                free_rider_fraction: config.free_rider_fraction,
+            },
+            dynamics: DynamicsSpec {
+                churn: config.churn.clone(),
+                scenario: config.scenario.clone(),
+            },
+            policies: PolicySpec {
+                route: config.route,
+                cache: config.cache,
+                repair: config.repair,
+            },
+        }
+    }
+
+    /// Flattens the spec into the engine's [`SimConfig`]. Purely a
+    /// regrouping — no validation happens here (see [`SimSpec::build`]).
+    pub fn to_config(&self) -> SimConfig {
+        SimConfig {
+            nodes: self.topology.nodes,
+            bits: self.topology.bits,
+            bucket_sizing: self.topology.bucket_sizing.clone(),
+            originator_fraction: self.workload.originator_fraction,
+            files: self.workload.files,
+            seed: self.seed,
+            file_size: self.workload.file_size,
+            chunk_dist: self.workload.chunk_dist.clone(),
+            cache: self.policies.cache,
+            channel: self.economics.channel,
+            tx_cost: self.economics.tx_cost,
+            free_rider_fraction: self.economics.free_rider_fraction,
+            mechanism: self.economics.mechanism,
+            pricing: self.economics.pricing,
+            churn: self.dynamics.churn.clone(),
+            scenario: self.dynamics.scenario.clone(),
+            route: self.policies.route,
+            repair: self.policies.repair,
+        }
+    }
+
+    /// A builder seeded with this spec, for tweaking individual knobs.
+    pub fn builder(&self) -> SimulationBuilder {
+        SimulationBuilder::from_config(self.to_config())
+    }
+
+    /// Validates the spec and builds the runnable simulation.
+    ///
+    /// # Errors
+    ///
+    /// Any configuration error (out-of-range fractions, degenerate
+    /// dimensions, invalid churn/scenario/policy parameters, ...) as
+    /// [`CoreError`].
+    pub fn build(&self) -> Result<BandwidthSim, CoreError> {
+        self.builder().build()
+    }
+
+    /// Parses a spec from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Reports malformed JSON or shape mismatches as
+    /// [`CoreError::InvalidConfig`]; value validation is deferred to
+    /// [`SimSpec::build`].
+    pub fn from_json(json: &str) -> Result<Self, CoreError> {
+        serde_json::from_str(json).map_err(|e| CoreError::InvalidConfig {
+            message: format!("parsing spec: {e}"),
+        })
+    }
+
+    /// Renders the spec as its canonical (compact, fixed field order)
+    /// JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Reports non-serializable values (non-finite floats) as
+    /// [`CoreError::InvalidConfig`].
+    pub fn to_json(&self) -> Result<String, CoreError> {
+        serde_json::to_string(self).map_err(|e| CoreError::InvalidConfig {
+            message: format!("serializing spec: {e}"),
+        })
+    }
+}
+
+impl Default for SimSpec {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        SimSpec::paper_defaults().topology
+    }
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        SimSpec::paper_defaults().workload
+    }
+}
+
+impl Default for EconomicsSpec {
+    fn default() -> Self {
+        SimSpec::paper_defaults().economics
+    }
+}
+
+impl Default for PolicySpec {
+    fn default() -> Self {
+        Self {
+            route: RoutePolicy::Greedy,
+            cache: CachePolicy::None,
+            repair: RepairPolicy::None,
+        }
+    }
+}
+
+impl Serialize for TopologySpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("nodes".into(), self.nodes.to_value()),
+            ("bits".into(), self.bits.to_value()),
+            ("bucket_sizing".into(), self.bucket_sizing.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TopologySpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = as_object(value)?;
+        let default = Self::default();
+        Ok(Self {
+            nodes: field_or(fields, "nodes", default.nodes)?,
+            bits: field_or(fields, "bits", default.bits)?,
+            bucket_sizing: field_or(fields, "bucket_sizing", default.bucket_sizing)?,
+        })
+    }
+}
+
+impl Serialize for WorkloadSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "originator_fraction".into(),
+                self.originator_fraction.to_value(),
+            ),
+            ("files".into(), self.files.to_value()),
+            ("file_size".into(), self.file_size.to_value()),
+            ("chunk_dist".into(), self.chunk_dist.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for WorkloadSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = as_object(value)?;
+        let default = Self::default();
+        Ok(Self {
+            originator_fraction: field_or(
+                fields,
+                "originator_fraction",
+                default.originator_fraction,
+            )?,
+            files: field_or(fields, "files", default.files)?,
+            file_size: field_or(fields, "file_size", default.file_size)?,
+            chunk_dist: field_or(fields, "chunk_dist", default.chunk_dist)?,
+        })
+    }
+}
+
+impl Serialize for EconomicsSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("mechanism".into(), self.mechanism.to_value()),
+            ("pricing".into(), self.pricing.to_value()),
+            ("channel".into(), self.channel.to_value()),
+            ("tx_cost".into(), self.tx_cost.to_value()),
+            (
+                "free_rider_fraction".into(),
+                self.free_rider_fraction.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for EconomicsSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = as_object(value)?;
+        let default = Self::default();
+        Ok(Self {
+            mechanism: field_or(fields, "mechanism", default.mechanism)?,
+            pricing: field_or(fields, "pricing", default.pricing)?,
+            channel: field_or(fields, "channel", default.channel)?,
+            tx_cost: field_or(fields, "tx_cost", default.tx_cost)?,
+            free_rider_fraction: field_or(
+                fields,
+                "free_rider_fraction",
+                default.free_rider_fraction,
+            )?,
+        })
+    }
+}
+
+impl Serialize for DynamicsSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("churn".into(), self.churn.to_value()),
+            ("scenario".into(), self.scenario.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DynamicsSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = as_object(value)?;
+        Ok(Self {
+            churn: field_or(fields, "churn", None)?,
+            scenario: field_or(fields, "scenario", None)?,
+        })
+    }
+}
+
+impl Serialize for PolicySpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("route".into(), self.route.to_value()),
+            ("cache".into(), self.cache.to_value()),
+            ("repair".into(), self.repair.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PolicySpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = as_object(value)?;
+        let default = Self::default();
+        Ok(Self {
+            route: field_or(fields, "route", default.route)?,
+            cache: field_or(fields, "cache", default.cache)?,
+            repair: field_or(fields, "repair", default.repair)?,
+        })
+    }
+}
+
+impl Serialize for SimSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("seed".into(), self.seed.to_value()),
+            ("topology".into(), self.topology.to_value()),
+            ("workload".into(), self.workload.to_value()),
+            ("economics".into(), self.economics.to_value()),
+            ("dynamics".into(), self.dynamics.to_value()),
+            ("policies".into(), self.policies.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SimSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = as_object(value)?;
+        Ok(Self {
+            seed: field_or(fields, "seed", SimConfig::paper_defaults().seed)?,
+            topology: field_or(fields, "topology", TopologySpec::default())?,
+            workload: field_or(fields, "workload", WorkloadSpec::default())?,
+            economics: field_or(fields, "economics", EconomicsSpec::default())?,
+            dynamics: field_or(fields, "dynamics", DynamicsSpec::default())?,
+            policies: field_or(fields, "policies", PolicySpec::default())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_document_is_the_paper_configuration() {
+        let spec = SimSpec::from_json("{}").unwrap();
+        assert_eq!(spec, SimSpec::paper_defaults());
+        assert_eq!(spec.to_config(), SimConfig::paper_defaults());
+    }
+
+    #[test]
+    fn config_round_trips_through_the_spec() {
+        let mut config = SimConfig::paper_defaults();
+        config.nodes = 321;
+        config.cache = CachePolicy::Ttl {
+            capacity: 64,
+            ttl: 1000,
+        };
+        config.route = RoutePolicy::CapacityDetour { max_detours: 2 };
+        config.repair = RepairPolicy::ReReplicate {
+            neighborhood_bits: 6,
+        };
+        config.churn = Some(ChurnConfig::from_rate(0.05).unwrap());
+        config.mechanism = MechanismKind::EffortBased {
+            budget_per_tick: 500,
+        };
+        let spec = SimSpec::from_config(&config);
+        assert_eq!(spec.to_config(), config);
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let spec = SimSpec::paper_defaults();
+        let json = spec.to_json().unwrap();
+        let back = SimSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json().unwrap(), json, "re-serialization drifted");
+    }
+
+    #[test]
+    fn partial_groups_fill_in_defaults() {
+        let spec = SimSpec::from_json(
+            r#"{
+                "seed": 7,
+                "topology": { "nodes": 64 },
+                "policies": { "route": { "CapacityDetour": { "max_detours": 5 } } }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.topology.nodes, 64);
+        // Unmentioned fields inside a group keep the paper defaults...
+        assert_eq!(spec.topology.bits, 16);
+        // ...as do entirely absent groups.
+        assert_eq!(spec.workload.files, 10_000);
+        assert_eq!(spec.policies.route.max_detours(), 5);
+        assert_eq!(spec.policies.cache, CachePolicy::None);
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let spec = SimSpec::from_json(r#"{ "seed": 9, "future_extension": {"x": 1} }"#).unwrap();
+        assert_eq!(spec.seed, 9);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(SimSpec::from_json("[1, 2]").is_err());
+        assert!(SimSpec::from_json("{").is_err());
+        assert!(SimSpec::from_json(r#"{ "topology": 5 }"#).is_err());
+    }
+
+    #[test]
+    fn build_validates_values() {
+        let mut spec = SimSpec::paper_defaults();
+        spec.workload.originator_fraction = 0.0;
+        let err = spec.build().unwrap_err();
+        assert!(err.to_string().contains("originator fraction"));
+        // A valid spec builds.
+        let mut spec = SimSpec::paper_defaults();
+        spec.topology.nodes = 80;
+        spec.workload.files = 5;
+        assert!(spec.build().is_ok());
+    }
+}

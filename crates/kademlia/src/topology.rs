@@ -596,6 +596,92 @@ impl Topology {
             .map(|(id, _)| NodeId(id as usize))
     }
 
+    /// The known peers of `from` strictly closer (XOR) to `target` than
+    /// `from` itself, nearest first, at most `limit` entries — appended to
+    /// `out` (which is cleared first).
+    ///
+    /// The first entry (when any exists) is exactly
+    /// [`Topology::next_hop`]'s choice; the rest are the fallback relays a
+    /// capacity-detour routing policy may try when the greedy hop is
+    /// saturated. Every entry strictly improves on `from`'s own distance,
+    /// so a walk that only ever takes hops from this list still terminates.
+    /// Unlike `next_hop` this scans the whole table — it is meant for the
+    /// saturated slow path, not the per-hop common case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not part of this topology.
+    pub fn next_hops_into(
+        &self,
+        from: NodeId,
+        target: OverlayAddress,
+        limit: usize,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        if limit == 0 {
+            return;
+        }
+        let target_raw = target.raw();
+        let own = self.addresses[from.0].raw() ^ target_raw;
+        if own == 0 {
+            // `from` sits on the target address; nothing is closer.
+            return;
+        }
+        let bits = self.space.bits() as usize;
+
+        // Realistic limits (a detour policy asks for a handful of
+        // fallbacks) keep the whole selection on the stack: a sorted
+        // insertion window, O(entries × limit) with limit ≤ 16 — no
+        // allocation per call, which matters because the detour slow path
+        // invokes this once per saturated hop.
+        const STACK_LIMIT: usize = 16;
+        if limit <= STACK_LIMIT {
+            let mut best = [(u64::MAX, 0u32); STACK_LIMIT];
+            let mut len = 0usize;
+            for bucket in 0..bits {
+                let (ids, raws) = self.arena.bucket_entries(from.0, bucket);
+                for (&id, &raw) in ids.iter().zip(raws) {
+                    let d = raw ^ target_raw;
+                    if d >= own || (len == limit && d >= best[limit - 1].0) {
+                        continue;
+                    }
+                    // Shift the tail right and insert in sorted position
+                    // (XOR distances to distinct addresses are unique, so
+                    // the order is total).
+                    let mut pos = len.min(limit - 1);
+                    while pos > 0 && best[pos - 1].0 > d {
+                        best[pos] = best[pos - 1];
+                        pos -= 1;
+                    }
+                    best[pos] = (d, id);
+                    len = (len + 1).min(limit);
+                }
+            }
+            out.extend(best[..len].iter().map(|&(_, id)| NodeId(id as usize)));
+            return;
+        }
+
+        let mut ranked: Vec<(u64, u32)> = Vec::new();
+        for bucket in 0..bits {
+            let (ids, raws) = self.arena.bucket_entries(from.0, bucket);
+            for (&id, &raw) in ids.iter().zip(raws) {
+                let d = raw ^ target_raw;
+                if d < own {
+                    ranked.push((d, id));
+                }
+            }
+        }
+        // XOR distances to distinct addresses are unique, so the order is
+        // total and the partial selection reproduces the full sort's prefix.
+        if ranked.len() > limit {
+            ranked.select_nth_unstable(limit);
+            ranked.truncate(limit);
+        }
+        ranked.sort_unstable();
+        out.extend(ranked.iter().map(|&(_, id)| NodeId(id as usize)));
+    }
+
     /// The live node whose address is globally closest (XOR metric) to
     /// `target`.
     ///
@@ -1674,6 +1760,37 @@ mod tests {
         // Count 0 and oversized counts behave.
         assert!(t.closest_live_nodes(target, 0).is_empty());
         assert_eq!(t.closest_live_nodes(target, 10_000).len(), 199);
+    }
+
+    #[test]
+    fn next_hops_ranking_matches_table_scan_and_leads_with_next_hop() {
+        let t = dynamic_topology(200, 4, 59);
+        let mut out = Vec::new();
+        for raw in [0x0000u64, 0x1A2B, 0x7777, 0xFFFF, 0x00FF] {
+            let target = t.space().address(raw).unwrap();
+            for from in [NodeId(0), NodeId(7), NodeId(131)] {
+                let own = t.space().distance(t.address(from), target);
+                // Reference: every known peer strictly closer than the
+                // owner, ranked by distance.
+                let mut expected: Vec<NodeId> = t
+                    .table(from)
+                    .peers()
+                    .filter(|(_, addr)| t.space().distance(*addr, target) < own)
+                    .map(|(id, _)| id)
+                    .collect();
+                expected.sort_by_key(|&n| t.space().distance(t.address(n), target).raw());
+                t.next_hops_into(from, target, usize::MAX, &mut out);
+                assert_eq!(out, expected, "from {from} target {raw:#06x}");
+                // The head of the ranking is the greedy next hop.
+                assert_eq!(out.first().copied(), t.next_hop(from, target));
+                // Truncation keeps the nearest prefix.
+                t.next_hops_into(from, target, 2, &mut out);
+                assert_eq!(out, expected[..expected.len().min(2)]);
+                // Limit 0 clears the buffer.
+                t.next_hops_into(from, target, 0, &mut out);
+                assert!(out.is_empty());
+            }
+        }
     }
 
     #[test]

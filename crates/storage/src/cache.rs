@@ -23,6 +23,19 @@ pub enum CachePolicy {
         /// Maximum cached chunks per node.
         capacity: usize,
     },
+    /// LRU eviction plus a time-to-live: entries older than `ttl` cache
+    /// clock ticks (one tick per lookup or insert at that node) are
+    /// treated as misses and dropped. The churn-aware variant: under
+    /// dynamic membership a cached copy's neighborhood drifts and whole
+    /// caches vanish with their departing nodes, so long-lived entries are
+    /// disproportionately stale — a TTL bounds how long the cache keeps
+    /// betting on old popularity.
+    Ttl {
+        /// Maximum cached chunks per node.
+        capacity: usize,
+        /// Entry lifetime in cache clock ticks.
+        ttl: u64,
+    },
 }
 
 impl CachePolicy {
@@ -30,7 +43,19 @@ impl CachePolicy {
     pub fn capacity(&self) -> usize {
         match *self {
             CachePolicy::None => 0,
-            CachePolicy::Lru { capacity } | CachePolicy::Lfu { capacity } => capacity,
+            CachePolicy::Lru { capacity }
+            | CachePolicy::Lfu { capacity }
+            | CachePolicy::Ttl { capacity, .. } => capacity,
+        }
+    }
+
+    /// A short stable identifier, used in CSV output.
+    pub fn id(&self) -> &'static str {
+        match self {
+            CachePolicy::None => "none",
+            CachePolicy::Lru { .. } => "lru",
+            CachePolicy::Lfu { .. } => "lfu",
+            CachePolicy::Ttl { .. } => "ttl",
         }
     }
 }
@@ -87,7 +112,8 @@ impl NodeCache {
     }
 
     /// Looks up a chunk, updating hit statistics and recency/frequency on a
-    /// hit.
+    /// hit. Under [`CachePolicy::Ttl`], an entry older than its lifetime
+    /// counts as a miss and is dropped on the spot.
     pub fn lookup(&mut self, chunk: OverlayAddress) -> bool {
         if matches!(self.policy, CachePolicy::None) {
             return false;
@@ -95,6 +121,13 @@ impl NodeCache {
         self.clock += 1;
         match self.entries.get_mut(&chunk.raw()) {
             Some((stamp, count)) => {
+                if let CachePolicy::Ttl { ttl, .. } = self.policy {
+                    if self.clock - *stamp > ttl {
+                        self.entries.remove(&chunk.raw());
+                        self.misses += 1;
+                        return false;
+                    }
+                }
                 *stamp = self.clock;
                 *count += 1;
                 self.hits += 1;
@@ -133,6 +166,9 @@ impl NodeCache {
             return;
         }
         if self.entries.len() >= capacity {
+            // Touch stamps are unique (every mutation ticks the clock), so
+            // each min_by_key below is unambiguous and the eviction order
+            // is deterministic despite HashMap iteration order.
             let victim = match self.policy {
                 CachePolicy::Lru { .. } => self
                     .entries
@@ -143,6 +179,13 @@ impl NodeCache {
                     .entries
                     .iter()
                     .min_by_key(|(_, (stamp, count))| (*count, *stamp))
+                    .map(|(&addr, _)| addr),
+                // TTL evicts like LRU; the oldest stamp is also the entry
+                // closest to (or past) expiry.
+                CachePolicy::Ttl { .. } => self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (stamp, _))| *stamp)
                     .map(|(&addr, _)| addr),
                 CachePolicy::None => None,
             };
@@ -209,6 +252,48 @@ mod tests {
         assert!(c.lookup(addr(9)));
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn ttl_entries_expire_into_misses() {
+        let mut c = NodeCache::new(CachePolicy::Ttl {
+            capacity: 4,
+            ttl: 3,
+        });
+        assert_eq!(c.policy().id(), "ttl");
+        assert_eq!(c.policy().capacity(), 4);
+        c.insert(addr(1));
+        // Within the lifetime: a hit, which also refreshes the stamp.
+        assert!(c.lookup(addr(1)));
+        // Age the entry past its TTL with unrelated traffic.
+        for _ in 0..4 {
+            c.lookup(addr(9));
+        }
+        assert!(!c.lookup(addr(1)), "expired entry must miss");
+        assert!(!c.contains(addr(1)), "expired entry must be dropped");
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn ttl_evicts_least_recent_at_capacity() {
+        let mut c = NodeCache::new(CachePolicy::Ttl {
+            capacity: 2,
+            ttl: 1_000,
+        });
+        c.insert(addr(1));
+        c.insert(addr(2));
+        assert!(c.lookup(addr(1)));
+        c.insert(addr(3));
+        assert!(c.contains(addr(1)));
+        assert!(!c.contains(addr(2)));
+        assert!(c.contains(addr(3)));
+    }
+
+    #[test]
+    fn policy_ids_are_stable() {
+        assert_eq!(CachePolicy::None.id(), "none");
+        assert_eq!(CachePolicy::Lru { capacity: 1 }.id(), "lru");
+        assert_eq!(CachePolicy::Lfu { capacity: 1 }.id(), "lfu");
     }
 
     #[test]

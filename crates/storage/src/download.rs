@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use fairswap_kademlia::{NodeId, OverlayAddress, RouteOutcome, Topology};
 
 use crate::cache::{CachePolicy, NodeCache};
+use crate::route::RoutePolicy;
 use crate::traffic::TrafficStats;
 
 /// How one chunk request was resolved, as seen by the accounting layer.
@@ -70,10 +71,14 @@ pub struct DownloadSim {
     caches: Vec<NodeCache>,
     stats: TrafficStats,
     cache_on_path: bool,
+    /// What a request does when its greedy next hop is saturated.
+    route: RoutePolicy,
     /// Recycled hop buffer: [`DownloadSim::download_file_with`] routes
     /// hundreds of chunks per call, and reusing one allocation across them
     /// keeps the per-step allocation count flat regardless of file size.
     route_buf: Vec<NodeId>,
+    /// Recycled candidate buffer for the capacity-detour slow path.
+    detour_buf: Vec<NodeId>,
     /// Per-node forwarding budget per simulation step (`None` = the
     /// paper's unlimited-capacity model).
     capacities: Option<Vec<u64>>,
@@ -101,7 +106,9 @@ impl DownloadSim {
             caches: (0..n).map(|_| NodeCache::new(cache_policy)).collect(),
             stats: TrafficStats::new(n),
             cache_on_path: !matches!(cache_policy, CachePolicy::None),
+            route: RoutePolicy::Greedy,
             route_buf: Vec::with_capacity(8),
+            detour_buf: Vec::new(),
             capacities: None,
             used_in_step: vec![0; n],
             used_stamp: vec![0; n],
@@ -160,6 +167,18 @@ impl DownloadSim {
     /// The installed per-node budgets, if any.
     pub fn capacities(&self) -> Option<&[u64]> {
         self.capacities.as_deref()
+    }
+
+    /// Installs the routing policy (the default is [`RoutePolicy::Greedy`],
+    /// the paper's drop-on-saturation rule). Only affects requests routed
+    /// after the call.
+    pub fn set_route_policy(&mut self, route: RoutePolicy) {
+        self.route = route;
+    }
+
+    /// The routing policy in effect.
+    pub fn route_policy(&self) -> RoutePolicy {
+        self.route
     }
 
     /// Opens the next budget window: every node's per-step forwarding
@@ -286,30 +305,48 @@ impl DownloadSim {
         let used_in_step = &mut self.used_in_step;
         let used_stamp = &mut self.used_stamp;
         let caches = &mut self.caches;
+        let detour_buf = &mut self.detour_buf;
         let use_cache = self.cache_on_path;
+        let max_detours = self.route.max_detours();
         let step = self.step;
 
         let mut current = originator;
         let (outcome, from_cache) = loop {
-            let Some(next) = topology.next_hop(current, chunk) else {
+            let Some(mut next) = topology.next_hop(current, chunk) else {
                 break (RouteOutcome::Stuck, false);
             };
             if let Some(capacities) = capacities {
                 // Bandwidth budgets are enforced at forwarding time: a
-                // saturated next hop cannot serve this step, and greedy
-                // forwarding-Kademlia has no detour, so the request is
-                // dropped. Capacity is consumed whether or not the route
-                // later completes — the bandwidth was spent.
+                // saturated next hop cannot serve this step. Greedy
+                // forwarding-Kademlia has no detour, so it drops the
+                // request; the capacity-detour policy first tries the
+                // next-closest table entries that still make progress.
+                // Capacity is consumed whether or not the route later
+                // completes — the bandwidth was spent.
                 let i = next.index();
                 if used_stamp[i] != step {
                     used_stamp[i] = step;
                     used_in_step[i] = 0;
                 }
                 if used_in_step[i] >= capacities[i] {
-                    self.stats.add_capacity_blocked();
-                    break (RouteOutcome::Stuck, false);
+                    let Some(fallback) = detour_hop(
+                        topology,
+                        current,
+                        chunk,
+                        max_detours,
+                        capacities,
+                        used_in_step,
+                        used_stamp,
+                        step,
+                        detour_buf,
+                    ) else {
+                        self.stats.add_capacity_blocked();
+                        break (RouteOutcome::Stuck, false);
+                    };
+                    self.stats.add_detoured();
+                    next = fallback;
                 }
-                used_in_step[i] += 1;
+                used_in_step[next.index()] += 1;
             }
             hops.push(next);
             current = next;
@@ -350,6 +387,50 @@ impl DownloadSim {
         }
         (outcome, from_cache)
     }
+}
+
+/// The capacity-detour slow path: when the greedy next hop of `current`
+/// toward `chunk` is saturated, pick the nearest of up to `max_detours`
+/// farther table entries that still strictly improves on `current`'s own
+/// distance and has budget left this step. Returns `None` when every
+/// candidate is saturated (or the policy is greedy, `max_detours == 0`).
+///
+/// The candidate ranking is re-derived from the topology, so the first
+/// entry is exactly the saturated greedy choice and is skipped. Budget
+/// stamps of inspected candidates are refreshed so the caller can charge
+/// the returned hop with a plain increment.
+#[allow(clippy::too_many_arguments)]
+fn detour_hop(
+    topology: &Topology,
+    current: NodeId,
+    chunk: OverlayAddress,
+    max_detours: usize,
+    capacities: &[u64],
+    used_in_step: &mut [u64],
+    used_stamp: &mut [u64],
+    step: u64,
+    detour_buf: &mut Vec<NodeId>,
+) -> Option<NodeId> {
+    if max_detours == 0 {
+        return None;
+    }
+    topology.next_hops_into(current, chunk, max_detours.saturating_add(1), detour_buf);
+    debug_assert_eq!(
+        detour_buf.first().copied(),
+        topology.next_hop(current, chunk),
+        "the ranked candidate list must lead with the greedy choice"
+    );
+    for &candidate in detour_buf.iter().skip(1) {
+        let i = candidate.index();
+        if used_stamp[i] != step {
+            used_stamp[i] = step;
+            used_in_step[i] = 0;
+        }
+        if used_in_step[i] < capacities[i] {
+            return Some(candidate);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -562,6 +643,106 @@ mod tests {
         assert_eq!(baseline, constrained);
         assert_eq!(plain.stats(), budgeted.stats());
         assert_eq!(budgeted.stats().capacity_blocked(), 0);
+    }
+
+    #[test]
+    fn detour_routes_around_saturated_first_hop() {
+        let t = topology(200, 4, 23);
+        let chunk = t.space().address(0x0F0F).unwrap();
+        let originator = t
+            .node_ids()
+            .max_by_key(|n| t.space().distance(t.address(*n), chunk))
+            .unwrap();
+
+        // Find the greedy route, then starve exactly its first hop so the
+        // detour has an otherwise-unconstrained overlay to escape into.
+        let mut probe = DownloadSim::new(t.clone(), CachePolicy::None);
+        let first = probe.request_chunk(originator, chunk);
+        assert!(first.delivered() && first.hops.len() > 1);
+        let starved = first.first_hop().unwrap();
+        let mut budgets = vec![u64::MAX; 200];
+        budgets[starved.index()] = 1;
+
+        // Greedy baseline: the second identical request dies on the
+        // saturated first hop.
+        let mut greedy = DownloadSim::new(t.clone(), CachePolicy::None);
+        greedy.set_capacities(budgets.clone());
+        assert!(greedy.request_chunk(originator, chunk).delivered());
+        assert!(!greedy.request_chunk(originator, chunk).delivered());
+        assert_eq!(greedy.stats().capacity_blocked(), 1);
+
+        // Detour: the same second request escapes through a fallback relay.
+        let mut detour = DownloadSim::new(t, CachePolicy::None);
+        detour.set_route_policy(RoutePolicy::CapacityDetour { max_detours: 4 });
+        assert_eq!(detour.route_policy().max_detours(), 4);
+        detour.set_capacities(budgets);
+        let a = detour.request_chunk(originator, chunk);
+        assert_eq!(a.hops, first.hops, "unsaturated route is the greedy one");
+        let b = detour.request_chunk(originator, chunk);
+        assert!(b.delivered(), "detour must route around the saturated hop");
+        assert_ne!(b.hops.first(), a.hops.first());
+        assert!(!b.hops.contains(&starved));
+        assert!(detour.stats().detoured() > 0);
+        assert_eq!(detour.stats().capacity_blocked(), 0);
+    }
+
+    #[test]
+    fn detour_with_unlimited_capacity_is_bit_identical_to_greedy() {
+        let t = topology(250, 4, 31);
+        let chunks = chunk_addresses(&t, 97);
+        let mut greedy = DownloadSim::new(t.clone(), CachePolicy::None);
+        greedy.set_capacities(vec![u64::MAX; 250]);
+        let mut detour = DownloadSim::new(t, CachePolicy::None);
+        detour.set_route_policy(RoutePolicy::CapacityDetour { max_detours: 8 });
+        detour.set_capacities(vec![u64::MAX; 250]);
+        for (step, origin) in [3usize, 77, 145].into_iter().enumerate() {
+            let a = greedy.download_file(NodeId(origin), &chunks);
+            let b = detour.download_file(NodeId(origin), &chunks);
+            assert_eq!(a, b, "origin {origin}");
+            greedy.advance_step();
+            detour.advance_step();
+            let _ = step;
+        }
+        assert_eq!(greedy.stats(), detour.stats());
+        assert_eq!(detour.stats().detoured(), 0);
+    }
+
+    #[test]
+    fn huge_max_detours_does_not_overflow() {
+        let t = topology(200, 4, 23);
+        let chunk = t.space().address(0x0F0F).unwrap();
+        let originator = t
+            .node_ids()
+            .max_by_key(|n| t.space().distance(t.address(*n), chunk))
+            .unwrap();
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.set_route_policy(RoutePolicy::CapacityDetour {
+            max_detours: usize::MAX,
+        });
+        sim.set_capacities(vec![1; 200]);
+        assert!(sim.request_chunk(originator, chunk).delivered());
+        // The saturated retry must take the detour slow path (limit
+        // saturates instead of wrapping to 0) without panicking.
+        let second = sim.request_chunk(originator, chunk);
+        assert!(second.delivered() || sim.stats().capacity_blocked() > 0);
+        assert!(sim.stats().detoured() > 0);
+    }
+
+    #[test]
+    fn zero_max_detours_behaves_exactly_like_greedy() {
+        let t = topology(200, 4, 23);
+        let chunk = t.space().address(0x0F0F).unwrap();
+        let originator = t
+            .node_ids()
+            .max_by_key(|n| t.space().distance(t.address(*n), chunk))
+            .unwrap();
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.set_route_policy(RoutePolicy::CapacityDetour { max_detours: 0 });
+        sim.set_capacities(vec![1; 200]);
+        assert!(sim.request_chunk(originator, chunk).delivered());
+        assert!(!sim.request_chunk(originator, chunk).delivered());
+        assert_eq!(sim.stats().capacity_blocked(), 1);
+        assert_eq!(sim.stats().detoured(), 0);
     }
 
     #[test]

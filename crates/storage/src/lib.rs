@@ -26,11 +26,13 @@
 mod cache;
 mod chunk;
 mod download;
+mod route;
 mod traffic;
 mod upload;
 
 pub use cache::{CachePolicy, NodeCache};
 pub use chunk::{FileSpec, CHUNK_SIZE_BYTES};
 pub use download::{ChunkDelivery, DownloadSim, FileReport};
+pub use route::RoutePolicy;
 pub use traffic::TrafficStats;
 pub use upload::{UploadReport, UploadSim};

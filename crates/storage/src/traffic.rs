@@ -28,6 +28,10 @@ pub struct TrafficStats {
     /// per-step bandwidth budget (a subset of `stuck_requests`; always 0
     /// without capacity budgets).
     capacity_blocked: u64,
+    /// Hops that bypassed a saturated greedy next hop through a
+    /// farther-but-unsaturated table entry (always 0 under the greedy
+    /// routing policy, which drops instead of detouring).
+    detoured: u64,
 }
 
 impl TrafficStats {
@@ -41,6 +45,7 @@ impl TrafficStats {
             requests_issued: vec![0; nodes],
             stuck_requests: 0,
             capacity_blocked: 0,
+            detoured: 0,
         }
     }
 
@@ -77,6 +82,10 @@ impl TrafficStats {
         self.capacity_blocked += 1;
     }
 
+    pub(crate) fn add_detoured(&mut self) {
+        self.detoured += 1;
+    }
+
     /// Chunks transmitted by each node.
     pub fn forwarded(&self) -> &[u64] {
         &self.forwarded
@@ -111,6 +120,12 @@ impl TrafficStats {
     /// [`TrafficStats::stuck_requests`]).
     pub fn capacity_blocked(&self) -> u64 {
         self.capacity_blocked
+    }
+
+    /// Hops routed around a saturated greedy next hop by the
+    /// capacity-detour policy (0 under greedy routing).
+    pub fn detoured(&self) -> u64 {
+        self.detoured
     }
 
     /// Total chunk transmissions network-wide.
@@ -178,6 +193,7 @@ impl TrafficStats {
         }
         self.stuck_requests += other.stuck_requests;
         self.capacity_blocked += other.capacity_blocked;
+        self.detoured += other.detoured;
     }
 }
 
@@ -214,10 +230,12 @@ mod tests {
         b.add_forwarded(NodeId(1));
         b.add_stuck();
         b.add_capacity_blocked();
+        b.add_detoured();
         a.merge(&b);
         assert_eq!(a.forwarded(), &[2, 1]);
         assert_eq!(a.stuck_requests(), 1);
         assert_eq!(a.capacity_blocked(), 1);
+        assert_eq!(a.detoured(), 1);
     }
 
     #[test]

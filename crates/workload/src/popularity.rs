@@ -27,6 +27,14 @@ pub enum ChunkDist {
 }
 
 impl ChunkDist {
+    /// A short stable identifier, used in CSV output.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ChunkDist::Uniform => "uniform",
+            ChunkDist::Zipf { .. } => "zipf",
+        }
+    }
+
     /// Validates the distribution parameters.
     ///
     /// # Errors

@@ -7,7 +7,9 @@
 //! scheduling cannot leak into results and the executor merges reports in
 //! stable cell order.
 
-use fairswap::core::experiments::{churn, fig4, large_scale, ExperimentScale};
+use fairswap::core::experiments::{
+    cache_churn, churn, fig4, large_scale, routing, ExperimentScale,
+};
 use fairswap::core::{run_jobs, Executor, SimJob};
 use fairswap::simcore::rng::{domain, sub_seed};
 
@@ -51,6 +53,31 @@ fn churn_grid_is_byte_identical_across_thread_counts() {
     );
     // The grid actually exercised churn (not a trivially-empty sweep).
     assert!(serial.row(4, 0.1).unwrap().leaves > 0);
+}
+
+#[test]
+fn policy_grids_are_byte_identical_across_thread_counts() {
+    // The policy-layer presets: detour routing exercises the capacity
+    // slow path, cache-churn the TTL cache × membership turnover.
+    let serial = routing::run_with(scale(), &Executor::serial()).unwrap();
+    let threaded = routing::run_with(scale(), &Executor::new(8)).unwrap();
+    assert_eq!(serial, threaded);
+    assert_eq!(
+        serial.to_csv().to_csv_string(),
+        threaded.to_csv().to_csv_string()
+    );
+    // The detour cells actually detoured.
+    assert!(serial.row("capacity-detour", 4).unwrap().detoured > 0);
+
+    let rates = [0.0, 0.1];
+    let serial = cache_churn::run_with(scale(), &rates, &Executor::serial()).unwrap();
+    let threaded = cache_churn::run_with(scale(), &rates, &Executor::new(8)).unwrap();
+    assert_eq!(serial, threaded);
+    assert_eq!(
+        serial.to_csv().to_csv_string(),
+        threaded.to_csv().to_csv_string()
+    );
+    assert!(serial.row("ttl", 0.0).unwrap().cache_served > 0);
 }
 
 #[test]

@@ -1,0 +1,141 @@
+//! Serde round-trip and format-stability guarantees for the `SimSpec`
+//! wire format — the guard rail behind `fairswap run --config`.
+
+use fairswap::core::experiments::{
+    cache_churn, churn, fig4, large_scale, routing, scenarios, ExperimentScale,
+};
+use fairswap::core::{
+    CachePolicy, MechanismKind, RepairPolicy, RoutePolicy, ScenarioKind, SimConfig, SimSpec,
+};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        nodes: 150,
+        files: 60,
+        seed: 0xFA12,
+    }
+}
+
+/// serialize → deserialize → re-serialize must be the identity on the
+/// JSON text, and the round-tripped spec must rebuild the exact config.
+fn assert_stable(config: &SimConfig) {
+    let spec = SimSpec::from_config(config);
+    let json = spec.to_json().expect("spec serializes");
+    let back = SimSpec::from_json(&json).expect("spec parses back");
+    assert_eq!(back, spec, "value drift through JSON");
+    assert_eq!(
+        back.to_json().expect("round-tripped spec serializes"),
+        json,
+        "byte drift through JSON"
+    );
+    assert_eq!(&back.to_config(), config, "config drift through the spec");
+}
+
+#[test]
+fn every_preset_grid_cell_round_trips_byte_identically() {
+    let s = scale();
+    let mut cells: Vec<SimConfig> = Vec::new();
+    cells.extend(fig4::jobs(s).iter().map(|j| j.config().clone()));
+    cells.extend(
+        churn::jobs(s, &churn::DEFAULT_RATES)
+            .unwrap()
+            .iter()
+            .map(|j| j.config().clone()),
+    );
+    cells.extend(
+        scenarios::jobs(s, &scenarios::SCENARIO_NAMES)
+            .unwrap()
+            .iter()
+            .map(|j| j.config().clone()),
+    );
+    cells.extend(routing::jobs(s).iter().map(|j| j.config().clone()));
+    cells.extend(
+        cache_churn::jobs(s, &cache_churn::DEFAULT_RATES)
+            .unwrap()
+            .iter()
+            .map(|j| j.config().clone()),
+    );
+    cells.extend(
+        large_scale::jobs(s, 17, &[4, 20])
+            .iter()
+            .map(|j| j.config().clone()),
+    );
+    assert!(
+        cells.len() > 40,
+        "expected a broad sample, got {}",
+        cells.len()
+    );
+    for config in &cells {
+        assert_stable(config);
+    }
+}
+
+#[test]
+fn exotic_configurations_round_trip_byte_identically() {
+    // Cover the enum variants the preset grids do not reach.
+    let mut config = SimConfig::paper_defaults();
+    config.mechanism = MechanismKind::ProofOfBandwidth { mint_per_chunk: 3 };
+    config.cache = CachePolicy::Ttl {
+        capacity: 128,
+        ttl: 999,
+    };
+    config.route = RoutePolicy::CapacityDetour { max_detours: 7 };
+    config.repair = RepairPolicy::ReReplicate {
+        neighborhood_bits: 5,
+    };
+    config.scenario = Some(ScenarioKind::RegionalOutage {
+        at_step: 10,
+        region_bits: 2,
+        rejoin_after: Some(5),
+    });
+    config.free_rider_fraction = 0.25;
+    assert_stable(&config);
+}
+
+#[test]
+fn committed_fixture_parses_and_runs_deterministically() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/demo_spec.json"
+    ))
+    .expect("fixture exists");
+    let spec = SimSpec::from_json(&text).expect("committed fixture must keep parsing");
+    // The fixture exercises the whole policy surface.
+    assert_eq!(spec.seed, 4242);
+    assert_eq!(spec.topology.nodes, 200);
+    assert_eq!(
+        spec.policies.route,
+        RoutePolicy::CapacityDetour { max_detours: 3 }
+    );
+    assert_eq!(
+        spec.policies.cache,
+        CachePolicy::Ttl {
+            capacity: 256,
+            ttl: 2048
+        }
+    );
+    assert_eq!(
+        spec.policies.repair,
+        RepairPolicy::ReReplicate {
+            neighborhood_bits: 8
+        }
+    );
+    assert!(spec.dynamics.churn.is_some());
+    // Omitted fields defaulted to the paper values.
+    assert_eq!(
+        spec.workload.file_size,
+        SimSpec::paper_defaults().workload.file_size
+    );
+    assert_eq!(spec.economics, SimSpec::paper_defaults().economics);
+    // And its canonical form is itself stable.
+    assert_stable(&spec.to_config());
+
+    // The fixture executes end to end, deterministically.
+    let a = spec.build().expect("fixture builds").run();
+    let b = spec.build().unwrap().run();
+    assert_eq!(a.traffic(), b.traffic());
+    assert_eq!(a.incomes(), b.incomes());
+    // Its detour policy actually fires under the two-tier capacities.
+    assert!(a.traffic().detoured() > 0);
+    assert!(a.churn().is_some());
+}
