@@ -1,12 +1,19 @@
 //! Standalone benchmark runner: times the standard presets and writes the
-//! tracked `BENCH_5.json` (same driver as `fairswap bench`; see
+//! tracked `BENCH_6.json` (same driver as `fairswap bench`; see
 //! [`fairswap_core::benchrun`]).
 //!
 //! ```sh
 //! cargo run --release -p fairswap_bench --bin bench_presets -- [--quick]
 //!     [--threads N] [--out DIR] [--baseline FILE]
 //! cargo run --release -p fairswap_bench --bin bench_presets -- --check FILE
+//! cargo run --release -p fairswap_bench --bin bench_presets -- \
+//!     --check-overhead FILE [--preset NAME] [--floor X]
 //! ```
+//!
+//! `--check-overhead` is the CI observability gate: it requires the named
+//! preset (default `large_scale_quick`) to run at `--floor` (default 0.99)
+//! times its embedded baseline or better — i.e. the tracing-off
+//! instrumentation may cost at most ~1%.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +27,9 @@ struct Args {
     out: PathBuf,
     baseline: Option<PathBuf>,
     check: Option<PathBuf>,
+    check_overhead: Option<PathBuf>,
+    preset: String,
+    floor: f64,
 }
 
 fn parse() -> Result<Args, String> {
@@ -29,13 +39,17 @@ fn parse() -> Result<Args, String> {
         out: PathBuf::from("."),
         baseline: None,
         check: None,
+        check_overhead: None,
+        preset: "large_scale_quick".to_string(),
+        floor: 0.99,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < raw.len() {
         match raw[i].as_str() {
             "--quick" => args.quick = true,
-            flag @ ("--threads" | "--out" | "--baseline" | "--check") => {
+            flag @ ("--threads" | "--out" | "--baseline" | "--check" | "--check-overhead"
+            | "--preset" | "--floor") => {
                 i += 1;
                 let value = raw
                     .get(i)
@@ -48,7 +62,14 @@ fn parse() -> Result<Args, String> {
                     }
                     "--out" => args.out = PathBuf::from(value),
                     "--baseline" => args.baseline = Some(PathBuf::from(value)),
-                    _ => args.check = Some(PathBuf::from(value)),
+                    "--check" => args.check = Some(PathBuf::from(value)),
+                    "--preset" => args.preset = value.clone(),
+                    "--floor" => {
+                        args.floor = value
+                            .parse()
+                            .map_err(|_| format!("invalid --floor value: {value}"))?;
+                    }
+                    _ => args.check_overhead = Some(PathBuf::from(value)),
                 }
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -59,6 +80,9 @@ fn parse() -> Result<Args, String> {
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.check_overhead {
+        return benchrun::check_overhead(path, &args.preset, args.floor);
+    }
     if let Some(path) = &args.check {
         return benchrun::check_command(path);
     }
@@ -79,7 +103,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: bench_presets [--quick] [--threads N] [--out DIR] [--baseline FILE] | --check FILE"
+                "usage: bench_presets [--quick] [--threads N] [--out DIR] [--baseline FILE]\n\
+                 \x20      | --check FILE | --check-overhead FILE [--preset NAME] [--floor X]"
             );
             ExitCode::FAILURE
         }

@@ -11,18 +11,24 @@
 //! per CPU core) with **bit-identical output** to a serial run — every
 //! cell derives all of its randomness from its own seed, so scheduling
 //! cannot leak into results. Progress for the whole grid is rendered as
-//! one live line on stderr.
+//! one live line on stderr (terminal only; `--no-progress` forces it off).
+//!
+//! Observability rides on the same determinism: `--trace FILE` writes the
+//! merged JSONL event trace, `--metrics FILE` the per-epoch metrics CSV —
+//! both byte-identical for any `--threads N` — and `--profile` prints a
+//! wall-time phase breakdown. See `docs/OBSERVABILITY.md`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use fairswap_core::benchrun;
 use fairswap_core::experiments::{
     cache_churn, churn, extensions, fig4, fig5, fig6, large_scale, routing, scenarios, sweeps,
     table1, ExperimentScale,
 };
-use fairswap_core::{CsvTable, Executor, SimJob, SimSpec};
+use fairswap_core::{
+    validate_jsonl, CsvTable, Executor, GridObservation, ObsOptions, Phase, SimJob, SimSpec,
+};
 
 /// One dispatchable experiment command: the single source of truth behind
 /// both `usage()` and the `all` meta-command, so the help text and the
@@ -144,9 +150,32 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "bench",
         section: "tracking",
-        blurb: "time the standard presets, write BENCH_5.json",
+        blurb: "time the standard presets, write BENCH_6.json",
         in_all: false,
     },
+    CommandSpec {
+        name: "trace-check",
+        section: "obs",
+        blurb: "validate a JSONL trace file (--trace FILE)",
+        in_all: false,
+    },
+];
+
+/// Commands whose dispatch is wired through a `run_observed` variant and
+/// can therefore honor `--trace` / `--metrics` / `--profile`. The sweep
+/// and extension presets keep their plain paths; asking to observe them
+/// is rejected up front rather than silently producing empty artifacts.
+const OBSERVABLE: &[&str] = &[
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "churn",
+    "scenarios",
+    "routing",
+    "cache-churn",
+    "large-scale",
+    "run",
 ];
 
 struct Options {
@@ -168,6 +197,17 @@ struct Options {
     check: Option<PathBuf>,
     /// `bench`: embed this previous report as the new file's baseline.
     baseline: Option<PathBuf>,
+    /// Write the merged JSONL event trace here (`trace-check` reads it
+    /// instead).
+    trace: Option<PathBuf>,
+    /// Write the per-epoch metrics CSV here.
+    metrics: Option<PathBuf>,
+    /// Print a wall-time phase breakdown after the command.
+    profile: bool,
+    /// Suppress the live progress line even on a terminal.
+    no_progress: bool,
+    /// `run`: make unknown SimSpec fields fatal instead of warnings.
+    strict: bool,
     out: PathBuf,
 }
 
@@ -176,7 +216,9 @@ fn usage() -> String {
     let mut text = format!("usage: fairswap <{}|all>\n", names.join("|"));
     text.push_str(
         "       [--nodes N] [--files N] [--seed S] [--out DIR] [--quick] [--threads T]\n\
-         \x20      [--bits B] [--scenario NAME] [--config FILE]\n\nCommands:\n",
+         \x20      [--bits B] [--scenario NAME] [--config FILE]\n\
+         \x20      [--trace FILE] [--metrics FILE] [--profile] [--no-progress] [--strict]\n\
+         \nCommands:\n",
     );
     for command in COMMANDS {
         text.push_str(&format!(
@@ -203,6 +245,11 @@ fn usage() -> String {
          --config    run: the SimSpec JSON file to execute (see docs/EXPERIMENTS.md)\n\
          --check     bench: validate an existing BENCH_*.json and exit\n\
          --baseline  bench: embed a previous BENCH_*.json as the baseline\n\
+         --trace     write the merged event trace as JSONL (trace-check: the file to read)\n\
+         --metrics   write per-epoch metrics as CSV\n\
+         --profile   print a phase timing breakdown (topology/steps/settlement/...)\n\
+         --no-progress  suppress the live progress line\n\
+         --strict    run: unknown SimSpec fields become errors instead of warnings\n\
          defaults: paper scale (1000 nodes, 10000 files), out = ./results;\n\
          large-scale defaults to 100000 nodes, 2000 files",
     );
@@ -220,14 +267,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut config = None;
     let mut check = None;
     let mut baseline = None;
+    let mut trace = None;
+    let mut metrics = None;
+    let mut profile = false;
+    let mut no_progress = false;
+    let mut strict = false;
     let mut quick = false;
     let mut out = PathBuf::from("results");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--profile" => profile = true,
+            "--no-progress" => no_progress = true,
+            "--strict" => strict = true,
             "--nodes" | "--files" | "--seed" | "--out" | "--threads" | "--bits" | "--scenario"
-            | "--config" | "--check" | "--baseline" => {
+            | "--config" | "--check" | "--baseline" | "--trace" | "--metrics" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -273,6 +328,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "--config" => config = Some(PathBuf::from(value)),
                     "--check" => check = Some(PathBuf::from(value)),
                     "--baseline" => baseline = Some(PathBuf::from(value)),
+                    "--trace" => trace = Some(PathBuf::from(value)),
+                    "--metrics" => metrics = Some(PathBuf::from(value)),
                     "--out" => out = PathBuf::from(value),
                     _ => unreachable!(),
                 }
@@ -310,36 +367,43 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         config,
         check,
         baseline,
+        trace,
+        metrics,
+        profile,
+        no_progress,
+        strict,
         out,
     })
 }
 
-fn write_csv(out: &Path, name: &str, csv: &CsvTable) -> Result<(), String> {
-    std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
-    let path = out.join(name);
-    csv.write_to(&path)
-        .map_err(|e| format!("writing {}: {e}", path.display()))?;
-    println!("wrote {}", path.display());
-    Ok(())
+/// Writes one CSV artifact, timed under [`Phase::CsvEmit`] so `--profile`
+/// accounts for emission alongside the simulation phases.
+fn write_csv(
+    obs: &mut GridObservation,
+    out: &Path,
+    name: &str,
+    csv: &CsvTable,
+) -> Result<(), String> {
+    obs.time_phase(Phase::CsvEmit, || {
+        std::fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+        let path = out.join(name);
+        csv.write_to(&path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+        Ok(())
+    })
 }
 
-/// A grid-wide progress line on stderr, updated once per percent. Safe to
-/// call from several worker threads: the percentage gate is an atomic
-/// max, so updates only ever move forward.
-fn live_progress() -> impl Fn(u64, u64) + Sync {
-    let last_pct = AtomicU64::new(0);
-    move |done, total| {
-        if total == 0 {
-            return;
-        }
-        let pct = done * 100 / total;
-        if pct > last_pct.fetch_max(pct, Ordering::Relaxed) {
-            eprint!("\r  {done}/{total} steps ({pct}%)");
-            if done == total {
-                eprintln!();
-            }
-        }
+/// Writes an observability artifact (trace JSONL, metrics CSV) to an
+/// explicit file path, creating parent directories as needed.
+fn write_text(path: &Path, text: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("creating {}: {e}", parent.display()))?;
     }
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
 }
 
 fn run_command(opts: &Options) -> Result<(), String> {
@@ -348,6 +412,28 @@ fn run_command(opts: &Options) -> Result<(), String> {
     // `Executor::new(0)` resolves to one worker per available core.
     let executor = Executor::new(opts.threads);
     let err = |e: fairswap_core::CoreError| e.to_string();
+
+    // `trace-check` consumes --trace as its input; everywhere else it
+    // names the trace output file.
+    let trace_out = if opts.command == "trace-check" {
+        None
+    } else {
+        opts.trace.clone()
+    };
+    let observing = trace_out.is_some() || opts.metrics.is_some() || opts.profile;
+    if observing && !OBSERVABLE.contains(&opts.command.as_str()) {
+        return Err(format!(
+            "--trace/--metrics/--profile are only supported for: {}",
+            OBSERVABLE.join(", ")
+        ));
+    }
+    let mut obs = GridObservation::new(ObsOptions {
+        trace: trace_out.is_some(),
+        metrics: opts.metrics.is_some(),
+        profile: opts.profile,
+        progress: !opts.no_progress,
+        ..ObsOptions::default()
+    });
 
     let commands: Vec<&str> = if opts.command == "all" {
         COMMANDS
@@ -374,7 +460,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
         );
         match command {
             "table1" => {
-                let table = table1::run_with(scale, &executor).map_err(err)?;
+                let table = table1::run_observed(scale, &executor, &mut obs).map_err(err)?;
                 for row in &table.rows {
                     println!(
                         "  k={:<2} originators={:>4}%  mean_forwarded={:>10.1}",
@@ -383,11 +469,11 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         row.mean_forwarded
                     );
                 }
-                write_csv(out, "table1.csv", &table.to_csv())?;
+                write_csv(&mut obs, out, "table1.csv", &table.to_csv())?;
             }
             "fig4" => {
                 let bin = (scale.files as f64 / 2.0).max(10.0);
-                let fig = fig4::run_with(scale, bin, &executor).map_err(err)?;
+                let fig = fig4::run_observed(scale, bin, &executor, &mut obs).map_err(err)?;
                 for fraction in [0.2, 1.0] {
                     if let Some(ratio) = fig.area_ratio(fraction) {
                         println!(
@@ -396,10 +482,10 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         );
                     }
                 }
-                write_csv(out, "fig4.csv", &fig.to_csv())?;
+                write_csv(&mut obs, out, "fig4.csv", &fig.to_csv())?;
             }
             "fig5" => {
-                let fig = fig5::run_with(scale, &executor).map_err(err)?;
+                let fig = fig5::run_observed(scale, &executor, &mut obs).map_err(err)?;
                 for s in &fig.series {
                     println!(
                         "  k={:<2} originators={:>4}%  F2 gini={:.4}",
@@ -408,10 +494,10 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         s.gini
                     );
                 }
-                write_csv(out, "fig5.csv", &fig.to_csv())?;
+                write_csv(&mut obs, out, "fig5.csv", &fig.to_csv())?;
             }
             "fig6" => {
-                let fig = fig6::run_with(scale, &executor).map_err(err)?;
+                let fig = fig6::run_observed(scale, &executor, &mut obs).map_err(err)?;
                 for s in &fig.series {
                     println!(
                         "  k={:<2} originators={:>4}%  F1 gini={:.4} (paid nodes: {})",
@@ -421,7 +507,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         s.paid_nodes
                     );
                 }
-                write_csv(out, "fig6.csv", &fig.to_csv())?;
+                write_csv(&mut obs, out, "fig6.csv", &fig.to_csv())?;
             }
             "sweep-files" => {
                 let cells = [(4usize, 1.0f64)];
@@ -431,7 +517,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 for s in &result.trajectory {
                     println!("  files={:<6} F2 gini={:.4}", s.timestep, s.f2_gini);
                 }
-                write_csv(out, "sweep_files.csv", &result.to_csv())?;
+                write_csv(&mut obs, out, "sweep_files.csv", &result.to_csv())?;
             }
             "overhead" => {
                 let sweep =
@@ -443,7 +529,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         r.k, r.mean_connections, r.settlements, r.mean_payment
                     );
                 }
-                write_csv(out, "overhead.csv", &sweep.to_csv())?;
+                write_csv(&mut obs, out, "overhead.csv", &sweep.to_csv())?;
             }
             "bucket0" => {
                 let result = extensions::bucket_zero_with(scale, 0.2, &executor).map_err(err)?;
@@ -453,7 +539,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         r.label, r.mean_connections, r.f2_gini, r.f1_gini
                     );
                 }
-                write_csv(out, "bucket0.csv", &result.to_csv())?;
+                write_csv(&mut obs, out, "bucket0.csv", &result.to_csv())?;
             }
             "freeride" => {
                 let result = extensions::free_riding_with(
@@ -472,7 +558,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         r.total_income
                     );
                 }
-                write_csv(out, "freeride.csv", &result.to_csv())?;
+                write_csv(&mut obs, out, "freeride.csv", &result.to_csv())?;
             }
             "caching" => {
                 let result = extensions::caching_with(scale, 4, 1024, &executor).map_err(err)?;
@@ -482,7 +568,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         r.workload, r.cache, r.mean_forwarded, r.cache_hits
                     );
                 }
-                write_csv(out, "caching.csv", &result.to_csv())?;
+                write_csv(&mut obs, out, "caching.csv", &result.to_csv())?;
             }
             "mechanisms" => {
                 let result = extensions::mechanisms_with(scale, 4, 1.0, &executor).map_err(err)?;
@@ -495,7 +581,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         r.earning_fraction * 100.0
                     );
                 }
-                write_csv(out, "mechanisms.csv", &result.to_csv())?;
+                write_csv(&mut obs, out, "mechanisms.csv", &result.to_csv())?;
             }
             "metric-robustness" => {
                 let result = extensions::metric_robustness_with(scale, &[4, 20], 0.2, &executor)
@@ -510,14 +596,15 @@ fn run_command(opts: &Options) -> Result<(), String> {
                     "  all indices agree on the k=4 vs k=20 ordering: {}",
                     result.all_indices_agree()
                 );
-                write_csv(out, "metric_robustness.csv", &result.to_csv())?;
+                write_csv(&mut obs, out, "metric_robustness.csv", &result.to_csv())?;
             }
             "scenarios" => {
                 let names: Vec<&str> = match &opts.scenario {
                     Some(name) => vec![name.as_str()],
                     None => scenarios::SCENARIO_NAMES.to_vec(),
                 };
-                let result = scenarios::run_with(scale, &names, &executor).map_err(err)?;
+                let result =
+                    scenarios::run_observed(scale, &names, &executor, &mut obs).map_err(err)?;
                 for r in &result.rows {
                     println!(
                         "  {:<18} k={:<2} F2={:.4} (pre-shock {:.4}) F1={:.4} leaves={:>5} targeted={:>3} blocked={:>6} live={:>4}",
@@ -544,11 +631,16 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         }
                     }
                 }
-                write_csv(out, "scenarios.csv", &result.to_csv())?;
-                write_csv(out, "scenarios_timeline.csv", &result.timeline_csv())?;
+                write_csv(&mut obs, out, "scenarios.csv", &result.to_csv())?;
+                write_csv(
+                    &mut obs,
+                    out,
+                    "scenarios_timeline.csv",
+                    &result.timeline_csv(),
+                )?;
             }
             "routing" => {
-                let result = routing::run_with(scale, &executor).map_err(err)?;
+                let result = routing::run_observed(scale, &executor, &mut obs).map_err(err)?;
                 for r in &result.rows {
                     println!(
                         "  {:<16} k={:<2} delivered={:>5.1}% blocked={:>6} detoured={:>6} hops={:.2} F2={:.4}",
@@ -569,11 +661,16 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         );
                     }
                 }
-                write_csv(out, "routing.csv", &result.to_csv())?;
+                write_csv(&mut obs, out, "routing.csv", &result.to_csv())?;
             }
             "cache-churn" => {
-                let result = cache_churn::run_with(scale, &cache_churn::DEFAULT_RATES, &executor)
-                    .map_err(err)?;
+                let result = cache_churn::run_observed(
+                    scale,
+                    &cache_churn::DEFAULT_RATES,
+                    &executor,
+                    &mut obs,
+                )
+                .map_err(err)?;
                 for r in &result.rows {
                     println!(
                         "  cache={:<5} churn={:>4.0}%  served={:>7} hits={:>7} mean_forwarded={:>9.1} F2={:.4}",
@@ -585,7 +682,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         r.f2_gini
                     );
                 }
-                write_csv(out, "cache_churn.csv", &result.to_csv())?;
+                write_csv(&mut obs, out, "cache_churn.csv", &result.to_csv())?;
             }
             "run" => {
                 let path = opts.config.as_ref().ok_or_else(|| {
@@ -593,7 +690,20 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 })?;
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| format!("reading {}: {e}", path.display()))?;
-                let spec = SimSpec::from_json(&text).map_err(err)?;
+                let (spec, unknown) = SimSpec::from_json_checked(&text).map_err(err)?;
+                if !unknown.is_empty() && opts.strict {
+                    return Err(format!(
+                        "{}: unknown field(s) in spec: {} (--strict)",
+                        path.display(),
+                        unknown.join(", ")
+                    ));
+                }
+                for field in &unknown {
+                    obs.warn(&format!(
+                        "{}: unknown field `{field}` in spec (ignored; --strict makes this fatal)",
+                        path.display()
+                    ));
+                }
                 let config = spec.to_config();
                 println!(
                     "  spec: nodes={} bits={} k={} files={} seed={:#x} mechanism={} route={} cache={} repair={}",
@@ -607,10 +717,10 @@ fn run_command(opts: &Options) -> Result<(), String> {
                     config.cache.id(),
                     config.repair.id()
                 );
-                let reports = fairswap_core::run_jobs_with_progress(
+                let reports = fairswap_core::run_jobs_observed(
                     &executor,
                     vec![SimJob::new(config.clone())],
-                    live_progress(),
+                    &mut obs,
                 )
                 .map_err(err)?;
                 let report = &reports[0];
@@ -666,11 +776,11 @@ fn run_command(opts: &Options) -> Result<(), String> {
                     CsvTable::fmt_float(report.f2_income_gini()),
                     report.churn().map_or(0, |c| c.repair_events).to_string(),
                 ]);
-                write_csv(out, "run.csv", &csv)?;
+                write_csv(&mut obs, out, "run.csv", &csv)?;
             }
             "churn" => {
-                let result =
-                    churn::run_with(scale, &churn::DEFAULT_RATES, &executor).map_err(err)?;
+                let result = churn::run_observed(scale, &churn::DEFAULT_RATES, &executor, &mut obs)
+                    .map_err(err)?;
                 for r in &result.rows {
                     println!(
                         "  k={:<2} churn={:>4.0}%  F1={:.4} F2={:.4} leaves={:>5} live={:>4} stuck={:>6}",
@@ -683,8 +793,8 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         r.stuck_requests
                     );
                 }
-                write_csv(out, "churn.csv", &result.to_csv())?;
-                write_csv(out, "churn_timeline.csv", &result.timeline_csv())?;
+                write_csv(&mut obs, out, "churn.csv", &result.to_csv())?;
+                write_csv(&mut obs, out, "churn_timeline.csv", &result.timeline_csv())?;
             }
             "large-scale" => {
                 // Unless explicitly sized, run the 10^5-node headline scale
@@ -701,7 +811,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                     big.nodes, big.files, opts.bits
                 );
                 let result =
-                    large_scale::run_with(big, opts.bits, &[4, 20], &executor, live_progress())
+                    large_scale::run_observed(big, opts.bits, &[4, 20], &executor, &mut obs)
                         .map_err(err)?;
                 for r in &result.rows {
                     println!(
@@ -722,7 +832,7 @@ fn run_command(opts: &Options) -> Result<(), String> {
                         reduction * 100.0
                     );
                 }
-                write_csv(out, "large_scale.csv", &result.to_csv())?;
+                write_csv(&mut obs, out, "large_scale.csv", &result.to_csv())?;
             }
             "bench" => {
                 if let Some(path) = &opts.check {
@@ -731,8 +841,36 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 }
                 benchrun::run_command(opts.quick, &executor, opts.baseline.as_deref(), out)?;
             }
+            "trace-check" => {
+                let path = opts.trace.as_ref().ok_or_else(|| {
+                    "trace-check requires --trace FILE (the JSONL trace to validate)".to_string()
+                })?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {}: {e}", path.display()))?;
+                let stats =
+                    validate_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+                println!(
+                    "  {} ok: {} lines, {} events across {} jobs ({} dropped)",
+                    path.display(),
+                    stats.lines,
+                    stats.events,
+                    stats.jobs,
+                    stats.dropped
+                );
+            }
             other => return Err(format!("unknown command: {other}\n{}", usage())),
         }
+    }
+    if let Some(path) = &trace_out {
+        write_text(path, &obs.trace_jsonl())?;
+    }
+    if let Some(path) = &opts.metrics {
+        write_text(path, &obs.metrics_csv())?;
+    }
+    if opts.profile {
+        // With --threads N the per-phase sums are CPU time across workers
+        // and can exceed the end-to-end wall clock.
+        print!("phase profile:\n{}", obs.phase_times().render());
     }
     Ok(())
 }
@@ -780,6 +918,11 @@ mod tests {
             config: None,
             check: None,
             baseline: None,
+            trace: None,
+            metrics: None,
+            profile: false,
+            no_progress: false,
+            strict: false,
             out,
         }
     }
@@ -942,6 +1085,7 @@ mod tests {
                         wall_ms: 1000,
                         chunks_routed: 1000,
                         chunks_per_sec: 1000.0,
+                        phases: Vec::new(),
                     })
                     .collect(),
                 baseline: Vec::new(),
@@ -956,6 +1100,10 @@ mod tests {
             r#"{ "topology": { "nodes": 80 }, "workload": { "files": 8 } }"#,
         )
         .unwrap();
+        // `trace-check` (last in the table) validates the trace that the
+        // first command, `table1`, writes — exercising the full
+        // produce-then-validate loop.
+        let trace_file = dir.join("dispatch_trace.jsonl");
         for command in COMMANDS {
             let mut opts = quick_opts(command.name, 80, 8, dir.clone());
             opts.bits = 17;
@@ -964,6 +1112,9 @@ mod tests {
             }
             if command.name == "run" {
                 opts.config = Some(spec_file.clone());
+            }
+            if command.name == "table1" || command.name == "trace-check" {
+                opts.trace = Some(trace_file.clone());
             }
             run_command(&opts).unwrap_or_else(|e| panic!("{} failed: {e}", command.name));
         }
@@ -1038,6 +1189,92 @@ mod tests {
         assert_eq!(opts.scenario.as_deref(), Some("flash-crowd"));
         assert!(parse_args(&s(&["scenarios", "--scenario", "bogus"])).is_err());
         assert!(parse_args(&s(&["scenarios", "--scenario"])).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let opts = parse_args(&s(&[
+            "fig5",
+            "--trace",
+            "/tmp/t.jsonl",
+            "--metrics",
+            "/tmp/m.csv",
+            "--profile",
+            "--no-progress",
+            "--strict",
+        ]))
+        .unwrap();
+        assert_eq!(opts.trace, Some(PathBuf::from("/tmp/t.jsonl")));
+        assert_eq!(opts.metrics, Some(PathBuf::from("/tmp/m.csv")));
+        assert!(opts.profile && opts.no_progress && opts.strict);
+        assert!(parse_args(&s(&["fig5", "--trace"])).is_err());
+        assert!(parse_args(&s(&["fig5", "--metrics"])).is_err());
+    }
+
+    #[test]
+    fn observability_flags_rejected_for_unwired_commands() {
+        for command in ["sweep-files", "mechanisms", "bench", "all"] {
+            let mut opts = quick_opts(command, 60, 10, PathBuf::from("/tmp"));
+            opts.profile = true;
+            let e = run_command(&opts).unwrap_err();
+            assert!(e.contains("only supported for"), "{command}: {e}");
+        }
+    }
+
+    #[test]
+    fn traced_run_keeps_csv_identical_and_writes_valid_artifacts() {
+        let dir = std::env::temp_dir().join("fairswap_cli_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain_dir = dir.join("plain");
+        let traced_dir = dir.join("traced");
+        run_command(&quick_opts("fig5", 80, 16, plain_dir.clone())).unwrap();
+        let mut opts = quick_opts("fig5", 80, 16, traced_dir.clone());
+        opts.trace = Some(dir.join("fig5.jsonl"));
+        opts.metrics = Some(dir.join("fig5_metrics.csv"));
+        opts.profile = true;
+        run_command(&opts).unwrap();
+        let plain = std::fs::read_to_string(plain_dir.join("fig5.csv")).unwrap();
+        let traced = std::fs::read_to_string(traced_dir.join("fig5.csv")).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb results");
+        let trace = std::fs::read_to_string(dir.join("fig5.jsonl")).unwrap();
+        let stats = validate_jsonl(&trace).unwrap();
+        // The fig5 grid has four cells, each closed by a summary line.
+        assert_eq!(stats.jobs, 4);
+        assert!(stats.events > 0);
+        let metrics = std::fs::read_to_string(dir.join("fig5_metrics.csv")).unwrap();
+        assert!(metrics.starts_with("grid,job,epoch,step,metric,value\n"));
+        assert!(metrics.lines().count() > 6);
+        // `trace-check` accepts the file the run just wrote, and demands
+        // `--trace` when it is missing.
+        let mut check = quick_opts("trace-check", 80, 16, dir.clone());
+        check.trace = Some(dir.join("fig5.jsonl"));
+        run_command(&check).unwrap();
+        check.trace = None;
+        assert!(run_command(&check).unwrap_err().contains("--trace"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strict_run_rejects_unknown_spec_fields() {
+        let dir = std::env::temp_dir().join("fairswap_cli_strict_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.json");
+        std::fs::write(
+            &spec,
+            r#"{ "topology": { "nodes": 80, "node_count": 80 }, "workload": { "files": 8 } }"#,
+        )
+        .unwrap();
+        let mut opts = quick_opts("run", 80, 8, dir.clone());
+        opts.config = Some(spec);
+        // Default: the typo is a warning and the run completes.
+        run_command(&opts).unwrap();
+        assert!(dir.join("run.csv").exists());
+        // --strict: the same document is rejected, naming the field.
+        opts.strict = true;
+        let e = run_command(&opts).unwrap_err();
+        assert!(e.contains("topology.node_count"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,31 +12,47 @@
 //! The workload per preset is deterministic (every cell derives all
 //! randomness from its seed), so `chunks_routed` is reproducible and only
 //! `wall_ms` / `chunks_per_sec` vary run to run. Timings include topology
-//! construction; routing dominates at every shipped scale.
+//! construction; routing dominates at every shipped scale. Since BENCH_6
+//! every row also carries a per-phase breakdown (topology build / sim
+//! steps / settlement / fairness) from the profiling observer the presets
+//! run under.
 
 use std::path::Path;
 use std::time::Instant;
 
+use fairswap_obs::PHASES;
 use fairswap_simcore::Executor;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::error::CoreError;
-use crate::exec::{run_jobs_with_progress, SimJob};
+use crate::exec::{run_jobs_observed, SimJob};
 use crate::experiments::{churn, fig4, large_scale, routing, scenarios, ExperimentScale};
+use crate::obs::{GridObservation, ObsOptions};
 
 /// The benchmark file this revision of the runner writes.
-pub const BENCH_FILE: &str = "BENCH_5.json";
+pub const BENCH_FILE: &str = "BENCH_6.json";
 
 /// The PR number stamped into emitted reports.
-pub const BENCH_PR: u32 = 5;
+pub const BENCH_PR: u32 = 6;
 
 /// Names of the timed presets, in run order. `routing` (added with the
 /// policy layer) times the capacity-detour slow path; the others carry
 /// over from BENCH_4 so the trajectory stays comparable.
 pub const PRESET_NAMES: [&str; 5] = ["fig4", "churn", "scenarios", "routing", "large_scale_quick"];
 
-/// One timed preset.
+/// Wall time one run phase consumed, summed over every cell of the
+/// preset's grid — with `--threads N` the phase sums are CPU time and can
+/// exceed the end-to-end `wall_ms`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRow {
+    /// Phase identifier (a [`fairswap_obs::Phase::id`]).
+    pub phase: String,
+    /// Accumulated milliseconds across all cells.
+    pub wall_ms: f64,
+}
+
+/// One timed preset.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
     /// Preset name (one of [`PRESET_NAMES`]).
     pub preset: String,
@@ -46,6 +62,41 @@ pub struct BenchRow {
     pub chunks_routed: u64,
     /// `chunks_routed` per wall-clock second — the tracked figure.
     pub chunks_per_sec: f64,
+    /// Per-phase breakdown from the profiling observer (empty in reports
+    /// written before BENCH_6 — the serde impls below default it so older
+    /// baseline files keep loading).
+    pub phases: Vec<PhaseRow>,
+}
+
+impl Serialize for BenchRow {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("preset".into(), self.preset.to_value()),
+            ("wall_ms".into(), self.wall_ms.to_value()),
+            ("chunks_routed".into(), self.chunks_routed.to_value()),
+            ("chunks_per_sec".into(), self.chunks_per_sec.to_value()),
+            ("phases".into(), self.phases.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BenchRow {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", value))?;
+        let phases = match fields.iter().find(|(key, _)| key == "phases") {
+            Some((_, phases)) => Vec::from_value(phases)?,
+            None => Vec::new(),
+        };
+        Ok(Self {
+            preset: String::from_value(serde::field(fields, "preset")?)?,
+            wall_ms: u64::from_value(serde::field(fields, "wall_ms")?)?,
+            chunks_routed: u64::from_value(serde::field(fields, "chunks_routed")?)?,
+            chunks_per_sec: f64::from_value(serde::field(fields, "chunks_per_sec")?)?,
+            phases,
+        })
+    }
 }
 
 /// A benchmark report: the current rows plus the previous PR's rows.
@@ -92,7 +143,7 @@ impl BenchReport {
         serde_json::to_string(self).map_err(|e| format!("serializing bench report: {e}"))
     }
 
-    /// Writes the report to `dir/BENCH_5.json` and returns the path.
+    /// Writes the report to `dir/BENCH_6.json` and returns the path.
     ///
     /// # Errors
     ///
@@ -301,6 +352,11 @@ pub fn preset_jobs(name: &str, quick: bool) -> Result<Vec<SimJob>, CoreError> {
 /// (with an empty baseline — see [`BenchReport::with_baseline`]).
 /// `progress(preset, wall_ms)` fires after each preset completes.
 ///
+/// Each preset runs under a profile-only observer, which adds only two
+/// clock reads per simulation step (no trace rings, no metrics, no epoch
+/// snapshots), so `wall_ms` stays comparable with pre-BENCH_6 baselines
+/// while the per-phase breakdown comes from the very run being timed.
+///
 /// # Errors
 ///
 /// Propagates configuration errors as [`CoreError`].
@@ -312,19 +368,31 @@ pub fn run(
     let mut rows = Vec::with_capacity(PRESET_NAMES.len());
     for name in PRESET_NAMES {
         let jobs = preset_jobs(name, quick)?;
+        let mut obs = GridObservation::new(ObsOptions {
+            profile: true,
+            ..ObsOptions::default()
+        });
         let started = Instant::now();
-        let reports = run_jobs_with_progress(executor, jobs, |_, _| {})?;
+        let reports = run_jobs_observed(executor, jobs, &mut obs)?;
         let wall = started.elapsed();
         let chunks_routed: u64 = reports
             .iter()
             .map(|r| r.traffic().requests_issued().iter().sum::<u64>())
             .sum();
         let wall_ms = wall.as_millis().max(1) as u64;
+        let times = obs.phase_times();
         rows.push(BenchRow {
             preset: name.to_string(),
             wall_ms,
             chunks_routed,
             chunks_per_sec: chunks_routed as f64 / wall.as_secs_f64().max(1e-9),
+            phases: PHASES
+                .iter()
+                .map(|&phase| PhaseRow {
+                    phase: phase.id().to_string(),
+                    wall_ms: times.millis(phase),
+                })
+                .collect(),
         });
         progress(name, wall_ms);
     }
@@ -335,6 +403,31 @@ pub fn run(
         presets: rows,
         baseline: Vec::new(),
     })
+}
+
+/// CI's tracing-off overhead gate: loads a committed report and checks
+/// that `preset` did not slow down below `min_speedup` of its embedded
+/// baseline (e.g. `0.99` allows at most a 1% regression).
+///
+/// # Errors
+///
+/// Describes the load failure, a missing baseline row, or the regression.
+pub fn check_overhead(path: &Path, preset: &str, min_speedup: f64) -> Result<(), String> {
+    let report = validate_file(path)?;
+    let speedup = report
+        .speedup(preset)
+        .ok_or_else(|| format!("{}: no baseline row for preset '{preset}'", path.display()))?;
+    if speedup < min_speedup {
+        return Err(format!(
+            "{}: preset '{preset}' at {speedup:.3}x of baseline, below the {min_speedup:.2}x floor",
+            path.display()
+        ));
+    }
+    println!(
+        "{}: '{preset}' at {speedup:.3}x of baseline (floor {min_speedup:.2}x)",
+        path.display()
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -353,6 +446,10 @@ mod tests {
                     wall_ms: 2000,
                     chunks_routed: 10_000,
                     chunks_per_sec: 5_000.0,
+                    phases: vec![PhaseRow {
+                        phase: "sim_steps".to_string(),
+                        wall_ms: 1500.0,
+                    }],
                 })
                 .collect(),
             baseline: Vec::new(),
@@ -420,6 +517,49 @@ mod tests {
         broken.presets[0].chunks_routed = 0;
         std::fs::write(&path, broken.to_json().unwrap()).unwrap();
         assert!(load_baseline(&path).unwrap_err().contains("no work"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rows_without_phases_still_parse() {
+        // The BENCH_5-era row schema has no `phases` key; baselines in
+        // that form must keep loading.
+        let json = r#"{
+            "preset": "fig4", "wall_ms": 2000,
+            "chunks_routed": 10000, "chunks_per_sec": 5000.0
+        }"#;
+        let row: BenchRow = serde_json::from_str(json).unwrap();
+        assert_eq!(row.preset, "fig4");
+        assert!(row.phases.is_empty());
+        // And a row that has them round-trips.
+        let full = &tiny_report().presets[0];
+        let back: BenchRow = serde_json::from_str(&serde_json::to_string(full).unwrap()).unwrap();
+        assert_eq!(&back, full);
+        assert_eq!(back.phases[0].phase, "sim_steps");
+    }
+
+    #[test]
+    fn overhead_gate_passes_and_fails_on_the_floor() {
+        let dir = std::env::temp_dir().join("fairswap_benchrun_overhead_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_gate.json");
+        // Identical baseline: speedup exactly 1.0 — passes a 0.99 floor.
+        let report = tiny_report().with_baseline(&tiny_report());
+        std::fs::write(&path, report.to_json().unwrap()).unwrap();
+        check_overhead(&path, "large_scale_quick", 0.99).unwrap();
+        // A 5% slowdown fails it.
+        let mut slow = tiny_report();
+        for row in &mut slow.presets {
+            row.chunks_per_sec = 4_750.0;
+            row.wall_ms = 2105;
+        }
+        let slow = slow.with_baseline(&tiny_report());
+        std::fs::write(&path, slow.to_json().unwrap()).unwrap();
+        let err = check_overhead(&path, "large_scale_quick", 0.99).unwrap_err();
+        assert!(err.contains("below the 0.99x floor"), "{err}");
+        // No baseline at all is an error, not a silent pass.
+        std::fs::write(&path, tiny_report().to_json().unwrap()).unwrap();
+        assert!(check_overhead(&path, "large_scale_quick", 0.99).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -13,10 +13,12 @@
 //! (one file download each), which is what the CLI renders as a single
 //! live progress line for a whole multi-core sweep.
 
+use fairswap_obs::Phase;
 use fairswap_simcore::Executor;
 
 use crate::config::{SimConfig, SimulationBuilder};
 use crate::error::CoreError;
+use crate::obs::{GridObservation, ObsCollector, StepObserver};
 use crate::report::SimReport;
 
 /// One cell of an experiment grid: a complete simulation configuration.
@@ -46,6 +48,22 @@ impl SimJob {
     fn run(self, mut on_step: impl FnMut()) -> Result<SimReport, CoreError> {
         let sim = SimulationBuilder::from_config(self.config).build()?;
         Ok(sim.run_with_progress(|_, _| on_step()))
+    }
+
+    /// [`SimJob::run`] with an observer: topology build time is attributed
+    /// to the [`Phase::TopologyBuild`] phase, then the simulation runs with
+    /// the observer wired into its step loop.
+    fn run_observed<O: StepObserver>(
+        self,
+        obs: &mut O,
+        mut on_step: impl FnMut(),
+    ) -> Result<SimReport, CoreError> {
+        let build_start = obs.profiling().then(std::time::Instant::now);
+        let sim = SimulationBuilder::from_config(self.config).build()?;
+        if let Some(start) = build_start {
+            obs.add_phase(Phase::TopologyBuild, start.elapsed().as_nanos() as u64);
+        }
+        Ok(sim.run_observed(|_, _| on_step(), obs))
     }
 }
 
@@ -86,6 +104,69 @@ pub fn run_jobs_with_progress(
         })
         .into_iter()
         .collect()
+}
+
+/// [`run_jobs`] under a [`GridObservation`]: progress flows to the
+/// observation's meter, and — when any collection is enabled — each cell
+/// runs with its own [`ObsCollector`], merged back **in stable cell order**
+/// regardless of which worker thread ran it. That stable merge is what
+/// makes a rendered trace byte-identical for any `--threads N`.
+///
+/// With collection disabled this is exactly [`run_jobs_with_progress`]:
+/// cells run with the `NullObserver` monomorphization, i.e. the plain hot
+/// path.
+///
+/// # Errors
+///
+/// See [`run_jobs`]. On error, collectors of cells that already finished
+/// are kept (the trace is partial, the error is what matters).
+pub fn run_jobs_observed(
+    executor: &Executor,
+    jobs: Vec<SimJob>,
+    obs: &mut GridObservation,
+) -> Result<Vec<SimReport>, CoreError> {
+    let total_steps: u64 = jobs.iter().map(SimJob::steps).sum();
+    let opts = obs.opts();
+    let grid = obs.next_grid();
+    let meter = obs.meter();
+    if !opts.collecting() {
+        return executor
+            .run_with_progress(
+                jobs,
+                total_steps,
+                |done, total| meter.notify(done, total),
+                |_, job, progress| job.run(|| progress.advance(1)),
+            )
+            .into_iter()
+            .collect();
+    }
+    let results: Vec<Result<(SimReport, ObsCollector), CoreError>> = executor.run_with_progress(
+        jobs,
+        total_steps,
+        |done, total| meter.notify(done, total),
+        |index, job, progress| {
+            let mut collector = ObsCollector::new(grid, index as u32, opts);
+            job.run_observed(&mut collector, || progress.advance(1))
+                .map(|report| (report, collector))
+        },
+    );
+    let mut reports = Vec::with_capacity(results.len());
+    let mut first_error = None;
+    for result in results {
+        match result {
+            Ok((report, collector)) => {
+                obs.push_collector(collector);
+                reports.push(report);
+            }
+            Err(error) => {
+                first_error.get_or_insert(error);
+            }
+        }
+    }
+    match first_error {
+        Some(error) => Err(error),
+        None => Ok(reports),
+    }
 }
 
 #[cfg(test)]

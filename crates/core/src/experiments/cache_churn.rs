@@ -17,8 +17,9 @@ use fairswap_workload::ChunkDist;
 
 use crate::csv::CsvTable;
 use crate::error::CoreError;
-use crate::exec::{run_jobs, SimJob};
+use crate::exec::{run_jobs_observed, SimJob};
 use crate::experiments::scale::ExperimentScale;
+use crate::obs::GridObservation;
 
 /// The cache policies the preset compares, in sweep order.
 pub const CACHE_POLICIES: [CachePolicy; 4] = [
@@ -141,8 +142,23 @@ pub fn run_with(
     rates: &[f64],
     executor: &Executor,
 ) -> Result<CacheChurnExperiment, CoreError> {
+    run_observed(scale, rates, executor, &mut GridObservation::disabled())
+}
+
+/// [`run_with`] reporting through a [`GridObservation`] — the CLI's
+/// `--trace` / `--metrics` / `--profile` path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_observed(
+    scale: ExperimentScale,
+    rates: &[f64],
+    executor: &Executor,
+    obs: &mut GridObservation,
+) -> Result<CacheChurnExperiment, CoreError> {
     let cells = grid(rates);
-    let reports = run_jobs(executor, jobs(scale, rates)?)?;
+    let reports = run_jobs_observed(executor, jobs(scale, rates)?, obs)?;
     let rows = cells
         .iter()
         .zip(&reports)

@@ -14,8 +14,9 @@ use fairswap_churn::ChurnConfig;
 
 use crate::csv::CsvTable;
 use crate::error::CoreError;
-use crate::exec::{run_jobs, SimJob};
+use crate::exec::{run_jobs_observed, SimJob};
 use crate::experiments::scale::ExperimentScale;
+use crate::obs::GridObservation;
 use crate::report::ChurnSample;
 
 /// The bucket sizes compared throughout the paper.
@@ -137,8 +138,23 @@ pub fn run_with(
     rates: &[f64],
     executor: &Executor,
 ) -> Result<ChurnExperiment, CoreError> {
+    run_observed(scale, rates, executor, &mut GridObservation::disabled())
+}
+
+/// [`run_with`] reporting through a [`GridObservation`] — the CLI's
+/// `--trace` / `--metrics` / `--profile` path.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_observed(
+    scale: ExperimentScale,
+    rates: &[f64],
+    executor: &Executor,
+    obs: &mut GridObservation,
+) -> Result<ChurnExperiment, CoreError> {
     let cells = grid(rates);
-    let reports = run_jobs(executor, jobs(scale, rates)?)?;
+    let reports = run_jobs_observed(executor, jobs(scale, rates)?, obs)?;
 
     let mut rows = Vec::with_capacity(cells.len());
     let mut timelines = Vec::new();

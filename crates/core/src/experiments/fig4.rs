@@ -14,8 +14,9 @@ use fairswap_fairness::Histogram;
 
 use crate::csv::CsvTable;
 use crate::error::CoreError;
-use crate::exec::{run_jobs, SimJob};
+use crate::exec::{run_jobs_observed, SimJob};
 use crate::experiments::scale::ExperimentScale;
+use crate::obs::GridObservation;
 use crate::presets::paper_grid;
 
 /// One histogram series (one curve of one panel).
@@ -96,8 +97,23 @@ pub fn run_with(
     bin_width: f64,
     executor: &Executor,
 ) -> Result<Fig4, CoreError> {
+    run_observed(scale, bin_width, executor, &mut GridObservation::disabled())
+}
+
+/// [`run_with`] reporting through a [`GridObservation`] — the CLI's
+/// `--trace` / `--metrics` / `--profile` path.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_observed(
+    scale: ExperimentScale,
+    bin_width: f64,
+    executor: &Executor,
+    obs: &mut GridObservation,
+) -> Result<Fig4, CoreError> {
     let cells = paper_grid();
-    let reports = run_jobs(executor, jobs(scale))?;
+    let reports = run_jobs_observed(executor, jobs(scale), obs)?;
     let series = cells
         .iter()
         .zip(reports)

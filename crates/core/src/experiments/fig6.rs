@@ -12,8 +12,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::csv::CsvTable;
 use crate::error::CoreError;
-use crate::exec::{run_jobs, SimJob};
+use crate::exec::{run_jobs_observed, SimJob};
 use crate::experiments::scale::ExperimentScale;
+use crate::obs::GridObservation;
 use crate::presets::paper_grid;
 
 /// One F1 Lorenz curve plus its Gini coefficient.
@@ -94,12 +95,26 @@ pub fn run(scale: ExperimentScale) -> Result<Fig6, CoreError> {
 ///
 /// Propagates configuration errors as [`CoreError`].
 pub fn run_with(scale: ExperimentScale, executor: &Executor) -> Result<Fig6, CoreError> {
+    run_observed(scale, executor, &mut GridObservation::disabled())
+}
+
+/// [`run_with`] reporting through a [`GridObservation`] — the CLI's
+/// `--trace` / `--metrics` / `--profile` path.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_observed(
+    scale: ExperimentScale,
+    executor: &Executor,
+    obs: &mut GridObservation,
+) -> Result<Fig6, CoreError> {
     let cells = paper_grid();
     let jobs: Vec<SimJob> = cells
         .iter()
         .map(|&(k, fraction)| SimJob::new(scale.cell_config(k, fraction)))
         .collect();
-    let reports = run_jobs(executor, jobs)?;
+    let reports = run_jobs_observed(executor, jobs, obs)?;
     let series = cells
         .iter()
         .zip(reports)

@@ -14,8 +14,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::csv::CsvTable;
 use crate::error::CoreError;
-use crate::exec::{run_jobs_with_progress, SimJob};
+use crate::exec::{run_jobs_observed, run_jobs_with_progress, SimJob};
 use crate::experiments::scale::ExperimentScale;
+use crate::obs::GridObservation;
+use crate::report::SimReport;
 
 /// Default address width for large-scale runs: room for 4M addresses,
 /// an occupancy (10⁵ of 2²²) comparable to the paper's 1000 of 2¹⁶.
@@ -133,6 +135,35 @@ pub fn run_with(
     notify: impl Fn(u64, u64) + Sync,
 ) -> Result<LargeScale, CoreError> {
     let reports = run_jobs_with_progress(executor, jobs(scale, bits, ks), notify)?;
+    Ok(assemble(scale, bits, ks, reports))
+}
+
+/// [`run_with`] reporting through a [`GridObservation`] — the CLI's
+/// `--trace` / `--metrics` / `--profile` path. Live progress flows through
+/// the observation's meter instead of a `notify` callback.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_observed(
+    scale: ExperimentScale,
+    bits: u32,
+    ks: &[usize],
+    executor: &Executor,
+    obs: &mut GridObservation,
+) -> Result<LargeScale, CoreError> {
+    let reports = run_jobs_observed(executor, jobs(scale, bits, ks), obs)?;
+    Ok(assemble(scale, bits, ks, reports))
+}
+
+/// Folds per-cell reports into the comparison's rows — shared by both run
+/// paths so the observed variant can never drift from the plain one.
+fn assemble(
+    scale: ExperimentScale,
+    bits: u32,
+    ks: &[usize],
+    reports: Vec<SimReport>,
+) -> LargeScale {
     let rows = ks
         .iter()
         .zip(reports)
@@ -149,7 +180,7 @@ pub fn run_with(
             stuck_requests: report.traffic().stuck_requests(),
         })
         .collect();
-    Ok(LargeScale { rows })
+    LargeScale { rows }
 }
 
 /// The per-`k` grid at `bits` address width, one [`SimJob`] per cell —

@@ -16,9 +16,10 @@ use fairswap_storage::RoutePolicy;
 
 use crate::csv::CsvTable;
 use crate::error::CoreError;
-use crate::exec::{run_jobs, SimJob};
+use crate::exec::{run_jobs_observed, SimJob};
 use crate::experiments::churn::PAPER_KS;
 use crate::experiments::scale::ExperimentScale;
+use crate::obs::GridObservation;
 use crate::scenario::ScenarioKind;
 
 /// The routing policies the preset compares, in sweep order.
@@ -148,8 +149,22 @@ pub fn run_with(
     scale: ExperimentScale,
     executor: &Executor,
 ) -> Result<RoutingExperiment, CoreError> {
+    run_observed(scale, executor, &mut GridObservation::disabled())
+}
+
+/// [`run_with`] reporting through a [`GridObservation`] — the CLI's
+/// `--trace` / `--metrics` / `--profile` path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_observed(
+    scale: ExperimentScale,
+    executor: &Executor,
+    obs: &mut GridObservation,
+) -> Result<RoutingExperiment, CoreError> {
     let cells = grid();
-    let reports = run_jobs(executor, jobs(scale))?;
+    let reports = run_jobs_observed(executor, jobs(scale), obs)?;
     let rows = cells
         .iter()
         .zip(&reports)

@@ -22,9 +22,10 @@ use fairswap_churn::ChurnConfig;
 
 use crate::csv::CsvTable;
 use crate::error::CoreError;
-use crate::exec::{run_jobs, SimJob};
+use crate::exec::{run_jobs_observed, SimJob};
 use crate::experiments::churn::PAPER_KS;
 use crate::experiments::scale::ExperimentScale;
+use crate::obs::GridObservation;
 use crate::report::ChurnSample;
 use crate::scenario::ScenarioKind;
 
@@ -208,6 +209,21 @@ pub fn run_with(
     names: &[&str],
     executor: &Executor,
 ) -> Result<ScenarioExperiment, CoreError> {
+    run_observed(scale, names, executor, &mut GridObservation::disabled())
+}
+
+/// [`run_with`] reporting through a [`GridObservation`] — the CLI's
+/// `--trace` / `--metrics` / `--profile` path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_observed(
+    scale: ExperimentScale,
+    names: &[&str],
+    executor: &Executor,
+    obs: &mut GridObservation,
+) -> Result<ScenarioExperiment, CoreError> {
     let grid = grid(scale, names)?;
     let cells: Vec<(&str, usize, u64)> = grid
         .iter()
@@ -217,7 +233,7 @@ pub fn run_with(
         .into_iter()
         .map(|(_, k, spec)| cell_job(scale, k, spec))
         .collect::<Result<_, _>>()?;
-    let reports = run_jobs(executor, jobs)?;
+    let reports = run_jobs_observed(executor, jobs, obs)?;
 
     let mut rows = Vec::with_capacity(cells.len());
     let mut timelines = Vec::new();

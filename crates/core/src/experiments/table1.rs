@@ -11,8 +11,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::csv::CsvTable;
 use crate::error::CoreError;
-use crate::exec::{run_jobs, SimJob};
+use crate::exec::{run_jobs_observed, SimJob};
 use crate::experiments::scale::ExperimentScale;
+use crate::obs::GridObservation;
 use crate::presets::paper_grid;
 
 /// One cell of Table I.
@@ -82,12 +83,26 @@ pub fn run(scale: ExperimentScale) -> Result<Table1, CoreError> {
 ///
 /// Propagates configuration errors as [`CoreError`].
 pub fn run_with(scale: ExperimentScale, executor: &Executor) -> Result<Table1, CoreError> {
+    run_observed(scale, executor, &mut GridObservation::disabled())
+}
+
+/// [`run_with`] reporting through a [`GridObservation`] — the CLI's
+/// `--trace` / `--metrics` / `--profile` path.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_observed(
+    scale: ExperimentScale,
+    executor: &Executor,
+    obs: &mut GridObservation,
+) -> Result<Table1, CoreError> {
     let cells = paper_grid();
     let jobs: Vec<SimJob> = cells
         .iter()
         .map(|&(k, fraction)| SimJob::new(scale.cell_config(k, fraction)))
         .collect();
-    let reports = run_jobs(executor, jobs)?;
+    let reports = run_jobs_observed(executor, jobs, obs)?;
     let rows = cells
         .iter()
         .zip(reports)

@@ -45,6 +45,7 @@ mod spec;
 pub mod benchrun;
 pub mod exec;
 pub mod experiments;
+pub mod obs;
 pub mod policy;
 pub mod presets;
 
@@ -52,7 +53,8 @@ pub use cadcad::{CadcadAdapter, GiniTrajectory};
 pub use config::{MechanismKind, SimConfig, SimulationBuilder};
 pub use csv::CsvTable;
 pub use error::CoreError;
-pub use exec::{run_jobs, run_jobs_with_progress, SimJob};
+pub use exec::{run_jobs, run_jobs_observed, run_jobs_with_progress, SimJob};
+pub use obs::{EpochSnapshot, GridObservation, NullObserver, ObsOptions, StepObserver};
 pub use policy::{RepairHook, RepairPolicy};
 pub use report::{ChurnOutcome, ChurnSample, SimReport};
 pub use scenario::ScenarioKind;
@@ -60,5 +62,6 @@ pub use sim::BandwidthSim;
 pub use spec::{DynamicsSpec, EconomicsSpec, PolicySpec, SimSpec, TopologySpec, WorkloadSpec};
 
 pub use fairswap_churn::{ChurnConfig, LifetimeDist};
+pub use fairswap_obs::{validate_jsonl, Phase, PhaseTimes, TraceStats};
 pub use fairswap_simcore::Executor;
 pub use fairswap_storage::{CachePolicy, RoutePolicy};

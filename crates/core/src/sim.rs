@@ -9,6 +9,7 @@ use fairswap_storage::DownloadSim;
 use fairswap_workload::Workload;
 
 use crate::config::SimConfig;
+use crate::obs::{EpochSnapshot, NullObserver, RunInfo, StepObserver};
 use crate::policy::RepairHook;
 use crate::report::{ChurnOutcome, ChurnSample, SimReport};
 use crate::scenario;
@@ -67,9 +68,24 @@ impl BandwidthSim {
     where
         F: FnMut(u64, u64),
     {
+        self.run_observed(progress, &mut NullObserver)
+    }
+
+    /// Runs the simulation while reporting events, per-epoch counter
+    /// snapshots and (optionally) phase timings to a
+    /// [`StepObserver`](crate::StepObserver).
+    ///
+    /// Observation is strictly read-only: the produced [`SimReport`] is
+    /// byte-identical whether the observer is [`NullObserver`] or a real
+    /// collector — the non-perturbation invariant the observability tests
+    /// pin.
+    pub fn run_observed<F, O>(self, progress: F, obs: &mut O) -> SimReport
+    where
+        F: FnMut(u64, u64),
+        O: StepObserver,
+    {
         let mut hook = self.config().repair.build();
-        let report = self.run_inner(progress, hook.as_mut());
-        report
+        self.run_inner(progress, hook.as_mut(), obs)
     }
 
     /// Runs the simulation with a caller-supplied [`RepairHook`] instead of
@@ -79,16 +95,29 @@ impl BandwidthSim {
     /// departure; its returned counts land in
     /// [`ChurnOutcome::repair_events`].
     pub fn run_with_repair(self, hook: &mut dyn RepairHook) -> SimReport {
-        self.run_inner(|_, _| {}, hook)
+        self.run_inner(|_, _| {}, hook, &mut NullObserver)
     }
 
-    fn run_inner<F>(mut self, mut progress: F, repair: &mut dyn RepairHook) -> SimReport
+    fn run_inner<F, O>(
+        mut self,
+        mut progress: F,
+        repair: &mut dyn RepairHook,
+        obs: &mut O,
+    ) -> SimReport
     where
         F: FnMut(u64, u64),
+        O: StepObserver,
     {
         let nodes = self.topology.len();
         let bits = self.topology.space().bits();
         let total = self.config.files;
+        if O::ENABLED {
+            obs.on_start(&RunInfo {
+                nodes: nodes as u64,
+                files: total,
+                seed: self.config.seed,
+            });
+        }
         // The scenario compiles against the freshly built (all-live)
         // topology: scripted membership events, any initially-offline
         // cohort, the runtime targeted-departure trigger and per-node
@@ -192,6 +221,17 @@ impl BandwidthSim {
         // sat in (§III-B: zero-proximity nodes take most first-hop load).
         let mut first_hop_buckets = vec![0u64; bits as usize + 1];
 
+        // Profiling is wall-clock and surfaces only through `--profile` /
+        // BENCH artifacts; the trace and metrics streams stay logical.
+        // Settlement time (the per-step amortization tick) is measured
+        // separately and subtracted from the step loop's total.
+        let profiling = obs.profiling();
+        let loop_start = profiling.then(std::time::Instant::now);
+        let mut settlement_nanos = 0u64;
+        // Epoch snapshots share the timeline stride, so a trace correlates
+        // 1:1 with the churn timeline the report already carries.
+        let mut epoch_index = 0u64;
+
         for step in 1..=total {
             // 1. Membership changes scheduled for this step. The guards
             //    tolerate events invalidated by runtime triggers: a
@@ -217,8 +257,13 @@ impl BandwidthSim {
                             outcome.departure_settlements +=
                                 state.settle_departed(event.node) as u64;
                             outcome.leaves += 1;
-                            outcome.repair_events +=
+                            let repaired =
                                 repair.on_departure(download.topology(), event.node, step);
+                            outcome.repair_events += repaired;
+                            obs.on_leave(step, event.node);
+                            if repaired > 0 {
+                                obs.on_repair(step, event.node, repaired);
+                            }
                             flips.push((event.node, false));
                         }
                         ChurnEventKind::Join => {
@@ -230,6 +275,7 @@ impl BandwidthSim {
                                 .add_node(event.node)
                                 .expect("liveness checked above");
                             outcome.joins += 1;
+                            obs.on_join(step, event.node);
                             flips.push((event.node, true));
                         }
                     }
@@ -265,8 +311,12 @@ impl BandwidthSim {
                         download.on_node_leave(node);
                         outcome.departure_settlements += state.settle_departed(node) as u64;
                         outcome.targeted_removals += 1;
-                        outcome.repair_events +=
-                            repair.on_departure(download.topology(), node, step);
+                        let repaired = repair.on_departure(download.topology(), node, step);
+                        outcome.repair_events += repaired;
+                        obs.on_targeted(step, node);
+                        if repaired > 0 {
+                            obs.on_repair(step, node, repaired);
+                        }
                         flips.push((node, false));
                     }
                     let topology = download.topology_rc();
@@ -290,8 +340,15 @@ impl BandwidthSim {
                     }
                 }
                 mechanism.on_delivery(&topology, delivery, &mut state);
+                obs.on_delivery(step, delivery);
             });
-            mechanism.on_tick(&topology, &mut state);
+            if profiling {
+                let tick_start = std::time::Instant::now();
+                mechanism.on_tick(&topology, &mut state);
+                settlement_nanos += tick_start.elapsed().as_nanos() as u64;
+            } else {
+                mechanism.on_tick(&topology, &mut state);
+            }
             // Release the shared handle so the next step's churn events
             // mutate the topology in place instead of copying it.
             drop(topology);
@@ -310,9 +367,65 @@ impl BandwidthSim {
                     outcome.final_live = download.topology().live_count();
                 }
             }
+            // 4b. Per-epoch observer snapshot — cumulative counters, same
+            //     stride as the timeline so traces correlate with it. The
+            //     `O::ENABLED` guard makes this whole block vanish for
+            //     unobserved runs; profile-only observers skip the (costly)
+            //     snapshot assembly via `wants_epochs`.
+            if O::ENABLED && obs.wants_epochs() && (step % timeline_stride == 0 || step == total) {
+                state.incomes_f64_into(&mut income_buf);
+                let stats = download.stats();
+                let requests: u64 = stats.requests_issued().iter().sum();
+                let stuck = stats.stuck_requests();
+                let cache_totals = download.cache_totals();
+                let ledger = state.swap().ledger();
+                let (joins, leaves, targeted_removals, repair_events) =
+                    churn_outcome.as_ref().map_or((0, 0, 0, 0), |o| {
+                        (o.joins, o.leaves, o.targeted_removals, o.repair_events)
+                    });
+                obs.on_epoch(&EpochSnapshot {
+                    epoch: epoch_index,
+                    step,
+                    live: download.topology().live_count() as u64,
+                    requests,
+                    delivered: requests - stuck,
+                    stuck,
+                    capacity_blocked: stats.capacity_blocked(),
+                    detoured: stats.detoured(),
+                    forwarded: stats.total_forwarded(),
+                    cache_served: stats.served_from_cache().iter().sum(),
+                    cache_lookups: cache_totals.lookups,
+                    cache_hits: cache_totals.hits,
+                    cache_misses: cache_totals.misses,
+                    cache_evictions: cache_totals.evictions,
+                    cache_ttl_expiries: cache_totals.ttl_expiries,
+                    settlements: ledger.transaction_count() as u64,
+                    settlement_volume: ledger.total_volume().raw(),
+                    joins,
+                    leaves,
+                    targeted_removals,
+                    repair_events,
+                    f2_gini: gini(&income_buf).unwrap_or(0.0),
+                });
+                epoch_index += 1;
+            }
             // 5. Close this step's bandwidth-budget window.
             download.advance_step();
             progress(step, total);
+        }
+
+        if let Some(start) = loop_start {
+            let loop_nanos = start.elapsed().as_nanos() as u64;
+            obs.add_phase(fairswap_obs::Phase::Settlement, settlement_nanos);
+            obs.add_phase(
+                fairswap_obs::Phase::SimSteps,
+                loop_nanos.saturating_sub(settlement_nanos),
+            );
+        }
+        if O::ENABLED {
+            let stats = download.stats();
+            let requests: u64 = stats.requests_issued().iter().sum();
+            obs.on_end(total, requests, stats.stuck_requests());
         }
 
         let cache_hits = (0..nodes)
@@ -325,7 +438,8 @@ impl BandwidthSim {
         let stats = download.stats().clone();
         let topology = download.topology_rc();
         drop(download);
-        SimReport::assemble(
+        let fairness_start = profiling.then(std::time::Instant::now);
+        let report = SimReport::assemble(
             self.config,
             &topology,
             stats,
@@ -335,7 +449,14 @@ impl BandwidthSim {
             cache_hits,
             first_hop_buckets,
             churn_outcome,
-        )
+        );
+        if let Some(start) = fairness_start {
+            obs.add_phase(
+                fairswap_obs::Phase::Fairness,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
+        report
     }
 }
 

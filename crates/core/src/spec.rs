@@ -27,7 +27,11 @@
 //!
 //! Unknown fields are ignored on input (new writers, old readers);
 //! out-of-range *values* are rejected by [`SimSpec::build`] through the
-//! same validation every other entry point uses.
+//! same validation every other entry point uses. Tooling that wants to
+//! catch typos instead of silently dropping them — the CLI's
+//! `fairswap run --config`, which warns by default and rejects under
+//! `--strict` — goes through [`SimSpec::from_json_checked`], which also
+//! reports every unknown top-level or group-level key.
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -233,6 +237,24 @@ impl SimSpec {
         })
     }
 
+    /// [`SimSpec::from_json`] plus a list of every unknown top-level or
+    /// group-level key the document carries (e.g. `"topology.node_count"`
+    /// for a typo of `nodes`). The spec still parses — unknown fields are
+    /// never fatal here; the caller decides whether to warn or reject.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimSpec::from_json`].
+    pub fn from_json_checked(json: &str) -> Result<(Self, Vec<String>), CoreError> {
+        let value: Value = serde_json::from_str(json).map_err(|e| CoreError::InvalidConfig {
+            message: format!("parsing spec: {e}"),
+        })?;
+        let spec = Self::from_value(&value).map_err(|e| CoreError::InvalidConfig {
+            message: format!("parsing spec: {e}"),
+        })?;
+        Ok((spec, unknown_fields(&value)))
+    }
+
     /// Renders the spec as its canonical (compact, fixed field order)
     /// JSON wire form.
     ///
@@ -245,6 +267,56 @@ impl SimSpec {
             message: format!("serializing spec: {e}"),
         })
     }
+}
+
+/// The spec's known keys, top level and per group — the authority
+/// [`SimSpec::from_json_checked`] diffs a document against.
+const KNOWN_GROUPS: [(&str, &[&str]); 5] = [
+    ("topology", &["nodes", "bits", "bucket_sizing"]),
+    (
+        "workload",
+        &["originator_fraction", "files", "file_size", "chunk_dist"],
+    ),
+    (
+        "economics",
+        &[
+            "mechanism",
+            "pricing",
+            "channel",
+            "tx_cost",
+            "free_rider_fraction",
+        ],
+    ),
+    ("dynamics", &["churn", "scenario"]),
+    ("policies", &["route", "cache", "repair"]),
+];
+
+/// Dotted paths of every unknown top-level or group-level key in a spec
+/// document. Keys *inside* leaf values (enum payloads like a churn or
+/// pricing config) are the leaf type's business and are not walked.
+fn unknown_fields(value: &Value) -> Vec<String> {
+    let Some(fields) = value.as_object() else {
+        return Vec::new();
+    };
+    let mut unknown = Vec::new();
+    for (key, group_value) in fields {
+        if key == "seed" {
+            continue;
+        }
+        match KNOWN_GROUPS.iter().find(|(name, _)| name == key) {
+            None => unknown.push(key.clone()),
+            Some((name, known)) => {
+                if let Some(group_fields) = group_value.as_object() {
+                    for (field, _) in group_fields {
+                        if !known.contains(&field.as_str()) {
+                            unknown.push(format!("{name}.{field}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    unknown
 }
 
 impl Default for SimSpec {
@@ -499,6 +571,44 @@ mod tests {
     fn unknown_fields_are_ignored() {
         let spec = SimSpec::from_json(r#"{ "seed": 9, "future_extension": {"x": 1} }"#).unwrap();
         assert_eq!(spec.seed, 9);
+    }
+
+    #[test]
+    fn checked_parse_reports_unknown_fields() {
+        let (spec, unknown) = SimSpec::from_json_checked(
+            r#"{
+                "seed": 9,
+                "future_extension": {"x": 1},
+                "topology": { "nodes": 64, "node_count": 65 },
+                "policies": { "cache": "None", "caching": "Lru" }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.topology.nodes, 64);
+        assert_eq!(
+            unknown,
+            vec![
+                "future_extension",
+                "topology.node_count",
+                "policies.caching"
+            ]
+        );
+    }
+
+    #[test]
+    fn checked_parse_of_clean_documents_reports_nothing() {
+        let json = SimSpec::paper_defaults().to_json().unwrap();
+        let (spec, unknown) = SimSpec::from_json_checked(&json).unwrap();
+        assert_eq!(spec, SimSpec::paper_defaults());
+        assert!(unknown.is_empty(), "{unknown:?}");
+        // Leaf payload keys (enum internals) are not the walk's business.
+        let (_, unknown) = SimSpec::from_json_checked(
+            r#"{ "policies": { "route": { "CapacityDetour": { "max_detours": 5 } } } }"#,
+        )
+        .unwrap();
+        assert!(unknown.is_empty(), "{unknown:?}");
+        assert!(SimSpec::from_json_checked("{").is_err());
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Diagnostic logging for the CLI and config layer.
+//!
+//! Deliberately tiny: warnings are operator-facing text on stderr, kept out
+//! of stdout (which carries experiment results) and out of trace/metrics
+//! artifacts except where the caller explicitly mirrors them (e.g. spec
+//! warnings become `warn` trace events so a saved trace records the exact
+//! configuration diagnostics of the run that produced it).
+
+/// Prints one warning line to stderr with the shared `warning:` prefix.
+pub fn warn(message: &str) {
+    eprintln!("warning: {message}");
+}

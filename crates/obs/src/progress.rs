@@ -1,0 +1,88 @@
+//! The live progress sink.
+//!
+//! Progress is presentation, not data: it goes to stderr, never into a CSV
+//! or trace artifact, so routing it through one sink lets the CLI silence
+//! it (`--no-progress`) and keeps CI logs free of carriage-return spam —
+//! the meter auto-disables when stderr is not a terminal.
+
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Renders a single in-place `done/total` line on stderr.
+///
+/// Safe to call from several worker threads at once: the percentage gate is
+/// an atomic max, so the line only ever moves forward even when updates
+/// race.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    live: bool,
+    last_pct: AtomicU64,
+}
+
+impl ProgressMeter {
+    /// A meter that prints only when stderr is a terminal — the CLI
+    /// default, which keeps redirected and CI output clean.
+    pub fn auto() -> Self {
+        Self::with_live(std::io::stderr().is_terminal())
+    }
+
+    /// A meter that never prints (`--no-progress`).
+    pub fn silent() -> Self {
+        Self::with_live(false)
+    }
+
+    /// A meter with explicit liveness.
+    pub fn with_live(live: bool) -> Self {
+        Self {
+            live,
+            last_pct: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the meter prints at all.
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+
+    /// Observes aggregated progress; prints when the integer percentage
+    /// advances, with a final newline at completion.
+    pub fn notify(&self, done: u64, total: u64) {
+        if !self.live || total == 0 {
+            return;
+        }
+        let pct = done * 100 / total;
+        if pct > self.last_pct.fetch_max(pct, Ordering::Relaxed) {
+            eprint!("\r  {done}/{total} steps ({pct}%)");
+            if done == total {
+                eprintln!();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_meter_ignores_everything() {
+        let meter = ProgressMeter::silent();
+        assert!(!meter.is_live());
+        meter.notify(1, 10);
+        meter.notify(10, 10);
+        assert_eq!(meter.last_pct.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn live_meter_gates_on_percent() {
+        // Exercise the gate logic without asserting on stderr contents.
+        let meter = ProgressMeter::with_live(true);
+        meter.notify(0, 0);
+        meter.notify(5, 100);
+        assert_eq!(meter.last_pct.load(Ordering::Relaxed), 5);
+        meter.notify(3, 100);
+        assert_eq!(meter.last_pct.load(Ordering::Relaxed), 5);
+        meter.notify(100, 100);
+        assert_eq!(meter.last_pct.load(Ordering::Relaxed), 100);
+    }
+}

@@ -1,0 +1,107 @@
+//! Bounded per-job event buffers.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+
+/// A bounded FIFO of trace events.
+///
+/// When a run emits more events than the ring holds, the **oldest** events
+/// are dropped and counted — never silently: the drop count is surfaced in
+/// the trace's per-job summary line (see [`crate::write_jsonl`]). Keeping
+/// the newest events biases the trace toward the end of a run, which is
+/// where churn outcomes and final counter states live.
+///
+/// Dropping is itself deterministic (it depends only on the event sequence,
+/// which is seed-deterministic), so a truncated trace is still byte-identical
+/// across thread counts.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum events the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn event(step: u64) -> TraceEvent {
+        TraceEvent {
+            grid: 0,
+            job: 0,
+            step,
+            kind: EventKind::Join { node: step },
+        }
+    }
+
+    #[test]
+    fn keeps_newest_when_full() {
+        let mut ring = EventRing::new(3);
+        for step in 1..=5 {
+            ring.push(event(step));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let steps: Vec<u64> = ring.iter().map(|e| e.step).collect();
+        assert_eq!(steps, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut ring = EventRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        assert!(ring.is_empty());
+        ring.push(event(1));
+        ring.push(event(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.iter().next().unwrap().step, 2);
+    }
+}

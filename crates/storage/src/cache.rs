@@ -70,8 +70,11 @@ pub struct NodeCache {
     /// chunk address -> (last-touch stamp, hit count)
     entries: HashMap<u64, (u64, u64)>,
     clock: u64,
+    lookups: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    ttl_expiries: u64,
 }
 
 impl NodeCache {
@@ -81,8 +84,11 @@ impl NodeCache {
             policy,
             entries: HashMap::new(),
             clock: 0,
+            lookups: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
+            ttl_expiries: 0,
         }
     }
 
@@ -101,6 +107,12 @@ impl NodeCache {
         self.entries.is_empty()
     }
 
+    /// Lifetime lookups that consulted the cache (always `hits + misses`;
+    /// [`CachePolicy::None`] short-circuits before counting).
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
     /// Lifetime cache hits.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -111,6 +123,17 @@ impl NodeCache {
         self.misses
     }
 
+    /// Lifetime capacity evictions (victims removed on insert).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Lifetime TTL expiries (entries dropped because a lookup found them
+    /// past their lifetime; each also counts as a miss).
+    pub fn ttl_expiries(&self) -> u64 {
+        self.ttl_expiries
+    }
+
     /// Looks up a chunk, updating hit statistics and recency/frequency on a
     /// hit. Under [`CachePolicy::Ttl`], an entry older than its lifetime
     /// counts as a miss and is dropped on the spot.
@@ -119,12 +142,14 @@ impl NodeCache {
             return false;
         }
         self.clock += 1;
+        self.lookups += 1;
         match self.entries.get_mut(&chunk.raw()) {
             Some((stamp, count)) => {
                 if let CachePolicy::Ttl { ttl, .. } = self.policy {
                     if self.clock - *stamp > ttl {
                         self.entries.remove(&chunk.raw());
                         self.misses += 1;
+                        self.ttl_expiries += 1;
                         return false;
                     }
                 }
@@ -191,10 +216,38 @@ impl NodeCache {
             };
             if let Some(victim) = victim {
                 self.entries.remove(&victim);
+                self.evictions += 1;
             }
         }
         self.entries.insert(chunk.raw(), (self.clock, 0));
     }
+
+    /// Accumulates this cache's lifetime counters into `totals`.
+    pub fn add_totals(&self, totals: &mut CacheTotals) {
+        totals.lookups += self.lookups;
+        totals.hits += self.hits;
+        totals.misses += self.misses;
+        totals.evictions += self.evictions;
+        totals.ttl_expiries += self.ttl_expiries;
+    }
+}
+
+/// Network-wide cache counters, summed over every node's [`NodeCache`].
+///
+/// `lookups == hits + misses` by construction; the observability layer's
+/// conservation tests pin that identity end-to-end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTotals {
+    /// Lookups that consulted a cache.
+    pub lookups: u64,
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that missed (including TTL expiries).
+    pub misses: u64,
+    /// Entries evicted to make room on insert.
+    pub evictions: u64,
+    /// Entries dropped because a lookup found them expired.
+    pub ttl_expiries: u64,
 }
 
 #[cfg(test)]
@@ -252,6 +305,35 @@ mod tests {
         assert!(c.lookup(addr(9)));
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
+        assert_eq!(c.lookups(), 2);
+        assert_eq!(c.lookups(), c.hits() + c.misses());
+    }
+
+    #[test]
+    fn eviction_and_expiry_counters() {
+        let mut c = NodeCache::new(CachePolicy::Ttl {
+            capacity: 2,
+            ttl: 2,
+        });
+        c.insert(addr(1));
+        c.insert(addr(2));
+        // Capacity eviction on the third insert.
+        c.insert(addr(3));
+        assert_eq!(c.evictions(), 1);
+        // Age the survivor past its TTL, then look it up.
+        c.lookup(addr(9));
+        c.lookup(addr(9));
+        c.lookup(addr(9));
+        assert!(!c.lookup(addr(3)));
+        assert_eq!(c.ttl_expiries(), 1);
+        assert_eq!(c.lookups(), c.hits() + c.misses());
+
+        let mut totals = CacheTotals::default();
+        c.add_totals(&mut totals);
+        assert_eq!(totals.lookups, c.lookups());
+        assert_eq!(totals.evictions, 1);
+        assert_eq!(totals.ttl_expiries, 1);
+        assert_eq!(totals.lookups, totals.hits + totals.misses);
     }
 
     #[test]

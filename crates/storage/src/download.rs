@@ -198,6 +198,16 @@ impl DownloadSim {
         self.caches.get(node.index())
     }
 
+    /// Network-wide cache counters summed over every node's cache
+    /// (including nodes currently offline — their history is a fact).
+    pub fn cache_totals(&self) -> crate::cache::CacheTotals {
+        let mut totals = crate::cache::CacheTotals::default();
+        for cache in &self.caches {
+            cache.add_totals(&mut totals);
+        }
+        totals
+    }
+
     /// Downloads all chunks of a file, updating statistics.
     pub fn download_file(&mut self, originator: NodeId, chunks: &[OverlayAddress]) -> FileReport {
         self.download_file_with(originator, chunks, |_| {})

@@ -30,7 +30,7 @@ mod route;
 mod traffic;
 mod upload;
 
-pub use cache::{CachePolicy, NodeCache};
+pub use cache::{CachePolicy, CacheTotals, NodeCache};
 pub use chunk::{FileSpec, CHUNK_SIZE_BYTES};
 pub use download::{ChunkDelivery, DownloadSim, FileReport};
 pub use route::RoutePolicy;

@@ -1,0 +1,190 @@
+//! Observability contracts: tracing must never perturb results, traces
+//! must be byte-identical for any thread count, and the metrics registry
+//! must agree with the simulation report it describes.
+//!
+//! These are the tier-1 guarantees behind `fairswap --trace/--metrics`:
+//! the observer is read-only (same CSVs with tracing on or off), events
+//! are addressed by logical clocks and merged in stable job order (same
+//! bytes under `--threads N`), and every counter is conserved (hits +
+//! misses = lookups, delivered + stuck = requests, histogram totals match
+//! their counters).
+
+use std::collections::HashMap;
+
+use fairswap::core::experiments::{churn, fig4, ExperimentScale};
+use fairswap::core::{
+    run_jobs_observed, validate_jsonl, Executor, GridObservation, ObsOptions, SimJob, SimReport,
+    SimSpec,
+};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        nodes: 150,
+        files: 50,
+        seed: 0xFA12,
+    }
+}
+
+/// Full collection: trace + metrics + profile.
+fn everything() -> ObsOptions {
+    ObsOptions {
+        trace: true,
+        metrics: true,
+        profile: true,
+        ..ObsOptions::default()
+    }
+}
+
+/// A run with churn, TTL caching, detour routing and repair all enabled —
+/// the widest counter surface a single simulation can produce.
+fn demo_report(opts: ObsOptions) -> (SimReport, GridObservation) {
+    let spec = SimSpec::from_json(include_str!("fixtures/demo_spec.json")).unwrap();
+    let mut obs = GridObservation::new(opts);
+    let reports = run_jobs_observed(
+        &Executor::serial(),
+        vec![SimJob::new(spec.to_config())],
+        &mut obs,
+    )
+    .unwrap();
+    (reports.into_iter().next().unwrap(), obs)
+}
+
+/// The last flushed value of every metric for `(grid, job)` — counters
+/// are cumulative, so later flushes simply overwrite earlier ones.
+fn final_values(metrics_csv: &str, grid: u32, job: u32) -> HashMap<String, u64> {
+    let prefix = format!("{grid},{job},");
+    let mut values = HashMap::new();
+    for line in metrics_csv.lines().skip(1) {
+        if !line.starts_with(&prefix) {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 6, "malformed metrics row: {line}");
+        if let Ok(value) = fields[4 + 1].parse::<u64>() {
+            values.insert(fields[4].to_string(), value);
+        }
+    }
+    values
+}
+
+#[test]
+fn tracing_does_not_perturb_preset_csvs() {
+    let rates = [0.0, 0.1];
+    let plain = churn::run_with(scale(), &rates, &Executor::serial())
+        .unwrap()
+        .to_csv()
+        .to_csv_string();
+    let mut obs = GridObservation::new(everything());
+    let traced = churn::run_observed(scale(), &rates, &Executor::serial(), &mut obs)
+        .unwrap()
+        .to_csv()
+        .to_csv_string();
+    assert_eq!(plain, traced, "observation must be read-only");
+    assert!(!obs.trace_jsonl().is_empty());
+
+    let plain = fig4::run_with(scale(), 25.0, &Executor::serial())
+        .unwrap()
+        .to_csv()
+        .to_csv_string();
+    let mut obs = GridObservation::new(everything());
+    let traced = fig4::run_observed(scale(), 25.0, &Executor::serial(), &mut obs)
+        .unwrap()
+        .to_csv()
+        .to_csv_string();
+    assert_eq!(plain, traced);
+}
+
+#[test]
+fn trace_and_metrics_are_byte_identical_across_thread_counts() {
+    let rates = [0.0, 0.05, 0.1];
+    let mut serial = GridObservation::new(everything());
+    churn::run_observed(scale(), &rates, &Executor::serial(), &mut serial).unwrap();
+    let mut threaded = GridObservation::new(everything());
+    churn::run_observed(scale(), &rates, &Executor::new(4), &mut threaded).unwrap();
+    assert_eq!(
+        serial.trace_jsonl(),
+        threaded.trace_jsonl(),
+        "trace must not depend on scheduling"
+    );
+    assert_eq!(serial.metrics_csv(), threaded.metrics_csv());
+    let stats = validate_jsonl(&serial.trace_jsonl()).unwrap();
+    // Two k values x three churn rates, each closing with a summary.
+    assert_eq!(stats.jobs, 6);
+    assert!(stats.events > 0);
+    assert_eq!(stats.dropped, 0, "default ring must fit a preset's events");
+}
+
+#[test]
+fn counters_are_conserved_and_match_the_report() {
+    let (report, obs) = demo_report(everything());
+    let m = final_values(&obs.metrics_csv(), 0, 0);
+
+    // Internal conservation.
+    assert_eq!(m["requests"], m["delivered"] + m["stuck"]);
+    assert_eq!(m["cache_lookups"], m["cache_hits"] + m["cache_misses"]);
+    assert_eq!(
+        m["route_hops_total"], m["delivered"],
+        "one hop observation per delivered request"
+    );
+    let bucket_sum: u64 = m
+        .iter()
+        .filter(|(name, _)| name.starts_with("route_hops_le_"))
+        .map(|(_, &count)| count)
+        .sum();
+    assert_eq!(bucket_sum, m["route_hops_total"]);
+
+    // Agreement with the simulation report.
+    let traffic = report.traffic();
+    let requests: u64 = traffic.requests_issued().iter().sum();
+    assert!(requests > 0 && m["cache_lookups"] > 0 && m["detoured"] > 0);
+    assert_eq!(m["requests"], requests);
+    assert_eq!(m["stuck"], traffic.stuck_requests());
+    assert_eq!(m["capacity_blocked"], traffic.capacity_blocked());
+    assert_eq!(m["detoured"], traffic.detoured());
+    assert_eq!(m["forwarded"], report.total_forwarded());
+    assert_eq!(m["cache_hits"], report.cache_hits());
+    assert_eq!(m["settlements"], report.settlement_count() as u64);
+    assert_eq!(m["settlement_volume"], report.settlement_volume());
+    let churn = report.churn().expect("demo spec enables churn");
+    assert_eq!(m["joins"], churn.joins);
+    assert_eq!(m["leaves"], churn.leaves);
+    assert_eq!(m["targeted_removals"], churn.targeted_removals);
+    assert_eq!(m["repair_events"], churn.repair_events);
+}
+
+#[test]
+fn trace_validates_and_survives_ring_overflow() {
+    let (_, obs) = demo_report(everything());
+    let full = validate_jsonl(&obs.trace_jsonl()).unwrap();
+    assert_eq!(full.jobs, 1);
+    assert_eq!(full.dropped, 0);
+
+    // A tiny ring keeps the newest events and reports what it shed.
+    let (_, obs) = demo_report(ObsOptions {
+        ring_capacity: 32,
+        ..everything()
+    });
+    let clipped = validate_jsonl(&obs.trace_jsonl()).unwrap();
+    assert_eq!(clipped.events, 32);
+    assert_eq!(
+        clipped.events as u64 + clipped.dropped,
+        full.events as u64,
+        "every emitted event is either kept or counted as dropped"
+    );
+}
+
+#[test]
+fn profile_only_observation_times_phases_without_collecting() {
+    let (_, obs) = demo_report(ObsOptions {
+        profile: true,
+        ..ObsOptions::default()
+    });
+    let times = obs.phase_times();
+    assert!(times.total_nanos() > 0);
+    assert!(times.nanos(fairswap::core::Phase::TopologyBuild) > 0);
+    assert!(times.nanos(fairswap::core::Phase::SimSteps) > 0);
+    // No events, no metric rows: profile-only runs skip epoch snapshots.
+    let stats = validate_jsonl(&obs.trace_jsonl()).unwrap();
+    assert_eq!(stats.events, 0);
+    assert_eq!(obs.metrics_csv().lines().count(), 1, "header only");
+}
