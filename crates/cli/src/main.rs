@@ -23,12 +23,13 @@ use std::process::ExitCode;
 
 use fairswap_core::benchrun;
 use fairswap_core::experiments::{
-    cache_churn, churn, extensions, fig4, fig5, fig6, large_scale, routing, scenarios, sweeps,
-    table1, ExperimentScale,
+    cache_churn, churn, extensions, fig4, fig5, fig6, fuzzed, large_scale, routing, scenarios,
+    sweeps, table1, ExperimentScale,
 };
 use fairswap_core::{
     validate_jsonl, CsvTable, Executor, GridObservation, ObsOptions, Phase, SimJob, SimSpec,
 };
+use fairswap_fuzz::{run_campaign, FuzzConfig};
 
 /// One dispatchable experiment command: the single source of truth behind
 /// both `usage()` and the `all` meta-command, so the help text and the
@@ -142,6 +143,18 @@ const COMMANDS: &[CommandSpec] = &[
         in_all: false,
     },
     CommandSpec {
+        name: "fuzz",
+        section: "fuzzing",
+        blurb: "coverage-guided spec fuzzing with invariant oracles",
+        in_all: false,
+    },
+    CommandSpec {
+        name: "fuzzed",
+        section: "fuzzing",
+        blurb: "replay the committed gallery of machine-found scenarios",
+        in_all: false,
+    },
+    CommandSpec {
         name: "large-scale",
         section: "scaling",
         blurb: "fairness at 10^5 nodes, 20-24-bit space",
@@ -176,6 +189,7 @@ const OBSERVABLE: &[&str] = &[
     "cache-churn",
     "large-scale",
     "run",
+    "fuzzed",
 ];
 
 struct Options {
@@ -208,6 +222,13 @@ struct Options {
     no_progress: bool,
     /// `run`: make unknown SimSpec fields fatal instead of warnings.
     strict: bool,
+    /// `fuzz`: mutation iterations after the seed-corpus priming pass.
+    iters: u64,
+    /// `fuzz`: corpus directory (default `<out>/corpus`).
+    corpus: Option<PathBuf>,
+    /// `fuzz`: wall-clock cutoff in seconds (trades away bit-for-bit
+    /// reproducibility; seed+iters campaigns are the reproducible ones).
+    time_budget: Option<u64>,
     out: PathBuf,
 }
 
@@ -217,6 +238,7 @@ fn usage() -> String {
     text.push_str(
         "       [--nodes N] [--files N] [--seed S] [--out DIR] [--quick] [--threads T]\n\
          \x20      [--bits B] [--scenario NAME] [--config FILE]\n\
+         \x20      [--iters N] [--corpus DIR] [--time-budget SECS]\n\
          \x20      [--trace FILE] [--metrics FILE] [--profile] [--no-progress] [--strict]\n\
          \nCommands:\n",
     );
@@ -243,6 +265,10 @@ fn usage() -> String {
     text.push_str(
         "\n\
          --config    run: the SimSpec JSON file to execute (see docs/EXPERIMENTS.md)\n\
+         --iters     fuzz: mutation iterations (default 256); same --seed + --iters\n\
+         \x20           reproduces the same corpus and findings bit for bit\n\
+         --corpus    fuzz: corpus directory (default <out>/corpus; see docs/FUZZING.md)\n\
+         --time-budget  fuzz: stop mutating after SECS seconds (breaks reproducibility)\n\
          --check     bench: validate an existing BENCH_*.json and exit\n\
          --baseline  bench: embed a previous BENCH_*.json as the baseline\n\
          --trace     write the merged event trace as JSONL (trace-check: the file to read)\n\
@@ -273,6 +299,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut no_progress = false;
     let mut strict = false;
     let mut quick = false;
+    let mut iters = 256u64;
+    let mut corpus = None;
+    let mut time_budget = None;
     let mut out = PathBuf::from("results");
     let mut i = 0;
     while i < args.len() {
@@ -282,7 +311,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--no-progress" => no_progress = true,
             "--strict" => strict = true,
             "--nodes" | "--files" | "--seed" | "--out" | "--threads" | "--bits" | "--scenario"
-            | "--config" | "--check" | "--baseline" | "--trace" | "--metrics" => {
+            | "--config" | "--check" | "--baseline" | "--trace" | "--metrics" | "--iters"
+            | "--corpus" | "--time-budget" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -330,6 +360,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "--baseline" => baseline = Some(PathBuf::from(value)),
                     "--trace" => trace = Some(PathBuf::from(value)),
                     "--metrics" => metrics = Some(PathBuf::from(value)),
+                    "--iters" => {
+                        iters = value
+                            .parse()
+                            .map_err(|_| format!("invalid --iters value: {value}"))?;
+                    }
+                    "--corpus" => corpus = Some(PathBuf::from(value)),
+                    "--time-budget" => {
+                        time_budget = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("invalid --time-budget value: {value}"))?,
+                        );
+                    }
                     "--out" => out = PathBuf::from(value),
                     _ => unreachable!(),
                 }
@@ -372,6 +415,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         profile,
         no_progress,
         strict,
+        iters,
+        corpus,
+        time_budget,
         out,
     })
 }
@@ -778,6 +824,75 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 ]);
                 write_csv(&mut obs, out, "run.csv", &csv)?;
             }
+            "fuzz" => {
+                let cfg = FuzzConfig {
+                    seed: scale.seed,
+                    iters: opts.iters,
+                    time_budget: opts.time_budget.map(std::time::Duration::from_secs),
+                };
+                let corpus_dir = opts.corpus.clone().unwrap_or_else(|| out.join("corpus"));
+                // The campaign drives the shared progress meter directly:
+                // one tick per evaluated spec (seeds, then iterations).
+                let outcome = {
+                    let meter = obs.meter();
+                    run_campaign(&executor, &cfg, &mut |done, total| {
+                        meter.notify(done, total)
+                    })
+                }
+                .map_err(|e| e.to_string())?;
+                println!(
+                    "  {} iterations ({} simulations with fairness twins), {} behavior cells",
+                    outcome.iterations, outcome.runs, outcome.cells
+                );
+                println!(
+                    "  corpus: {} specs, findings: {}",
+                    outcome.corpus.len(),
+                    outcome.findings.len()
+                );
+                for f in &outcome.findings {
+                    println!(
+                        "  [{}] iter {} {} — {}",
+                        f.violation.oracle, f.iteration, f.entry, f.violation.detail
+                    );
+                }
+                outcome
+                    .corpus
+                    .write_to(&corpus_dir)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "wrote {} ({} replayable specs)",
+                    corpus_dir.display(),
+                    outcome.corpus.len()
+                );
+                let findings = outcome.findings_json().map_err(|e| e.to_string())?;
+                write_text(&out.join("findings.json"), &(findings + "\n"))?;
+                let mut csv = CsvTable::new(["iteration", "entry", "oracle", "detail"]);
+                for f in &outcome.findings {
+                    csv.push_row([
+                        f.iteration.to_string(),
+                        f.entry.clone(),
+                        f.violation.oracle.clone(),
+                        f.violation.detail.clone(),
+                    ]);
+                }
+                write_csv(&mut obs, out, "fuzz.csv", &csv)?;
+            }
+            "fuzzed" => {
+                let result = fuzzed::run_observed(&executor, &mut obs).map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  {:<22} {:<18} gini_k4={:.4} gini_k20={:.4} inversion={:+.4} drop={:.3} hops={:.2}",
+                        r.name,
+                        r.mechanism,
+                        r.gini_k4,
+                        r.gini_k20,
+                        r.inversion(),
+                        r.drop_rate,
+                        r.mean_hops
+                    );
+                }
+                write_csv(&mut obs, out, "fuzzed.csv", &result.to_csv())?;
+            }
             "churn" => {
                 let result = churn::run_observed(scale, &churn::DEFAULT_RATES, &executor, &mut obs)
                     .map_err(err)?;
@@ -923,6 +1038,9 @@ mod tests {
             profile: false,
             no_progress: false,
             strict: false,
+            iters: 2,
+            corpus: None,
+            time_budget: None,
             out,
         }
     }
@@ -1123,7 +1241,36 @@ mod tests {
         assert!(dir.join("routing.csv").exists());
         assert!(dir.join("cache_churn.csv").exists());
         assert!(dir.join("run.csv").exists());
+        // The fuzz campaign wrote its replayable corpus and findings
+        // report; the gallery replay wrote its comparison table.
+        assert!(dir.join("fuzz.csv").exists());
+        assert!(dir.join("findings.json").exists());
+        assert!(dir.join("corpus").join("seed-00-paper-quick.json").exists());
+        assert!(dir.join("fuzzed.csv").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fuzz_flags_parse() {
+        let opts = parse_args(&s(&[
+            "fuzz",
+            "--iters",
+            "12",
+            "--corpus",
+            "/tmp/c",
+            "--time-budget",
+            "30",
+        ]))
+        .unwrap();
+        assert_eq!(opts.iters, 12);
+        assert_eq!(opts.corpus, Some(PathBuf::from("/tmp/c")));
+        assert_eq!(opts.time_budget, Some(30));
+        assert!(parse_args(&s(&["fuzz", "--iters", "x"])).is_err());
+        assert!(parse_args(&s(&["fuzz", "--time-budget", "x"])).is_err());
+        // Defaults: a reproducible 256-iteration campaign into <out>/corpus.
+        let opts = parse_args(&s(&["fuzz"])).unwrap();
+        assert_eq!(opts.iters, 256);
+        assert!(opts.corpus.is_none() && opts.time_budget.is_none());
     }
 
     #[test]

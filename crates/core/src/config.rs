@@ -177,6 +177,34 @@ impl SimConfig {
                 ),
             });
         }
+        // The workload distributions validate themselves inside
+        // `WorkloadBuilder::build`, but that runs after the (potentially
+        // expensive) topology build — and fuzzed specs hit these corners
+        // constantly (non-finite Zipf exponents, zero-size files). Reject
+        // them here with every other config error instead.
+        self.chunk_dist.validate()?;
+        self.file_size.validate()?;
+        // A non-positive payout parameter silently degenerates the
+        // mechanism (zero or negative income for every node), which then
+        // trips the fairness oracles with configs that were never
+        // meaningful. Reject them as config errors.
+        match self.mechanism {
+            MechanismKind::EffortBased { budget_per_tick } if budget_per_tick <= 0 => {
+                return Err(CoreError::InvalidConfig {
+                    message: format!(
+                        "effort-based budget_per_tick must be positive, got {budget_per_tick}"
+                    ),
+                });
+            }
+            MechanismKind::ProofOfBandwidth { mint_per_chunk } if mint_per_chunk <= 0 => {
+                return Err(CoreError::InvalidConfig {
+                    message: format!(
+                        "proof-of-bandwidth mint_per_chunk must be positive, got {mint_per_chunk}"
+                    ),
+                });
+            }
+            _ => {}
+        }
         if let Some(churn) = &self.churn {
             churn.validate()?;
         }
@@ -586,6 +614,95 @@ mod tests {
         // Full configs pass through.
         let b = SimulationBuilder::new().churn(ChurnConfig::from_rate(0.05).unwrap());
         assert!(b.config().churn.is_some());
+    }
+
+    #[test]
+    fn bad_workload_distributions_rejected_up_front() {
+        // Fuzzer-surfaced gap: these used to slip past `validate()` and
+        // only fail inside `WorkloadBuilder::build`, after the topology
+        // was already constructed. Each rejection keeps its precise
+        // message.
+        for (dist, needle) in [
+            (
+                ChunkDist::Zipf {
+                    catalog: 100,
+                    exponent: f64::NAN,
+                },
+                "invalid zipf parameters: catalog 100, exponent NaN",
+            ),
+            (
+                ChunkDist::Zipf {
+                    catalog: 0,
+                    exponent: 0.8,
+                },
+                "invalid zipf parameters: catalog 0",
+            ),
+            (
+                ChunkDist::Zipf {
+                    catalog: 100,
+                    exponent: -1.0,
+                },
+                "exponent -1",
+            ),
+        ] {
+            let mut config = SimConfig::paper_defaults();
+            config.chunk_dist = dist;
+            let err = config.validate().unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+        for (dist, needle) in [
+            (
+                FileSizeDist::Uniform { min: 0, max: 10 },
+                "invalid file size range 0..=10",
+            ),
+            (
+                FileSizeDist::Uniform { min: 20, max: 10 },
+                "invalid file size range 20..=10",
+            ),
+            (FileSizeDist::Constant(0), "invalid file size range 0..=0"),
+        ] {
+            let mut config = SimConfig::paper_defaults();
+            config.file_size = dist;
+            let err = config.validate().unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn degenerate_mechanism_payouts_rejected() {
+        for (mechanism, needle) in [
+            (
+                MechanismKind::EffortBased { budget_per_tick: 0 },
+                "budget_per_tick must be positive, got 0",
+            ),
+            (
+                MechanismKind::EffortBased {
+                    budget_per_tick: -10,
+                },
+                "budget_per_tick must be positive, got -10",
+            ),
+            (
+                MechanismKind::ProofOfBandwidth { mint_per_chunk: 0 },
+                "mint_per_chunk must be positive, got 0",
+            ),
+            (
+                MechanismKind::ProofOfBandwidth { mint_per_chunk: -3 },
+                "mint_per_chunk must be positive, got -3",
+            ),
+        ] {
+            let mut config = SimConfig::paper_defaults();
+            config.mechanism = mechanism;
+            let err = config.validate().unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+        // The positive parameters still build.
+        let mut config = SimConfig::paper_defaults();
+        config.nodes = 60;
+        config.files = 2;
+        config.mechanism = MechanismKind::EffortBased {
+            budget_per_tick: 500,
+        };
+        assert!(config.validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! The fuzzer's gallery: machine-found scenarios replayed as a preset.
+//!
+//! `fairswap fuzz` (the coverage-guided campaign in `fairswap_fuzz`)
+//! hunts for specs whose behavior trips an invariant oracle. The keepers
+//! are committed here as verbatim [`SimSpec`] JSON under
+//! `experiments/gallery/` — every one was discovered by a campaign, not
+//! written by hand, and every one reproduces a **fairness inversion**:
+//! a regime where the paper's recommended large bucket (`k = 20`)
+//! yields a *less* equal F2 income distribution than `k = 4`. Two of
+//! them additionally starve delivery (majority drop rates) under tight
+//! capacity tiers.
+//!
+//! The preset replays each gallery spec at its committed seed together
+//! with its `k = 4` / `k = 20` fairness twins (same spec, only the
+//! bucket size swapped — exactly what the campaign ran) and reports
+//! both ends of the comparison, so the anomalies stay reproducible as
+//! the engine evolves. Because the specs pin their own topology, seed
+//! and workload, this preset takes no [`ExperimentScale`]: scaling a
+//! found scenario would change the behavior that made it a finding.
+//!
+//! [`ExperimentScale`]: crate::experiments::ExperimentScale
+
+use fairswap_kademlia::BucketSizing;
+use fairswap_simcore::Executor;
+use serde::{Deserialize, Serialize};
+
+use crate::csv::CsvTable;
+use crate::error::CoreError;
+use crate::exec::{run_jobs_observed, SimJob};
+use crate::obs::GridObservation;
+use crate::spec::SimSpec;
+
+/// The committed gallery, in discovery order: entry name → spec JSON.
+///
+/// Names keep the campaign's `fuzz-<iteration>-<mutated axis>` form so a
+/// finding can be traced back to the axis whose mutation exposed it.
+pub const GALLERY: [(&str, &str); 4] = [
+    (
+        "fuzz-00206-economics",
+        include_str!("gallery/fuzz-00206-economics.json"),
+    ),
+    (
+        "fuzz-00218-economics",
+        include_str!("gallery/fuzz-00218-economics.json"),
+    ),
+    (
+        "fuzz-00235-topology",
+        include_str!("gallery/fuzz-00235-topology.json"),
+    ),
+    (
+        "fuzz-00295-economics",
+        include_str!("gallery/fuzz-00295-economics.json"),
+    ),
+];
+
+/// The twin bucket sizes every gallery spec is replayed under — the
+/// paper's headline fairness comparison.
+pub const GALLERY_KS: [usize; 2] = [4, 20];
+
+/// One replayed gallery entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzedRow {
+    /// Gallery entry name (`fuzz-<iteration>-<axis>`).
+    pub name: String,
+    /// Incentive mechanism identifier of the found spec.
+    pub mechanism: String,
+    /// F2 income Gini of the `k = 4` twin.
+    pub gini_k4: f64,
+    /// F2 income Gini of the `k = 20` twin.
+    pub gini_k20: f64,
+    /// Fraction of issued requests never delivered (at the spec's own
+    /// bucket size).
+    pub drop_rate: f64,
+    /// Mean hops per delivered chunk (at the spec's own bucket size).
+    pub mean_hops: f64,
+}
+
+impl FuzzedRow {
+    /// How far the `k = 20` Gini exceeds the `k = 4` Gini — positive is
+    /// the inversion the fuzzer flagged.
+    pub fn inversion(&self) -> f64 {
+        self.gini_k20 - self.gini_k4
+    }
+}
+
+/// The replayed gallery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzedExperiment {
+    /// One row per gallery entry, in [`GALLERY`] order.
+    pub rows: Vec<FuzzedRow>,
+}
+
+impl FuzzedExperiment {
+    /// The row of one gallery entry.
+    pub fn row(&self, name: &str) -> Option<&FuzzedRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// One row per entry — the artifact `fairswap fuzzed` writes.
+    pub fn to_csv(&self) -> CsvTable {
+        let mut csv = CsvTable::new([
+            "name",
+            "mechanism",
+            "gini_k4",
+            "gini_k20",
+            "inversion",
+            "drop_rate",
+            "mean_hops",
+        ]);
+        for r in &self.rows {
+            csv.push_row([
+                r.name.clone(),
+                r.mechanism.clone(),
+                CsvTable::fmt_float(r.gini_k4),
+                CsvTable::fmt_float(r.gini_k20),
+                CsvTable::fmt_float(r.inversion()),
+                CsvTable::fmt_float(r.drop_rate),
+                CsvTable::fmt_float(r.mean_hops),
+            ]);
+        }
+        csv
+    }
+}
+
+/// The parsed gallery specs, in [`GALLERY`] order.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] if a committed JSON no longer
+/// parses or validates — a format regression the spec-stability tests
+/// also guard.
+pub fn specs() -> Result<Vec<(&'static str, SimSpec)>, CoreError> {
+    GALLERY
+        .iter()
+        .map(|&(name, json)| {
+            let spec = SimSpec::from_json(json)?;
+            spec.validate()?;
+            Ok((name, spec))
+        })
+        .collect()
+}
+
+/// Replays the gallery serially.
+///
+/// # Errors
+///
+/// Propagates gallery-parse and engine failures as [`CoreError`].
+pub fn run() -> Result<FuzzedExperiment, CoreError> {
+    run_with(&Executor::serial())
+}
+
+/// [`run`] with the replays fanned out over `executor`.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(executor: &Executor) -> Result<FuzzedExperiment, CoreError> {
+    run_observed(executor, &mut GridObservation::disabled())
+}
+
+/// [`run_with`] reporting through a [`GridObservation`] — the CLI's
+/// `--trace` / `--metrics` / `--profile` path.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_observed(
+    executor: &Executor,
+    obs: &mut GridObservation,
+) -> Result<FuzzedExperiment, CoreError> {
+    let specs = specs()?;
+    // Per entry: the spec at its own bucket size (job `base`), then one
+    // twin per missing `k` — mirroring the campaign's dedup, a twin
+    // whose bucket size the spec already uses shares the base run.
+    let mut jobs = Vec::new();
+    let mut slots = Vec::new();
+    for (_, spec) in &specs {
+        let base = spec.to_config();
+        let own = jobs.len();
+        jobs.push(SimJob::new(base.clone()));
+        let twin_slots: Vec<usize> = GALLERY_KS
+            .iter()
+            .map(|&k| {
+                let sizing = BucketSizing::uniform(k);
+                if base.bucket_sizing == sizing {
+                    own
+                } else {
+                    let mut twin = base.clone();
+                    twin.bucket_sizing = sizing;
+                    jobs.push(SimJob::new(twin));
+                    jobs.len() - 1
+                }
+            })
+            .collect();
+        slots.push((own, twin_slots));
+    }
+    let reports = run_jobs_observed(executor, jobs, obs)?;
+    let rows = specs
+        .iter()
+        .zip(&slots)
+        .map(|((name, spec), (own, twin_slots))| {
+            let report = &reports[*own];
+            let requests: u64 = report.traffic().requests_issued().iter().sum();
+            let drop_rate = if requests == 0 {
+                0.0
+            } else {
+                report.traffic().stuck_requests() as f64 / requests as f64
+            };
+            FuzzedRow {
+                name: (*name).to_string(),
+                mechanism: spec.to_config().mechanism.id().to_string(),
+                gini_k4: reports[twin_slots[0]].f2_income_gini(),
+                gini_k20: reports[twin_slots[1]].f2_income_gini(),
+                drop_rate,
+                mean_hops: report.hops().mean().unwrap_or(0.0),
+            }
+        })
+        .collect();
+    Ok(FuzzedExperiment { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallery_parses_and_validates() {
+        let specs = specs().unwrap();
+        assert_eq!(specs.len(), GALLERY.len());
+        // Committed JSON is the spec's own canonical form (what the
+        // corpus writer emits), so round-tripping is byte-identity.
+        for ((name, spec), (_, json)) in specs.iter().zip(GALLERY) {
+            assert_eq!(
+                spec.to_json().unwrap(),
+                json.trim_end(),
+                "{name} drifted from canonical form"
+            );
+        }
+    }
+
+    #[test]
+    fn every_entry_reproduces_its_fairness_inversion() {
+        let result = run().unwrap();
+        assert_eq!(result.rows.len(), GALLERY.len());
+        for row in &result.rows {
+            // The campaign's oracle threshold: k = 20 measurably less
+            // fair than k = 4.
+            assert!(
+                row.inversion() > 0.02,
+                "{} lost its inversion: {row:?}",
+                row.name
+            );
+        }
+        // The two capacity-starved entries keep their majority drops.
+        assert!(result.row("fuzz-00235-topology").unwrap().drop_rate > 0.5);
+        assert!(result.row("fuzz-00295-economics").unwrap().drop_rate > 0.5);
+        assert!(!result.to_csv().is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run().unwrap();
+        let threaded = run_with(&Executor::new(4)).unwrap();
+        assert_eq!(serial, threaded);
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`scenarios::run`] | scripted shocks: targeted departures, flash crowds, regional outages, heterogeneity |
 //! | [`routing::run`] | policy layer: drop vs capacity-detour routing under heterogeneity |
 //! | [`cache_churn::run`] | policy layer: cache policy × churn rate (§V caching × the churn axis) |
+//! | [`fuzzed::run`] | fuzzer gallery: machine-found fairness inversions, replayed verbatim |
 //!
 //! Every preset takes an [`ExperimentScale`] so the full paper-scale run
 //! (1000 nodes, 10k files) and a laptop-quick run share one code path, and
@@ -33,6 +34,7 @@ pub mod extensions;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod fuzzed;
 pub mod large_scale;
 pub mod routing;
 pub mod scenarios;

@@ -213,6 +213,20 @@ impl SimSpec {
         SimulationBuilder::from_config(self.to_config())
     }
 
+    /// Validates the spec's values without building anything — the same
+    /// checks [`SimSpec::build`] runs before constructing the topology.
+    /// This is the cheap path for tooling (the fuzzer, spec linters) that
+    /// wants to vet many specs per second.
+    ///
+    /// # Errors
+    ///
+    /// Any configuration error (out-of-range fractions, degenerate
+    /// dimensions, invalid churn/scenario/policy parameters, ...) as
+    /// [`CoreError`].
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.to_config().validate()
+    }
+
     /// Validates the spec and builds the runnable simulation.
     ///
     /// # Errors
@@ -624,6 +638,9 @@ mod tests {
         spec.workload.originator_fraction = 0.0;
         let err = spec.build().unwrap_err();
         assert!(err.to_string().contains("originator fraction"));
+        // `validate` runs the same checks without a build.
+        assert!(spec.validate().is_err());
+        assert!(SimSpec::paper_defaults().validate().is_ok());
         // A valid spec builds.
         let mut spec = SimSpec::paper_defaults();
         spec.topology.nodes = 80;

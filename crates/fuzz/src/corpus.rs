@@ -1,0 +1,255 @@
+//! The replayable corpus: named `SimSpec`s persisted one-per-file.
+//!
+//! A corpus directory holds `<name>.json` files, each the canonical
+//! [`SimSpec::to_json`] wire form plus a trailing newline — exactly the
+//! shape `fairswap run --config <file>` executes, so every corpus entry
+//! (seed or machine-found) replays verbatim through the ordinary CLI
+//! with no fuzzer involved. Loading sorts by filename, so a directory
+//! round-trips to the same in-memory corpus on every machine.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use fairswap_churn::ChurnConfig;
+use fairswap_core::{CachePolicy, MechanismKind, RoutePolicy, ScenarioKind, SimSpec};
+use fairswap_workload::ChunkDist;
+
+use crate::error::FuzzError;
+
+/// One corpus entry: a spec and its stable name (the filename stem).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// Filename stem, e.g. `seed-00-paper-quick` or `fuzz-00042-scenario`.
+    pub name: String,
+    /// The replayable spec.
+    pub spec: SimSpec,
+}
+
+impl CorpusEntry {
+    /// The file contents this entry persists as.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (non-finite floats) as
+    /// [`FuzzError::Core`].
+    pub fn to_file_contents(&self) -> Result<String, FuzzError> {
+        Ok(format!("{}\n", self.spec.to_json()?))
+    }
+}
+
+/// An ordered collection of corpus entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The hand-written seed corpus every campaign starts from: six
+    /// quick-dimension specs spanning the spec's behavioral regimes
+    /// (static baseline, churn, skewed popularity, a scripted shock,
+    /// the policy layer, and capacity tiers). `tests/fixtures/corpus/`
+    /// pins these byte-for-byte.
+    pub fn seeded() -> Self {
+        let quick = |seed: u64| {
+            let mut spec = SimSpec::paper_defaults();
+            spec.seed = seed;
+            spec.topology.nodes = 150;
+            spec.workload.files = 60;
+            spec
+        };
+
+        let baseline = quick(0xFA12);
+
+        let mut churn = quick(0xFA13);
+        churn.dynamics.churn =
+            Some(ChurnConfig::from_rate(0.05).expect("0.05 is a valid churn rate"));
+
+        let mut zipf = quick(0xFA14);
+        zipf.workload.chunk_dist = ChunkDist::Zipf {
+            catalog: 2000,
+            exponent: 0.9,
+        };
+        zipf.workload.originator_fraction = 0.2;
+
+        let mut flash = quick(0xFA15);
+        flash.dynamics.scenario = Some(ScenarioKind::FlashCrowd {
+            at_step: 30,
+            join_fraction: 0.25,
+        });
+
+        let mut policies = quick(0xFA16);
+        policies.policies.route = RoutePolicy::CapacityDetour { max_detours: 2 };
+        policies.policies.cache = CachePolicy::Lru { capacity: 128 };
+
+        let mut tiers = quick(0xFA17);
+        tiers.dynamics.scenario = Some(ScenarioKind::Heterogeneity {
+            slow_fraction: 0.3,
+            slow_budget: 2,
+            fast_budget: 16,
+        });
+        tiers.economics.mechanism = MechanismKind::EffortBased {
+            budget_per_tick: 500,
+        };
+
+        let named = [
+            ("seed-00-paper-quick", baseline),
+            ("seed-01-churn", churn),
+            ("seed-02-zipf", zipf),
+            ("seed-03-flash-crowd", flash),
+            ("seed-04-detour-cache", policies),
+            ("seed-05-capacity-tiers", tiers),
+        ];
+        Self {
+            entries: named
+                .into_iter()
+                .map(|(name, spec)| CorpusEntry {
+                    name: name.to_string(),
+                    spec,
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, name: String, spec: SimSpec) {
+        self.entries.push(CorpusEntry { name, spec });
+    }
+
+    /// The entries, in insertion (= load) order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Persists every entry to `dir` (created if missing) as
+    /// `<name>.json`. Existing files of the same names are overwritten;
+    /// other files are left alone.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as [`FuzzError::Io`], serialization failures as
+    /// [`FuzzError::Core`].
+    pub fn write_to(&self, dir: &Path) -> Result<(), FuzzError> {
+        fs::create_dir_all(dir).map_err(|e| io_error(dir, &e))?;
+        for entry in &self.entries {
+            let path = dir.join(format!("{}.json", entry.name));
+            fs::write(&path, entry.to_file_contents()?).map_err(|e| io_error(&path, &e))?;
+        }
+        Ok(())
+    }
+
+    /// Loads every `*.json` file of `dir` (sorted by filename, so load
+    /// order is machine-independent).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as [`FuzzError::Io`]; unparseable spec files as
+    /// [`FuzzError::Core`] naming the offending file.
+    pub fn load(dir: &Path) -> Result<Self, FuzzError> {
+        let mut paths: Vec<_> = fs::read_dir(dir)
+            .map_err(|e| io_error(dir, &e))?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| io_error(dir, &e))?
+            .into_iter()
+            .map(|entry| entry.path())
+            .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        let mut corpus = Self::new();
+        for path in paths {
+            let json = fs::read_to_string(&path).map_err(|e| io_error(&path, &e))?;
+            let spec = SimSpec::from_json(&json).map_err(|e| FuzzError::Corpus {
+                file: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            let name = path
+                .file_stem()
+                .map(|stem| stem.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            corpus.push(name, spec);
+        }
+        Ok(corpus)
+    }
+}
+
+fn io_error(path: &Path, error: &io::Error) -> FuzzError {
+    FuzzError::Io {
+        path: path.display().to_string(),
+        message: error.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_corpus_is_small_quick_and_valid() {
+        let corpus = Corpus::seeded();
+        assert_eq!(corpus.len(), 6);
+        for entry in corpus.entries() {
+            entry
+                .spec
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert!(entry.spec.topology.nodes <= 200, "{}", entry.name);
+            assert!(entry.spec.workload.files <= 100, "{}", entry.name);
+        }
+        // Names are unique — they become filenames.
+        let mut names: Vec<_> = corpus.entries().iter().map(|e| &e.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+    }
+
+    #[test]
+    fn corpus_round_trips_through_a_directory() {
+        let dir = std::env::temp_dir().join("fairswap-fuzz-corpus-roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let corpus = Corpus::seeded();
+        corpus.write_to(&dir).unwrap();
+        let back = Corpus::load(&dir).unwrap();
+        // Seed names sort in insertion order, so the round trip is exact.
+        assert_eq!(back, corpus);
+        // Non-spec files are ignored.
+        fs::write(dir.join("findings.txt"), "not a spec").unwrap();
+        assert_eq!(Corpus::load(&dir).unwrap(), corpus);
+        // A malformed spec file is an error naming the file.
+        fs::write(dir.join("zz-broken.json"), "{").unwrap();
+        let err = Corpus::load(&dir).unwrap_err().to_string();
+        assert!(err.contains("zz-broken"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_contents_are_canonical_json_with_newline() {
+        let corpus = Corpus::seeded();
+        let entry = &corpus.entries()[0];
+        let contents = entry.to_file_contents().unwrap();
+        assert!(contents.ends_with('\n'));
+        let spec = SimSpec::from_json(&contents).unwrap();
+        assert_eq!(spec, entry.spec);
+        assert_eq!(format!("{}\n", spec.to_json().unwrap()), contents);
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        let err = Corpus::load(Path::new("/nonexistent/fairswap-corpus")).unwrap_err();
+        assert!(matches!(err, FuzzError::Io { .. }));
+    }
+}

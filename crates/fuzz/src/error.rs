@@ -1,0 +1,70 @@
+//! Fuzzing error type.
+
+use std::fmt;
+
+use fairswap_core::CoreError;
+
+/// Everything that can go wrong while fuzzing.
+#[derive(Debug)]
+pub enum FuzzError {
+    /// A filesystem operation on the corpus or report failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        message: String,
+    },
+    /// A corpus file did not parse as a `SimSpec`.
+    Corpus {
+        /// The offending file.
+        file: String,
+        /// The parse error.
+        message: String,
+    },
+    /// The engine rejected or failed a run.
+    Core(CoreError),
+}
+
+impl fmt::Display for FuzzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, message } => write!(f, "fuzz i/o error at {path}: {message}"),
+            Self::Corpus { file, message } => {
+                write!(f, "corpus entry {file} is not a valid spec: {message}")
+            }
+            Self::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FuzzError {}
+
+impl From<CoreError> for FuzzError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_path_and_file() {
+        let io = FuzzError::Io {
+            path: "/tmp/x".into(),
+            message: "denied".into(),
+        };
+        assert!(io.to_string().contains("/tmp/x"));
+        let corpus = FuzzError::Corpus {
+            file: "bad.json".into(),
+            message: "eof".into(),
+        };
+        assert!(corpus.to_string().contains("bad.json"));
+        let core: FuzzError = CoreError::InvalidConfig {
+            message: "nope".into(),
+        }
+        .into();
+        assert!(core.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Novelty feedback: the coarse-binned metric grid.
+//!
+//! Classic coverage-guided fuzzers keep an input iff it reaches a new
+//! branch. A simulation has no branches worth counting, but it has
+//! *behavior*: where a run lands in (income Gini, drop rate, mean hops,
+//! cache-hit rate) space says far more about what the spec exercises
+//! than any code path does. The grid bins that 4-dimensional space
+//! coarsely — [`GINI_BINS`] × [`RATE_BINS`] × hop integer bins ×
+//! [`RATE_BINS`] cells — and a candidate spec joins the corpus iff its
+//! run lights a cell no earlier run has lit.
+//!
+//! Coarseness is the point: fine bins would admit near-duplicates of
+//! existing corpus entries; these bins only admit specs whose dynamics
+//! differ at the "tells a different story in the paper's figures" level.
+
+use std::collections::BTreeSet;
+
+use crate::oracle::RunMetrics;
+
+/// Number of equal-width bins over Gini's `[0, 1]` range.
+pub const GINI_BINS: u8 = 10;
+/// Number of equal-width bins over the drop-rate / cache-hit `[0, 1]` range.
+pub const RATE_BINS: u8 = 10;
+/// Mean-hop counts at or above this land in one saturated bin.
+pub const MAX_HOP_BIN: u8 = 24;
+
+/// One cell of the behavior grid:
+/// `(gini bin, drop-rate bin, mean-hops bin, cache-hit bin)`.
+pub type Cell = (u8, u8, u8, u8);
+
+fn bin_unit(value: f64, bins: u8) -> u8 {
+    // NaN and negatives collapse into bin 0; ≥ 1.0 saturates at the top.
+    let scaled = (value * f64::from(bins)).floor();
+    if scaled.is_finite() && scaled > 0.0 {
+        (scaled as u8).min(bins - 1)
+    } else {
+        0
+    }
+}
+
+/// Maps one run's metrics to its grid cell.
+pub fn cell_for(m: &RunMetrics) -> Cell {
+    let hops = if m.mean_hops.is_finite() && m.mean_hops > 0.0 {
+        (m.mean_hops.floor() as u8).min(MAX_HOP_BIN)
+    } else {
+        0
+    };
+    (
+        bin_unit(m.f2_gini, GINI_BINS),
+        bin_unit(m.drop_rate(), RATE_BINS),
+        hops,
+        bin_unit(m.cache_hit_rate(), RATE_BINS),
+    )
+}
+
+/// The set of behavior cells lit so far. `BTreeSet` keeps iteration — and
+/// therefore every report derived from it — deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricGrid {
+    lit: BTreeSet<Cell>,
+}
+
+impl MetricGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `cell`; returns `true` iff it was novel.
+    pub fn observe(&mut self, cell: Cell) -> bool {
+        self.lit.insert(cell)
+    }
+
+    /// Number of distinct cells lit.
+    pub fn len(&self) -> usize {
+        self.lit.len()
+    }
+
+    /// Whether no cell has been lit yet.
+    pub fn is_empty(&self) -> bool {
+        self.lit.is_empty()
+    }
+
+    /// The lit cells in deterministic (lexicographic) order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        self.lit.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(gini: f64, drop: f64, hops: f64, cache: f64) -> RunMetrics {
+        RunMetrics {
+            bits: 16,
+            mechanism: "swarm",
+            tx_cost_zero: true,
+            free_rider_fraction: 0.0,
+            max_detours: 0,
+            income_sum: 0.0,
+            settlement_volume: 0,
+            settlement_tx_cost: 0,
+            net_income_sum: 0,
+            forced_settlements: 0,
+            requests: 1000,
+            stuck: (drop * 1000.0) as u64,
+            capacity_blocked: 0,
+            delivered_routes: 1000 - (drop * 1000.0) as u64,
+            max_hops: hops.ceil() as usize,
+            mean_hops: hops,
+            f2_gini: gini,
+            cache_hits: (cache * 1000.0) as u64,
+        }
+    }
+
+    #[test]
+    fn binning_is_coarse_and_saturating() {
+        assert_eq!(cell_for(&metrics(0.0, 0.0, 0.0, 0.0)), (0, 0, 0, 0));
+        assert_eq!(cell_for(&metrics(0.61, 0.1, 2.4, 0.02)), (6, 1, 2, 0));
+        // Values at or past the top of the range saturate, never overflow.
+        assert_eq!(
+            cell_for(&metrics(1.0, 1.0, 99.0, 1.0)),
+            (9, 9, MAX_HOP_BIN, 9)
+        );
+        // Tiny perturbations stay in the same cell — near-duplicates of a
+        // corpus entry are not novel.
+        assert_eq!(
+            cell_for(&metrics(0.611, 0.101, 2.41, 0.021)),
+            cell_for(&metrics(0.615, 0.105, 2.45, 0.025))
+        );
+    }
+
+    #[test]
+    fn degenerate_metrics_fall_into_bin_zero() {
+        let mut m = metrics(f64::NAN, 0.0, f64::NAN, 0.0);
+        m.requests = 0; // drop_rate() and cache_hit_rate() of an empty run
+        assert_eq!(cell_for(&m), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn grid_reports_novelty_once() {
+        let mut grid = MetricGrid::new();
+        assert!(grid.is_empty());
+        let a = cell_for(&metrics(0.61, 0.1, 2.4, 0.0));
+        let b = cell_for(&metrics(0.21, 0.4, 5.0, 0.3));
+        assert!(grid.observe(a));
+        assert!(!grid.observe(a), "same cell must not be novel twice");
+        assert!(grid.observe(b));
+        assert_eq!(grid.len(), 2);
+        let cells: Vec<_> = grid.cells().collect();
+        assert_eq!(cells, {
+            let mut sorted = vec![a, b];
+            sorted.sort_unstable();
+            sorted
+        });
+    }
+}

@@ -1,0 +1,51 @@
+//! Coverage-guided scenario fuzzing for the fairswap simulator.
+//!
+//! Point-wise tests pin the configurations the paper names; this crate
+//! searches the configuration space *between* them. It follows the
+//! classic fuzzer decomposition — corpus, mutator, feedback, oracle —
+//! with the simulator's own wire format as the input language:
+//!
+//! * [`corpus`] — named [`SimSpec`](fairswap_core::SimSpec)s persisted
+//!   one-per-file in the exact shape `fairswap run --config` executes,
+//!   so every entry replays without the fuzzer.
+//! * [`mutate`] — single-axis spec perturbations drawn from curated
+//!   always-valid sets (topology, workload, churn, scenario, policies,
+//!   popularity, economics).
+//! * [`feedback`] — a coarse-binned (Gini × drop rate × mean hops ×
+//!   cache-hit rate) behavior grid; a candidate is kept iff it lights a
+//!   novel cell.
+//! * [`oracle`] — invariant predicates over finished runs: reward
+//!   conservation, settlement imbalance, routing livelock, capacity
+//!   accounting, and the paper's k = 20 vs k = 4 fairness ordering.
+//! * [`campaign`] — the deterministic driver gluing the four together
+//!   on the shared [`Executor`](fairswap_core::Executor): same
+//!   `--seed` and `--iters`, same corpus and findings, bit for bit,
+//!   at any thread count.
+//!
+//! ```
+//! use fairswap_core::Executor;
+//! use fairswap_fuzz::{run_campaign, FuzzConfig};
+//!
+//! let executor = Executor::new(1);
+//! let outcome = run_campaign(
+//!     &executor,
+//!     &FuzzConfig::new(0xF122, 2),
+//!     &mut |_done, _total| {},
+//! )?;
+//! assert!(outcome.corpus.len() >= 6); // seeds survive into the output
+//! # Ok::<(), fairswap_fuzz::FuzzError>(())
+//! ```
+
+pub mod campaign;
+pub mod corpus;
+pub mod error;
+pub mod feedback;
+pub mod mutate;
+pub mod oracle;
+
+pub use campaign::{run_campaign, Finding, FuzzConfig, FuzzOutcome, TWIN_KS};
+pub use corpus::{Corpus, CorpusEntry};
+pub use error::FuzzError;
+pub use feedback::{cell_for, Cell, MetricGrid};
+pub use mutate::{mutate_spec, reconcile, AXES};
+pub use oracle::{check_report, fairness_inversion, RunMetrics, Violation, ORACLE_NAMES};

@@ -1,0 +1,381 @@
+//! `SimSpec` mutators: one perturbed axis per candidate.
+//!
+//! Each mutation picks exactly one axis of the spec and replaces its
+//! value with a draw from a curated, *always-valid* set — so every
+//! candidate passes [`SimSpec::validate`] by construction and the
+//! feedback loop never wastes executor time on rejects. Single-axis
+//! mutation also keeps corpus entries explainable: a kept spec differs
+//! from its parent in one named dimension, which is what the corpus
+//! filename records.
+//!
+//! Values are deliberately quick-dim (≤ [`NODES`] nodes, ≤ 200 files):
+//! the campaign runs every candidate, so the sets bound the cost of an
+//! iteration. Dimension mutations that could orphan a dependent value
+//! (a scenario shock step past a shrunken `files`, a repair prefix wider
+//! than a shrunken `bits`) are re-clamped by [`reconcile`], which is run
+//! by [`mutate_spec`] after every mutation.
+
+use fairswap_churn::{ChurnConfig, LifetimeDist};
+use fairswap_core::{MechanismKind, RepairPolicy, ScenarioKind, SimSpec};
+use fairswap_kademlia::BucketSizing;
+use fairswap_storage::{CachePolicy, RoutePolicy};
+use fairswap_workload::ChunkDist;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Overlay sizes a candidate may use.
+pub const NODES: [usize; 6] = [60, 100, 150, 220, 300, 500];
+/// Address-space widths a candidate may use.
+pub const BITS: [u32; 4] = [12, 14, 16, 18];
+/// Bucket sizes a candidate may use (spans the paper's k = 4 vs k = 20).
+pub const BUCKET_K: [usize; 7] = [2, 3, 4, 8, 12, 20, 32];
+/// File counts (timesteps) a candidate may use.
+pub const FILES: [u64; 4] = [30, 60, 100, 200];
+/// Originator fractions a candidate may use.
+pub const ORIGINATORS: [f64; 3] = [0.2, 0.5, 1.0];
+/// Churn rates for the rate-parameterized churn mutation.
+pub const CHURN_RATES: [f64; 5] = [0.01, 0.02, 0.05, 0.1, 0.2];
+/// Zipf exponents for the skewed-popularity mutation.
+pub const ZIPF_EXPONENTS: [f64; 3] = [0.6, 0.9, 1.2];
+/// Zipf catalog sizes for the skewed-popularity mutation.
+pub const ZIPF_CATALOGS: [usize; 3] = [500, 2000, 10_000];
+/// Shock fractions for departure / flash-crowd scenarios, within the
+/// validator's `(0, 0.5]`.
+pub const SHOCK_FRACTIONS: [f64; 3] = [0.1, 0.25, 0.5];
+/// Free-rider fractions for the economics mutation.
+pub const FREE_RIDERS: [f64; 3] = [0.0, 0.1, 0.25];
+/// Per-step budgets of the slow tier in heterogeneity scenarios.
+pub const SLOW_BUDGETS: [u64; 3] = [1, 2, 4];
+/// Per-step budgets of the fast tier in heterogeneity scenarios.
+pub const FAST_BUDGETS: [u64; 3] = [8, 16, 32];
+
+/// The mutation axes, in the order [`mutate_spec`] indexes them. The
+/// chosen axis name becomes part of the corpus entry's filename.
+pub const AXES: [&str; 7] = [
+    "topology",
+    "workload",
+    "churn",
+    "scenario",
+    "policies",
+    "popularity",
+    "economics",
+];
+
+fn pick<T: Copy>(rng: &mut impl Rng, set: &[T]) -> T {
+    *set.choose(rng).expect("curated sets are non-empty")
+}
+
+fn mutate_topology(spec: &mut SimSpec, rng: &mut impl Rng) {
+    match rng.gen_range(0..3u8) {
+        0 => spec.topology.nodes = pick(rng, &NODES),
+        1 => spec.topology.bits = pick(rng, &BITS),
+        _ => spec.topology.bucket_sizing = BucketSizing::uniform(pick(rng, &BUCKET_K)),
+    }
+}
+
+fn mutate_workload(spec: &mut SimSpec, rng: &mut impl Rng) {
+    if rng.gen_bool(0.5) {
+        spec.workload.files = pick(rng, &FILES);
+    } else {
+        spec.workload.originator_fraction = pick(rng, &ORIGINATORS);
+    }
+}
+
+fn lifetime(rng: &mut impl Rng) -> LifetimeDist {
+    match rng.gen_range(0..3u8) {
+        0 => LifetimeDist::Exponential {
+            mean: pick(rng, &[20.0, 50.0, 100.0]),
+        },
+        1 => LifetimeDist::Weibull {
+            shape: pick(rng, &[0.5, 1.5]),
+            scale: pick(rng, &[30.0, 80.0]),
+        },
+        _ => LifetimeDist::Constant {
+            steps: pick(rng, &[25.0, 60.0]),
+        },
+    }
+}
+
+fn mutate_churn(spec: &mut SimSpec, rng: &mut impl Rng) {
+    spec.dynamics.churn = match rng.gen_range(0..3u8) {
+        // Back to the paper's static overlay.
+        0 => None,
+        // The canonical rate parameterization.
+        1 => Some(
+            ChurnConfig::from_rate(pick(rng, &CHURN_RATES)).expect("curated churn rates are valid"),
+        ),
+        // Fully custom lifetime distributions.
+        _ => Some(ChurnConfig {
+            session: lifetime(rng),
+            downtime: lifetime(rng),
+            start_step: 1,
+            min_live_fraction: 0.25,
+        }),
+    };
+}
+
+fn mutate_scenario(spec: &mut SimSpec, rng: &mut impl Rng) {
+    let files = spec.workload.files;
+    let mid = (files / 2).max(1);
+    spec.dynamics.scenario = match rng.gen_range(0..5u8) {
+        0 => None,
+        1 => Some(ScenarioKind::TargetedDeparture {
+            at_step: mid,
+            top_fraction: pick(rng, &SHOCK_FRACTIONS),
+        }),
+        2 => Some(ScenarioKind::FlashCrowd {
+            at_step: mid,
+            join_fraction: pick(rng, &SHOCK_FRACTIONS),
+        }),
+        3 => Some(ScenarioKind::RegionalOutage {
+            at_step: mid,
+            region_bits: rng.gen_range(1..=3u32),
+            rejoin_after: if rng.gen_bool(0.5) {
+                Some(((files - mid) / 2).max(1))
+            } else {
+                None
+            },
+        }),
+        // The capacity-tier axis: a two-tier bandwidth distribution.
+        _ => Some(ScenarioKind::Heterogeneity {
+            slow_fraction: pick(rng, &[0.1, 0.3, 0.5]),
+            slow_budget: pick(rng, &SLOW_BUDGETS),
+            fast_budget: pick(rng, &FAST_BUDGETS),
+        }),
+    };
+}
+
+fn mutate_policies(spec: &mut SimSpec, rng: &mut impl Rng) {
+    match rng.gen_range(0..3u8) {
+        0 => {
+            spec.policies.route = if rng.gen_bool(0.4) {
+                RoutePolicy::Greedy
+            } else {
+                RoutePolicy::CapacityDetour {
+                    max_detours: pick(rng, &[1, 2, 4]),
+                }
+            };
+        }
+        1 => {
+            spec.policies.cache = match rng.gen_range(0..4u8) {
+                0 => CachePolicy::None,
+                1 => CachePolicy::Lru {
+                    capacity: pick(rng, &[64, 256]),
+                },
+                2 => CachePolicy::Lfu { capacity: 128 },
+                _ => CachePolicy::Ttl {
+                    capacity: 64,
+                    ttl: 500,
+                },
+            };
+        }
+        _ => {
+            spec.policies.repair = if rng.gen_bool(0.4) {
+                RepairPolicy::None
+            } else {
+                RepairPolicy::ReReplicate {
+                    neighborhood_bits: pick(rng, &[4, 6, 8]),
+                }
+            };
+        }
+    }
+}
+
+fn mutate_popularity(spec: &mut SimSpec, rng: &mut impl Rng) {
+    spec.workload.chunk_dist = if rng.gen_bool(0.3) {
+        ChunkDist::Uniform
+    } else {
+        ChunkDist::Zipf {
+            catalog: pick(rng, &ZIPF_CATALOGS),
+            exponent: pick(rng, &ZIPF_EXPONENTS),
+        }
+    };
+}
+
+fn mutate_economics(spec: &mut SimSpec, rng: &mut impl Rng) {
+    if rng.gen_bool(0.7) {
+        spec.economics.mechanism = match rng.gen_range(0..5u8) {
+            0 => MechanismKind::Swarm,
+            1 => MechanismKind::PayAllHops,
+            2 => MechanismKind::TitForTat,
+            3 => MechanismKind::EffortBased {
+                budget_per_tick: 500,
+            },
+            _ => MechanismKind::ProofOfBandwidth { mint_per_chunk: 10 },
+        };
+    } else {
+        spec.economics.free_rider_fraction = pick(rng, &FREE_RIDERS);
+    }
+}
+
+/// Re-clamps values that a dimension mutation may have orphaned, keeping
+/// the invariant that every mutated spec validates:
+///
+/// * scenario shock steps stay in `1..=files`, and a regional outage's
+///   rejoin still lands inside the run;
+/// * a regional outage's `region_bits` and a repair policy's
+///   `neighborhood_bits` stay within the (possibly shrunken) `bits`.
+pub fn reconcile(spec: &mut SimSpec) {
+    let files = spec.workload.files;
+    let bits = spec.topology.bits;
+    if let Some(scenario) = &mut spec.dynamics.scenario {
+        match scenario {
+            ScenarioKind::TargetedDeparture { at_step, .. }
+            | ScenarioKind::FlashCrowd { at_step, .. } => {
+                *at_step = (*at_step).clamp(1, files);
+            }
+            ScenarioKind::RegionalOutage {
+                at_step,
+                region_bits,
+                rejoin_after,
+            } => {
+                *at_step = (*at_step).clamp(1, files);
+                *region_bits = (*region_bits).clamp(1, bits);
+                if let Some(delay) = rejoin_after {
+                    let room = files - *at_step;
+                    if room == 0 {
+                        *rejoin_after = None;
+                    } else {
+                        *delay = (*delay).clamp(1, room);
+                    }
+                }
+            }
+            ScenarioKind::Heterogeneity { .. } => {}
+        }
+    }
+    if let RepairPolicy::ReReplicate { neighborhood_bits } = &mut spec.policies.repair {
+        *neighborhood_bits = (*neighborhood_bits).clamp(1, bits);
+    }
+}
+
+/// Mutates one axis of `parent`, returning the candidate and the name of
+/// the mutated axis (an entry of [`AXES`]). The candidate gets a fresh
+/// master seed drawn from `rng`, so two candidates with identical knobs
+/// still explore different random topologies and workloads.
+pub fn mutate_spec(parent: &SimSpec, rng: &mut impl Rng) -> (SimSpec, &'static str) {
+    let mut spec = parent.clone();
+    spec.seed = rng.gen();
+    let axis = AXES[rng.gen_range(0..AXES.len())];
+    match axis {
+        "topology" => mutate_topology(&mut spec, rng),
+        "workload" => mutate_workload(&mut spec, rng),
+        "churn" => mutate_churn(&mut spec, rng),
+        "scenario" => mutate_scenario(&mut spec, rng),
+        "policies" => mutate_policies(&mut spec, rng),
+        "popularity" => mutate_popularity(&mut spec, rng),
+        "economics" => mutate_economics(&mut spec, rng),
+        _ => unreachable!("axis drawn from AXES"),
+    }
+    reconcile(&mut spec);
+    (spec, axis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairswap_simcore::rng::derive_rng;
+
+    fn quick_parent() -> SimSpec {
+        let mut spec = SimSpec::paper_defaults();
+        spec.topology.nodes = 150;
+        spec.workload.files = 60;
+        spec
+    }
+
+    #[test]
+    fn mutants_always_validate() {
+        let parent = quick_parent();
+        let mut rng = derive_rng(0xF022, 0, 0);
+        for _ in 0..500 {
+            let (candidate, axis) = mutate_spec(&parent, &mut rng);
+            assert!(AXES.contains(&axis));
+            candidate
+                .validate()
+                .unwrap_or_else(|e| panic!("axis {axis} produced an invalid spec: {e}"));
+        }
+    }
+
+    #[test]
+    fn chained_mutation_stays_valid() {
+        // Mutations compose: dimension shrinks must re-clamp dependent
+        // scenario / repair parameters.
+        let mut spec = quick_parent();
+        let mut rng = derive_rng(0xF023, 0, 0);
+        for step in 0..300 {
+            let (next, axis) = mutate_spec(&spec, &mut rng);
+            next.validate()
+                .unwrap_or_else(|e| panic!("step {step} axis {axis}: {e}"));
+            spec = next;
+        }
+    }
+
+    #[test]
+    fn reconcile_clamps_orphaned_dimensions() {
+        let mut spec = quick_parent();
+        spec.workload.files = 10;
+        spec.topology.bits = 12;
+        spec.dynamics.scenario = Some(ScenarioKind::RegionalOutage {
+            at_step: 50,
+            region_bits: 20,
+            rejoin_after: Some(40),
+        });
+        spec.policies.repair = RepairPolicy::ReReplicate {
+            neighborhood_bits: 16,
+        };
+        reconcile(&mut spec);
+        assert!(spec.validate().is_ok());
+        match spec.dynamics.scenario.unwrap() {
+            ScenarioKind::RegionalOutage {
+                at_step,
+                region_bits,
+                rejoin_after,
+            } => {
+                assert_eq!(at_step, 10);
+                assert_eq!(region_bits, 12);
+                // No room left after a shock at the final step.
+                assert_eq!(rejoin_after, None);
+            }
+            other => panic!("scenario kind changed: {other:?}"),
+        }
+        assert_eq!(
+            spec.policies.repair,
+            RepairPolicy::ReReplicate {
+                neighborhood_bits: 12
+            }
+        );
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_rng_stream() {
+        let parent = quick_parent();
+        let (a, axis_a) = mutate_spec(&parent, &mut derive_rng(7, 3, 0));
+        let (b, axis_b) = mutate_spec(&parent, &mut derive_rng(7, 3, 0));
+        assert_eq!(a, b);
+        assert_eq!(axis_a, axis_b);
+        // A different stream draws a different candidate seed.
+        let (c, _) = mutate_spec(&parent, &mut derive_rng(7, 4, 0));
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_axis_plus_seed() {
+        let parent = quick_parent();
+        let mut rng = derive_rng(0xF024, 0, 0);
+        for _ in 0..100 {
+            let (candidate, _) = mutate_spec(&parent, &mut rng);
+            let groups_changed = [
+                candidate.topology != parent.topology,
+                candidate.workload != parent.workload,
+                candidate.economics != parent.economics,
+                candidate.dynamics != parent.dynamics,
+                candidate.policies != parent.policies,
+            ]
+            .iter()
+            .filter(|&&changed| changed)
+            .count();
+            // At most one group differs (a draw may land on the parent's
+            // current value, changing nothing but the seed).
+            assert!(groups_changed <= 1, "{candidate:?}");
+        }
+    }
+}

@@ -43,6 +43,11 @@ pub mod domain {
     /// Scenario compilation (region anchors, capacity tiers, cohort
     /// sampling).
     pub const SCENARIO: u64 = 0x06;
+    /// Fuzz-campaign mutation scheduling (parent selection, axis choice,
+    /// candidate seeds). Keeping the fuzzer in its own domain means a fuzz
+    /// campaign seeded with a config's master seed can never replay the
+    /// streams that built that config's topology or workload.
+    pub const FUZZ: u64 = 0x07;
 }
 
 /// Derives the sub-seed of one `domain` (see [`domain`]) from a master
@@ -102,6 +107,7 @@ mod tests {
             domain::CHURN,
             domain::DEPARTURES,
             domain::SCENARIO,
+            domain::FUZZ,
         ] {
             assert!(seen.insert(sub_seed(master, d)), "domain {d} collides");
             assert_ne!(sub_seed(master, d), master);

@@ -31,6 +31,9 @@
 //!   distributions and deterministic join/leave event plans.
 //! * [`core`] — the simulation harness and one preset per paper
 //!   table/figure, plus the fairness-under-churn experiment.
+//! * [`fuzz`] — coverage-guided scenario fuzzing: `SimSpec` mutation,
+//!   metric-grid novelty feedback and invariant oracles behind
+//!   `fairswap fuzz`.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@
 pub use fairswap_churn as churn;
 pub use fairswap_core as core;
 pub use fairswap_fairness as fairness;
+pub use fairswap_fuzz as fuzz;
 pub use fairswap_incentives as incentives;
 pub use fairswap_kademlia as kademlia;
 pub use fairswap_simcore as simcore;

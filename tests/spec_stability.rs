@@ -1,12 +1,16 @@
 //! Serde round-trip and format-stability guarantees for the `SimSpec`
 //! wire format — the guard rail behind `fairswap run --config`.
 
+use proptest::prelude::*;
+
 use fairswap::core::experiments::{
     cache_churn, churn, fig4, large_scale, routing, scenarios, ExperimentScale,
 };
 use fairswap::core::{
     CachePolicy, MechanismKind, RepairPolicy, RoutePolicy, ScenarioKind, SimConfig, SimSpec,
 };
+use fairswap::fuzz::{mutate_spec, AXES};
+use fairswap::simcore::rng::derive_rng;
 
 fn scale() -> ExperimentScale {
     ExperimentScale {
@@ -90,6 +94,38 @@ fn exotic_configurations_round_trip_byte_identically() {
     });
     config.free_rider_fraction = 0.25;
     assert_stable(&config);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// The fuzzer's mutators stay inside the format's guarantees: every
+    /// mutant — including chains of mutants, where a dimension shrink can
+    /// orphan a dependent scenario parameter — passes `SimConfig`
+    /// validation and survives serialize → deserialize → re-serialize
+    /// byte-identically.
+    #[test]
+    fn mutated_specs_validate_and_round_trip_byte_identically(
+        seed in any::<u64>(),
+        chain in 1usize..6,
+    ) {
+        let mut spec = SimSpec::paper_defaults();
+        spec.topology.nodes = 150;
+        spec.workload.files = 60;
+        let mut rng = derive_rng(seed, 0, 0);
+        for step in 0..chain {
+            let (next, axis) = mutate_spec(&spec, &mut rng);
+            prop_assert!(AXES.contains(&axis));
+            prop_assert!(
+                next.validate().is_ok(),
+                "step {} axis {} produced an invalid spec: {:?}",
+                step,
+                axis,
+                next.validate().err()
+            );
+            assert_stable(&next.to_config());
+            spec = next;
+        }
+    }
 }
 
 #[test]
