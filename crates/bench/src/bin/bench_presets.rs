@@ -1,5 +1,5 @@
 //! Standalone benchmark runner: times the standard presets and writes the
-//! tracked `BENCH_6.json` (same driver as `fairswap bench`; see
+//! tracked `BENCH_7.json` (same driver as `fairswap bench`; see
 //! [`fairswap_core::benchrun`]).
 //!
 //! ```sh

@@ -23,13 +23,13 @@ use std::process::ExitCode;
 
 use fairswap_core::benchrun;
 use fairswap_core::experiments::{
-    cache_churn, churn, extensions, fig4, fig5, fig6, fuzzed, large_scale, routing, scenarios,
-    sweeps, table1, ExperimentScale,
+    cache_churn, churn, durability, extensions, fig4, fig5, fig6, fuzzed, large_scale, routing,
+    scenarios, sweeps, table1, ExperimentScale,
 };
 use fairswap_core::{
     validate_jsonl, CsvTable, Executor, GridObservation, ObsOptions, Phase, SimJob, SimSpec,
 };
-use fairswap_fuzz::{run_campaign, FuzzConfig};
+use fairswap_fuzz::{minimize_corpus, run_campaign, Corpus, FuzzConfig};
 
 /// One dispatchable experiment command: the single source of truth behind
 /// both `usage()` and the `all` meta-command, so the help text and the
@@ -119,6 +119,12 @@ const COMMANDS: &[CommandSpec] = &[
         in_all: true,
     },
     CommandSpec {
+        name: "durability",
+        section: "§V f.w.",
+        blurb: "repair mode x churn rate x k durability study",
+        in_all: true,
+    },
+    CommandSpec {
         name: "scenarios",
         section: "shocks",
         blurb: "targeted departures, flash crowds, outages, heterogeneity",
@@ -163,7 +169,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "bench",
         section: "tracking",
-        blurb: "time the standard presets, write BENCH_6.json",
+        blurb: "time the standard presets, write BENCH_7.json",
         in_all: false,
     },
     CommandSpec {
@@ -184,6 +190,7 @@ const OBSERVABLE: &[&str] = &[
     "fig5",
     "fig6",
     "churn",
+    "durability",
     "scenarios",
     "routing",
     "cache-churn",
@@ -226,6 +233,8 @@ struct Options {
     iters: u64,
     /// `fuzz`: corpus directory (default `<out>/corpus`).
     corpus: Option<PathBuf>,
+    /// `fuzz`: minimize the existing corpus instead of mutating.
+    minimize: bool,
     /// `fuzz`: wall-clock cutoff in seconds (trades away bit-for-bit
     /// reproducibility; seed+iters campaigns are the reproducible ones).
     time_budget: Option<u64>,
@@ -238,7 +247,7 @@ fn usage() -> String {
     text.push_str(
         "       [--nodes N] [--files N] [--seed S] [--out DIR] [--quick] [--threads T]\n\
          \x20      [--bits B] [--scenario NAME] [--config FILE]\n\
-         \x20      [--iters N] [--corpus DIR] [--time-budget SECS]\n\
+         \x20      [--iters N] [--corpus DIR] [--minimize] [--time-budget SECS]\n\
          \x20      [--trace FILE] [--metrics FILE] [--profile] [--no-progress] [--strict]\n\
          \nCommands:\n",
     );
@@ -268,6 +277,8 @@ fn usage() -> String {
          --iters     fuzz: mutation iterations (default 256); same --seed + --iters\n\
          \x20           reproduces the same corpus and findings bit for bit\n\
          --corpus    fuzz: corpus directory (default <out>/corpus; see docs/FUZZING.md)\n\
+         --minimize  fuzz: replay the corpus and drop entries whose behavior cells\n\
+         \x20           earlier entries already cover (rewrites the corpus in place)\n\
          --time-budget  fuzz: stop mutating after SECS seconds (breaks reproducibility)\n\
          --check     bench: validate an existing BENCH_*.json and exit\n\
          --baseline  bench: embed a previous BENCH_*.json as the baseline\n\
@@ -301,12 +312,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut quick = false;
     let mut iters = 256u64;
     let mut corpus = None;
+    let mut minimize = false;
     let mut time_budget = None;
     let mut out = PathBuf::from("results");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--minimize" => minimize = true,
             "--profile" => profile = true,
             "--no-progress" => no_progress = true,
             "--strict" => strict = true,
@@ -417,6 +430,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         strict,
         iters,
         corpus,
+        minimize,
         time_budget,
         out,
     })
@@ -825,6 +839,38 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 write_csv(&mut obs, out, "run.csv", &csv)?;
             }
             "fuzz" => {
+                if opts.minimize {
+                    let corpus_dir = opts.corpus.clone().unwrap_or_else(|| out.join("corpus"));
+                    let corpus = Corpus::load(&corpus_dir).map_err(|e| e.to_string())?;
+                    let outcome = {
+                        let meter = obs.meter();
+                        minimize_corpus(&executor, &corpus, &mut |done, total| {
+                            meter.notify(done, total)
+                        })
+                    }
+                    .map_err(|e| e.to_string())?;
+                    for name in &outcome.dropped {
+                        let path = corpus_dir.join(format!("{name}.json"));
+                        std::fs::remove_file(&path)
+                            .map_err(|e| format!("removing {}: {e}", path.display()))?;
+                        println!("  dropped {name} (behavior cell already covered)");
+                    }
+                    // Rewrite the survivors so the directory is exactly the
+                    // minimized corpus in canonical form.
+                    outcome
+                        .corpus
+                        .write_to(&corpus_dir)
+                        .map_err(|e| e.to_string())?;
+                    println!(
+                        "  minimized {} -> {} specs ({} simulations, {} behavior cells)",
+                        corpus.len(),
+                        outcome.corpus.len(),
+                        outcome.runs,
+                        outcome.cells
+                    );
+                    println!("wrote {}", corpus_dir.display());
+                    continue;
+                }
                 let cfg = FuzzConfig {
                     seed: scale.seed,
                     iters: opts.iters,
@@ -910,6 +956,35 @@ fn run_command(opts: &Options) -> Result<(), String> {
                 }
                 write_csv(&mut obs, out, "churn.csv", &result.to_csv())?;
                 write_csv(&mut obs, out, "churn_timeline.csv", &result.timeline_csv())?;
+            }
+            "durability" => {
+                let result = durability::run_observed(
+                    scale,
+                    &durability::DEFAULT_RATES,
+                    &executor,
+                    &mut obs,
+                )
+                .map_err(err)?;
+                for r in &result.rows {
+                    println!(
+                        "  {:<14} k={:<2} churn={:>4.0}%  repaired={:>5} ttr={:>5.1} unreachable={:>4} recovered={:>5} F2={:.4}",
+                        r.mode,
+                        r.k,
+                        r.churn_rate * 100.0,
+                        r.repair_delivered,
+                        r.mean_time_to_repair,
+                        r.final_unreachable,
+                        r.recovered,
+                        r.f2_gini
+                    );
+                }
+                write_csv(&mut obs, out, "durability.csv", &result.to_csv())?;
+                write_csv(
+                    &mut obs,
+                    out,
+                    "durability_timeline.csv",
+                    &result.timeline_csv(),
+                )?;
             }
             "large-scale" => {
                 // Unless explicitly sized, run the 10^5-node headline scale
@@ -1040,6 +1115,7 @@ mod tests {
             strict: false,
             iters: 2,
             corpus: None,
+            minimize: false,
             time_budget: None,
             out,
         }
@@ -1237,6 +1313,8 @@ mod tests {
             run_command(&opts).unwrap_or_else(|e| panic!("{} failed: {e}", command.name));
         }
         assert!(dir.join("scenarios.csv").exists());
+        assert!(dir.join("durability.csv").exists());
+        assert!(dir.join("durability_timeline.csv").exists());
         assert!(dir.join("metric_robustness.csv").exists());
         assert!(dir.join("routing.csv").exists());
         assert!(dir.join("cache_churn.csv").exists());
@@ -1271,6 +1349,47 @@ mod tests {
         let opts = parse_args(&s(&["fuzz"])).unwrap();
         assert_eq!(opts.iters, 256);
         assert!(opts.corpus.is_none() && opts.time_budget.is_none());
+        assert!(!opts.minimize);
+        let opts = parse_args(&s(&["fuzz", "--minimize"])).unwrap();
+        assert!(opts.minimize);
+    }
+
+    #[test]
+    fn fuzz_minimize_rewrites_the_corpus_in_place() {
+        let dir = std::env::temp_dir().join("fairswap_cli_minimize_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let corpus_dir = dir.join("corpus");
+        // Seed the directory with the standard corpus plus a byte-for-byte
+        // duplicate of the first entry; only the duplicate is redundant.
+        let mut corpus = Corpus::seeded();
+        let dup = corpus.entries()[0].spec.clone();
+        corpus.push("zz-duplicate".into(), dup);
+        corpus.write_to(&corpus_dir).unwrap();
+        let before = corpus.len();
+        let mut opts = quick_opts("fuzz", 80, 8, dir.clone());
+        opts.minimize = true;
+        opts.corpus = Some(corpus_dir.clone());
+        run_command(&opts).unwrap();
+        assert!(!corpus_dir.join("zz-duplicate.json").exists());
+        let after = Corpus::load(&corpus_dir).unwrap();
+        assert!(after.len() < before, "the duplicate must be dropped");
+        assert!(corpus_dir
+            .join(format!("{}.json", after.entries()[0].name))
+            .exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durability_command_writes_both_csvs() {
+        let dir = std::env::temp_dir().join("fairswap_cli_durability_test");
+        let opts = quick_opts("durability", 80, 12, dir.clone());
+        run_command(&opts).unwrap();
+        let csv = std::fs::read_to_string(dir.join("durability.csv")).unwrap();
+        assert!(csv.starts_with("mode,k,churn_rate,f1_gini,f2_gini,"));
+        // Five modes × two k values × three default rates, plus the header.
+        assert_eq!(csv.lines().count(), 1 + 5 * 2 * 3);
+        assert!(dir.join("durability_timeline.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -26,19 +26,29 @@ use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::error::CoreError;
 use crate::exec::{run_jobs_observed, SimJob};
-use crate::experiments::{churn, fig4, large_scale, routing, scenarios, ExperimentScale};
+use crate::experiments::{
+    churn, durability, fig4, large_scale, routing, scenarios, ExperimentScale,
+};
 use crate::obs::{GridObservation, ObsOptions};
 
 /// The benchmark file this revision of the runner writes.
-pub const BENCH_FILE: &str = "BENCH_6.json";
+pub const BENCH_FILE: &str = "BENCH_7.json";
 
 /// The PR number stamped into emitted reports.
-pub const BENCH_PR: u32 = 6;
+pub const BENCH_PR: u32 = 7;
 
-/// Names of the timed presets, in run order. `routing` (added with the
-/// policy layer) times the capacity-detour slow path; the others carry
-/// over from BENCH_4 so the trajectory stays comparable.
-pub const PRESET_NAMES: [&str; 5] = ["fig4", "churn", "scenarios", "routing", "large_scale_quick"];
+/// Names of the timed presets, in run order. `durability` (added with the
+/// repair loop) times repair traffic and retries; `routing` times the
+/// capacity-detour slow path; the others carry over from BENCH_4 so the
+/// trajectory stays comparable.
+pub const PRESET_NAMES: [&str; 6] = [
+    "fig4",
+    "churn",
+    "scenarios",
+    "routing",
+    "durability",
+    "large_scale_quick",
+];
 
 /// Wall time one run phase consumed, summed over every cell of the
 /// preset's grid — with `--threads N` the phase sums are CPU time and can
@@ -143,7 +153,7 @@ impl BenchReport {
         serde_json::to_string(self).map_err(|e| format!("serializing bench report: {e}"))
     }
 
-    /// Writes the report to `dir/BENCH_6.json` and returns the path.
+    /// Writes the report to `dir/`[`BENCH_FILE`] and returns the path.
     ///
     /// # Errors
     ///
@@ -329,6 +339,14 @@ pub fn preset_jobs(name: &str, quick: bool) -> Result<Vec<SimJob>, CoreError> {
                 scale(500, 150)
             };
             Ok(routing::jobs(s))
+        }
+        "durability" => {
+            let s = if quick {
+                scale(150, 30)
+            } else {
+                scale(400, 100)
+            };
+            durability::jobs(s, &durability::DEFAULT_RATES)
         }
         "large_scale_quick" => {
             let s = if quick {

@@ -9,7 +9,7 @@ use fairswap_incentives::{
 };
 use fairswap_kademlia::{AddressSpace, BucketSizing, TopologyBuilder};
 use fairswap_simcore::rng::{domain, sub_seed};
-use fairswap_storage::{CachePolicy, RoutePolicy};
+use fairswap_storage::{CachePolicy, RepairSource, RoutePolicy};
 use fairswap_swap::{Bzz, ChannelConfig, Pricing};
 use fairswap_workload::{ChunkDist, FileSizeDist, WorkloadBuilder};
 
@@ -52,6 +52,12 @@ impl MechanismKind {
         }
     }
 }
+
+/// Upper bound on [`SimConfig::max_retries`].
+pub const MAX_RETRY_LIMIT: u32 = 16;
+
+/// Upper bound on [`SimConfig::retry_backoff`], in steps.
+pub const MAX_RETRY_BACKOFF: u64 = 1024;
 
 /// Full simulation configuration.
 ///
@@ -104,6 +110,15 @@ pub struct SimConfig {
     /// Repair policy: how the simulation reacts to departures that strand
     /// chunks ([`RepairPolicy::None`] reproduces the paper's model).
     pub repair: RepairPolicy,
+    /// Where [`RepairPolicy::ReReplicate`] sources its re-uploads from
+    /// (ignored by the other repair policies).
+    pub repair_source: RepairSource,
+    /// Maximum retry attempts for a failed user download (0 reproduces
+    /// the paper's drop-on-failure model bit-for-bit).
+    pub max_retries: u32,
+    /// Steps before a failed download's first retry; doubles per attempt.
+    /// Ignored while `max_retries` is 0.
+    pub retry_backoff: u64,
 }
 
 impl SimConfig {
@@ -133,6 +148,9 @@ impl SimConfig {
             scenario: None,
             route: RoutePolicy::Greedy,
             repair: RepairPolicy::None,
+            repair_source: RepairSource::Replica,
+            max_retries: 0,
+            retry_backoff: 1,
         }
     }
 
@@ -212,6 +230,25 @@ impl SimConfig {
             scenario.validate(self.bits, self.files)?;
         }
         self.repair.validate(self.bits)?;
+        // The retry knobs are bounded so a fuzzed spec cannot schedule
+        // effectively-unbounded retry storms (or a backoff that never
+        // fires within any realistic run length).
+        if self.max_retries > MAX_RETRY_LIMIT {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "max_retries must be in 0..={MAX_RETRY_LIMIT}, got {}",
+                    self.max_retries
+                ),
+            });
+        }
+        if !(1..=MAX_RETRY_BACKOFF).contains(&self.retry_backoff) {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "retry_backoff must be in 1..={MAX_RETRY_BACKOFF}, got {}",
+                    self.retry_backoff
+                ),
+            });
+        }
         Ok(())
     }
 
@@ -425,6 +462,22 @@ impl SimulationBuilder {
         self
     }
 
+    /// Where re-replication sources its repair uploads from.
+    #[must_use]
+    pub fn repair_source(mut self, source: RepairSource) -> Self {
+        self.config.repair_source = source;
+        self
+    }
+
+    /// Retry policy for failed user downloads; validated by
+    /// [`SimulationBuilder::build`].
+    #[must_use]
+    pub fn retry_policy(mut self, max_retries: u32, backoff: u64) -> Self {
+        self.config.max_retries = max_retries;
+        self.config.retry_backoff = backoff;
+        self
+    }
+
     /// The configuration as currently set.
     pub fn config(&self) -> &SimConfig {
         &self.config
@@ -559,14 +612,47 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_retry_knobs_rejected() {
+        for (max_retries, backoff, needle) in [
+            (17u32, 1u64, "max_retries must be in 0..=16, got 17"),
+            (u32::MAX, 1, "max_retries must be in 0..=16"),
+            (2, 0, "retry_backoff must be in 1..=1024, got 0"),
+            (2, 1025, "retry_backoff must be in 1..=1024, got 1025"),
+            (0, 0, "retry_backoff must be in 1..=1024, got 0"),
+        ] {
+            let err = SimulationBuilder::new()
+                .nodes(10)
+                .files(1)
+                .retry_policy(max_retries, backoff)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, CoreError::InvalidConfig { .. }));
+            assert!(
+                err.to_string().contains(needle),
+                "({max_retries}, {backoff}): {err}"
+            );
+        }
+        // The bounds themselves are valid.
+        assert!(SimulationBuilder::new()
+            .retry_policy(16, 1024)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
     fn policy_setters_reach_the_config() {
         let b = SimulationBuilder::new()
             .route_policy(RoutePolicy::CapacityDetour { max_detours: 3 })
             .repair_policy(RepairPolicy::ReReplicate {
                 neighborhood_bits: 8,
-            });
+            })
+            .repair_source(RepairSource::Originator)
+            .retry_policy(2, 4);
         assert_eq!(b.config().route.id(), "capacity-detour");
         assert_eq!(b.config().repair.id(), "re-replicate");
+        assert_eq!(b.config().repair_source.id(), "originator");
+        assert_eq!(b.config().max_retries, 2);
+        assert_eq!(b.config().retry_backoff, 4);
         assert!(b.build().is_ok());
     }
 

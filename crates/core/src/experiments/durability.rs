@@ -1,0 +1,445 @@
+//! The durability study: repair aggressiveness × churn rate × `k`.
+//!
+//! The paper's model never repairs: when churn empties a storage
+//! neighborhood the region's chunks are silently gone. This preset closes
+//! that loop and asks the §V fairness question about the repair traffic
+//! itself — re-uploads route through the same capacity-constrained hops
+//! and pay through the same incentive layer as user downloads, so *does
+//! repair traffic change who earns, and does the `k = 20` fairness
+//! advantage survive it?*
+//!
+//! Five repair modes are swept against a churn-rate grid for the paper's
+//! `k ∈ {4, 20}`, under a two-tier capacity scenario (so repair genuinely
+//! competes with user traffic) and two download retries per stuck request:
+//!
+//! | Mode | Policy |
+//! |------|--------|
+//! | `none` | the paper's behavior — loss not modeled |
+//! | `monitor-eager` | loss detected at eager granularity, never repaired (control arm) |
+//! | `replica-lazy` | re-replication from the surviving replica, coarse regions |
+//! | `replica-eager` | re-replication from the surviving replica, eager regions |
+//! | `reseed-eager` | re-replication from the originator side of the space, eager regions |
+//!
+//! "Eager" regions are sized from the network: `ceil(log2(nodes))` prefix
+//! bits puts expected region occupancy near one node, so single departures
+//! can strand data; "lazy" regions are four times larger and only empty
+//! under concentrated loss.
+
+use fairswap_simcore::Executor;
+use serde::{Deserialize, Serialize};
+
+use fairswap_churn::ChurnConfig;
+use fairswap_storage::RepairSource;
+
+use crate::csv::CsvTable;
+use crate::error::CoreError;
+use crate::exec::{run_jobs_observed, SimJob};
+use crate::experiments::scale::ExperimentScale;
+use crate::obs::GridObservation;
+use crate::policy::RepairPolicy;
+use crate::report::ChurnSample;
+use crate::scenario::ScenarioKind;
+
+/// The bucket sizes compared throughout the paper.
+pub const PAPER_KS: [usize; 2] = [4, 20];
+
+/// Default churn-rate sweep (all churned: the study is about loss).
+pub const DEFAULT_RATES: [f64; 3] = [0.02, 0.05, 0.1];
+
+/// The repair-mode ids, in sweep order.
+pub const MODES: [&str; 5] = [
+    "none",
+    "monitor-eager",
+    "replica-lazy",
+    "replica-eager",
+    "reseed-eager",
+];
+
+/// Download retries granted to every cell (repair modes included), so
+/// capacity-blocked user requests get the same second chances whether or
+/// not repair traffic competes with them.
+pub const MAX_RETRIES: u32 = 2;
+
+/// One `(mode, k, churn_rate)` cell of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityRow {
+    /// Repair mode id (an entry of [`MODES`]).
+    pub mode: String,
+    /// Bucket size.
+    pub k: usize,
+    /// Configured churn rate.
+    pub churn_rate: f64,
+    /// F1 contribution Gini.
+    pub f1_gini: f64,
+    /// F2 income Gini — the Gini question's observable.
+    pub f2_gini: f64,
+    /// Departures that emptied a monitored region.
+    pub repair_events: u64,
+    /// Repair re-uploads scheduled.
+    pub repair_transfers: u64,
+    /// Repair re-uploads delivered.
+    pub repair_delivered: u64,
+    /// Mean steps from loss to repair delivery.
+    pub mean_time_to_repair: f64,
+    /// User requests faulted against unreachable regions.
+    pub unreachable_requests: u64,
+    /// User requests that entered the retry queue.
+    pub retried: u64,
+    /// Retried requests that eventually delivered.
+    pub recovered: u64,
+    /// Retried requests abandoned after [`MAX_RETRIES`] attempts.
+    pub abandoned: u64,
+    /// Regions still unreachable when the run ended.
+    pub final_unreachable: u64,
+    /// Requests that never delivered.
+    pub stuck_requests: u64,
+}
+
+/// The full sweep plus the unreachable-over-time series of every cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityExperiment {
+    /// One row per `(mode, k, rate)` cell, in sweep order.
+    pub rows: Vec<DurabilityRow>,
+    /// `(mode, k, rate, timeline)` for each cell.
+    pub timelines: Vec<(String, usize, f64, Vec<ChurnSample>)>,
+}
+
+impl DurabilityExperiment {
+    /// The row for one `(mode, k, rate)` cell.
+    pub fn row(&self, mode: &str, k: usize, rate: f64) -> Option<&DurabilityRow> {
+        self.rows
+            .iter()
+            .find(|r| r.mode == mode && r.k == k && (r.churn_rate - rate).abs() < 1e-12)
+    }
+
+    /// One row per cell — the artifact `fairswap durability` writes.
+    pub fn to_csv(&self) -> CsvTable {
+        let mut csv = CsvTable::new([
+            "mode",
+            "k",
+            "churn_rate",
+            "f1_gini",
+            "f2_gini",
+            "repair_events",
+            "repair_transfers",
+            "repair_delivered",
+            "mean_time_to_repair",
+            "unreachable_requests",
+            "retried",
+            "recovered",
+            "abandoned",
+            "final_unreachable",
+            "stuck_requests",
+        ]);
+        for r in &self.rows {
+            csv.push_row([
+                r.mode.clone(),
+                r.k.to_string(),
+                CsvTable::fmt_float(r.churn_rate),
+                CsvTable::fmt_float(r.f1_gini),
+                CsvTable::fmt_float(r.f2_gini),
+                r.repair_events.to_string(),
+                r.repair_transfers.to_string(),
+                r.repair_delivered.to_string(),
+                CsvTable::fmt_float(r.mean_time_to_repair),
+                r.unreachable_requests.to_string(),
+                r.retried.to_string(),
+                r.recovered.to_string(),
+                r.abandoned.to_string(),
+                r.final_unreachable.to_string(),
+                r.stuck_requests.to_string(),
+            ]);
+        }
+        csv
+    }
+
+    /// Long-format unreachable-over-time CSV: one row per timeline sample.
+    pub fn timeline_csv(&self) -> CsvTable {
+        let mut csv = CsvTable::new([
+            "mode",
+            "k",
+            "churn_rate",
+            "step",
+            "live",
+            "unreachable",
+            "f2_gini",
+        ]);
+        for (mode, k, rate, timeline) in &self.timelines {
+            for sample in timeline {
+                csv.push_row([
+                    mode.clone(),
+                    k.to_string(),
+                    CsvTable::fmt_float(*rate),
+                    sample.step.to_string(),
+                    sample.live.to_string(),
+                    sample.unreachable.to_string(),
+                    CsvTable::fmt_float(sample.f2_gini),
+                ]);
+            }
+        }
+        csv
+    }
+}
+
+/// The eager region width at `scale`: enough prefix bits to put expected
+/// region occupancy near one node, clamped into the validator's range.
+fn eager_bits(scale: ExperimentScale, bits: u32) -> u32 {
+    let occupancy_one = scale.nodes.next_power_of_two().trailing_zeros();
+    occupancy_one.clamp(1, bits - 1)
+}
+
+/// The repair policy and source of one mode id.
+fn mode_policy(mode: &str, eager: u32) -> (RepairPolicy, RepairSource) {
+    let lazy = (eager.saturating_sub(2)).max(1);
+    match mode {
+        "none" => (RepairPolicy::None, RepairSource::Replica),
+        "monitor-eager" => (
+            RepairPolicy::Monitor {
+                neighborhood_bits: eager,
+            },
+            RepairSource::Replica,
+        ),
+        "replica-lazy" => (
+            RepairPolicy::ReReplicate {
+                neighborhood_bits: lazy,
+            },
+            RepairSource::Replica,
+        ),
+        "replica-eager" => (
+            RepairPolicy::ReReplicate {
+                neighborhood_bits: eager,
+            },
+            RepairSource::Replica,
+        ),
+        "reseed-eager" => (
+            RepairPolicy::ReReplicate {
+                neighborhood_bits: eager,
+            },
+            RepairSource::Originator,
+        ),
+        other => unreachable!("unknown durability mode {other}"),
+    }
+}
+
+/// Runs the durability sweep serially over the given churn rates.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run(scale: ExperimentScale, rates: &[f64]) -> Result<DurabilityExperiment, CoreError> {
+    run_with(scale, rates, &Executor::serial())
+}
+
+/// [`run`] with the `(mode, k, rate)` cells fanned out over `executor`.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_with(
+    scale: ExperimentScale,
+    rates: &[f64],
+    executor: &Executor,
+) -> Result<DurabilityExperiment, CoreError> {
+    run_observed(scale, rates, executor, &mut GridObservation::disabled())
+}
+
+/// [`run_with`] reporting through a [`GridObservation`] — the CLI's
+/// `--trace` / `--metrics` / `--profile` path.
+///
+/// # Errors
+///
+/// Propagates configuration errors as [`CoreError`].
+pub fn run_observed(
+    scale: ExperimentScale,
+    rates: &[f64],
+    executor: &Executor,
+    obs: &mut GridObservation,
+) -> Result<DurabilityExperiment, CoreError> {
+    let cells = grid(rates);
+    let reports = run_jobs_observed(executor, jobs(scale, rates)?, obs)?;
+
+    let mut rows = Vec::with_capacity(cells.len());
+    let mut timelines = Vec::new();
+    for ((mode, k, rate), report) in cells.iter().zip(&reports) {
+        let stats = report.traffic();
+        let (repair_events, final_unreachable) = match report.churn() {
+            Some(churn) => {
+                timelines.push((mode.to_string(), *k, *rate, churn.timeline.clone()));
+                (
+                    churn.repair_events,
+                    churn.timeline.last().map_or(0, |s| s.unreachable),
+                )
+            }
+            None => (0, 0),
+        };
+        rows.push(DurabilityRow {
+            mode: mode.to_string(),
+            k: *k,
+            churn_rate: *rate,
+            f1_gini: report.f1_contribution_gini(),
+            f2_gini: report.f2_income_gini(),
+            repair_events,
+            repair_transfers: stats.repair_transfers(),
+            repair_delivered: stats.repair_delivered(),
+            mean_time_to_repair: report.mean_time_to_repair(),
+            unreachable_requests: stats.unreachable_requests(),
+            retried: stats.retried(),
+            recovered: stats.recovered(),
+            abandoned: stats.abandoned(),
+            final_unreachable,
+            stuck_requests: stats.stuck_requests(),
+        });
+    }
+    Ok(DurabilityExperiment { rows, timelines })
+}
+
+/// The `(mode, k, rate)` cells in [`MODES`] × [`PAPER_KS`] × `rates`
+/// order — the single source of cell order for both row labels and the
+/// job list.
+fn grid(rates: &[f64]) -> Vec<(&'static str, usize, f64)> {
+    MODES
+        .iter()
+        .flat_map(|&mode| {
+            PAPER_KS
+                .iter()
+                .flat_map(move |&k| rates.iter().map(move |&rate| (mode, k, rate)))
+        })
+        .collect()
+}
+
+/// The sweep grid's [`SimJob`]s — shared by [`run_with`] and the
+/// benchmark runner ([`crate::benchrun`]).
+///
+/// # Errors
+///
+/// Propagates invalid churn rates as [`CoreError`].
+pub fn jobs(scale: ExperimentScale, rates: &[f64]) -> Result<Vec<SimJob>, CoreError> {
+    grid(rates)
+        .into_iter()
+        .map(|(mode, k, rate)| {
+            let mut config = scale.cell_config(k, 1.0);
+            config.churn = Some(ChurnConfig::from_rate(rate)?);
+            // Two-tier capacity keeps hops scarce, so repair traffic
+            // genuinely competes with user downloads for the budget.
+            config.scenario = Some(ScenarioKind::Heterogeneity {
+                slow_fraction: 0.3,
+                slow_budget: 2,
+                fast_budget: 16,
+            });
+            let (repair, source) = mode_policy(mode, eager_bits(scale, config.bits));
+            config.repair = repair;
+            config.repair_source = source;
+            config.max_retries = MAX_RETRIES;
+            config.retry_backoff = 1;
+            Ok(SimJob::new(config))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> ExperimentScale {
+        ExperimentScale {
+            nodes: 150,
+            files: 60,
+            seed: 0xFA12,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_repair_converges() {
+        let result = run(scale(), &[0.05]).unwrap();
+        assert_eq!(result.rows.len(), MODES.len() * PAPER_KS.len());
+        assert_eq!(result.timelines.len(), result.rows.len());
+
+        let none = result.row("none", 4, 0.05).unwrap();
+        assert_eq!(none.repair_events, 0);
+        assert_eq!(none.unreachable_requests, 0);
+        assert_eq!(none.final_unreachable, 0);
+
+        // The control arm detects loss but never recovers it: the gauge
+        // is monotone non-decreasing.
+        let monitor = result.row("monitor-eager", 4, 0.05).unwrap();
+        assert!(monitor.repair_events > 0, "{monitor:?}");
+        assert_eq!(monitor.repair_transfers, 0);
+        let monitor_timeline = result
+            .timelines
+            .iter()
+            .find(|(mode, k, ..)| mode == "monitor-eager" && *k == 4)
+            .map(|(.., timeline)| timeline)
+            .unwrap();
+        assert!(monitor_timeline
+            .windows(2)
+            .all(|w| w[0].unreachable <= w[1].unreachable));
+
+        // Active repair converges: the gauge comes back down instead of
+        // growing monotonically, and ends below the control arm.
+        let eager = result.row("replica-eager", 4, 0.05).unwrap();
+        assert!(eager.repair_delivered > 0, "{eager:?}");
+        assert!(eager.mean_time_to_repair >= 1.0);
+        let eager_timeline = result
+            .timelines
+            .iter()
+            .find(|(mode, k, ..)| mode == "replica-eager" && *k == 4)
+            .map(|(.., timeline)| timeline)
+            .unwrap();
+        assert!(
+            eager_timeline
+                .windows(2)
+                .any(|w| w[1].unreachable < w[0].unreachable),
+            "repair never reduced the unreachable gauge: {eager_timeline:?}"
+        );
+        assert!(eager.final_unreachable <= monitor.final_unreachable);
+
+        // Capacity pressure makes the retry path observable.
+        assert!(eager.retried > 0);
+        assert!(!result.to_csv().is_empty());
+        assert!(!result.timeline_csv().is_empty());
+    }
+
+    #[test]
+    fn deterministic_and_parallel_matches_serial() {
+        let a = run(scale(), &[0.05]).unwrap();
+        let b = run_with(scale(), &[0.05], &Executor::new(2)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mode_policies_cover_the_catalog() {
+        let eager = eager_bits(scale(), 16);
+        assert_eq!(eager, 8, "150 nodes round up to 2^8");
+        assert_eq!(mode_policy("none", eager).0, RepairPolicy::None);
+        assert!(matches!(
+            mode_policy("monitor-eager", eager),
+            (
+                RepairPolicy::Monitor {
+                    neighborhood_bits: 8
+                },
+                _
+            )
+        ));
+        assert!(matches!(
+            mode_policy("replica-lazy", eager),
+            (
+                RepairPolicy::ReReplicate {
+                    neighborhood_bits: 6
+                },
+                RepairSource::Replica
+            )
+        ));
+        assert!(matches!(
+            mode_policy("reseed-eager", eager),
+            (RepairPolicy::ReReplicate { .. }, RepairSource::Originator)
+        ));
+        // Every mode builds a valid job list.
+        let jobs = jobs(scale(), &DEFAULT_RATES).unwrap();
+        assert_eq!(jobs.len(), MODES.len() * PAPER_KS.len() * 3);
+    }
+
+    #[test]
+    fn invalid_rates_error() {
+        assert!(run(scale(), &[-0.5]).is_err());
+    }
+}

@@ -1,14 +1,21 @@
 //! The fuzzer's gallery: machine-found scenarios replayed as a preset.
 //!
 //! `fairswap fuzz` (the coverage-guided campaign in `fairswap_fuzz`)
-//! hunts for specs whose behavior trips an invariant oracle. The keepers
-//! are committed here as verbatim [`SimSpec`] JSON under
-//! `experiments/gallery/` — every one was discovered by a campaign, not
-//! written by hand, and every one reproduces a **fairness inversion**:
-//! a regime where the paper's recommended large bucket (`k = 20`)
-//! yields a *less* equal F2 income distribution than `k = 4`. Two of
-//! them additionally starve delivery (majority drop rates) under tight
-//! capacity tiers.
+//! hunts for specs whose behavior trips an invariant oracle or lights a
+//! novel behavior-grid cell. The keepers are committed here as verbatim
+//! [`SimSpec`] JSON under `experiments/gallery/` — every one was
+//! discovered by a campaign, not written by hand. The first four
+//! reproduce a **fairness inversion**: a regime where the paper's
+//! recommended large bucket (`k = 20`) yields a *less* equal F2 income
+//! distribution than `k = 4` (two of them additionally starve delivery
+//! with majority drop rates under tight capacity tiers). The last two
+//! are **non-inversion durability findings**: a no-rejoin regional
+//! outage under `Monitor`-only repair that leaves dozens of address
+//! regions permanently dark (tens of thousands of unreachable requests,
+//! no fairness inversion at all — the anomaly is availability), and a
+//! retry-equipped run where every single retry is abandoned because the
+//! requested regions are *lost*, not congested — retries cannot outrun
+//! data loss, only repair fixes it.
 //!
 //! The preset replays each gallery spec at its committed seed together
 //! with its `k = 4` / `k = 20` fairness twins (same spec, only the
@@ -34,7 +41,7 @@ use crate::spec::SimSpec;
 ///
 /// Names keep the campaign's `fuzz-<iteration>-<mutated axis>` form so a
 /// finding can be traced back to the axis whose mutation exposed it.
-pub const GALLERY: [(&str, &str); 4] = [
+pub const GALLERY: [(&str, &str); 6] = [
     (
         "fuzz-00206-economics",
         include_str!("gallery/fuzz-00206-economics.json"),
@@ -50,6 +57,14 @@ pub const GALLERY: [(&str, &str); 4] = [
     (
         "fuzz-00295-economics",
         include_str!("gallery/fuzz-00295-economics.json"),
+    ),
+    (
+        "fuzz-01127-churn",
+        include_str!("gallery/fuzz-01127-churn.json"),
+    ),
+    (
+        "fuzz-02189-policies",
+        include_str!("gallery/fuzz-02189-policies.json"),
     ),
 ];
 
@@ -239,22 +254,79 @@ mod tests {
     }
 
     #[test]
-    fn every_entry_reproduces_its_fairness_inversion() {
+    fn every_entry_reproduces_its_anomaly() {
         let result = run().unwrap();
         assert_eq!(result.rows.len(), GALLERY.len());
-        for row in &result.rows {
-            // The campaign's oracle threshold: k = 20 measurably less
-            // fair than k = 4.
-            assert!(
-                row.inversion() > 0.02,
-                "{} lost its inversion: {row:?}",
-                row.name
-            );
+        // The four inversion entries: the campaign's oracle threshold,
+        // k = 20 measurably less fair than k = 4.
+        for name in [
+            "fuzz-00206-economics",
+            "fuzz-00218-economics",
+            "fuzz-00235-topology",
+            "fuzz-00295-economics",
+        ] {
+            let row = result.row(name).unwrap();
+            assert!(row.inversion() > 0.02, "{name} lost its inversion: {row:?}");
         }
         // The two capacity-starved entries keep their majority drops.
         assert!(result.row("fuzz-00235-topology").unwrap().drop_rate > 0.5);
         assert!(result.row("fuzz-00295-economics").unwrap().drop_rate > 0.5);
+        // The durability entries are non-inversions: their anomaly is
+        // availability, not fairness ordering.
+        for name in ["fuzz-01127-churn", "fuzz-02189-policies"] {
+            let row = result.row(name).unwrap();
+            assert!(row.inversion() <= 0.02, "{name} grew an inversion: {row:?}");
+        }
         assert!(!result.to_csv().is_empty());
+    }
+
+    /// Replays one gallery spec at its own bucket size and returns the
+    /// report — the durability entries assert on counters the
+    /// [`FuzzedRow`] schema deliberately does not carry.
+    fn replay(name: &str) -> crate::report::SimReport {
+        let (_, spec) = specs()
+            .unwrap()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .unwrap();
+        let jobs = vec![SimJob::new(spec.to_config())];
+        crate::exec::run_jobs(&Executor::serial(), jobs)
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn monitor_entry_reproduces_its_permanent_region_loss() {
+        // fuzz-01127-churn: a no-rejoin regional outage under
+        // Monitor-only repair — regions are detected lost, never
+        // repaired, and stay dark for most of the run.
+        let report = replay("fuzz-01127-churn");
+        let traffic = report.traffic();
+        assert!(report.churn().unwrap().repair_events > 0);
+        assert_eq!(traffic.repair_transfers(), 0, "Monitor never re-uploads");
+        assert_eq!(traffic.repair_delivered(), 0);
+        assert!(
+            traffic.unreachable_requests() > 10_000,
+            "lost regions must dominate the request stream: {}",
+            traffic.unreachable_requests()
+        );
+        // The defining stall shape: a region dark for more than half
+        // the run (the durability-stall oracle exempts Monitor — this
+        // entry pins the control-arm regime it exempts).
+        assert!(traffic.repair_wait_max() > 200 / 2);
+    }
+
+    #[test]
+    fn retry_entry_reproduces_its_abandoned_retries() {
+        // fuzz-02189-policies: retries enabled, but the failing
+        // requests target *lost* regions — every retry re-fails and is
+        // abandoned. Retries cannot outrun data loss.
+        let report = replay("fuzz-02189-policies");
+        let traffic = report.traffic();
+        assert!(traffic.retried() > 1_000);
+        assert_eq!(traffic.recovered(), 0, "no retry ever recovers here");
+        assert_eq!(traffic.abandoned(), traffic.retried());
+        assert!(traffic.unreachable_requests() > 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`extensions::mechanisms`] | §I/§II baseline-mechanism comparison |
 //! | [`extensions::metric_robustness`] | ablation: Theil/Atkinson/Hoover vs Gini |
 //! | [`churn::run`] | §V future work: F1/F2 fairness vs churn rate |
+//! | [`durability::run`] | repair loop closed: repair mode × churn rate × `k`, fairness of repair traffic |
 //! | [`large_scale::run`] | scaling: fairness at 10⁵ nodes, 20–24-bit space |
 //! | [`scenarios::run`] | scripted shocks: targeted departures, flash crowds, regional outages, heterogeneity |
 //! | [`routing::run`] | policy layer: drop vs capacity-detour routing under heterogeneity |
@@ -30,6 +31,7 @@
 
 pub mod cache_churn;
 pub mod churn;
+pub mod durability;
 pub mod extensions;
 pub mod fig4;
 pub mod fig5;

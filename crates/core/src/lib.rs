@@ -55,7 +55,7 @@ pub use csv::CsvTable;
 pub use error::CoreError;
 pub use exec::{run_jobs, run_jobs_observed, run_jobs_with_progress, SimJob};
 pub use obs::{EpochSnapshot, GridObservation, NullObserver, ObsOptions, StepObserver};
-pub use policy::{RepairHook, RepairPolicy};
+pub use policy::{NoRepair, RepairHook, RepairPolicy};
 pub use report::{ChurnOutcome, ChurnSample, SimReport};
 pub use scenario::ScenarioKind;
 pub use sim::BandwidthSim;
@@ -64,4 +64,4 @@ pub use spec::{DynamicsSpec, EconomicsSpec, PolicySpec, SimSpec, TopologySpec, W
 pub use fairswap_churn::{ChurnConfig, LifetimeDist};
 pub use fairswap_obs::{validate_jsonl, Phase, PhaseTimes, TraceStats};
 pub use fairswap_simcore::Executor;
-pub use fairswap_storage::{CachePolicy, RoutePolicy};
+pub use fairswap_storage::{CachePolicy, RepairSource, RoutePolicy};

@@ -92,8 +92,23 @@ pub struct EpochSnapshot {
     pub leaves: u64,
     /// Targeted-departure removals applied.
     pub targeted_removals: u64,
-    /// Repair events reported by the repair hook.
+    /// Repair events reported by the repair hook and engine detection.
     pub repair_events: u64,
+    /// User requests that entered the retry queue.
+    pub retried: u64,
+    /// Retried requests that eventually delivered.
+    pub recovered: u64,
+    /// Retried requests abandoned after exhausting `max_retries`.
+    pub abandoned: u64,
+    /// User requests faulted against an unreachable region.
+    pub unreachable_requests: u64,
+    /// Repair re-uploads scheduled.
+    pub repair_transfers: u64,
+    /// Repair re-uploads delivered.
+    pub repair_delivered: u64,
+    /// Address regions unreachable at the snapshot step (a gauge, not a
+    /// running total).
+    pub regions_lost: u64,
     /// Gini coefficient of the F2 income distribution.
     pub f2_gini: f64,
 }
@@ -214,6 +229,13 @@ struct Handles {
     leaves: usize,
     targeted_removals: usize,
     repair_events: usize,
+    retried: usize,
+    recovered: usize,
+    abandoned: usize,
+    unreachable_requests: usize,
+    repair_transfers: usize,
+    repair_delivered: usize,
+    regions_lost: usize,
     live: usize,
     f2_gini: usize,
     route_hops: usize,
@@ -257,6 +279,13 @@ impl ObsCollector {
             leaves: registry.counter("leaves"),
             targeted_removals: registry.counter("targeted_removals"),
             repair_events: registry.counter("repair_events"),
+            retried: registry.counter("retried"),
+            recovered: registry.counter("recovered"),
+            abandoned: registry.counter("abandoned"),
+            unreachable_requests: registry.counter("unreachable_requests"),
+            repair_transfers: registry.counter("repair_transfers"),
+            repair_delivered: registry.counter("repair_delivered"),
+            regions_lost: registry.gauge("regions_lost"),
             live: registry.gauge("live"),
             f2_gini: registry.gauge("f2_gini"),
             route_hops: registry.histogram("route_hops"),
@@ -410,6 +439,17 @@ impl StepObserver for ObsCollector {
                 .set_counter(h.targeted_removals, snapshot.targeted_removals);
             self.registry
                 .set_counter(h.repair_events, snapshot.repair_events);
+            self.registry.set_counter(h.retried, snapshot.retried);
+            self.registry.set_counter(h.recovered, snapshot.recovered);
+            self.registry.set_counter(h.abandoned, snapshot.abandoned);
+            self.registry
+                .set_counter(h.unreachable_requests, snapshot.unreachable_requests);
+            self.registry
+                .set_counter(h.repair_transfers, snapshot.repair_transfers);
+            self.registry
+                .set_counter(h.repair_delivered, snapshot.repair_delivered);
+            self.registry
+                .set_gauge(h.regions_lost, snapshot.regions_lost as f64);
             self.registry.set_gauge(h.live, snapshot.live as f64);
             self.registry.set_gauge(h.f2_gini, snapshot.f2_gini);
             let (grid, job) = (self.grid, self.job);

@@ -42,24 +42,33 @@ pub use fairswap_storage::{CachePolicy, RoutePolicy};
 /// The storage model keeps exactly one storer per chunk — the XOR-closest
 /// *live* node — so a departure silently migrates responsibility. When a
 /// whole address neighborhood empties, though, there is nobody meaningfully
-/// close left: a real network would re-replicate the region's chunks. The
-/// policy decides whether (and how) that response is modeled.
+/// close left: the region's chunks are genuinely gone until somebody
+/// re-uploads them. The policy decides whether that loss is modeled at
+/// all, and whether the network responds with real repair traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RepairPolicy {
-    /// The paper's (non-)behavior: departures are never repaired.
+    /// The paper's (non-)behavior: departures are never repaired and loss
+    /// is not modeled — responsibility migrates silently, byte-identical
+    /// to every pre-durability run.
     #[default]
     None,
-    /// Detect-and-count stub of re-replication: a departure whose address
-    /// region (the `neighborhood_bits`-bit prefix around the departed
-    /// node) holds no other live node is flagged as a repair event. This
-    /// pins down the engine hook and its accounting
-    /// ([`ChurnOutcome::repair_events`](crate::ChurnOutcome)); modeling
-    /// the actual re-upload traffic and its bandwidth/fairness cost is the
-    /// roadmap's re-replication item and slots in behind this interface
-    /// without touching the engine again.
-    ReReplicate {
+    /// Fault injection without recovery: a departure that empties its
+    /// `neighborhood_bits`-bit address region makes the region's chunks
+    /// unreachable (requests fault, durability metrics accrue), but
+    /// nothing ever re-uploads them. The control arm for repair studies —
+    /// under sustained churn `chunks_unreachable` grows monotonically.
+    Monitor {
         /// Width of the monitored address-prefix region in bits (wider =
         /// smaller region = more sensitive detection).
+        neighborhood_bits: u32,
+    },
+    /// Full re-replication: loss is detected as under `Monitor`, and each
+    /// lost region additionally schedules a repair re-upload from a
+    /// [`RepairSource`](crate::RepairSource) through the same
+    /// capacity-constrained routing as user traffic, paid through the
+    /// incentive layer. Failed repairs retry with doubling backoff.
+    ReReplicate {
+        /// Width of the monitored address-prefix region in bits.
         neighborhood_bits: u32,
     },
 }
@@ -69,17 +78,25 @@ impl RepairPolicy {
     pub fn id(&self) -> &'static str {
         match self {
             Self::None => "none",
+            Self::Monitor { .. } => "monitor",
             Self::ReReplicate { .. } => "re-replicate",
         }
     }
 
-    /// Builds the hook the simulation drives ([`RepairPolicy::None`]
-    /// yields a no-op that accounts nothing).
-    pub fn build(&self) -> Box<dyn RepairHook> {
+    /// The monitored region width, when loss is modeled at all.
+    pub fn neighborhood_bits(&self) -> Option<u32> {
         match *self {
-            Self::None => Box::new(NoRepair),
-            Self::ReReplicate { neighborhood_bits } => Box::new(ReReplicate { neighborhood_bits }),
+            Self::None => None,
+            Self::Monitor { neighborhood_bits } | Self::ReReplicate { neighborhood_bits } => {
+                Some(neighborhood_bits)
+            }
         }
+    }
+
+    /// Whether the policy generates repair traffic (as opposed to only
+    /// accounting loss, or ignoring it entirely).
+    pub fn repairs(&self) -> bool {
+        matches!(self, Self::ReReplicate { .. })
     }
 
     /// Checks the policy against the run's address-space width.
@@ -87,15 +104,18 @@ impl RepairPolicy {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`](crate::CoreError) when the
-    /// monitored region is degenerate (0 bits) or wider than the space.
+    /// monitored region is degenerate (0 bits) or not narrower than the
+    /// space — a full-width region would turn every single departure into
+    /// a data loss.
     pub fn validate(&self, bits: u32) -> Result<(), crate::CoreError> {
-        match *self {
-            Self::None => Ok(()),
-            Self::ReReplicate { neighborhood_bits } => {
-                if neighborhood_bits == 0 || neighborhood_bits > bits {
+        match self.neighborhood_bits() {
+            None => Ok(()),
+            Some(neighborhood_bits) => {
+                if neighborhood_bits == 0 || neighborhood_bits >= bits {
+                    let max = bits.saturating_sub(1);
                     Err(crate::CoreError::InvalidConfig {
                         message: format!(
-                            "repair neighborhood_bits must be in 1..={bits}, got {neighborhood_bits}"
+                            "repair neighborhood_bits must be in 1..={max}, got {neighborhood_bits}"
                         ),
                     })
                 } else {
@@ -121,38 +141,17 @@ pub trait RepairHook {
     fn on_departure(&mut self, topology: &Topology, departed: NodeId, step: u64) -> u64;
 }
 
-/// The [`RepairPolicy::None`] hook: departures go unrepaired and
-/// unaccounted, exactly the paper's model.
-#[derive(Debug, Clone)]
-struct NoRepair;
+/// The do-nothing hook: departures draw no custom reaction. This is what
+/// the engine installs when no user hook is supplied; the built-in
+/// durability policies ([`RepairPolicy::Monitor`] /
+/// [`RepairPolicy::ReReplicate`]) run inside the engine itself, so their
+/// loss detection and repair traffic never need a hook.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRepair;
 
 impl RepairHook for NoRepair {
     fn on_departure(&mut self, _topology: &Topology, _departed: NodeId, _step: u64) -> u64 {
         0
-    }
-}
-
-/// The built-in [`RepairPolicy::ReReplicate`] stub: counts departures that
-/// emptied their address neighborhood.
-#[derive(Debug, Clone)]
-struct ReReplicate {
-    neighborhood_bits: u32,
-}
-
-impl RepairHook for ReReplicate {
-    fn on_departure(&mut self, topology: &Topology, departed: NodeId, _step: u64) -> u64 {
-        let address = topology.address(departed);
-        // The globally closest live node maximizes the shared prefix
-        // (smaller XOR distance = longer common prefix), so one trie
-        // descent answers "does any live node still cover the region?" —
-        // no need to enumerate the whole prefix region per departure. The
-        // departed node itself is already offline and cannot match.
-        let Some(&nearest) = topology.closest_live_nodes(address, 1).first() else {
-            return 1;
-        };
-        let shift = topology.space().bits() - self.neighborhood_bits;
-        let covered = (topology.address(nearest).raw() >> shift) == (address.raw() >> shift);
-        u64::from(!covered)
     }
 }
 
@@ -162,8 +161,15 @@ mod tests {
     use fairswap_kademlia::{AddressSpace, TopologyBuilder};
 
     #[test]
-    fn ids_defaults_and_build() {
+    fn ids_defaults_and_accessors() {
         assert_eq!(RepairPolicy::None.id(), "none");
+        assert_eq!(
+            RepairPolicy::Monitor {
+                neighborhood_bits: 4
+            }
+            .id(),
+            "monitor"
+        );
         assert_eq!(
             RepairPolicy::ReReplicate {
                 neighborhood_bits: 4
@@ -172,6 +178,23 @@ mod tests {
             "re-replicate"
         );
         assert_eq!(RepairPolicy::default(), RepairPolicy::None);
+        assert_eq!(RepairPolicy::None.neighborhood_bits(), None);
+        assert_eq!(
+            RepairPolicy::Monitor {
+                neighborhood_bits: 6
+            }
+            .neighborhood_bits(),
+            Some(6)
+        );
+        assert!(!RepairPolicy::None.repairs());
+        assert!(!RepairPolicy::Monitor {
+            neighborhood_bits: 6
+        }
+        .repairs());
+        assert!(RepairPolicy::ReReplicate {
+            neighborhood_bits: 6
+        }
+        .repairs());
     }
 
     #[test]
@@ -182,7 +205,7 @@ mod tests {
             .seed(1)
             .build()
             .unwrap();
-        let mut hook = RepairPolicy::None.build();
+        let mut hook = NoRepair;
         assert_eq!(hook.on_departure(&topology, NodeId(3), 1), 0);
     }
 
@@ -190,42 +213,25 @@ mod tests {
     fn validation_bounds_the_region() {
         RepairPolicy::None.validate(16).unwrap();
         RepairPolicy::ReReplicate {
-            neighborhood_bits: 16,
+            neighborhood_bits: 15,
         }
         .validate(16)
         .unwrap();
-        for bad in [0u32, 17] {
-            let err = RepairPolicy::ReReplicate {
-                neighborhood_bits: bad,
+        // A full-width region turns every departure into data loss;
+        // rejected for monitor and re-replicate alike.
+        for bad in [0u32, 16, 17] {
+            for policy in [
+                RepairPolicy::Monitor {
+                    neighborhood_bits: bad,
+                },
+                RepairPolicy::ReReplicate {
+                    neighborhood_bits: bad,
+                },
+            ] {
+                let err = policy.validate(16).unwrap_err();
+                assert!(err.to_string().contains("neighborhood_bits"), "{err}");
+                assert!(err.to_string().contains("1..=15"), "{err}");
             }
-            .validate(16)
-            .unwrap_err();
-            assert!(err.to_string().contains("neighborhood_bits"), "{err}");
         }
-    }
-
-    #[test]
-    fn re_replicate_counts_emptied_neighborhoods() {
-        let mut topology = TopologyBuilder::new(AddressSpace::new(16).unwrap())
-            .nodes(60)
-            .bucket_size(4)
-            .seed(0xFA12)
-            .build()
-            .unwrap();
-        let mut hook = RepairPolicy::ReReplicate {
-            neighborhood_bits: 16,
-        }
-        .build();
-        // A full-width prefix region contains only the departed node, so
-        // with it gone the neighborhood is empty by construction.
-        let victim = NodeId(7);
-        topology.remove_node(victim).unwrap();
-        assert_eq!(hook.on_departure(&topology, victim, 1), 1);
-        // A 1-bit region spans half the space and stays populated.
-        let mut wide = RepairPolicy::ReReplicate {
-            neighborhood_bits: 1,
-        }
-        .build();
-        assert_eq!(wide.on_departure(&topology, victim, 1), 0);
     }
 }

@@ -21,6 +21,10 @@ pub struct ChurnSample {
     pub live: usize,
     /// F2 income Gini over all incomes accumulated so far.
     pub f2_gini: f64,
+    /// Address regions currently unreachable at the sample step (a gauge,
+    /// not a cumulative count). Always 0 under
+    /// [`RepairPolicy::None`](crate::RepairPolicy).
+    pub unreachable: u64,
 }
 
 /// Aggregate outcome of dynamic membership over one run.
@@ -36,11 +40,12 @@ pub struct ChurnOutcome {
     /// neither `leaves` nor the churn plan: these fire at runtime against
     /// the income ranking). 0 without such a scenario.
     pub targeted_removals: u64,
-    /// Repair events accounted by the run's
-    /// [`RepairHook`](crate::policy::RepairHook) (e.g. departures that
-    /// emptied their storage neighborhood under
-    /// [`RepairPolicy::ReReplicate`](crate::RepairPolicy)). 0 under the
-    /// default no-repair policy.
+    /// Repair events: departures the engine detected as emptying their
+    /// storage neighborhood under
+    /// [`RepairPolicy::Monitor`](crate::RepairPolicy) /
+    /// [`RepairPolicy::ReReplicate`](crate::RepairPolicy), plus whatever a
+    /// custom [`RepairHook`](crate::policy::RepairHook) accounted. 0 under
+    /// the default no-repair policy with no hook.
     pub repair_events: u64,
     /// Live nodes after the final step.
     pub final_live: usize,
@@ -172,6 +177,12 @@ impl SimReport {
     /// Total cache hits across all nodes.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// Mean steps from a region becoming unreachable to its repair
+    /// delivery, over completed repairs (0 when nothing was repaired).
+    pub fn mean_time_to_repair(&self) -> f64 {
+        self.traffic.mean_time_to_repair()
     }
 
     /// Dynamic-membership outcome: join/leave counts, departure

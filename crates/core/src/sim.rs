@@ -84,16 +84,16 @@ impl BandwidthSim {
         F: FnMut(u64, u64),
         O: StepObserver,
     {
-        let mut hook = self.config().repair.build();
-        self.run_inner(progress, hook.as_mut(), obs)
+        self.run_inner(progress, &mut crate::policy::NoRepair, obs)
     }
 
-    /// Runs the simulation with a caller-supplied [`RepairHook`] instead of
-    /// the one the configured [`RepairPolicy`](crate::RepairPolicy) would
-    /// build — the public entry point for user-defined repair policies (see
+    /// Runs the simulation with a caller-supplied [`RepairHook`] layered on
+    /// top of the configured [`RepairPolicy`](crate::RepairPolicy) — the
+    /// public entry point for user-defined repair accounting (see
     /// `examples/custom_policy.rs`). The hook fires once per applied
     /// departure; its returned counts land in
-    /// [`ChurnOutcome::repair_events`].
+    /// [`ChurnOutcome::repair_events`] alongside the engine's own lost
+    /// region detections.
     pub fn run_with_repair(self, hook: &mut dyn RepairHook) -> SimReport {
         self.run_inner(|_, _| {}, hook, &mut NullObserver)
     }
@@ -195,6 +195,19 @@ impl BandwidthSim {
         if let Some(capacities) = capacities {
             download.set_capacities(capacities);
         }
+        // The durability model (lost-region fault injection) runs inside
+        // the engine whenever the policy watches neighborhoods; only
+        // `ReReplicate` additionally generates repair traffic. Retries are
+        // gated the same way so `max_retries = 0` costs nothing.
+        if let Some(neighborhood_bits) = self.config.repair.neighborhood_bits() {
+            download.enable_durability(neighborhood_bits);
+        }
+        let repair_active = self.config.repair.repairs();
+        let repair_source = self.config.repair_source;
+        let retry_active = self.config.max_retries > 0;
+        if retry_active {
+            download.set_retry_policy(self.config.max_retries, self.config.retry_backoff);
+        }
         // Flash-crowd cohorts exist but stay offline until their scripted
         // arrival; the plan's consistency sweep started from this state.
         if let Some(compiled) = &compiled {
@@ -257,8 +270,11 @@ impl BandwidthSim {
                             outcome.departure_settlements +=
                                 state.settle_departed(event.node) as u64;
                             outcome.leaves += 1;
+                            // The custom hook's count and the engine's own
+                            // lost-region detection land in one ledger.
                             let repaired =
-                                repair.on_departure(download.topology(), event.node, step);
+                                repair.on_departure(download.topology(), event.node, step)
+                                    + u64::from(download.note_departure(event.node, step));
                             outcome.repair_events += repaired;
                             obs.on_leave(step, event.node);
                             if repaired > 0 {
@@ -311,7 +327,8 @@ impl BandwidthSim {
                         download.on_node_leave(node);
                         outcome.departure_settlements += state.settle_departed(node) as u64;
                         outcome.targeted_removals += 1;
-                        let repaired = repair.on_departure(download.topology(), node, step);
+                        let repaired = repair.on_departure(download.topology(), node, step)
+                            + u64::from(download.note_departure(node, step));
                         outcome.repair_events += repaired;
                         obs.on_targeted(step, node);
                         if repaired > 0 {
@@ -325,7 +342,40 @@ impl BandwidthSim {
                 }
             }
 
-            // 3. One file download, accounted by the incentive mechanism.
+            // 3a. Repair traffic: due re-uploads route through the same
+            //     capacity-constrained forwarding as user requests — and
+            //     run first in the step, so aggressive repair genuinely
+            //     competes with the user traffic behind it. Repairers are
+            //     paid through the incentive layer like any other route.
+            if repair_active {
+                let topology = download.topology_rc();
+                download.run_repairs(repair_source, |delivery| {
+                    mechanism.on_delivery(&topology, delivery, &mut state);
+                });
+                drop(topology);
+            }
+            // 3b. Due retries re-enter routing as fresh request attempts,
+            //     accounted exactly like first-attempt user traffic.
+            if retry_active {
+                let topology = download.topology_rc();
+                download.drain_retries(|delivery| {
+                    if delivery.delivered() {
+                        hops.record(delivery.hops.len());
+                        if let Some(first) = delivery.first_hop() {
+                            let bucket = topology
+                                .address(delivery.originator)
+                                .proximity(topology.address(first))
+                                .bucket_index();
+                            first_hop_buckets[bucket] += 1;
+                        }
+                    }
+                    mechanism.on_delivery(&topology, delivery, &mut state);
+                    obs.on_delivery(step, delivery);
+                });
+                drop(topology);
+            }
+
+            // 3c. One file download, accounted by the incentive mechanism.
             let file = self.workload.next_download();
             let topology = download.topology_rc();
             let origin_addr = topology.address(file.originator);
@@ -361,6 +411,7 @@ impl BandwidthSim {
                         step,
                         live: download.topology().live_count(),
                         f2_gini: gini(&income_buf).unwrap_or(0.0),
+                        unreachable: download.lost_region_count() as u64,
                     });
                 }
                 if step == total {
@@ -405,6 +456,13 @@ impl BandwidthSim {
                     leaves,
                     targeted_removals,
                     repair_events,
+                    retried: stats.retried(),
+                    recovered: stats.recovered(),
+                    abandoned: stats.abandoned(),
+                    unreachable_requests: stats.unreachable_requests(),
+                    repair_transfers: stats.repair_transfers(),
+                    repair_delivered: stats.repair_delivered(),
+                    regions_lost: download.lost_region_count() as u64,
                     f2_gini: gini(&income_buf).unwrap_or(0.0),
                 });
                 epoch_index += 1;
@@ -428,6 +486,10 @@ impl BandwidthSim {
             obs.on_end(total, requests, stats.stuck_requests());
         }
 
+        // Regions still lost at run end surface in the time-to-repair
+        // maximum (their full unrepaired lifetime), without skewing the
+        // mean over completed repairs.
+        download.finalize_durability(total);
         let cache_hits = (0..nodes)
             .map(|n| {
                 download
@@ -600,34 +662,158 @@ mod tests {
         assert_eq!(a.churn(), b.churn());
     }
 
-    #[test]
-    fn repair_policy_counts_events_without_disturbing_the_run() {
-        use crate::policy::RepairPolicy;
-        let base = churn_sim(0.2, 7).run();
-        let repaired = SimulationBuilder::new()
+    fn durability_sim(policy: crate::policy::RepairPolicy, seed: u64) -> BandwidthSim {
+        SimulationBuilder::new()
             .nodes(150)
             .bucket_size(4)
             .files(60)
-            .seed(7)
+            .seed(seed)
             .churn_rate(0.2)
-            .repair_policy(RepairPolicy::ReReplicate {
-                neighborhood_bits: 16,
-            })
+            .repair_policy(policy)
             .build()
             .unwrap()
-            .run();
-        // The stub only observes: traffic and incomes stay identical.
-        assert_eq!(base.traffic(), repaired.traffic());
-        assert_eq!(base.incomes(), repaired.incomes());
-        assert_eq!(base.churn().unwrap().repair_events, 0);
-        // Full-width neighborhoods empty on every departure by
-        // construction, so the count matches the departures applied.
-        let churn = repaired.churn().unwrap();
-        assert_eq!(
-            churn.repair_events,
-            churn.leaves + churn.targeted_removals,
-            "{churn:?}"
+    }
+
+    #[test]
+    fn monitor_policy_injects_loss_without_repair_traffic() {
+        use crate::policy::RepairPolicy;
+        let base = churn_sim(0.2, 7).run();
+        let monitored = durability_sim(
+            RepairPolicy::Monitor {
+                neighborhood_bits: 8,
+            },
+            7,
+        )
+        .run();
+        let churn = monitored.churn().unwrap();
+        assert!(
+            churn.repair_events > 0,
+            "8-bit regions must empty at 20% churn"
         );
+        // Monitoring detects loss but never re-uploads.
+        assert_eq!(monitored.traffic().repair_transfers(), 0);
+        assert_eq!(monitored.traffic().repair_delivered(), 0);
+        // Nothing restores a lost region, so the unreachable gauge is
+        // monotone non-decreasing — the control arm of the repair study.
+        assert!(churn
+            .timeline
+            .windows(2)
+            .all(|w| w[0].unreachable <= w[1].unreachable));
+        assert!(churn.timeline.last().unwrap().unreachable > 0);
+        // Faulted user requests surface in the traffic stats; the
+        // baseline run has no concept of them.
+        assert!(monitored.traffic().unreachable_requests() > 0);
+        assert_eq!(base.traffic().unreachable_requests(), 0);
+        assert_eq!(base.churn().unwrap().repair_events, 0);
+    }
+
+    #[test]
+    fn re_replication_converges_and_pays_through_the_ledger() {
+        use crate::policy::RepairPolicy;
+        let monitored = durability_sim(
+            RepairPolicy::Monitor {
+                neighborhood_bits: 8,
+            },
+            7,
+        )
+        .run();
+        let repaired = durability_sim(
+            RepairPolicy::ReReplicate {
+                neighborhood_bits: 8,
+            },
+            7,
+        )
+        .run();
+        let stats = repaired.traffic();
+        assert!(stats.repair_transfers() > 0);
+        assert!(stats.repair_delivered() > 0);
+        assert!(repaired.mean_time_to_repair() >= 1.0);
+        // Repair keeps standing loss strictly below the monitor-only arm,
+        // instead of letting it grow without bound.
+        let standing = |r: &SimReport| r.churn().unwrap().timeline.last().unwrap().unreachable;
+        assert!(
+            standing(&repaired) < standing(&monitored),
+            "repair {} vs monitor {}",
+            standing(&repaired),
+            standing(&monitored)
+        );
+        // Repair deliveries flow through the same ledger as user traffic
+        // and conservation still holds: total income == settled volume,
+        // i.e. every repaired chunk is paid exactly once.
+        let income: f64 = repaired.incomes().iter().sum();
+        assert_eq!(income as u64, repaired.settlement_volume());
+    }
+
+    #[test]
+    fn targeted_departure_waves_feed_the_repair_engine() {
+        use crate::policy::RepairPolicy;
+        use crate::scenario::ScenarioKind;
+        let run = |policy| {
+            SimulationBuilder::new()
+                .nodes(150)
+                .bucket_size(4)
+                .files(40)
+                .seed(11)
+                .scenario(ScenarioKind::TargetedDeparture {
+                    at_step: 10,
+                    top_fraction: 0.3,
+                })
+                .repair_policy(policy)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let base = run(RepairPolicy::None);
+        let repaired = run(RepairPolicy::ReReplicate {
+            neighborhood_bits: 8,
+        });
+        assert!(base.churn().unwrap().targeted_removals > 0);
+        // The wave empties regions (30% of 150 nodes against 256 regions
+        // leaves singletons with certainty) and the engine repairs them.
+        let churn = repaired.churn().unwrap();
+        assert!(churn.repair_events > 0, "{churn:?}");
+        assert!(repaired.traffic().repair_delivered() > 0);
+        // With no rejoins, once repair has drained the backlog the final
+        // gauge sits at zero.
+        assert_eq!(churn.timeline.last().unwrap().unreachable, 0);
+        let income: f64 = repaired.incomes().iter().sum();
+        assert_eq!(income as u64, repaired.settlement_volume());
+    }
+
+    #[test]
+    fn retries_recover_capacity_blocked_requests_end_to_end() {
+        use crate::scenario::ScenarioKind;
+        let run = |retries: u32| {
+            SimulationBuilder::new()
+                .nodes(150)
+                .bucket_size(4)
+                .files(60)
+                .seed(19)
+                .scenario(ScenarioKind::Heterogeneity {
+                    slow_fraction: 0.9,
+                    slow_budget: 2,
+                    fast_budget: 50,
+                })
+                .retry_policy(retries, 1)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let base = run(0);
+        assert!(
+            base.traffic().capacity_blocked() > 0,
+            "the scenario must actually saturate hops"
+        );
+        assert_eq!(base.traffic().retried(), 0);
+        let retried = run(2);
+        let stats = retried.traffic();
+        assert!(stats.retried() > 0);
+        assert!(stats.recovered() > 0, "some retries must succeed");
+        // `retried` counts attempts; each resolves as a recovery, an
+        // abandonment, a re-enqueue, or stays queued at run end.
+        assert!(stats.retried() >= stats.recovered() + stats.abandoned());
+        let income: f64 = retried.incomes().iter().sum();
+        assert_eq!(income as u64, retried.settlement_volume());
     }
 
     #[test]

@@ -37,7 +37,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 
 use fairswap_churn::ChurnConfig;
 use fairswap_kademlia::BucketSizing;
-use fairswap_storage::{CachePolicy, RoutePolicy};
+use fairswap_storage::{CachePolicy, RepairSource, RoutePolicy};
 use fairswap_swap::{Bzz, ChannelConfig, Pricing};
 use fairswap_workload::{ChunkDist, FileSizeDist};
 
@@ -123,6 +123,13 @@ pub struct PolicySpec {
     pub cache: CachePolicy,
     /// Repair policy for stranded chunks.
     pub repair: RepairPolicy,
+    /// Where re-replication sources its repair uploads from.
+    pub repair_source: RepairSource,
+    /// Maximum retry attempts for failed user downloads (0 = the paper's
+    /// drop-on-failure model).
+    pub max_retries: u32,
+    /// Steps before a failed download's first retry; doubles per attempt.
+    pub retry_backoff: u64,
 }
 
 /// A complete simulation specification — see the module docs for the wire
@@ -179,6 +186,9 @@ impl SimSpec {
                 route: config.route,
                 cache: config.cache,
                 repair: config.repair,
+                repair_source: config.repair_source,
+                max_retries: config.max_retries,
+                retry_backoff: config.retry_backoff,
             },
         }
     }
@@ -205,6 +215,9 @@ impl SimSpec {
             scenario: self.dynamics.scenario.clone(),
             route: self.policies.route,
             repair: self.policies.repair,
+            repair_source: self.policies.repair_source,
+            max_retries: self.policies.max_retries,
+            retry_backoff: self.policies.retry_backoff,
         }
     }
 
@@ -302,7 +315,17 @@ const KNOWN_GROUPS: [(&str, &[&str]); 5] = [
         ],
     ),
     ("dynamics", &["churn", "scenario"]),
-    ("policies", &["route", "cache", "repair"]),
+    (
+        "policies",
+        &[
+            "route",
+            "cache",
+            "repair",
+            "repair_source",
+            "max_retries",
+            "retry_backoff",
+        ],
+    ),
 ];
 
 /// Dotted paths of every unknown top-level or group-level key in a spec
@@ -363,6 +386,9 @@ impl Default for PolicySpec {
             route: RoutePolicy::Greedy,
             cache: CachePolicy::None,
             repair: RepairPolicy::None,
+            repair_source: RepairSource::Replica,
+            max_retries: 0,
+            retry_backoff: 1,
         }
     }
 }
@@ -478,6 +504,9 @@ impl Serialize for PolicySpec {
             ("route".into(), self.route.to_value()),
             ("cache".into(), self.cache.to_value()),
             ("repair".into(), self.repair.to_value()),
+            ("repair_source".into(), self.repair_source.to_value()),
+            ("max_retries".into(), self.max_retries.to_value()),
+            ("retry_backoff".into(), self.retry_backoff.to_value()),
         ])
     }
 }
@@ -490,6 +519,9 @@ impl Deserialize for PolicySpec {
             route: field_or(fields, "route", default.route)?,
             cache: field_or(fields, "cache", default.cache)?,
             repair: field_or(fields, "repair", default.repair)?,
+            repair_source: field_or(fields, "repair_source", default.repair_source)?,
+            max_retries: field_or(fields, "max_retries", default.max_retries)?,
+            retry_backoff: field_or(fields, "retry_backoff", default.retry_backoff)?,
         })
     }
 }
@@ -630,6 +662,79 @@ mod tests {
         assert!(SimSpec::from_json("[1, 2]").is_err());
         assert!(SimSpec::from_json("{").is_err());
         assert!(SimSpec::from_json(r#"{ "topology": 5 }"#).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_full_width_repair_regions() {
+        // A region as wide as the whole space would make every single
+        // departure a data loss; rejected at spec level with the width in
+        // the message.
+        for bits in [16u32, 17] {
+            let mut spec = SimSpec::paper_defaults();
+            spec.topology.bits = 16;
+            spec.policies.repair = RepairPolicy::ReReplicate {
+                neighborhood_bits: bits,
+            };
+            let err = spec.validate().unwrap_err();
+            assert!(err.to_string().contains("neighborhood_bits"), "{err}");
+            assert!(err.to_string().contains("1..=15"), "{err}");
+        }
+        let mut spec = SimSpec::paper_defaults();
+        spec.policies.repair = RepairPolicy::Monitor {
+            neighborhood_bits: 16,
+        };
+        assert!(spec.validate().is_err());
+        spec.policies.repair = RepairPolicy::Monitor {
+            neighborhood_bits: 15,
+        };
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_retry_fields() {
+        let mut spec = SimSpec::paper_defaults();
+        spec.policies.max_retries = 99;
+        let err = spec.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("max_retries must be in 0..=16"),
+            "{err}"
+        );
+        let mut spec = SimSpec::paper_defaults();
+        spec.policies.retry_backoff = 0;
+        let err = spec.validate().unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("retry_backoff must be in 1..=1024"),
+            "{err}"
+        );
+        spec.policies.retry_backoff = 4096;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn retry_and_repair_source_fields_round_trip() {
+        let mut spec = SimSpec::paper_defaults();
+        spec.policies.repair = RepairPolicy::ReReplicate {
+            neighborhood_bits: 8,
+        };
+        spec.policies.repair_source = RepairSource::Originator;
+        spec.policies.max_retries = 3;
+        spec.policies.retry_backoff = 2;
+        let json = spec.to_json().unwrap();
+        assert!(json.contains(r#""repair_source":"Originator""#), "{json}");
+        assert!(json.contains(r#""max_retries":3"#), "{json}");
+        let back = SimSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_config().max_retries, 3);
+        assert_eq!(back.to_config().repair_source, RepairSource::Originator);
+        // Old documents without the new keys parse to the defaults.
+        let old = SimSpec::from_json(
+            r#"{ "policies": { "route": "Greedy", "cache": "None", "repair": "None" } }"#,
+        )
+        .unwrap();
+        assert_eq!(old.policies.repair_source, RepairSource::Replica);
+        assert_eq!(old.policies.max_retries, 0);
+        assert_eq!(old.policies.retry_backoff, 1);
     }
 
     #[test]

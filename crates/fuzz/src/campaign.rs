@@ -218,6 +218,57 @@ pub fn run_campaign(
     })
 }
 
+/// Outcome of a corpus minimization pass.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// The surviving entries, in original order.
+    pub corpus: Corpus,
+    /// Names of the dropped entries, in original order.
+    pub dropped: Vec<String>,
+    /// Simulations executed, twins included.
+    pub runs: u64,
+    /// Distinct behavior-grid cells the kept entries light.
+    pub cells: usize,
+}
+
+/// Replays `corpus` front to back and keeps each entry iff it lights a
+/// behavior-grid cell no *kept* earlier entry lit, or trips an oracle
+/// (a finding's spec must stay replayable regardless of its cell).
+/// Deterministic: entry order is the load order and every run is a pure
+/// function of its spec, so the same corpus minimizes to the same subset
+/// at any thread count.
+///
+/// # Errors
+///
+/// Propagates engine failures as [`FuzzError::Core`].
+pub fn minimize_corpus(
+    executor: &Executor,
+    corpus: &Corpus,
+    progress: &mut dyn FnMut(u64, u64),
+) -> Result<MinimizeOutcome, FuzzError> {
+    let mut grid = MetricGrid::new();
+    let mut kept = Corpus::new();
+    let mut dropped = Vec::new();
+    let mut runs = 0u64;
+    let total = corpus.len() as u64;
+    for (done, entry) in corpus.entries().iter().enumerate() {
+        let eval = evaluate(executor, &entry.spec)?;
+        runs += eval.runs;
+        if grid.observe(cell_for(&eval.metrics)) || !eval.violations.is_empty() {
+            kept.push(entry.name.clone(), entry.spec.clone());
+        } else {
+            dropped.push(entry.name.clone());
+        }
+        progress(done as u64 + 1, total);
+    }
+    Ok(MinimizeOutcome {
+        corpus: kept,
+        dropped,
+        runs,
+        cells: grid.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +328,44 @@ mod tests {
         // No mutation iterations ran, so the corpus is exactly the seeds.
         assert_eq!(outcome.corpus, Corpus::seeded());
         assert_eq!(ticks, Corpus::seeded().len() as u64);
+    }
+
+    #[test]
+    fn minimization_drops_covered_entries_deterministically() {
+        // A corpus with an exact behavioral duplicate: the clone lands in
+        // the same grid cell as the original and must be dropped, while
+        // the original (first in load order) survives.
+        let mut corpus = Corpus::seeded();
+        let original = corpus.entries()[0].clone();
+        corpus.push("zz-duplicate".into(), original.spec.clone());
+        let minimize = |threads: usize| {
+            let executor = Executor::new(threads);
+            minimize_corpus(&executor, &corpus, &mut |_, _| {}).unwrap()
+        };
+        let a = minimize(1);
+        assert!(a.dropped.contains(&"zz-duplicate".to_string()), "{a:?}");
+        assert!(a.corpus.entries().iter().any(|e| e.name == original.name));
+        assert_eq!(a.corpus.len() + a.dropped.len(), corpus.len());
+        assert_eq!(a.cells, a.corpus.len(), "kept entries light distinct cells");
+        // Kept entries preserve their original relative order.
+        let positions: Vec<usize> = a
+            .corpus
+            .entries()
+            .iter()
+            .map(|kept| {
+                corpus
+                    .entries()
+                    .iter()
+                    .position(|e| e.name == kept.name)
+                    .unwrap()
+            })
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        // Byte-identical at another thread count.
+        let b = minimize(2);
+        assert_eq!(a.corpus, b.corpus);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.runs, b.runs);
     }
 
     #[test]

@@ -111,6 +111,10 @@ mod tests {
             mean_hops: hops,
             f2_gini: gini,
             cache_hits: (cache * 1000.0) as u64,
+            repair_active: false,
+            steps: 60,
+            repair_wait_max: 0,
+            unreachable: 0,
         }
     }
 

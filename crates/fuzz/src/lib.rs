@@ -43,7 +43,9 @@ pub mod feedback;
 pub mod mutate;
 pub mod oracle;
 
-pub use campaign::{run_campaign, Finding, FuzzConfig, FuzzOutcome, TWIN_KS};
+pub use campaign::{
+    minimize_corpus, run_campaign, Finding, FuzzConfig, FuzzOutcome, MinimizeOutcome, TWIN_KS,
+};
 pub use corpus::{Corpus, CorpusEntry};
 pub use error::FuzzError;
 pub use feedback::{cell_for, Cell, MetricGrid};

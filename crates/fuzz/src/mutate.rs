@@ -16,7 +16,7 @@
 //! by [`mutate_spec`] after every mutation.
 
 use fairswap_churn::{ChurnConfig, LifetimeDist};
-use fairswap_core::{MechanismKind, RepairPolicy, ScenarioKind, SimSpec};
+use fairswap_core::{MechanismKind, RepairPolicy, RepairSource, ScenarioKind, SimSpec};
 use fairswap_kademlia::BucketSizing;
 use fairswap_storage::{CachePolicy, RoutePolicy};
 use fairswap_workload::ChunkDist;
@@ -48,6 +48,12 @@ pub const FREE_RIDERS: [f64; 3] = [0.0, 0.1, 0.25];
 pub const SLOW_BUDGETS: [u64; 3] = [1, 2, 4];
 /// Per-step budgets of the fast tier in heterogeneity scenarios.
 pub const FAST_BUDGETS: [u64; 3] = [8, 16, 32];
+/// Monitored-region widths for the durability mutations.
+pub const REPAIR_REGIONS: [u32; 3] = [4, 6, 8];
+/// Retry limits for the download-retry mutation (0 = retries off).
+pub const RETRY_LIMITS: [u32; 4] = [0, 1, 2, 4];
+/// Base backoffs (in steps) for the download-retry mutation.
+pub const RETRY_BACKOFFS: [u64; 3] = [1, 2, 8];
 
 /// The mutation axes, in the order [`mutate_spec`] indexes them. The
 /// chosen axis name becomes part of the corpus entry's filename.
@@ -146,7 +152,7 @@ fn mutate_scenario(spec: &mut SimSpec, rng: &mut impl Rng) {
 }
 
 fn mutate_policies(spec: &mut SimSpec, rng: &mut impl Rng) {
-    match rng.gen_range(0..3u8) {
+    match rng.gen_range(0..4u8) {
         0 => {
             spec.policies.route = if rng.gen_bool(0.4) {
                 RoutePolicy::Greedy
@@ -169,14 +175,25 @@ fn mutate_policies(spec: &mut SimSpec, rng: &mut impl Rng) {
                 },
             };
         }
-        _ => {
-            spec.policies.repair = if rng.gen_bool(0.4) {
-                RepairPolicy::None
-            } else {
-                RepairPolicy::ReReplicate {
-                    neighborhood_bits: pick(rng, &[4, 6, 8]),
-                }
+        2 => {
+            spec.policies.repair = match rng.gen_range(0..4u8) {
+                0 => RepairPolicy::None,
+                1 => RepairPolicy::Monitor {
+                    neighborhood_bits: pick(rng, &REPAIR_REGIONS),
+                },
+                _ => RepairPolicy::ReReplicate {
+                    neighborhood_bits: pick(rng, &REPAIR_REGIONS),
+                },
             };
+            spec.policies.repair_source = if rng.gen_bool(0.5) {
+                RepairSource::Replica
+            } else {
+                RepairSource::Originator
+            };
+        }
+        _ => {
+            spec.policies.max_retries = pick(rng, &RETRY_LIMITS);
+            spec.policies.retry_backoff = pick(rng, &RETRY_BACKOFFS);
         }
     }
 }
@@ -243,8 +260,15 @@ pub fn reconcile(spec: &mut SimSpec) {
             ScenarioKind::Heterogeneity { .. } => {}
         }
     }
-    if let RepairPolicy::ReReplicate { neighborhood_bits } = &mut spec.policies.repair {
-        *neighborhood_bits = (*neighborhood_bits).clamp(1, bits);
+    match &mut spec.policies.repair {
+        RepairPolicy::None => {}
+        RepairPolicy::Monitor { neighborhood_bits }
+        | RepairPolicy::ReReplicate { neighborhood_bits } => {
+            // A monitored region must stay strictly narrower than the
+            // space; bits >= 12 for every curated draw, so 1..=bits-1 is
+            // never empty.
+            *neighborhood_bits = (*neighborhood_bits).clamp(1, bits - 1);
+        }
     }
 }
 
@@ -340,7 +364,7 @@ mod tests {
         assert_eq!(
             spec.policies.repair,
             RepairPolicy::ReReplicate {
-                neighborhood_bits: 12
+                neighborhood_bits: 11
             }
         );
     }

@@ -17,6 +17,7 @@
 //! | `routing-livelock` | max hops ≤ bits + max detours (greedy strictly descends XOR distance) |
 //! | `capacity-accounting` | delivered + stuck = requests, capacity blocks ⊆ stuck, one hop record per delivery |
 //! | `fairness-inversion` | F2 Gini at k = 20 not worse than at k = 4 on the same spec |
+//! | `durability-stall` | with active re-replication, no region stays unreachable longer than half the run |
 
 use fairswap_core::{MechanismKind, SimReport};
 
@@ -61,6 +62,16 @@ pub struct RunMetrics {
     pub f2_gini: f64,
     /// Total cache hits.
     pub cache_hits: u64,
+    /// Whether the run's repair policy generates repair traffic
+    /// (`ReReplicate`; `Monitor` only accounts loss).
+    pub repair_active: bool,
+    /// Steps (files) the run simulated.
+    pub steps: u64,
+    /// Longest observed unreachable span in steps — over completed
+    /// repairs and regions still lost at run end alike.
+    pub repair_wait_max: u64,
+    /// Address regions still unreachable when the run ended.
+    pub unreachable: u64,
 }
 
 impl RunMetrics {
@@ -87,6 +98,13 @@ impl RunMetrics {
             mean_hops: report.hops().mean().unwrap_or(0.0),
             f2_gini: report.f2_income_gini(),
             cache_hits: report.cache_hits(),
+            repair_active: config.repair.repairs(),
+            steps: config.files,
+            repair_wait_max: report.traffic().repair_wait_max(),
+            unreachable: report
+                .churn()
+                .and_then(|c| c.timeline.last())
+                .map_or(0, |s| s.unreachable),
         }
     }
 
@@ -252,6 +270,33 @@ pub fn fairness_inversion(gini_k4: f64, gini_k20: f64) -> Option<Violation> {
     None
 }
 
+/// Minimum run length before [`durability_stall`] applies: very short
+/// runs don't give the backoff schedule room to recover legitimately.
+pub const STALL_MIN_STEPS: u64 = 32;
+
+/// `durability-stall`: repair re-uploads are scheduled before user
+/// traffic each step and retry without limit under doubling backoff, so
+/// with [`RepairPolicy::ReReplicate`](fairswap_core::RepairPolicy) active
+/// a lost region should recover within a handful of attempts. A region
+/// that stayed unreachable for more than half the run — whether it
+/// eventually recovered or was still lost at the end — means the repair
+/// loop stalled.
+pub fn durability_stall(m: &RunMetrics) -> Option<Violation> {
+    if !m.repair_active || m.steps < STALL_MIN_STEPS {
+        return None;
+    }
+    if m.repair_wait_max > m.steps / 2 {
+        return Some(violation(
+            "durability-stall",
+            format!(
+                "a region stayed unreachable for {} of {} steps under active repair ({} regions still lost at run end)",
+                m.repair_wait_max, m.steps, m.unreachable
+            ),
+        ));
+    }
+    None
+}
+
 /// Runs every per-report oracle on one run's metrics.
 pub fn check_report(m: &RunMetrics) -> Vec<Violation> {
     [
@@ -259,6 +304,7 @@ pub fn check_report(m: &RunMetrics) -> Vec<Violation> {
         settlement_imbalance(m),
         routing_livelock(m),
         capacity_accounting(m),
+        durability_stall(m),
     ]
     .into_iter()
     .flatten()
@@ -267,12 +313,13 @@ pub fn check_report(m: &RunMetrics) -> Vec<Violation> {
 
 /// A stable, multi-line rendering of the full oracle catalog for docs and
 /// `fairswap fuzz` help output.
-pub const ORACLE_NAMES: [&str; 5] = [
+pub const ORACLE_NAMES: [&str; 6] = [
     "reward-conservation",
     "settlement-imbalance",
     "routing-livelock",
     "capacity-accounting",
     "fairness-inversion",
+    "durability-stall",
 ];
 
 /// Convenience: the mechanism ids the conservation oracle applies to.
@@ -305,6 +352,10 @@ mod tests {
             mean_hops: 2.4,
             f2_gini: 0.61,
             cache_hits: 25,
+            repair_active: true,
+            steps: 100,
+            repair_wait_max: 12,
+            unreachable: 0,
         }
     }
 
@@ -423,8 +474,31 @@ mod tests {
     }
 
     #[test]
+    fn durability_stall_needs_active_repair_and_a_long_span() {
+        // Violating: a region unreachable for most of the run while the
+        // repair loop was supposed to be fixing it.
+        let mut m = clean();
+        m.repair_wait_max = 80;
+        m.unreachable = 3;
+        let v = durability_stall(&m).expect("stalled repair");
+        assert_eq!(v.oracle, "durability-stall");
+        assert!(v.detail.contains("80 of 100"), "{}", v.detail);
+        // Passing: the same span without repair traffic is the expected
+        // monitor-arm behavior, not a bug.
+        m.repair_active = false;
+        assert!(durability_stall(&m).is_none());
+        // Passing: too short a run for the backoff schedule to settle.
+        let mut m = clean();
+        m.repair_wait_max = 20;
+        m.steps = 30;
+        assert!(durability_stall(&m).is_none());
+        // Passing: waits inside the half-run budget.
+        assert!(durability_stall(&clean()).is_none());
+    }
+
+    #[test]
     fn catalog_names_are_stable() {
-        assert_eq!(ORACLE_NAMES.len(), 5);
+        assert_eq!(ORACLE_NAMES.len(), 6);
         assert!(conservation_applies(MechanismKind::Swarm));
         assert!(conservation_applies(MechanismKind::PayAllHops));
         assert!(!conservation_applies(MechanismKind::TitForTat));

@@ -1,5 +1,6 @@
 //! The download process: route every chunk of a file, account the traffic.
 
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
@@ -9,6 +10,71 @@ use fairswap_kademlia::{NodeId, OverlayAddress, RouteOutcome, Topology};
 use crate::cache::{CachePolicy, NodeCache};
 use crate::route::RoutePolicy;
 use crate::traffic::TrafficStats;
+
+/// Where a repair re-upload is sourced from when a lost region is
+/// re-replicated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairSource {
+    /// The surviving replica: the closest live node to the lost data that
+    /// is not the repair destination itself. Models neighborhood
+    /// replication — short repair routes, cheap recovery.
+    #[default]
+    Replica,
+    /// The content originator re-seeds: the re-upload starts from the live
+    /// node *farthest* from the lost data (the worst-case upload
+    /// distance), modeling a publisher with no locality to the region.
+    Originator,
+}
+
+impl RepairSource {
+    /// Stable identifier used in CSV output and logs.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Self::Replica => "replica",
+            Self::Originator => "originator",
+        }
+    }
+}
+
+/// Retry attempts past this exponent stop doubling their backoff (caps
+/// the shift, not the retries).
+const MAX_BACKOFF_SHIFT: u32 = 10;
+
+/// One address region whose chunks are currently unreachable: every live
+/// node sharing the region's prefix has departed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LostRegion {
+    /// The departed storer's address — the repair target.
+    anchor: u64,
+    /// Step the region emptied at.
+    lost_at: u64,
+    /// Earliest step the next repair attempt may run.
+    next_attempt: u64,
+    /// Failed repair attempts so far (drives the doubling backoff).
+    attempts: u32,
+}
+
+/// A failed user request waiting for its next retry attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingRetry {
+    /// Step at which the retry becomes due.
+    due_step: u64,
+    /// The original requester.
+    originator: NodeId,
+    /// The chunk being retried.
+    chunk: OverlayAddress,
+    /// Attempt number (1 = first retry).
+    attempt: u32,
+}
+
+/// Whether a route carries user traffic or a repair re-upload — the two
+/// share capacity budgets and forwarding accounting but book their
+/// outcomes into different counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RouteKind {
+    User,
+    Repair,
+}
 
 /// How one chunk request was resolved, as seen by the accounting layer.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,6 +156,24 @@ pub struct DownloadSim {
     /// Current step counter for the lazy reset (bumped by
     /// [`DownloadSim::advance_step`]).
     step: u64,
+    /// Durability model: `Some(shift)` when a repair policy watches
+    /// `neighborhood_bits`-wide regions (`shift = bits -
+    /// neighborhood_bits`); `None` keeps the baseline
+    /// responsibility-migrates-silently model byte-identical.
+    region_shift: Option<u32>,
+    /// Currently unreachable regions, keyed by address prefix
+    /// (`raw >> region_shift`). `BTreeMap` keeps repair scheduling
+    /// deterministic.
+    lost_regions: BTreeMap<u64, LostRegion>,
+    /// Reused scratch list of due region prefixes per repair pass.
+    due_buf: Vec<u64>,
+    /// Maximum retry attempts per failed user request (0 = the baseline
+    /// drop-on-failure model).
+    max_retries: u32,
+    /// Base backoff in steps before the first retry; doubles per attempt.
+    retry_backoff: u64,
+    /// Failed user requests awaiting their retry step, in failure order.
+    retry_queue: Vec<PendingRetry>,
 }
 
 impl DownloadSim {
@@ -113,6 +197,12 @@ impl DownloadSim {
             used_in_step: vec![0; n],
             used_stamp: vec![0; n],
             step: 1,
+            region_shift: None,
+            lost_regions: BTreeMap::new(),
+            due_buf: Vec::new(),
+            max_retries: 0,
+            retry_backoff: 1,
+            retry_queue: Vec::new(),
         }
     }
 
@@ -179,6 +269,275 @@ impl DownloadSim {
     /// The routing policy in effect.
     pub fn route_policy(&self) -> RoutePolicy {
         self.route
+    }
+
+    /// Turns on the durability model: chunk responsibility no longer
+    /// migrates silently on departure. When every live node sharing a
+    /// `neighborhood_bits`-wide address prefix has departed, that region's
+    /// chunks become unreachable until a repair re-upload (or nothing,
+    /// under a monitor-only policy) restores them.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= neighborhood_bits < bits` — a full-width region
+    /// would make every single departure a data loss.
+    pub fn enable_durability(&mut self, neighborhood_bits: u32) {
+        let bits = self.topology.space().bits();
+        assert!(
+            neighborhood_bits >= 1 && neighborhood_bits < bits,
+            "neighborhood_bits must be in 1..{bits}"
+        );
+        self.region_shift = Some(bits - neighborhood_bits);
+    }
+
+    /// Number of regions currently unreachable (0 when the durability
+    /// model is off).
+    pub fn lost_region_count(&self) -> usize {
+        self.lost_regions.len()
+    }
+
+    /// Installs the user-download retry policy: a failed request re-enters
+    /// routing up to `max_retries` times, the first retry `backoff` steps
+    /// after the failure and each later one after double the previous
+    /// wait. `max_retries = 0` (the default) is the baseline
+    /// drop-on-failure model and adds no work to any path.
+    pub fn set_retry_policy(&mut self, max_retries: u32, backoff: u64) {
+        self.max_retries = max_retries;
+        self.retry_backoff = backoff.max(1);
+    }
+
+    /// Failed requests currently waiting for a retry step.
+    pub fn pending_retries(&self) -> usize {
+        self.retry_queue.len()
+    }
+
+    /// Records a departure under the durability model: if `node` was the
+    /// last live member of its address region, the region's chunks become
+    /// unreachable and a repair is scheduled. Returns `true` iff this
+    /// departure newly emptied its region. Call *after* the topology
+    /// removal. A no-op (always `false`) when durability is off.
+    pub fn note_departure(&mut self, node: NodeId, step: u64) -> bool {
+        let Some(shift) = self.region_shift else {
+            return false;
+        };
+        let address = self.topology.address(node);
+        let prefix = address.raw() >> shift;
+        // The region is emptied iff the closest live node to the departed
+        // address no longer shares its prefix (the trie walk visits the
+        // region's subtree first, so one probe decides it).
+        let survivor = self.topology.closest_live_nodes(address, 1);
+        let emptied = match survivor.first() {
+            Some(&peer) => self.topology.address(peer).raw() >> shift != prefix,
+            None => true,
+        };
+        if !emptied || self.lost_regions.contains_key(&prefix) {
+            return false;
+        }
+        self.lost_regions.insert(
+            prefix,
+            LostRegion {
+                anchor: address.raw(),
+                lost_at: step,
+                next_attempt: step + 1,
+                attempts: 0,
+            },
+        );
+        true
+    }
+
+    /// Runs every due repair re-upload for the current step. Each lost
+    /// region gets one representative transfer from the `source` node
+    /// (surviving replica or originator re-seed) to the region's new
+    /// storer, routed through the same capacity-constrained forwarding as
+    /// user traffic — repair competes for bandwidth. `on_delivery` fires
+    /// for every completed transfer so the incentive layer can pay the
+    /// repairers. Failed attempts reschedule with doubling backoff.
+    ///
+    /// Returns the number of repairs completed this pass. A no-op under
+    /// monitor-only durability if the caller never invokes it, and always
+    /// a no-op when no region is lost.
+    pub fn run_repairs<F>(&mut self, source: RepairSource, mut on_delivery: F) -> u64
+    where
+        F: FnMut(&ChunkDelivery),
+    {
+        if self.lost_regions.is_empty() {
+            return 0;
+        }
+        let step = self.step;
+        let mut due = std::mem::take(&mut self.due_buf);
+        due.clear();
+        due.extend(
+            self.lost_regions
+                .iter()
+                .filter(|(_, r)| r.next_attempt <= step)
+                .map(|(&prefix, _)| prefix),
+        );
+        let mut completed = 0;
+        let mut hops = std::mem::take(&mut self.route_buf);
+        for prefix in due.drain(..) {
+            let region = self.lost_regions[&prefix];
+            let target = self
+                .topology
+                .space()
+                .address(region.anchor)
+                .expect("lost-region anchor was a node address");
+            let destination = self.topology.closest_node(target);
+            let Some(from) = self.repair_source_node(source, target, destination) else {
+                // No live node can source the repair; try again later.
+                self.reschedule(prefix, step);
+                continue;
+            };
+            self.stats.add_repair_transfer();
+            if from == destination {
+                // The replica already sits where the data belongs: a
+                // zero-traffic restore.
+                self.complete_repair(prefix, region, step);
+                completed += 1;
+                on_delivery(&ChunkDelivery {
+                    originator: from,
+                    chunk: target,
+                    hops: Vec::new(),
+                    from_cache: false,
+                    outcome: RouteOutcome::AlreadyAtStorer,
+                });
+                continue;
+            }
+            hops.clear();
+            let (outcome, _) = self.route_chunk_kind(from, target, &mut hops, RouteKind::Repair);
+            if outcome.is_delivered() {
+                self.complete_repair(prefix, region, step);
+                completed += 1;
+                let delivery = ChunkDelivery {
+                    originator: from,
+                    chunk: target,
+                    hops,
+                    from_cache: false,
+                    outcome,
+                };
+                on_delivery(&delivery);
+                hops = delivery.hops;
+            } else {
+                self.reschedule(prefix, step);
+            }
+        }
+        self.route_buf = hops;
+        self.due_buf = due;
+        completed
+    }
+
+    /// The node a repair transfer starts from: the nearest surviving
+    /// replica, or the farthest live node (the originator re-seeding from
+    /// maximum distance). `None` only when the overlay has no live nodes.
+    fn repair_source_node(
+        &self,
+        source: RepairSource,
+        target: OverlayAddress,
+        destination: NodeId,
+    ) -> Option<NodeId> {
+        match source {
+            RepairSource::Replica => {
+                // The closest live node IS the destination; the survivor
+                // holding a replica is the next one out.
+                let near = self.topology.closest_live_nodes(target, 2);
+                near.iter()
+                    .copied()
+                    .find(|&n| n != destination)
+                    .or(near.first().copied())
+            }
+            RepairSource::Originator => {
+                // The live node farthest from `target` under XOR is the
+                // one closest to its bitwise complement.
+                let space = self.topology.space();
+                let mirror = space
+                    .address(!target.raw() & space.max_raw())
+                    .expect("masked complement is in range");
+                self.topology.closest_live_nodes(mirror, 1).first().copied()
+            }
+        }
+    }
+
+    fn complete_repair(&mut self, prefix: u64, region: LostRegion, step: u64) {
+        self.lost_regions.remove(&prefix);
+        self.stats.add_repair_delivered();
+        self.stats
+            .add_repair_wait(step.saturating_sub(region.lost_at));
+    }
+
+    fn reschedule(&mut self, prefix: u64, step: u64) {
+        if let Some(region) = self.lost_regions.get_mut(&prefix) {
+            region.attempts += 1;
+            let shift = region.attempts.min(MAX_BACKOFF_SHIFT);
+            region.next_attempt = step + (1u64 << shift);
+        }
+    }
+
+    /// Folds the ages of still-unreachable regions into the
+    /// time-to-repair maximum, so a region that never recovered shows up
+    /// as (at least) its full unrepaired lifetime. Call once at run end
+    /// with the final step count.
+    pub fn finalize_durability(&mut self, final_step: u64) {
+        for region in self.lost_regions.values() {
+            self.stats
+                .raise_repair_wait_max(final_step.saturating_sub(region.lost_at));
+        }
+    }
+
+    /// Re-routes every retry that has come due this step, as fresh
+    /// request attempts: a retried route that succeeds counts into
+    /// `recovered`, one that fails either re-enqueues (attempts left) or
+    /// counts into `abandoned`. `on_delivery` fires for delivered retries
+    /// exactly like first-attempt user traffic.
+    pub fn drain_retries<F>(&mut self, mut on_delivery: F)
+    where
+        F: FnMut(&ChunkDelivery),
+    {
+        if self.retry_queue.is_empty() {
+            return;
+        }
+        let step = self.step;
+        let mut queue = std::mem::take(&mut self.retry_queue);
+        let mut hops = std::mem::take(&mut self.route_buf);
+        for entry in queue.drain(..) {
+            if entry.due_step > step {
+                self.retry_queue.push(entry);
+                continue;
+            }
+            self.stats.add_retried();
+            hops.clear();
+            let (outcome, from_cache) =
+                self.route_chunk_kind(entry.originator, entry.chunk, &mut hops, RouteKind::User);
+            if outcome.is_delivered() {
+                self.stats.add_recovered();
+                let delivery = ChunkDelivery {
+                    originator: entry.originator,
+                    chunk: entry.chunk,
+                    hops,
+                    from_cache,
+                    outcome,
+                };
+                on_delivery(&delivery);
+                hops = delivery.hops;
+            } else if entry.attempt < self.max_retries {
+                let shift = entry.attempt.min(MAX_BACKOFF_SHIFT);
+                self.retry_queue.push(PendingRetry {
+                    due_step: step + (self.retry_backoff << shift),
+                    originator: entry.originator,
+                    chunk: entry.chunk,
+                    attempt: entry.attempt + 1,
+                });
+            } else {
+                self.stats.add_abandoned();
+            }
+        }
+        // Entries enqueued by this pass land behind the survivors, in
+        // deterministic processing order.
+        self.route_buf = hops;
+        if self.retry_queue.capacity() < queue.capacity() {
+            // Keep the larger allocation for the next pass.
+            queue.clear();
+            queue.append(&mut self.retry_queue);
+            self.retry_queue = queue;
+        }
     }
 
     /// Opens the next budget window: every node's per-step forwarding
@@ -251,6 +610,14 @@ impl DownloadSim {
                 report.delivered += 1;
             } else {
                 report.stuck += 1;
+                if self.max_retries > 0 {
+                    self.retry_queue.push(PendingRetry {
+                        due_step: self.step + self.retry_backoff,
+                        originator,
+                        chunk,
+                        attempt: 1,
+                    });
+                }
             }
             if delivery.from_cache {
                 report.cache_served += 1;
@@ -297,8 +664,36 @@ impl DownloadSim {
         chunk: OverlayAddress,
         hops: &mut Vec<NodeId>,
     ) -> (RouteOutcome, bool) {
+        self.route_chunk_kind(originator, chunk, hops, RouteKind::User)
+    }
+
+    /// The route walk shared by user requests and repair re-uploads. Both
+    /// consume per-hop capacity and book forwarding work; only user
+    /// traffic touches requests/stuck/cache counters, and only user
+    /// traffic can be refused by the durability fault check (a repair
+    /// route *into* a lost region is exactly what restores it).
+    fn route_chunk_kind(
+        &mut self,
+        originator: NodeId,
+        chunk: OverlayAddress,
+        hops: &mut Vec<NodeId>,
+        kind: RouteKind,
+    ) -> (RouteOutcome, bool) {
         debug_assert!(hops.is_empty());
-        self.stats.add_request(originator);
+        let user = kind == RouteKind::User;
+        if user {
+            self.stats.add_request(originator);
+            // Fault injection: a chunk whose region has no live member is
+            // unreachable even if the originator is now XOR-closest to it
+            // — nobody holds the data until a repair re-uploads it.
+            if let Some(shift) = self.region_shift {
+                if self.lost_regions.contains_key(&(chunk.raw() >> shift)) {
+                    self.stats.add_unreachable();
+                    self.stats.add_stuck();
+                    return (RouteOutcome::Stuck, false);
+                }
+            }
+        }
         let storer = self.topology.closest_node(chunk);
         if storer == originator {
             return (RouteOutcome::AlreadyAtStorer, false);
@@ -316,7 +711,7 @@ impl DownloadSim {
         let used_stamp = &mut self.used_stamp;
         let caches = &mut self.caches;
         let detour_buf = &mut self.detour_buf;
-        let use_cache = self.cache_on_path;
+        let use_cache = self.cache_on_path && user;
         let max_detours = self.route.max_detours();
         let step = self.step;
 
@@ -350,10 +745,14 @@ impl DownloadSim {
                         step,
                         detour_buf,
                     ) else {
-                        self.stats.add_capacity_blocked();
+                        if user {
+                            self.stats.add_capacity_blocked();
+                        }
                         break (RouteOutcome::Stuck, false);
                     };
-                    self.stats.add_detoured();
+                    if user {
+                        self.stats.add_detoured();
+                    }
                     next = fallback;
                 }
                 used_in_step[next.index()] += 1;
@@ -370,28 +769,33 @@ impl DownloadSim {
 
         match outcome {
             RouteOutcome::Delivered => {
-                // Every node on the path transmits the chunk downstream.
+                // Every node on the path transmits the chunk downstream —
+                // repair re-uploads included; their relays do real work.
                 for &hop in hops.iter() {
                     self.stats.add_forwarded(hop);
                 }
-                let first = hops.first().copied().expect("delivered implies >=1 hop");
-                self.stats.add_first_hop(first);
-                let server = *hops.last().expect("delivered implies >=1 hop");
-                if from_cache {
-                    self.stats.add_cache_serve(server);
-                } else {
-                    self.stats.add_storer(server);
-                }
-                // Populate caches along the return path (excluding the
-                // server itself, which already has the chunk).
-                if self.cache_on_path {
-                    for &hop in hops.iter().take(hops.len().saturating_sub(1)) {
-                        self.caches[hop.index()].insert(chunk);
+                if user {
+                    let first = hops.first().copied().expect("delivered implies >=1 hop");
+                    self.stats.add_first_hop(first);
+                    let server = *hops.last().expect("delivered implies >=1 hop");
+                    if from_cache {
+                        self.stats.add_cache_serve(server);
+                    } else {
+                        self.stats.add_storer(server);
+                    }
+                    // Populate caches along the return path (excluding the
+                    // server itself, which already has the chunk).
+                    if self.cache_on_path {
+                        for &hop in hops.iter().take(hops.len().saturating_sub(1)) {
+                            self.caches[hop.index()].insert(chunk);
+                        }
                     }
                 }
             }
             RouteOutcome::Stuck => {
-                self.stats.add_stuck();
+                if user {
+                    self.stats.add_stuck();
+                }
             }
             RouteOutcome::AlreadyAtStorer => unreachable!("handled above"),
         }
@@ -771,5 +1175,214 @@ mod tests {
         assert_eq!(report.chunks, 0);
         assert_eq!(report.delivered, 0);
         assert_eq!(report.total_hops, 0);
+    }
+
+    /// A node that is the only live member of its `neighborhood_bits`
+    /// region, by prefix count over the whole overlay.
+    fn sole_region_member(t: &Topology, shift: u32) -> NodeId {
+        use std::collections::HashMap;
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for n in t.node_ids() {
+            *counts.entry(t.address(n).raw() >> shift).or_default() += 1;
+        }
+        t.node_ids()
+            .find(|&n| counts[&(t.address(n).raw() >> shift)] == 1)
+            .expect("some region has exactly one member")
+    }
+
+    #[test]
+    fn durability_off_ignores_departures_and_retries() {
+        let t = topology(200, 4, 7);
+        let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+        let gone = NodeId(9);
+        sim.topology_mut().remove_node(gone).unwrap();
+        sim.on_node_leave(gone);
+        assert!(!sim.note_departure(gone, 1), "no-op without durability");
+        assert_eq!(sim.lost_region_count(), 0);
+        assert_eq!(sim.pending_retries(), 0);
+        sim.drain_retries(|_| panic!("no retries without a retry policy"));
+        assert_eq!(sim.run_repairs(RepairSource::Replica, |_| {}), 0);
+        assert_eq!(sim.stats().unreachable_requests(), 0);
+        assert_eq!(sim.stats().repair_transfers(), 0);
+    }
+
+    #[test]
+    fn departure_empties_region_and_blocks_requests() {
+        let t = topology(300, 4, 41);
+        let shift = 16 - 8;
+        let lone = sole_region_member(&t, shift);
+        let chunk = t.address(lone);
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.enable_durability(8);
+
+        sim.topology_mut().remove_node(lone).unwrap();
+        sim.on_node_leave(lone);
+        assert!(sim.note_departure(lone, 1), "region newly emptied");
+        assert!(!sim.note_departure(lone, 1), "already recorded");
+        assert_eq!(sim.lost_region_count(), 1);
+
+        // Any chunk in the lost region is unreachable, even though the
+        // overlay would happily route toward a new closest node.
+        let d = sim.request_chunk(NodeId(0), chunk);
+        assert!(!d.delivered());
+        assert!(d.hops.is_empty());
+        assert_eq!(sim.stats().unreachable_requests(), 1);
+        assert_eq!(sim.stats().stuck_requests(), 1);
+    }
+
+    #[test]
+    fn departure_with_surviving_neighbor_loses_nothing() {
+        let t = topology(300, 4, 41);
+        let shift = 16 - 2; // 4 regions over 300 nodes: all well-populated
+        let any = NodeId(3);
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.enable_durability(2);
+        sim.topology_mut().remove_node(any).unwrap();
+        sim.on_node_leave(any);
+        assert!(!sim.note_departure(any, 1));
+        assert_eq!(sim.lost_region_count(), 0);
+        let _ = shift;
+    }
+
+    #[test]
+    fn repair_restores_reachability_and_accounts_traffic() {
+        let t = topology(300, 4, 41);
+        let lone = sole_region_member(&t, 16 - 8);
+        let chunk = t.address(lone);
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.enable_durability(8);
+        sim.topology_mut().remove_node(lone).unwrap();
+        sim.on_node_leave(lone);
+        assert!(sim.note_departure(lone, 1));
+
+        // Repairs scheduled at step 1 become due at step 2.
+        assert_eq!(sim.run_repairs(RepairSource::Replica, |_| {}), 0);
+        sim.advance_step();
+        let mut paid = 0;
+        let repaired = sim.run_repairs(RepairSource::Replica, |d| {
+            assert!(d.delivered());
+            paid += 1;
+        });
+        assert_eq!(repaired, 1);
+        assert_eq!(paid, 1, "every completed repair fires the payment hook");
+        assert_eq!(sim.lost_region_count(), 0);
+        assert_eq!(sim.stats().repair_transfers(), 1);
+        assert_eq!(sim.stats().repair_delivered(), 1);
+        assert_eq!(sim.stats().repair_wait_max(), 1);
+        assert!((sim.stats().mean_time_to_repair() - 1.0).abs() < 1e-12);
+
+        // The region is reachable again; requests flow normally.
+        let after = sim.request_chunk(NodeId(0), chunk);
+        assert!(after.delivered());
+        assert_eq!(sim.stats().unreachable_requests(), 0);
+
+        // Repair traffic never touched the user-request books.
+        assert_eq!(sim.stats().requests_issued().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn originator_reseed_sources_from_farther_away_than_replica() {
+        let t = topology(300, 4, 41);
+        let lone = sole_region_member(&t, 16 - 8);
+        let make = |src: RepairSource| {
+            let mut sim = DownloadSim::new(t.clone(), CachePolicy::None);
+            sim.enable_durability(8);
+            sim.topology_mut().remove_node(lone).unwrap();
+            sim.on_node_leave(lone);
+            assert!(sim.note_departure(lone, 1));
+            sim.advance_step();
+            let mut hops = usize::MAX;
+            assert_eq!(sim.run_repairs(src, |d| hops = d.hops.len()), 1);
+            hops
+        };
+        let replica = make(RepairSource::Replica);
+        let reseed = make(RepairSource::Originator);
+        assert!(
+            reseed >= replica,
+            "re-seeding from the originator ({reseed} hops) must not be \
+             shorter than the surviving replica ({replica} hops)"
+        );
+    }
+
+    #[test]
+    fn unrepaired_region_age_raises_only_the_wait_maximum() {
+        let t = topology(300, 4, 41);
+        let lone = sole_region_member(&t, 16 - 8);
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.enable_durability(8);
+        sim.topology_mut().remove_node(lone).unwrap();
+        assert!(sim.note_departure(lone, 1));
+        sim.finalize_durability(51);
+        assert_eq!(sim.stats().repair_wait_max(), 50);
+        assert_eq!(sim.stats().repair_wait_total(), 0);
+        assert_eq!(sim.stats().mean_time_to_repair(), 0.0);
+    }
+
+    #[test]
+    fn retry_recovers_a_capacity_blocked_request() {
+        let t = topology(200, 4, 23);
+        let chunk = t.space().address(0x0F0F).unwrap();
+        let originator = t
+            .node_ids()
+            .max_by_key(|n| t.space().distance(t.address(*n), chunk))
+            .unwrap();
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.set_capacities(vec![1; 200]);
+        sim.set_retry_policy(2, 1);
+
+        // Two identical requests in one step: the second saturates and
+        // queues a retry instead of vanishing.
+        assert_eq!(sim.download_file(originator, &[chunk]).delivered, 1);
+        assert_eq!(sim.download_file(originator, &[chunk]).stuck, 1);
+        assert_eq!(sim.pending_retries(), 1);
+
+        // Not due yet this step; due (and deliverable) next step.
+        sim.drain_retries(|_| panic!("retry must wait for its backoff"));
+        assert_eq!(sim.pending_retries(), 1);
+        sim.advance_step();
+        let mut recovered = None;
+        sim.drain_retries(|d| recovered = Some(d.delivered()));
+        assert_eq!(recovered, Some(true));
+        assert_eq!(sim.pending_retries(), 0);
+        assert_eq!(sim.stats().retried(), 1);
+        assert_eq!(sim.stats().recovered(), 1);
+        assert_eq!(sim.stats().abandoned(), 0);
+        // The retry re-entered the books as a fresh request, keeping
+        // delivered + stuck == requests.
+        assert_eq!(sim.stats().requests_issued().iter().sum::<u64>(), 3);
+        assert_eq!(sim.stats().stuck_requests(), 1);
+    }
+
+    #[test]
+    fn exhausted_retries_are_abandoned() {
+        let t = topology(300, 4, 41);
+        let lone = sole_region_member(&t, 16 - 8);
+        let chunk = t.address(lone);
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.enable_durability(8);
+        sim.set_retry_policy(1, 1);
+        sim.topology_mut().remove_node(lone).unwrap();
+        assert!(sim.note_departure(lone, 1));
+
+        // The first attempt faults on the lost region and queues a retry;
+        // with no repair policy running, the single retry faults too and
+        // the request is abandoned for good.
+        assert_eq!(sim.download_file(NodeId(0), &[chunk]).stuck, 1);
+        assert_eq!(sim.pending_retries(), 1);
+        sim.advance_step();
+        sim.drain_retries(|_| panic!("the region is still lost"));
+        assert_eq!(sim.pending_retries(), 0);
+        assert_eq!(sim.stats().retried(), 1);
+        assert_eq!(sim.stats().recovered(), 0);
+        assert_eq!(sim.stats().abandoned(), 1);
+        assert_eq!(sim.stats().unreachable_requests(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "neighborhood_bits")]
+    fn full_width_neighborhood_is_rejected() {
+        let t = topology(100, 4, 13);
+        let mut sim = DownloadSim::new(t, CachePolicy::None);
+        sim.enable_durability(16);
     }
 }

@@ -32,7 +32,7 @@ mod upload;
 
 pub use cache::{CachePolicy, CacheTotals, NodeCache};
 pub use chunk::{FileSpec, CHUNK_SIZE_BYTES};
-pub use download::{ChunkDelivery, DownloadSim, FileReport};
+pub use download::{ChunkDelivery, DownloadSim, FileReport, RepairSource};
 pub use route::RoutePolicy;
 pub use traffic::TrafficStats;
 pub use upload::{UploadReport, UploadSim};

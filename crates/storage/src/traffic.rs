@@ -32,6 +32,28 @@ pub struct TrafficStats {
     /// farther-but-unsaturated table entry (always 0 under the greedy
     /// routing policy, which drops instead of detouring).
     detoured: u64,
+    /// Re-attempts of previously failed user requests (one per retry
+    /// route; always 0 when `max_retries = 0`).
+    retried: u64,
+    /// Failed requests that a later retry delivered.
+    recovered: u64,
+    /// Failed requests abandoned after exhausting their retry budget.
+    abandoned: u64,
+    /// Requests that targeted a chunk in a lost (unrepaired) region —
+    /// counted within `stuck_requests`, split out for durability
+    /// accounting.
+    unreachable_requests: u64,
+    /// Repair re-uploads attempted (one per repair route, retries
+    /// included).
+    repair_transfers: u64,
+    /// Repair re-uploads that reached the chunk's new storer.
+    repair_delivered: u64,
+    /// Total steps lost regions spent unreachable before their repair
+    /// completed (sums time-to-repair over completed repairs).
+    repair_wait_total: u64,
+    /// Longest observed time-to-repair, in steps (still-lost regions are
+    /// folded in at run end by the engine).
+    repair_wait_max: u64,
 }
 
 impl TrafficStats {
@@ -46,6 +68,14 @@ impl TrafficStats {
             stuck_requests: 0,
             capacity_blocked: 0,
             detoured: 0,
+            retried: 0,
+            recovered: 0,
+            abandoned: 0,
+            unreachable_requests: 0,
+            repair_transfers: 0,
+            repair_delivered: 0,
+            repair_wait_total: 0,
+            repair_wait_max: 0,
         }
     }
 
@@ -84,6 +114,42 @@ impl TrafficStats {
 
     pub(crate) fn add_detoured(&mut self) {
         self.detoured += 1;
+    }
+
+    pub(crate) fn add_retried(&mut self) {
+        self.retried += 1;
+    }
+
+    pub(crate) fn add_recovered(&mut self) {
+        self.recovered += 1;
+    }
+
+    pub(crate) fn add_abandoned(&mut self) {
+        self.abandoned += 1;
+    }
+
+    pub(crate) fn add_unreachable(&mut self) {
+        self.unreachable_requests += 1;
+    }
+
+    pub(crate) fn add_repair_transfer(&mut self) {
+        self.repair_transfers += 1;
+    }
+
+    pub(crate) fn add_repair_delivered(&mut self) {
+        self.repair_delivered += 1;
+    }
+
+    pub(crate) fn add_repair_wait(&mut self, steps: u64) {
+        self.repair_wait_total += steps;
+        self.repair_wait_max = self.repair_wait_max.max(steps);
+    }
+
+    /// Raises the wait maximum without touching the total: used for
+    /// regions still unreachable at run end, whose age must show in the
+    /// worst case but not skew the mean over *completed* repairs.
+    pub(crate) fn raise_repair_wait_max(&mut self, steps: u64) {
+        self.repair_wait_max = self.repair_wait_max.max(steps);
     }
 
     /// Chunks transmitted by each node.
@@ -126,6 +192,57 @@ impl TrafficStats {
     /// capacity-detour policy (0 under greedy routing).
     pub fn detoured(&self) -> u64 {
         self.detoured
+    }
+
+    /// Re-attempts of previously failed user requests (0 when retries are
+    /// disabled).
+    pub fn retried(&self) -> u64 {
+        self.retried
+    }
+
+    /// Failed requests a later retry delivered.
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Failed requests abandoned after exhausting their retry budget.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// Requests that targeted a chunk in a lost region (a subset of
+    /// [`TrafficStats::stuck_requests`]).
+    pub fn unreachable_requests(&self) -> u64 {
+        self.unreachable_requests
+    }
+
+    /// Repair re-uploads attempted.
+    pub fn repair_transfers(&self) -> u64 {
+        self.repair_transfers
+    }
+
+    /// Repair re-uploads that completed.
+    pub fn repair_delivered(&self) -> u64 {
+        self.repair_delivered
+    }
+
+    /// Total steps spent unreachable across completed repairs.
+    pub fn repair_wait_total(&self) -> u64 {
+        self.repair_wait_total
+    }
+
+    /// Longest observed time-to-repair, in steps.
+    pub fn repair_wait_max(&self) -> u64 {
+        self.repair_wait_max
+    }
+
+    /// Mean steps from loss to completed repair (0 with no repairs).
+    pub fn mean_time_to_repair(&self) -> f64 {
+        if self.repair_delivered == 0 {
+            0.0
+        } else {
+            self.repair_wait_total as f64 / self.repair_delivered as f64
+        }
     }
 
     /// Total chunk transmissions network-wide.
@@ -194,6 +311,15 @@ impl TrafficStats {
         self.stuck_requests += other.stuck_requests;
         self.capacity_blocked += other.capacity_blocked;
         self.detoured += other.detoured;
+        self.retried += other.retried;
+        self.recovered += other.recovered;
+        self.abandoned += other.abandoned;
+        self.unreachable_requests += other.unreachable_requests;
+        self.repair_transfers += other.repair_transfers;
+        self.repair_delivered += other.repair_delivered;
+        self.repair_wait_total += other.repair_wait_total;
+        // Wait maxima do not sum: the merged maximum is the larger one.
+        self.repair_wait_max = self.repair_wait_max.max(other.repair_wait_max);
     }
 }
 
@@ -225,17 +351,47 @@ mod tests {
     fn merge_sums_counters() {
         let mut a = TrafficStats::new(2);
         a.add_forwarded(NodeId(0));
+        a.add_repair_wait(9);
         let mut b = TrafficStats::new(2);
         b.add_forwarded(NodeId(0));
         b.add_forwarded(NodeId(1));
         b.add_stuck();
         b.add_capacity_blocked();
         b.add_detoured();
+        b.add_retried();
+        b.add_recovered();
+        b.add_abandoned();
+        b.add_unreachable();
+        b.add_repair_transfer();
+        b.add_repair_delivered();
+        b.add_repair_wait(4);
         a.merge(&b);
         assert_eq!(a.forwarded(), &[2, 1]);
         assert_eq!(a.stuck_requests(), 1);
         assert_eq!(a.capacity_blocked(), 1);
         assert_eq!(a.detoured(), 1);
+        assert_eq!(a.retried(), 1);
+        assert_eq!(a.recovered(), 1);
+        assert_eq!(a.abandoned(), 1);
+        assert_eq!(a.unreachable_requests(), 1);
+        assert_eq!(a.repair_transfers(), 1);
+        assert_eq!(a.repair_delivered(), 1);
+        assert_eq!(a.repair_wait_total(), 13);
+        // The merged maximum is the larger side's, not the sum.
+        assert_eq!(a.repair_wait_max(), 9);
+    }
+
+    #[test]
+    fn repair_wait_tracks_total_and_max() {
+        let mut s = TrafficStats::new(1);
+        assert_eq!(s.mean_time_to_repair(), 0.0);
+        s.add_repair_wait(3);
+        s.add_repair_wait(7);
+        s.add_repair_delivered();
+        s.add_repair_delivered();
+        assert_eq!(s.repair_wait_total(), 10);
+        assert_eq!(s.repair_wait_max(), 7);
+        assert!((s.mean_time_to_repair() - 5.0).abs() < 1e-12);
     }
 
     #[test]
