@@ -1,6 +1,7 @@
 //! Standalone benchmark runner: times the standard presets and writes the
-//! tracked `BENCH_7.json` (same driver as `fairswap bench`; see
-//! [`fairswap_core::benchrun`]).
+//! tracked `BENCH_8.json` (same driver as `fairswap bench`; see
+//! [`fairswap_core::benchrun`]). `bench_serve` then merges its
+//! sustained-load service rows into the same file.
 //!
 //! ```sh
 //! cargo run --release -p fairswap_bench --bin bench_presets -- [--quick]

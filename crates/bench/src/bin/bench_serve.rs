@@ -1,0 +1,247 @@
+//! Sustained-load benchmark for the `fairswap serve` daemon.
+//!
+//! Starts an in-process server on a free port, sweeps closed-loop client
+//! counts, runs one long soak window, and merges the resulting
+//! [`ServeRow`]s into the `BENCH_8.json` that `bench_presets` already
+//! wrote — the two runners share one report so CI validates a single
+//! file.
+//!
+//! ```sh
+//! cargo run --release -p fairswap_bench --bin bench_presets -- [--quick]
+//! cargo run --release -p fairswap_bench --bin bench_serve -- [--quick]
+//!     [--out DIR] [--workers N] [--soak-seconds S]
+//! ```
+//!
+//! The acceptance bars (zero failed requests, monotone percentiles, a
+//! ≥60 s soak whose last-quartile p99 stays within 1.25x of the first)
+//! are enforced by [`benchrun::BenchReport::validate`] — on the merged
+//! file here, and again by `--check` in CI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fairswap_core::benchrun::{self, ServeRow};
+use fairswap_serve::{loadgen, Client, Response, ServeOptions, Server};
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    workers: usize,
+    /// Override for the soak window length (testing this binary itself).
+    soak_seconds: Option<u64>,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: PathBuf::from("."),
+        workers: 2,
+        soak_seconds: None,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--quick" => args.quick = true,
+            flag @ ("--out" | "--workers" | "--soak-seconds") => {
+                i += 1;
+                let value = raw
+                    .get(i)
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                match flag {
+                    "--out" => args.out = PathBuf::from(value),
+                    "--workers" => {
+                        args.workers = value
+                            .parse()
+                            .map_err(|_| format!("invalid --workers value: {value}"))?;
+                    }
+                    _ => {
+                        args.soak_seconds = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("invalid --soak-seconds value: {value}"))?,
+                        );
+                    }
+                }
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+/// Small, fast specs so a window completes many exchanges: the sweep
+/// measures service overhead and cache behavior, not simulation scale
+/// (the presets in `bench_presets` own that axis). Distinct seeds give
+/// the cache several entries; re-submissions then hit.
+fn bench_specs() -> Vec<String> {
+    (1u64..=6)
+        .map(|seed| {
+            format!(
+                "{{\"topology\": {{\"nodes\": 80, \"bits\": 16}}, \
+                 \"workload\": {{\"files\": 8}}, \"seed\": {seed}}}"
+            )
+        })
+        .collect()
+}
+
+/// Reads the nested cache counters out of a `/health` response.
+fn cache_counts(response: &Response) -> Option<(u64, u64)> {
+    let value: serde::Value = serde_json::from_str(response.text().trim()).ok()?;
+    let fields = value.as_object()?;
+    let (_, cache) = fields.iter().find(|(key, _)| key == "cache")?;
+    let cache = cache.as_object()?;
+    let counter = |key: &str| match cache.iter().find(|(k, _)| k == key)? {
+        (_, serde::Value::UInt(n)) => Some(*n),
+        (_, serde::Value::Int(n)) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    };
+    Some((counter("hits")?, counter("misses")?))
+}
+
+fn measure(
+    addr: std::net::SocketAddr,
+    name: &str,
+    clients: usize,
+    seconds: u64,
+    specs: &[String],
+) -> Result<ServeRow, String> {
+    let mut health = Client::new(addr);
+    let before = health
+        .request("GET", "/health", b"")
+        .map_err(|e| format!("{name}: /health: {e}"))?;
+    let (hits_before, misses_before) =
+        cache_counts(&before).ok_or_else(|| format!("{name}: malformed /health body"))?;
+    let outcome = loadgen::run(&loadgen::LoadOptions {
+        addr,
+        clients,
+        duration: Duration::from_secs(seconds),
+        specs: specs.to_vec(),
+    });
+    let after = health
+        .request("GET", "/health", b"")
+        .map_err(|e| format!("{name}: /health: {e}"))?;
+    let (hits_after, misses_after) =
+        cache_counts(&after).ok_or_else(|| format!("{name}: malformed /health body"))?;
+    let row = ServeRow {
+        name: name.to_string(),
+        clients,
+        seconds: outcome.wall.as_secs_f64(),
+        requests: outcome.requests,
+        failures: outcome.failures,
+        rps: outcome.rps(),
+        p50_us: outcome.percentile_us(50.0),
+        p95_us: outcome.percentile_us(95.0),
+        p99_us: outcome.percentile_us(99.0),
+        cache_hits: hits_after - hits_before,
+        cache_misses: misses_after - misses_before,
+        soak_first_p99_us: outcome.quartile_percentile_us(0, 99.0),
+        soak_last_p99_us: outcome.quartile_percentile_us(3, 99.0),
+    };
+    eprintln!(
+        "measured {name:<10} clients={clients} {:>7} req {:>8.0} rps p99={:>6} us failures={}",
+        row.requests, row.rps, row.p99_us, row.failures
+    );
+    Ok(row)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let path = args.out.join(benchrun::BENCH_FILE);
+    let mut report = benchrun::validate_file(&path)
+        .map_err(|e| format!("{e}\nrun bench_presets first — bench_serve merges into its file"))?;
+    if report.quick != args.quick {
+        return Err(format!(
+            "{} was written with quick={}, but bench_serve got quick={}; rerun with matching modes",
+            path.display(),
+            report.quick,
+            args.quick
+        ));
+    }
+
+    let server = Server::bind(&ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: args.workers,
+        ..ServeOptions::default()
+    })
+    .map_err(|e| format!("binding bench server: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("resolving bench server address: {e}"))?;
+    let shutdown = server.shutdown_handle();
+    let daemon = std::thread::spawn(move || server.run());
+    eprintln!("bench server on http://{addr} (workers={})", args.workers);
+
+    let specs = bench_specs();
+    let (sweep, soak_name, soak_clients, soak_seconds) = if args.quick {
+        (vec![("c1", 1usize, 1u64), ("c2", 2, 1)], "soak_quick", 2, 4)
+    } else {
+        (
+            vec![("c1", 1, 3), ("c2", 2, 3), ("c4", 4, 3), ("c8", 8, 3)],
+            "soak",
+            4,
+            61,
+        )
+    };
+    let soak_seconds = args.soak_seconds.unwrap_or(soak_seconds);
+
+    let mut rows = Vec::new();
+    for (name, clients, seconds) in sweep {
+        rows.push(measure(addr, name, clients, seconds, &specs)?);
+    }
+    rows.push(measure(
+        addr,
+        soak_name,
+        soak_clients,
+        soak_seconds,
+        &specs,
+    )?);
+
+    shutdown.shutdown();
+    match daemon.join() {
+        Ok(Ok(summary)) => eprintln!(
+            "daemon drained: {} jobs, cache hits={} misses={}",
+            summary.jobs, summary.cache.hits, summary.cache.misses
+        ),
+        Ok(Err(e)) => return Err(format!("bench server failed: {e}")),
+        Err(_) => return Err("bench server panicked".to_string()),
+    }
+
+    report.serve = rows;
+    report.validate()?;
+    let written = report.write_to(&args.out)?;
+    for row in &report.serve {
+        println!(
+            "{:<10} clients={} {:>7} req  {:>8.0} rps  p50={} p95={} p99={} us  cache {}h/{}m",
+            row.name,
+            row.clients,
+            row.requests,
+            row.rps,
+            row.p50_us,
+            row.p95_us,
+            row.p99_us,
+            row.cache_hits,
+            row.cache_misses
+        );
+    }
+    println!("wrote {}", written.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse() {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: bench_serve [--quick] [--out DIR] [--workers N] [--soak-seconds S]");
+            ExitCode::FAILURE
+        }
+    }
+}

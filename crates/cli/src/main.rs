@@ -149,6 +149,12 @@ const COMMANDS: &[CommandSpec] = &[
         in_all: false,
     },
     CommandSpec {
+        name: "serve",
+        section: "service",
+        blurb: "long-lived HTTP daemon scheduling SimSpec jobs (--addr HOST:PORT)",
+        in_all: false,
+    },
+    CommandSpec {
         name: "fuzz",
         section: "fuzzing",
         blurb: "coverage-guided spec fuzzing with invariant oracles",
@@ -169,7 +175,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "bench",
         section: "tracking",
-        blurb: "time the standard presets, write BENCH_7.json",
+        blurb: "time the standard presets, write BENCH_8.json",
         in_all: false,
     },
     CommandSpec {
@@ -238,6 +244,14 @@ struct Options {
     /// `fuzz`: wall-clock cutoff in seconds (trades away bit-for-bit
     /// reproducibility; seed+iters campaigns are the reproducible ones).
     time_budget: Option<u64>,
+    /// `serve`: listen address (`host:port`; port 0 picks a free port).
+    addr: String,
+    /// `serve`: executor threads per scheduled batch (0 = all cores).
+    workers: usize,
+    /// `serve`: report-cache capacity in entries (0 disables caching).
+    cache_cap: usize,
+    /// `serve`: bounded submit-queue capacity.
+    queue_cap: usize,
     out: PathBuf,
 }
 
@@ -248,6 +262,7 @@ fn usage() -> String {
         "       [--nodes N] [--files N] [--seed S] [--out DIR] [--quick] [--threads T]\n\
          \x20      [--bits B] [--scenario NAME] [--config FILE]\n\
          \x20      [--iters N] [--corpus DIR] [--minimize] [--time-budget SECS]\n\
+         \x20      [--addr HOST:PORT] [--workers N] [--cache-cap N] [--queue-cap N]\n\
          \x20      [--trace FILE] [--metrics FILE] [--profile] [--no-progress] [--strict]\n\
          \nCommands:\n",
     );
@@ -280,6 +295,11 @@ fn usage() -> String {
          --minimize  fuzz: replay the corpus and drop entries whose behavior cells\n\
          \x20           earlier entries already cover (rewrites the corpus in place)\n\
          --time-budget  fuzz: stop mutating after SECS seconds (breaks reproducibility)\n\
+         --addr      serve: listen address (default 127.0.0.1:7440; port 0 = any free port)\n\
+         --workers   serve: executor threads per scheduled batch (default 2; 0 = all cores);\n\
+         \x20           results are byte-identical for any worker count\n\
+         --cache-cap serve: report-cache entries (default 64; 0 disables caching)\n\
+         --queue-cap serve: bounded submit-queue capacity (default 256)\n\
          --check     bench: validate an existing BENCH_*.json and exit\n\
          --baseline  bench: embed a previous BENCH_*.json as the baseline\n\
          --trace     write the merged event trace as JSONL (trace-check: the file to read)\n\
@@ -314,6 +334,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut corpus = None;
     let mut minimize = false;
     let mut time_budget = None;
+    let serve_defaults = fairswap_serve::ServeOptions::default();
+    let mut addr = serve_defaults.addr;
+    let mut workers = serve_defaults.workers;
+    let mut cache_cap = serve_defaults.cache_cap;
+    let mut queue_cap = serve_defaults.queue_cap;
     let mut out = PathBuf::from("results");
     let mut i = 0;
     while i < args.len() {
@@ -325,7 +350,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--strict" => strict = true,
             "--nodes" | "--files" | "--seed" | "--out" | "--threads" | "--bits" | "--scenario"
             | "--config" | "--check" | "--baseline" | "--trace" | "--metrics" | "--iters"
-            | "--corpus" | "--time-budget" => {
+            | "--corpus" | "--time-budget" | "--addr" | "--workers" | "--cache-cap"
+            | "--queue-cap" => {
                 let flag = args[i].clone();
                 i += 1;
                 let value = args
@@ -386,6 +412,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                                 .map_err(|_| format!("invalid --time-budget value: {value}"))?,
                         );
                     }
+                    "--addr" => addr = value.clone(),
+                    "--workers" => {
+                        workers = value
+                            .parse()
+                            .map_err(|_| format!("invalid --workers value: {value}"))?;
+                    }
+                    "--cache-cap" => {
+                        cache_cap = value
+                            .parse()
+                            .map_err(|_| format!("invalid --cache-cap value: {value}"))?;
+                    }
+                    "--queue-cap" => {
+                        queue_cap = value
+                            .parse()
+                            .map_err(|_| format!("invalid --queue-cap value: {value}"))?;
+                    }
                     "--out" => out = PathBuf::from(value),
                     _ => unreachable!(),
                 }
@@ -432,6 +474,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         corpus,
         minimize,
         time_budget,
+        addr,
+        workers,
+        cache_cap,
+        queue_cap,
         out,
     })
 }
@@ -794,49 +840,41 @@ fn run_command(opts: &Options) -> Result<(), String> {
                     report.f1_contribution_gini(),
                     report.f2_income_gini()
                 );
-                let mut csv = CsvTable::new([
-                    "nodes",
-                    "bits",
-                    "k",
-                    "files",
-                    "seed",
-                    "mechanism",
-                    "route",
-                    "cache",
-                    "repair",
-                    "requests",
-                    "stuck_requests",
-                    "capacity_blocked",
-                    "detoured",
-                    "cache_hits",
-                    "mean_forwarded",
-                    "mean_hops",
-                    "f1_gini",
-                    "f2_gini",
-                    "repair_events",
-                ]);
-                csv.push_row([
-                    config.nodes.to_string(),
-                    config.bits.to_string(),
-                    config.bucket_sizing.default_k().to_string(),
-                    config.files.to_string(),
-                    config.seed.to_string(),
-                    config.mechanism.id().to_string(),
-                    config.route.id().to_string(),
-                    config.cache.id().to_string(),
-                    config.repair.id().to_string(),
-                    requests.to_string(),
-                    report.traffic().stuck_requests().to_string(),
-                    report.traffic().capacity_blocked().to_string(),
-                    report.traffic().detoured().to_string(),
-                    report.cache_hits().to_string(),
-                    CsvTable::fmt_float(report.mean_forwarded()),
-                    CsvTable::fmt_float(report.hops().mean().unwrap_or(0.0)),
-                    CsvTable::fmt_float(report.f1_contribution_gini()),
-                    CsvTable::fmt_float(report.f2_income_gini()),
-                    report.churn().map_or(0, |c| c.repair_events).to_string(),
-                ]);
+                // The exact serializer `fairswap serve` answers `/result`
+                // with — keeping the batch and HTTP paths `cmp`-equal.
+                let csv = fairswap_core::run_summary_csv(&config, report);
                 write_csv(&mut obs, out, "run.csv", &csv)?;
+            }
+            "serve" => {
+                let serve_opts = fairswap_serve::ServeOptions {
+                    addr: opts.addr.clone(),
+                    workers: opts.workers,
+                    cache_cap: opts.cache_cap,
+                    queue_cap: opts.queue_cap,
+                };
+                let server = fairswap_serve::Server::bind(&serve_opts)
+                    .map_err(|e| format!("binding {}: {e}", serve_opts.addr))?;
+                let bound = server
+                    .local_addr()
+                    .map_err(|e| format!("resolving listen address: {e}"))?;
+                println!(
+                    "  listening on http://{bound} (workers={}, cache-cap={}, queue-cap={})",
+                    serve_opts.workers, serve_opts.cache_cap, serve_opts.queue_cap
+                );
+                println!(
+                    "  POST /submit | GET /status/<job> /result/<job> /stream/<job> /health | POST /shutdown"
+                );
+                let summary = server.run().map_err(|e| format!("serve: {e}"))?;
+                println!(
+                    "  drained: {} jobs ({} completed, {} failed, {} rejected), cache hits={} misses={} evictions={}",
+                    summary.jobs,
+                    summary.completed,
+                    summary.failed,
+                    summary.rejected,
+                    summary.cache.hits,
+                    summary.cache.misses,
+                    summary.cache.evictions
+                );
             }
             "fuzz" => {
                 if opts.minimize {
@@ -1117,6 +1155,10 @@ mod tests {
             corpus: None,
             minimize: false,
             time_budget: None,
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_cap: 4,
+            queue_cap: 16,
             out,
         }
     }
@@ -1282,6 +1324,7 @@ mod tests {
                         phases: Vec::new(),
                     })
                     .collect(),
+                serve: Vec::new(),
                 baseline: Vec::new(),
             };
             report.write_to(&dir).unwrap()
@@ -1299,6 +1342,12 @@ mod tests {
         // produce-then-validate loop.
         let trace_file = dir.join("dispatch_trace.jsonl");
         for command in COMMANDS {
+            // `serve` blocks until an HTTP shutdown; its dispatch is
+            // covered end to end by `crates/serve/tests/` and the CI
+            // serve-smoke job.
+            if command.name == "serve" {
+                continue;
+            }
             let mut opts = quick_opts(command.name, 80, 8, dir.clone());
             opts.bits = 17;
             if command.name == "bench" {

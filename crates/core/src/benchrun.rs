@@ -32,10 +32,10 @@ use crate::experiments::{
 use crate::obs::{GridObservation, ObsOptions};
 
 /// The benchmark file this revision of the runner writes.
-pub const BENCH_FILE: &str = "BENCH_7.json";
+pub const BENCH_FILE: &str = "BENCH_8.json";
 
 /// The PR number stamped into emitted reports.
-pub const BENCH_PR: u32 = 7;
+pub const BENCH_PR: u32 = 8;
 
 /// Names of the timed presets, in run order. `durability` (added with the
 /// repair loop) times repair traffic and retries; `routing` times the
@@ -109,8 +109,44 @@ impl Deserialize for BenchRow {
     }
 }
 
-/// A benchmark report: the current rows plus the previous PR's rows.
+/// One sustained-load measurement of the `fairswap serve` daemon, taken
+/// by `bench_serve` with closed-loop clients (so `clients` bounds the
+/// requests in flight). Latencies are end-to-end submit→result
+/// microseconds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRow {
+    /// Measurement name: `c<N>` sweep points, plus one `soak` row
+    /// (`soak_quick` under `--quick`).
+    pub name: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Wall-clock window the measurement actually ran, seconds.
+    pub seconds: f64,
+    /// Completed submit→result exchanges.
+    pub requests: u64,
+    /// Failed exchanges — the acceptance bar is exactly zero.
+    pub failures: u64,
+    /// Completed exchanges per second.
+    pub rps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Report-cache hits the daemon served during the window.
+    pub cache_hits: u64,
+    /// Report-cache misses (i.e. simulations actually run).
+    pub cache_misses: u64,
+    /// p99 of the window's first time-quartile — the soak degradation
+    /// reference (0 when that quartile completed no requests).
+    pub soak_first_p99_us: u64,
+    /// p99 of the window's last time-quartile.
+    pub soak_last_p99_us: u64,
+}
+
+/// A benchmark report: the current rows plus the previous PR's rows.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     /// PR number that produced the `presets` rows.
     pub pr: u32,
@@ -120,8 +156,45 @@ pub struct BenchReport {
     pub threads: usize,
     /// One row per timed preset, in [`PRESET_NAMES`] order.
     pub presets: Vec<BenchRow>,
+    /// Sustained-load service measurements from `bench_serve` (empty in
+    /// reports written before BENCH_8 — the serde impls below default it
+    /// so older baseline files keep loading).
+    pub serve: Vec<ServeRow>,
     /// The previous tracked report's rows (empty for a fresh baseline).
     pub baseline: Vec<BenchRow>,
+}
+
+impl Serialize for BenchReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("pr".into(), self.pr.to_value()),
+            ("quick".into(), self.quick.to_value()),
+            ("threads".into(), self.threads.to_value()),
+            ("presets".into(), self.presets.to_value()),
+            ("serve".into(), self.serve.to_value()),
+            ("baseline".into(), self.baseline.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BenchReport {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", value))?;
+        let serve = match fields.iter().find(|(key, _)| key == "serve") {
+            Some((_, rows)) => Vec::from_value(rows)?,
+            None => Vec::new(),
+        };
+        Ok(Self {
+            pr: u32::from_value(serde::field(fields, "pr")?)?,
+            quick: bool::from_value(serde::field(fields, "quick")?)?,
+            threads: usize::from_value(serde::field(fields, "threads")?)?,
+            presets: Vec::from_value(serde::field(fields, "presets")?)?,
+            serve,
+            baseline: Vec::from_value(serde::field(fields, "baseline")?)?,
+        })
+    }
 }
 
 impl BenchReport {
@@ -181,8 +254,83 @@ impl BenchReport {
                 return Err(format!("preset '{name}' appears {matches} times, want 1"));
             }
         }
-        check_rows(self.presets.iter().chain(&self.baseline))
+        check_rows(self.presets.iter().chain(&self.baseline))?;
+        check_serve_rows(&self.serve, self.quick)
     }
+}
+
+/// Minimum duration of the committed (non-quick) soak row, seconds.
+pub const SOAK_MIN_SECONDS: f64 = 60.0;
+
+/// Invariants for the `bench_serve` rows. The zero-degradation
+/// acceptance bar lives here so `--check` in CI enforces it on the
+/// committed file, not just at measurement time:
+///
+/// - every row completed work with **zero** failed requests and
+///   monotone, self-consistent percentiles/throughput;
+/// - if any serve rows exist, exactly one is the soak row (`soak`, or
+///   `soak_quick` under `--quick`);
+/// - the full soak row ran for at least [`SOAK_MIN_SECONDS`] and its
+///   last time-quartile p99 did not degrade past 1.25x the first
+///   quartile's (plus a 2 ms absolute grace for near-zero latencies).
+fn check_serve_rows(rows: &[ServeRow], quick: bool) -> Result<(), String> {
+    for row in rows {
+        if row.requests == 0 || row.seconds <= 0.0 {
+            return Err(format!("serve row '{}' records no work", row.name));
+        }
+        if row.failures != 0 {
+            return Err(format!(
+                "serve row '{}' has {} failed requests, want 0",
+                row.name, row.failures
+            ));
+        }
+        if row.clients == 0 {
+            return Err(format!("serve row '{}' has no clients", row.name));
+        }
+        if !(row.p50_us <= row.p95_us && row.p95_us <= row.p99_us) || row.p99_us == 0 {
+            return Err(format!(
+                "serve row '{}': percentiles not monotone ({}/{}/{})",
+                row.name, row.p50_us, row.p95_us, row.p99_us
+            ));
+        }
+        let implied = row.requests as f64 / row.seconds;
+        if !row.rps.is_finite() || row.rps <= 0.0 || (row.rps - implied).abs() / implied > 0.05 {
+            return Err(format!(
+                "serve row '{}': rps {} inconsistent with {} requests in {:.1} s",
+                row.name, row.rps, row.requests, row.seconds
+            ));
+        }
+    }
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let soak_name = if quick { "soak_quick" } else { "soak" };
+    let soaks = rows.iter().filter(|r| r.name.starts_with("soak")).count();
+    let soak = match rows.iter().find(|r| r.name == soak_name) {
+        Some(soak) if soaks == 1 => soak,
+        _ => {
+            return Err(format!(
+                "serve rows need exactly one soak row named '{soak_name}', found {soaks}"
+            ))
+        }
+    };
+    if !quick && soak.seconds < SOAK_MIN_SECONDS {
+        return Err(format!(
+            "soak row ran {:.1} s, want at least {SOAK_MIN_SECONDS}",
+            soak.seconds
+        ));
+    }
+    if soak.soak_first_p99_us == 0 {
+        return Err("soak row has no first-quartile p99".to_string());
+    }
+    let ceiling = soak.soak_first_p99_us as f64 * 1.25 + 2000.0;
+    if soak.soak_last_p99_us as f64 > ceiling {
+        return Err(format!(
+            "soak p99 degraded: last quartile {} us vs first quartile {} us (ceiling {:.0} us)",
+            soak.soak_last_p99_us, soak.soak_first_p99_us, ceiling
+        ));
+    }
+    Ok(())
 }
 
 /// Row-level invariants shared by current and baseline rows: positive
@@ -245,9 +393,10 @@ fn load_report(path: &Path) -> Result<BenchReport, String> {
 pub fn check_command(path: &Path) -> Result<(), String> {
     let report = validate_file(path)?;
     println!(
-        "{} valid: {} presets, {} baseline rows",
+        "{} valid: {} presets, {} serve rows, {} baseline rows",
         path.display(),
         report.presets.len(),
+        report.serve.len(),
         report.baseline.len()
     );
     Ok(())
@@ -419,6 +568,7 @@ pub fn run(
         quick,
         threads: executor.threads(),
         presets: rows,
+        serve: Vec::new(),
         baseline: Vec::new(),
     })
 }
@@ -470,7 +620,26 @@ mod tests {
                     }],
                 })
                 .collect(),
+            serve: Vec::new(),
             baseline: Vec::new(),
+        }
+    }
+
+    fn soak_row(name: &str, seconds: f64) -> ServeRow {
+        ServeRow {
+            name: name.to_string(),
+            clients: 4,
+            seconds,
+            requests: (seconds * 100.0) as u64,
+            failures: 0,
+            rps: 100.0,
+            p50_us: 800,
+            p95_us: 2_000,
+            p99_us: 4_000,
+            cache_hits: 5_000,
+            cache_misses: 12,
+            soak_first_p99_us: 4_000,
+            soak_last_p99_us: 4_100,
         }
     }
 
@@ -536,6 +705,78 @@ mod tests {
         std::fs::write(&path, broken.to_json().unwrap()).unwrap();
         assert!(load_baseline(&path).unwrap_err().contains("no work"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_rows_enforce_the_zero_degradation_bar() {
+        // A well-formed sweep + full-length soak passes.
+        let mut report = tiny_report();
+        report.quick = false;
+        let mut sweep = soak_row("c4", 5.0);
+        sweep.soak_first_p99_us = 0;
+        sweep.soak_last_p99_us = 0;
+        report.serve = vec![sweep, soak_row("soak", 61.0)];
+        report.validate().unwrap();
+
+        // Any failed request sinks the report.
+        let mut failed = report.clone();
+        failed.serve[1].failures = 1;
+        assert!(failed.validate().unwrap_err().contains("failed requests"));
+
+        // Percentiles must be monotone.
+        let mut skewed = report.clone();
+        skewed.serve[0].p95_us = skewed.serve[0].p99_us + 1;
+        assert!(skewed.validate().unwrap_err().contains("not monotone"));
+
+        // Throughput must match the recorded window.
+        let mut inflated = report.clone();
+        inflated.serve[1].rps *= 2.0;
+        assert!(inflated.validate().unwrap_err().contains("inconsistent"));
+
+        // A short soak fails the 60 s floor; a degraded tail fails the
+        // 1.25x quartile ceiling; a missing soak row fails outright.
+        let mut short = report.clone();
+        short.serve[1].seconds = 30.0;
+        short.serve[1].requests = 3_000;
+        assert!(short.validate().unwrap_err().contains("at least 60"));
+        let mut degraded = report.clone();
+        degraded.serve[1].soak_last_p99_us = 10_000;
+        assert!(degraded.validate().unwrap_err().contains("degraded"));
+        let mut missing = report.clone();
+        missing.serve.truncate(1);
+        assert!(missing
+            .validate()
+            .unwrap_err()
+            .contains("exactly one soak row"));
+
+        // Quick reports carry `soak_quick` instead and skip the floor.
+        let mut quick = tiny_report();
+        quick.serve = vec![soak_row("soak_quick", 5.0)];
+        quick.validate().unwrap();
+        quick.quick = false;
+        assert!(quick.validate().is_err());
+    }
+
+    #[test]
+    fn reports_without_serve_rows_still_parse() {
+        // BENCH_7-era files predate the `serve` key; both the current
+        // validator and the baseline loader must keep accepting them.
+        let mut legacy = tiny_report();
+        legacy.serve = vec![soak_row("soak", 61.0)];
+        let mut json = legacy.to_json().unwrap();
+        let with_serve: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(with_serve.serve.len(), 1);
+        json = json.replace(
+            &format!(
+                ",\"serve\":{}",
+                serde_json::to_string(&legacy.serve).unwrap()
+            ),
+            "",
+        );
+        assert!(!json.contains("serve"));
+        let without: BenchReport = serde_json::from_str(&json).unwrap();
+        assert!(without.serve.is_empty());
+        without.validate().unwrap();
     }
 
     #[test]

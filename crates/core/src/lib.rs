@@ -38,6 +38,7 @@ mod config;
 mod csv;
 mod error;
 mod report;
+mod runcsv;
 mod scenario;
 mod sim;
 mod spec;
@@ -57,11 +58,15 @@ pub use exec::{run_jobs, run_jobs_observed, run_jobs_with_progress, SimJob};
 pub use obs::{EpochSnapshot, GridObservation, NullObserver, ObsOptions, StepObserver};
 pub use policy::{NoRepair, RepairHook, RepairPolicy};
 pub use report::{ChurnOutcome, ChurnSample, SimReport};
+pub use runcsv::{run_summary_csv, RUN_SUMMARY_COLUMNS};
 pub use scenario::ScenarioKind;
 pub use sim::BandwidthSim;
-pub use spec::{DynamicsSpec, EconomicsSpec, PolicySpec, SimSpec, TopologySpec, WorkloadSpec};
+pub use spec::{
+    DynamicsSpec, EconomicsSpec, PolicySpec, SimSpec, SpecHash, TopologySpec, WorkloadSpec,
+};
 
 pub use fairswap_churn::{ChurnConfig, LifetimeDist};
+pub use fairswap_kademlia::BucketSizing;
 pub use fairswap_obs::{validate_jsonl, Phase, PhaseTimes, TraceStats};
 pub use fairswap_simcore::Executor;
 pub use fairswap_storage::{CachePolicy, RepairSource, RoutePolicy};

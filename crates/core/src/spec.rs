@@ -132,6 +132,48 @@ pub struct PolicySpec {
     pub retry_backoff: u64,
 }
 
+/// The canonical content hash of a [`SimSpec`]: a 64-bit FNV-1a digest of
+/// the spec's canonical JSON wire form ([`SimSpec::to_json`] — compact,
+/// fixed field order, every field present).
+///
+/// Because the digest is taken over the *canonical* form, two documents
+/// that parse to the same spec — different key order, whitespace, elided
+/// defaults — hash identically, while any semantic difference (a changed
+/// seed, one policy knob) produces a different hash. This is the report
+/// cache key of `fairswap serve` and a stable fingerprint for corpus and
+/// gallery tooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecHash(u64);
+
+impl SpecHash {
+    /// The raw 64-bit digest.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SpecHash {
+    /// Renders as 16 lowercase hex digits — the form used in URLs, logs
+    /// and the serve API's JSON responses.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// 64-bit FNV-1a over a byte string: tiny, dependency-free, and stable
+/// across platforms and releases — exactly what a committed-fixture hash
+/// pin needs (this is a fingerprint, not a cryptographic digest).
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
 /// A complete simulation specification — see the module docs for the wire
 /// format and its stability contract.
 #[derive(Debug, Clone, PartialEq)]
@@ -293,6 +335,19 @@ impl SimSpec {
         serde_json::to_string(self).map_err(|e| CoreError::InvalidConfig {
             message: format!("serializing spec: {e}"),
         })
+    }
+
+    /// The canonical content hash: FNV-1a 64 over [`SimSpec::to_json`].
+    /// Stable across field order, whitespace and elided defaults in the
+    /// source document — see [`SpecHash`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimSpec::to_json`] failures (non-finite floats in a
+    /// programmatically-built spec; documents parsed from JSON cannot
+    /// carry them).
+    pub fn content_hash(&self) -> Result<SpecHash, CoreError> {
+        Ok(SpecHash(fnv1a_64(self.to_json()?.as_bytes())))
     }
 }
 
@@ -736,6 +791,66 @@ mod tests {
         assert_eq!(old.policies.max_retries, 0);
         assert_eq!(old.policies.retry_backoff, 1);
     }
+
+    #[test]
+    fn content_hash_is_canonical() {
+        // Whitespace, key order and elided defaults never change the hash;
+        // any semantic change does.
+        let canonical = SimSpec::paper_defaults().content_hash().unwrap();
+        let elided = SimSpec::from_json("{}").unwrap().content_hash().unwrap();
+        assert_eq!(canonical, elided);
+        let reordered =
+            SimSpec::from_json(r#"{ "topology": { "bits": 16, "nodes": 1000 },   "seed": 64018 }"#)
+                .unwrap();
+        assert_eq!(
+            reordered.content_hash().unwrap(),
+            canonical,
+            "source formatting must not perturb the hash"
+        );
+        let mut tweaked = SimSpec::paper_defaults();
+        tweaked.seed += 1;
+        assert_ne!(tweaked.content_hash().unwrap(), canonical);
+        let mut tweaked = SimSpec::paper_defaults();
+        tweaked.policies.max_retries = 1;
+        assert_ne!(tweaked.content_hash().unwrap(), canonical);
+        // The display form is 16 lowercase hex digits.
+        let text = canonical.to_string();
+        assert_eq!(text.len(), 16);
+        assert!(text.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(u64::from_str_radix(&text, 16).unwrap(), canonical.as_u64());
+    }
+
+    #[test]
+    fn content_hash_of_committed_fixtures_is_pinned() {
+        // These pins are the stability contract behind the serve report
+        // cache and corpus tooling: if canonical serialization (field
+        // order, float rendering, defaults) drifts, cached reports and
+        // recorded fingerprints silently stop matching — this test makes
+        // the drift loud. Recompute only on a deliberate format change.
+        assert_eq!(
+            SimSpec::paper_defaults()
+                .content_hash()
+                .unwrap()
+                .to_string(),
+            PAPER_DEFAULTS_HASH,
+        );
+        let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let fixtures = manifest.join("../../tests/fixtures");
+        for (file, pinned) in [
+            ("demo_spec.json", DEMO_SPEC_HASH),
+            ("corpus/seed-00-paper-quick.json", SEED_00_HASH),
+        ] {
+            let text = std::fs::read_to_string(fixtures.join(file)).unwrap();
+            let spec = SimSpec::from_json(&text).unwrap();
+            assert_eq!(spec.content_hash().unwrap().to_string(), pinned, "{file}");
+        }
+    }
+
+    /// Pinned canonical hashes of the committed fixtures (see
+    /// `content_hash_of_committed_fixtures_is_pinned`).
+    const PAPER_DEFAULTS_HASH: &str = "494368cb520950bb";
+    const DEMO_SPEC_HASH: &str = "62f0e9be5dc00c86";
+    const SEED_00_HASH: &str = "aa0171a53d365e1d";
 
     #[test]
     fn build_validates_values() {

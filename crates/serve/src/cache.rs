@@ -1,0 +1,167 @@
+//! The in-memory report cache, keyed by canonical-JSON spec hash.
+//!
+//! A hit serves the cached `run.csv` bytes (and the original run's
+//! stream rows) without re-running the simulation — sound because every
+//! run is a pure function of its canonical spec, which
+//! [`fairswap_core::SpecHash`] fingerprints. Eviction is LRU
+//! over a deterministic access stamp (a counter, not a clock), so cache
+//! behavior is reproducible run-for-run.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fairswap_core::SpecHash;
+
+use crate::job::JobResult;
+
+/// Cache occupancy and traffic counters, as reported by `/health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (the job went to the queue).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+}
+
+/// A bounded LRU map from spec hash to finished result.
+#[derive(Debug, Default)]
+pub struct ReportCache {
+    capacity: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    entries: HashMap<u64, CacheEntry>,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    stamp: u64,
+    result: Arc<JobResult>,
+}
+
+impl ReportCache {
+    /// A cache holding at most `capacity` reports (0 disables caching —
+    /// every lookup misses and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Looks up `hash`, counting the hit or miss and refreshing the
+    /// entry's recency on a hit.
+    pub fn get(&mut self, hash: SpecHash) -> Option<Arc<JobResult>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self.entries.get_mut(&hash.as_u64()) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                self.hits += 1;
+                Some(Arc::clone(&entry.result))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a finished result, evicting the least-recently-used entry
+    /// if the cache is full. Re-inserting an existing hash refreshes the
+    /// entry (runs are deterministic, so the value cannot differ).
+    pub fn insert(&mut self, hash: SpecHash, result: Arc<JobResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&hash.as_u64()) {
+            if let Some(&oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(key, entry)| (entry.stamp, **key))
+                .map(|(key, _)| key)
+            {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.entries
+            .insert(hash.as_u64(), CacheEntry { stamp, result });
+    }
+
+    /// Current occupancy and traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: u8) -> Arc<JobResult> {
+        Arc::new(JobResult {
+            csv: vec![tag],
+            rows: Vec::new(),
+        })
+    }
+
+    fn hash_of(seed: u64) -> SpecHash {
+        let mut spec = fairswap_core::SimSpec::paper_defaults();
+        spec.seed = seed;
+        spec.content_hash().unwrap()
+    }
+
+    #[test]
+    fn hit_miss_accounting_and_lru_eviction() {
+        let mut cache = ReportCache::new(2);
+        let (a, b, c) = (hash_of(1), hash_of(2), hash_of(3));
+        assert!(cache.get(a).is_none());
+        cache.insert(a, result(1));
+        cache.insert(b, result(2));
+        assert_eq!(cache.get(a).unwrap().csv, vec![1]);
+        // `b` is now least recently used; inserting `c` evicts it.
+        cache.insert(c, result(3));
+        assert!(cache.get(b).is_none());
+        assert!(cache.get(a).is_some());
+        assert!(cache.get(c).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = ReportCache::new(0);
+        let a = hash_of(9);
+        cache.insert(a, result(9));
+        assert!(cache.get(a).is_none());
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut cache = ReportCache::new(1);
+        let a = hash_of(1);
+        cache.insert(a, result(1));
+        cache.insert(a, result(1));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Closed-loop load generation against a running server.
+//!
+//! Each client thread owns one keep-alive connection and drives a strict
+//! request/response loop: submit a spec, block on its `/result`, record
+//! the end-to-end latency, repeat until the wall-clock window closes.
+//! Closed-loop clients make concurrency the independent variable — `N`
+//! clients means at most `N` requests in flight — which is what the
+//! RPS-vs-latency sweep in `bench_serve` needs.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crate::client::Client;
+
+/// One load-generation window.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Wall-clock window; clients stop issuing once it elapses.
+    pub duration: Duration,
+    /// Spec documents to submit, round-robined per client.
+    pub specs: Vec<String>,
+}
+
+/// One completed submit→result exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSample {
+    /// Microseconds from window start to completion.
+    pub done_us: u64,
+    /// End-to-end latency of the exchange, microseconds.
+    pub latency_us: u64,
+}
+
+/// Aggregated outcome of one window across all clients.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOutcome {
+    /// Wall-clock time the window actually took.
+    pub wall: Duration,
+    /// Completed exchanges.
+    pub requests: u64,
+    /// Failed exchanges (non-200, transport error, empty body).
+    pub failures: u64,
+    /// Every completed exchange, sorted by completion time.
+    pub samples: Vec<LoadSample>,
+}
+
+impl LoadOutcome {
+    /// Completed exchanges per second.
+    pub fn rps(&self) -> f64 {
+        self.requests as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Latency percentile over the whole window (`pct` in 0..=100).
+    pub fn percentile_us(&self, pct: f64) -> u64 {
+        let mut latencies: Vec<u64> = self.samples.iter().map(|s| s.latency_us).collect();
+        latencies.sort_unstable();
+        percentile_of_sorted(&latencies, pct)
+    }
+
+    /// Latency percentile of the samples completing in time-quartile
+    /// `quartile` (0..4) of the window — the soak degradation check
+    /// compares quartile 0 against quartile 3.
+    pub fn quartile_percentile_us(&self, quartile: usize, pct: f64) -> u64 {
+        let window = self.wall.as_micros().max(1) as u64;
+        let lo = window * quartile as u64 / 4;
+        let hi = window * (quartile as u64 + 1) / 4;
+        let mut latencies: Vec<u64> = self
+            .samples
+            .iter()
+            .filter(|s| s.done_us >= lo && s.done_us < hi)
+            .map(|s| s.latency_us)
+            .collect();
+        latencies.sort_unstable();
+        percentile_of_sorted(&latencies, pct)
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+pub fn percentile_of_sorted(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs one closed-loop window and aggregates every client's samples.
+pub fn run(options: &LoadOptions) -> LoadOutcome {
+    assert!(options.clients > 0, "need at least one client");
+    assert!(!options.specs.is_empty(), "need at least one spec");
+    let start = Instant::now();
+    let per_client: Vec<(Vec<LoadSample>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|index| scope.spawn(move || client_loop(options, index, start)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let mut samples = Vec::new();
+    let mut failures = 0;
+    for (client_samples, client_failures) in per_client {
+        samples.extend(client_samples);
+        failures += client_failures;
+    }
+    samples.sort_unstable_by_key(|s| s.done_us);
+    LoadOutcome {
+        wall,
+        requests: samples.len() as u64,
+        failures,
+        samples,
+    }
+}
+
+/// One client's closed loop: submit, await result, record, repeat.
+fn client_loop(options: &LoadOptions, index: usize, start: Instant) -> (Vec<LoadSample>, u64) {
+    let mut client = Client::new(options.addr);
+    let mut samples = Vec::new();
+    let mut failures = 0u64;
+    let mut iteration = 0usize;
+    while start.elapsed() < options.duration {
+        let spec = &options.specs[(index + iteration) % options.specs.len()];
+        iteration += 1;
+        let begun = Instant::now();
+        match exchange(&mut client, spec) {
+            Ok(()) => samples.push(LoadSample {
+                done_us: start.elapsed().as_micros() as u64,
+                latency_us: begun.elapsed().as_micros() as u64,
+            }),
+            Err(_) => failures += 1,
+        }
+    }
+    (samples, failures)
+}
+
+/// One submit→result exchange; any deviation from the happy path is a
+/// failure.
+fn exchange(client: &mut Client, spec: &str) -> Result<(), String> {
+    let submitted = client
+        .request("POST", "/submit", spec.as_bytes())
+        .map_err(|e| format!("submit: {e}"))?;
+    if submitted.status != 200 {
+        return Err(format!("submit returned {}", submitted.status));
+    }
+    let job = submitted
+        .json_str("job")
+        .ok_or_else(|| "submit response had no job id".to_string())?;
+    let result = client
+        .request("GET", &format!("/result/{job}"), b"")
+        .map_err(|e| format!("result: {e}"))?;
+    if result.status != 200 || result.body.is_empty() {
+        return Err(format!("result returned {}", result.status));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_of_sorted(&sorted, 50.0), 50);
+        assert_eq!(percentile_of_sorted(&sorted, 95.0), 95);
+        assert_eq!(percentile_of_sorted(&sorted, 99.0), 99);
+        assert_eq!(percentile_of_sorted(&sorted, 100.0), 100);
+        assert_eq!(percentile_of_sorted(&[7], 99.0), 7);
+        assert_eq!(percentile_of_sorted(&[], 99.0), 0);
+    }
+
+    #[test]
+    fn outcome_percentiles_and_quartiles() {
+        let outcome = LoadOutcome {
+            wall: Duration::from_secs(4),
+            requests: 4,
+            failures: 0,
+            samples: vec![
+                LoadSample {
+                    done_us: 500_000,
+                    latency_us: 10,
+                },
+                LoadSample {
+                    done_us: 1_500_000,
+                    latency_us: 20,
+                },
+                LoadSample {
+                    done_us: 2_500_000,
+                    latency_us: 30,
+                },
+                LoadSample {
+                    done_us: 3_500_000,
+                    latency_us: 40,
+                },
+            ],
+        };
+        assert_eq!(outcome.percentile_us(50.0), 20);
+        assert_eq!(outcome.percentile_us(99.0), 40);
+        assert_eq!(outcome.quartile_percentile_us(0, 99.0), 10);
+        assert_eq!(outcome.quartile_percentile_us(3, 99.0), 40);
+        assert!((outcome.rps() - 1.0).abs() < 1e-9);
+    }
+}

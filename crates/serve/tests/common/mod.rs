@@ -1,0 +1,43 @@
+//! Shared harness: an in-process server on a free port.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+use fairswap_serve::{ServeOptions, ServeSummary, Server, ShutdownHandle};
+
+pub struct TestServer {
+    pub addr: SocketAddr,
+    shutdown: ShutdownHandle,
+    daemon: JoinHandle<std::io::Result<ServeSummary>>,
+}
+
+impl TestServer {
+    /// Binds a server on a free localhost port and serves on a
+    /// background thread.
+    pub fn start(workers: usize, cache_cap: usize) -> Self {
+        let server = Server::bind(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            cache_cap,
+            ..ServeOptions::default()
+        })
+        .expect("binding test server");
+        let addr = server.local_addr().expect("resolving test server address");
+        let shutdown = server.shutdown_handle();
+        let daemon = std::thread::spawn(move || server.run());
+        Self {
+            addr,
+            shutdown,
+            daemon,
+        }
+    }
+
+    /// Triggers graceful drain and returns the final counters.
+    pub fn stop(self) -> ServeSummary {
+        self.shutdown.shutdown();
+        self.daemon
+            .join()
+            .expect("test server thread panicked")
+            .expect("test server failed")
+    }
+}

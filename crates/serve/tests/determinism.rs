@@ -1,0 +1,186 @@
+//! Concurrency-determinism contract: N parallel clients submitting a
+//! mix of identical and differing specs all receive exactly the bytes
+//! the batch path produces, cache hits are accounted, and streamed rows
+//! arrive uncorrupted.
+
+mod common;
+
+use common::TestServer;
+use fairswap_core::{run_summary_csv, SimSpec};
+use fairswap_serve::{stream_header, Client, STREAM_COLUMNS};
+
+/// Three small, distinct specs. Formatting varies deliberately — the
+/// cache keys on canonical JSON, so whitespace must not matter.
+fn specs() -> Vec<String> {
+    vec![
+        r#"{"topology": {"nodes": 80, "bits": 16}, "workload": {"files": 8}, "seed": 11}"#.into(),
+        "{\"topology\":{\"nodes\":80,\"bits\":16},\"workload\":{\"files\":8},\"seed\":12}".into(),
+        r#"{
+            "topology": { "nodes": 100, "bits": 16 },
+            "workload": { "files": 10 },
+            "seed": 13
+        }"#
+        .into(),
+    ]
+}
+
+/// The batch path's answer for a spec document: parse, build, run, and
+/// serialize with the same `run_summary_csv` the CLI `run` command uses.
+fn batch_csv(json: &str) -> Vec<u8> {
+    let spec = SimSpec::from_json(json).expect("fixture spec parses");
+    let config = spec.to_config();
+    let report = spec.build().expect("fixture spec builds").run();
+    run_summary_csv(&config, &report)
+        .to_csv_string()
+        .into_bytes()
+}
+
+#[test]
+fn concurrent_clients_get_batch_identical_results() {
+    let documents = specs();
+    let expected: Vec<Vec<u8>> = documents.iter().map(|json| batch_csv(json)).collect();
+    let server = TestServer::start(3, 16);
+    let addr = server.addr;
+
+    // Serial warm-up: every distinct spec misses once and runs.
+    let mut warmup = Client::new(addr);
+    let mut first_jobs = Vec::new();
+    for (json, want) in documents.iter().zip(&expected) {
+        let submitted = warmup
+            .request("POST", "/submit", json.as_bytes())
+            .expect("submit");
+        assert_eq!(submitted.status, 200, "{}", submitted.text());
+        assert_eq!(submitted.json_bool("cached"), Some(false));
+        let job = submitted.json_str("job").expect("job id");
+        let result = warmup
+            .request("GET", &format!("/result/{job}"), b"")
+            .expect("result");
+        assert_eq!(result.status, 200, "{}", result.text());
+        assert_eq!(result.body, *want, "HTTP result differs from batch CSV");
+        first_jobs.push(job);
+    }
+
+    // Concurrent phase: six clients each submit every spec again. All
+    // are cache hits and every byte must still match the batch path.
+    std::thread::scope(|scope| {
+        for client_index in 0..6 {
+            let documents = &documents;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::new(addr);
+                // Stagger the order per client so identical and
+                // differing specs interleave on the wire.
+                for offset in 0..documents.len() {
+                    let index = (client_index + offset) % documents.len();
+                    let submitted = client
+                        .request("POST", "/submit", documents[index].as_bytes())
+                        .expect("submit");
+                    assert_eq!(submitted.status, 200, "{}", submitted.text());
+                    assert_eq!(submitted.json_bool("cached"), Some(true));
+                    let job = submitted.json_str("job").expect("job id");
+                    let result = client
+                        .request("GET", &format!("/result/{job}"), b"")
+                        .expect("result");
+                    assert_eq!(result.body, expected[index]);
+                }
+            });
+        }
+    });
+
+    // Cache accounting: 3 misses from the warm-up, 6 x 3 hits after.
+    let mut probe = Client::new(addr);
+    let health = probe.request("GET", "/health", b"").expect("health");
+    assert_eq!(health.status, 200);
+    let text = health.text();
+    assert!(text.contains("\"hits\":18"), "{text}");
+    assert!(text.contains("\"misses\":3"), "{text}");
+
+    // Streaming: a cache-hit job replays exactly the rows the original
+    // run streamed, and every row is a well-formed 12-column record.
+    let resubmit = probe
+        .request("POST", "/submit", documents[0].as_bytes())
+        .expect("submit");
+    let cached_job = resubmit.json_str("job").expect("job id");
+    let original = probe
+        .request("GET", &format!("/stream/{}", first_jobs[0]), b"")
+        .expect("stream");
+    let replay = probe
+        .request("GET", &format!("/stream/{cached_job}"), b"")
+        .expect("stream");
+    assert_eq!(
+        original.body, replay.body,
+        "cache replay altered the stream"
+    );
+    let text = original.text();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some(stream_header().as_str()));
+    let mut rows = 0;
+    let mut last_epoch = 0u64;
+    for line in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), STREAM_COLUMNS.len(), "corrupt row: {line}");
+        let epoch: u64 = fields[0].parse().expect("numeric epoch");
+        assert!(epoch >= last_epoch, "epochs went backwards: {line}");
+        last_epoch = epoch;
+        rows += 1;
+    }
+    assert!(rows > 0, "no epoch rows streamed");
+
+    let summary = server.stop();
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.jobs, 3 + 18 + 1);
+}
+
+#[test]
+fn shutdown_drains_queued_jobs() {
+    let server = TestServer::start(2, 0);
+    let mut client = Client::new(server.addr);
+    let mut jobs = Vec::new();
+    // Cache disabled: every submit (even of an identical spec) runs.
+    for _ in 0..3 {
+        for json in specs() {
+            let submitted = client
+                .request("POST", "/submit", json.as_bytes())
+                .expect("submit");
+            assert_eq!(submitted.status, 200, "{}", submitted.text());
+            jobs.push(submitted.json_str("job").expect("job id"));
+        }
+    }
+    // Drain without waiting for any result: every accepted job must
+    // still complete (never be dropped), and nothing may fail.
+    let summary = server.stop();
+    assert_eq!(summary.jobs, jobs.len() as u64);
+    assert_eq!(summary.completed, jobs.len() as u64);
+    assert_eq!(summary.failed, 0);
+    assert_eq!(summary.cache.hits, 0);
+}
+
+#[test]
+fn invalid_and_unknown_requests_get_structured_errors() {
+    let server = TestServer::start(1, 4);
+    let mut client = Client::new(server.addr);
+
+    let bad_spec = client
+        .request("POST", "/submit", b"{\"topology\": {\"nodes\": 0}}")
+        .expect("submit");
+    assert_eq!(bad_spec.status, 400);
+    assert!(bad_spec.text().contains("\"error\""), "{}", bad_spec.text());
+
+    let not_json = client
+        .request("POST", "/submit", b"not json at all")
+        .expect("submit");
+    assert_eq!(not_json.status, 400);
+
+    let missing = client.request("GET", "/result/9999", b"").expect("result");
+    assert_eq!(missing.status, 404);
+
+    let unknown = client.request("GET", "/nope", b"").expect("request");
+    assert_eq!(unknown.status, 404);
+
+    let wrong_method = client.request("GET", "/submit", b"").expect("request");
+    assert_eq!(wrong_method.status, 405);
+
+    let summary = server.stop();
+    assert_eq!(summary.jobs, 0);
+    assert_eq!(summary.rejected, 0);
+}

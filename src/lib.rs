@@ -34,6 +34,9 @@
 //! * [`fuzz`] — coverage-guided scenario fuzzing: `SimSpec` mutation,
 //!   metric-grid novelty feedback and invariant oracles behind
 //!   `fairswap fuzz`.
+//! * [`serve`] — the long-lived simulation service behind
+//!   `fairswap serve`: a hand-rolled HTTP/1.1 daemon with job
+//!   scheduling, a spec-hash report cache and live epoch streaming.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +65,7 @@ pub use fairswap_fairness as fairness;
 pub use fairswap_fuzz as fuzz;
 pub use fairswap_incentives as incentives;
 pub use fairswap_kademlia as kademlia;
+pub use fairswap_serve as serve;
 pub use fairswap_simcore as simcore;
 pub use fairswap_storage as storage;
 pub use fairswap_swap as swap;
